@@ -1,0 +1,73 @@
+//! The paper's five target queries (Section V-A), written against the
+//! Blaze `EdgeMap`/`VertexMap` API exactly as in Algorithms 1–3:
+//!
+//! * [`bfs()`](bfs::bfs) — Breadth-First Search (Algorithm 1),
+//! * [`pagerank_delta()`](pagerank::pagerank_delta) — PageRank, delta variant (Algorithm 2),
+//! * [`wcc()`](wcc::wcc) — Weakly Connected Components with shortcutting label
+//!   propagation (Algorithm 3),
+//! * [`spmv()`](spmv::spmv) — Sparse Matrix-Vector multiplication,
+//! * [`bc()`](bc::bc) — Betweenness Centrality (Brandes), forward + backward sweeps.
+//!
+//! Every query runs in either execution mode ([`ExecMode::Binned`] online
+//! binning, or [`ExecMode::Sync`] compare-and-swap — the Figure 8 baseline)
+//! and has an in-memory reference implementation in [`reference`](mod@reference) used by
+//! the test suite to validate the out-of-core results.
+
+pub mod bc;
+pub mod bfs;
+pub mod mode;
+pub mod pagerank;
+pub mod reference;
+pub mod spmv;
+pub mod wcc;
+
+pub use bc::bc;
+pub use bfs::bfs;
+pub use mode::ExecMode;
+pub use pagerank::{pagerank_delta, PageRankConfig};
+pub use spmv::spmv;
+pub use wcc::wcc;
+
+/// Query identifiers used across the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Breadth-First Search.
+    Bfs,
+    /// PageRank (delta variant).
+    PageRank,
+    /// Weakly Connected Components.
+    Wcc,
+    /// Sparse matrix-vector multiplication.
+    SpMV,
+    /// Betweenness centrality.
+    Bc,
+}
+
+impl Query {
+    /// The five queries in the paper's order.
+    pub fn all() -> [Query; 5] {
+        [Query::Bfs, Query::PageRank, Query::Wcc, Query::SpMV, Query::Bc]
+    }
+
+    /// Paper abbreviation.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Query::Bfs => "BFS",
+            Query::PageRank => "PR",
+            Query::Wcc => "WCC",
+            Query::SpMV => "SpMV",
+            Query::Bc => "BC",
+        }
+    }
+
+    /// Whether the query needs the transpose graph as well.
+    pub fn needs_transpose(self) -> bool {
+        matches!(self, Query::Wcc | Query::Bc)
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}

@@ -1,0 +1,33 @@
+//! The engine interface shared by the baseline implementations.
+
+use blaze_frontier::VertexSubset;
+use blaze_types::{Result, VertexId};
+
+/// A generic out-of-core `EdgeMap` engine, letting the query definitions in
+/// [`queries`](crate::queries) run unchanged on FlashGraph-like and
+/// Graphene-like engines.
+pub trait OocEngine {
+    /// Number of vertices in the graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Applies `scatter`/`gather` over the edges of `frontier` sources
+    /// (destinations filtered by `cond`), returning the activated frontier
+    /// when `output` is true.
+    fn edge_map<V, FS, FG, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: FS,
+        gather: FG,
+        cond: FC,
+        output: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: Copy + Send + Sync + 'static,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync;
+
+    /// Records an in-memory vertex-map pass of `size` vertices in the
+    /// current iteration trace (for the performance model).
+    fn note_vertex_map(&self, size: u64);
+}

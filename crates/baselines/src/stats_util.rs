@@ -1,0 +1,3 @@
+//! Re-exports of the trace-recording helpers shared with the core engine.
+
+pub use blaze_core::stats::{fill_io_trace, snapshot_devices};

@@ -1,0 +1,62 @@
+//! Figure 1: underutilized IO in FlashGraph and Graphene on an Optane SSD.
+//!
+//! Runs {BFS, PR, WCC, SpMV} on the six main graphs through both baseline
+//! engines, then reports the modeled average read bandwidth on the paper's
+//! 16-thread Optane machine. The red line of the figure is the device's
+//! random-read bandwidth (2.36 GB/s).
+
+use blaze_algorithms::Query;
+use blaze_bench::datasets::{prepare_main_six, scale_from_env};
+use blaze_bench::engines::{run_flashgraph_query, run_graphene_query, BenchQueryOptions};
+use blaze_bench::report::{gbps, print_table, write_csv};
+use blaze_perfmodel::{MachineConfig, PerfModel};
+
+fn main() {
+    let scale = scale_from_env();
+    let opts = BenchQueryOptions::default();
+    let model = PerfModel::new(MachineConfig::paper_optane());
+    let queries = [Query::Bfs, Query::PageRank, Query::Wcc, Query::SpMV];
+    let graphs = prepare_main_six(scale);
+
+    let mut rows = Vec::new();
+    for system in ["flashgraph", "graphene"] {
+        for query in queries {
+            for g in &graphs {
+                let timing = match system {
+                    "flashgraph" => {
+                        let traces = run_flashgraph_query(query, g, &opts);
+                        model.flashgraph_query(&traces)
+                    }
+                    _ => {
+                        // Graphene's figure-1 run uses a single Optane SSD:
+                        // partitions on one disk, 1 IO + 1 compute thread.
+                        let one_disk = BenchQueryOptions { graphene_disks: 1, ..opts.clone() };
+                        let traces = run_graphene_query(query, g, &one_disk).expect("query");
+                        model.graphene_query(&traces)
+                    }
+                };
+                rows.push(vec![
+                    system.to_string(),
+                    query.short_name().to_string(),
+                    g.short_name().to_string(),
+                    gbps(timing.avg_bandwidth()),
+                    format!(
+                        "{:.0}%",
+                        100.0 * timing.avg_bandwidth() / model.machine.aggregate_bandwidth()
+                    ),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "Figure 1: baseline read bandwidth on Optane (device line = {} GB/s)",
+            gbps(model.machine.aggregate_bandwidth())
+        ),
+        &["system", "query", "graph", "read GB/s", "utilization"],
+        &rows,
+    );
+    let path = write_csv("fig1", &["system", "query", "graph", "gbps", "utilization"], &rows);
+    println!("\nwrote {}", path.display());
+    println!("paper shape: BFS near device BW for both; PR/WCC/SpMV drop to 23-30% on power-law graphs");
+}

@@ -1,0 +1,111 @@
+//! Figure 11: impact of binning configuration on rmat27 — (left) bin count
+//! sweep at fixed bin space, (right) scatter:gather thread-ratio sweep at
+//! 16 threads.
+//!
+//! Expected shapes: a wide flat valley in bin count with sharp rises at
+//! both extremes (too few bins → gather imbalance; too many → per-bin
+//! overhead); flat runtime around 1:1 thread split with sharp rises at
+//! lopsided ratios.
+
+use blaze_algorithms::{bfs, pagerank_delta, spmv, wcc, ExecMode, PageRankConfig, Query};
+use blaze_bench::datasets::{prepare, scale_from_env};
+use blaze_bench::engines::{run_blaze_query, traversal_root, BenchQueryOptions};
+use blaze_bench::report::{print_table, write_csv};
+use blaze_binning::BinningConfig;
+use blaze_core::{BlazeEngine, EngineOptions};
+use blaze_graph::{Dataset, DiskGraph};
+use blaze_perfmodel::{MachineConfig, PerfModel};
+use blaze_storage::StripedStorage;
+use blaze_types::IterationTrace;
+use std::sync::Arc;
+
+/// Scaled from the paper's 4 → 131072 sweep at 256 MB bin space.
+const BIN_COUNTS: [usize; 8] = [4, 16, 64, 256, 1024, 4096, 16384, 131072];
+const BIN_SPACE: usize = 256 << 10; // scaled from 256 MB
+
+fn run_query_with_bins(g: &blaze_bench::PreparedGraph, query: Query, bins: usize) -> Vec<IterationTrace> {
+    let storage = Arc::new(StripedStorage::in_memory(1).expect("storage"));
+    let graph = Arc::new(DiskGraph::create(&g.csr, storage).expect("graph"));
+    let binning = BinningConfig::new(bins, BIN_SPACE, 8).expect("binning");
+    let engine =
+        BlazeEngine::new(graph, EngineOptions::default().with_binning(binning)).expect("engine");
+    match query {
+        Query::Bfs => {
+            bfs(&engine, traversal_root(&g.csr), ExecMode::Binned).expect("bfs");
+        }
+        Query::PageRank => {
+            pagerank_delta(&engine, PageRankConfig::default(), ExecMode::Binned).expect("pr");
+        }
+        Query::SpMV => {
+            let x: Vec<f64> = (0..g.csr.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+            spmv(&engine, &x, ExecMode::Binned).expect("spmv");
+        }
+        Query::Wcc => {
+            let storage2 = Arc::new(StripedStorage::in_memory(1).expect("storage"));
+            let graph2 = Arc::new(DiskGraph::create(&g.transpose, storage2).expect("graph"));
+            let binning2 = BinningConfig::new(bins, BIN_SPACE, 8).expect("binning");
+            let in_engine =
+                BlazeEngine::new(graph2, EngineOptions::default().with_binning(binning2))
+                    .expect("engine");
+            wcc(&engine, &in_engine, ExecMode::Binned).expect("wcc");
+            let mut t = engine.take_traces();
+            t.extend(in_engine.take_traces());
+            return t;
+        }
+        Query::Bc => unreachable!("fig11 uses BFS/PR/WCC/SpMV"),
+    }
+    engine.take_traces()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let g = prepare(Dataset::Rmat27, scale);
+    let model = PerfModel::new(MachineConfig::paper_optane());
+    let queries = [Query::Bfs, Query::PageRank, Query::Wcc, Query::SpMV];
+
+    // (a) bin-count sweep.
+    let mut count_rows = Vec::new();
+    for query in queries {
+        let mut row = vec![query.short_name().to_string()];
+        for &bins in &BIN_COUNTS {
+            let traces = run_query_with_bins(&g, query, bins);
+            row.push(format!("{:.4}", model.blaze_query(&traces).total_s()));
+        }
+        count_rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("query".to_string())
+        .chain(BIN_COUNTS.iter().map(|b| b.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Figure 11a: modeled time (s) vs bin count, rmat27", &header_refs, &count_rows);
+    write_csv("fig11_bincount", &header_refs, &count_rows);
+
+    // (b) scatter:gather ratio sweep at 16 threads, using one trace set.
+    let opts = BenchQueryOptions::default();
+    let ratios: [(usize, usize); 7] =
+        [(1, 15), (2, 14), (4, 12), (8, 8), (12, 4), (14, 2), (15, 1)];
+    let mut ratio_rows = Vec::new();
+    for query in queries {
+        let traces = run_blaze_query(query, &g, ExecMode::Binned, &opts);
+        let mut row = vec![query.short_name().to_string()];
+        for &(s, gth) in &ratios {
+            let machine = MachineConfig::paper_optane()
+                .with_scatter_ratio(s as f64 / (s + gth) as f64);
+            let m = PerfModel::new(machine);
+            row.push(format!("{:.4}", m.blaze_query(&traces).total_s()));
+        }
+        ratio_rows.push(row);
+    }
+    let rheaders: Vec<String> = std::iter::once("query".to_string())
+        .chain(ratios.iter().map(|(s, g)| format!("{s}:{g}")))
+        .collect();
+    let rheader_refs: Vec<&str> = rheaders.iter().map(String::as_str).collect();
+    print_table(
+        "Figure 11b: modeled time (s) vs scatter:gather split (16 threads), rmat27",
+        &rheader_refs,
+        &ratio_rows,
+    );
+    let path = write_csv("fig11_ratio", &rheader_refs, &ratio_rows);
+    println!("\nwrote {}", path.display());
+    println!("paper shape: flat valley across mid bin counts, rising at extremes; flat near 1:1 split, sharp at lopsided ratios");
+}

@@ -1,0 +1,57 @@
+//! Figure 3: skewed IO in Graphene — max − min IO bytes across the 8-disk
+//! array, per BFS iteration, for the six main graphs.
+//!
+//! The 2-D topology-aware partitioning balances *total* edges per disk,
+//! but BFS's selective scheduling touches partitions unevenly: power-law
+//! graphs skew hard, the uniform graph barely.
+
+use blaze_algorithms::Query;
+use blaze_bench::datasets::{prepare_main_six, scale_from_env};
+use blaze_bench::engines::{run_graphene_query, BenchQueryOptions};
+use blaze_bench::report::{print_table, write_csv};
+use blaze_types::util::human_bytes;
+
+fn main() {
+    let scale = scale_from_env();
+    let opts = BenchQueryOptions::default(); // 8 disks
+    let graphs = prepare_main_six(scale);
+
+    let mut summary = Vec::new();
+    let mut per_iter_rows = Vec::new();
+    for g in &graphs {
+        let traces = run_graphene_query(Query::Bfs, g, &opts).expect("bfs");
+        let mut max_skew = 0u64;
+        let mut worst_ratio = 1.0f64;
+        for (i, t) in traces.iter().enumerate() {
+            let skew = t.io_skew_bytes();
+            max_skew = max_skew.max(skew);
+            let max = *t.io_bytes_per_device.iter().max().unwrap_or(&0);
+            let min = *t.io_bytes_per_device.iter().min().unwrap_or(&0);
+            if min > 0 {
+                worst_ratio = worst_ratio.max(max as f64 / min as f64);
+            }
+            per_iter_rows.push(vec![
+                g.short_name().to_string(),
+                i.to_string(),
+                skew.to_string(),
+                max.to_string(),
+                min.to_string(),
+            ]);
+        }
+        summary.push(vec![
+            g.short_name().to_string(),
+            human_bytes(max_skew),
+            format!("{worst_ratio:.2}x"),
+            traces.len().to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 3: Graphene per-iteration IO skew across 8 disks (BFS)",
+        &["graph", "max (max-min) bytes", "worst max/min", "iterations"],
+        &summary,
+    );
+    let path =
+        write_csv("fig3", &["graph", "iteration", "skew_bytes", "max_bytes", "min_bytes"], &per_iter_rows);
+    println!("\nwrote {}", path.display());
+    println!("paper shape: power-law graphs skew up to >100 MB and 1.7-2.1x max/min; uran27 stays under ~1 MB (scales with dataset size)");
+}

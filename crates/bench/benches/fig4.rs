@@ -1,0 +1,57 @@
+//! Figure 4: single-threaded graph computation speed (bars) vs device read
+//! bandwidth (lines).
+//!
+//! For each query × graph, the functional run gives the edge/record
+//! volumes; the cost model converts them into a single-thread processing
+//! rate in GB/s of edge data, compared against NAND and Optane bandwidth.
+//! The point of the figure: one thread keeps up with NAND but not with an
+//! FND, so Graphene's one-compute-thread-per-SSD policy starves fast
+//! drives.
+
+use blaze_algorithms::{ExecMode, Query};
+use blaze_bench::datasets::{prepare, scale_from_env};
+use blaze_bench::engines::{run_blaze_query, BenchQueryOptions};
+use blaze_bench::report::{gbps, print_table, write_csv};
+use blaze_graph::Dataset;
+use blaze_perfmodel::CostModel;
+use blaze_storage::DeviceProfile;
+
+fn main() {
+    let scale = scale_from_env();
+    let opts = BenchQueryOptions::default();
+    let costs = CostModel::default();
+    let graphs = [Dataset::Rmat27, Dataset::Uran27, Dataset::Twitter, Dataset::Sk2005];
+    let queries = [Query::Bfs, Query::Bc, Query::PageRank];
+    let nand = DeviceProfile::nand_s3520();
+    let optane = DeviceProfile::optane_p4800x();
+
+    let mut rows = Vec::new();
+    for query in queries {
+        for dataset in graphs {
+            let g = prepare(dataset, scale);
+            let traces = run_blaze_query(query, &g, ExecMode::Binned, &opts);
+            let edges: u64 = traces.iter().map(|t| t.edges_processed).sum();
+            let records: u64 = traces.iter().map(|t| t.records_produced).sum();
+            let rate = costs.single_thread_rate(edges, records);
+            rows.push(vec![
+                query.short_name().to_string(),
+                dataset.short_name().to_string(),
+                gbps(rate),
+                if rate >= nand.rand_read_bw { "yes" } else { "no" }.to_string(),
+                if rate >= optane.rand_read_bw { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "Figure 4: 1-thread compute GB/s vs device BW (NAND {} / Optane {} GB/s)",
+            gbps(nand.rand_read_bw),
+            gbps(optane.rand_read_bw)
+        ),
+        &["query", "graph", "compute GB/s", ">= NAND", ">= Optane"],
+        &rows,
+    );
+    let path = write_csv("fig4", &["query", "graph", "gbps", "beats_nand", "beats_optane"], &rows);
+    println!("\nwrote {}", path.display());
+    println!("paper shape: bars clear the NAND line on most workloads but never the Optane line");
+}

@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks of the core mechanisms, including the
+//! ablations called out in DESIGN.md: binning vs CAS propagation, staging
+//! on/off, merge-window sizes, frontier representations, and the
+//! indirection index.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use blaze_binning::{BinRecord, BinSpace, BinningConfig, ScatterStaging};
+use blaze_core::{BlazeEngine, EngineOptions, VertexArray};
+use blaze_frontier::{AtomicBitmap, VertexSubset};
+use blaze_graph::gen::{rmat, RmatConfig};
+use blaze_graph::{DiskGraph, GraphIndex};
+use blaze_storage::request::merge_pages_with_window;
+use blaze_storage::StripedStorage;
+use std::sync::Arc;
+
+const N: usize = 1 << 16;
+
+/// Value propagation: online binning (staged) vs direct CAS updates.
+fn bench_propagation(c: &mut Criterion) {
+    let dsts: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(2654435761) % N as u32).collect();
+    let mut group = c.benchmark_group("propagation");
+    group.bench_function("online_binning", |b| {
+        b.iter(|| {
+            let space: BinSpace<u32> =
+                BinSpace::new(BinningConfig::new(1024, 4 << 20, 64).unwrap());
+            let mut staging = ScatterStaging::new(&space);
+            for &d in &dsts {
+                staging.push(&space, d, d);
+            }
+            staging.flush(&space);
+            space.flush_partials();
+            let mut sum = 0u64;
+            while space.process_one_full(|_, records| {
+                for r in records {
+                    sum += r.value as u64;
+                }
+            }) {}
+            black_box(sum)
+        })
+    });
+    group.bench_function("binning_unstaged", |b| {
+        // Ablation: skip the per-thread staging buffer (one lock per record).
+        b.iter(|| {
+            let space: BinSpace<u32> =
+                BinSpace::new(BinningConfig::new(1024, 4 << 20, 64).unwrap());
+            for &d in &dsts {
+                space.append_batch(space.bin_of(d), &[BinRecord::new(d, d)]);
+            }
+            space.flush_partials();
+            let mut sum = 0u64;
+            while space.process_one_full(|_, records| {
+                for r in records {
+                    sum += r.value as u64;
+                }
+            }) {}
+            black_box(sum)
+        })
+    });
+    group.bench_function("cas_direct", |b| {
+        let arr = VertexArray::<u64>::new(N, 0);
+        b.iter(|| {
+            for &d in &dsts {
+                arr.fetch_update(d as usize, |v| Some(v + 1)).ok();
+            }
+            black_box(arr.get(0))
+        })
+    });
+    group.finish();
+}
+
+/// Frontier inserts and iteration: sparse vs dense.
+fn bench_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier");
+    group.bench_function("sparse_insert_1pct", |b| {
+        b.iter(|| {
+            let s = VertexSubset::new(N);
+            for v in (0..N as u32).step_by(100) {
+                s.insert(v);
+            }
+            black_box(s.len())
+        })
+    });
+    group.bench_function("dense_insert_all", |b| {
+        b.iter(|| {
+            let s = VertexSubset::new(N);
+            for v in 0..N as u32 {
+                s.insert(v);
+            }
+            black_box(s.len())
+        })
+    });
+    group.bench_function("bitmap_scan", |b| {
+        let mut bm = AtomicBitmap::new(N);
+        bm.set_all();
+        b.iter(|| black_box(bm.iter_ones().count()))
+    });
+    group.finish();
+}
+
+/// IO request merging at different windows (ablation: 1/2/4/8 pages).
+fn bench_merge(c: &mut Criterion) {
+    // Realistic page list: clustered runs with gaps.
+    let pages: Vec<u64> =
+        (0..N as u64).filter(|p| p % 7 != 3 && p % 11 != 5).collect();
+    let mut group = c.benchmark_group("merge_pages");
+    for window in [1usize, 2, 4, 8] {
+        group.bench_function(format!("window_{window}"), |b| {
+            b.iter(|| black_box(merge_pages_with_window(&pages, window).len()))
+        });
+    }
+    group.finish();
+}
+
+/// Indirection-index offset lookups vs a plain prefix-sum array.
+fn bench_index(c: &mut Criterion) {
+    let degrees: Vec<u32> = (0..N as u32).map(|i| i % 37).collect();
+    let index = GraphIndex::from_degrees(degrees.clone());
+    let mut plain = vec![0u64; N + 1];
+    for i in 0..N {
+        plain[i + 1] = plain[i] + degrees[i] as u64;
+    }
+    let mut group = c.benchmark_group("index_lookup");
+    group.bench_function("indirection", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for v in (0..N as u32).step_by(17) {
+                sum += index.edge_offset(v);
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("full_offsets", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for v in (0..N).step_by(17) {
+                sum += plain[v];
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end out-of-core BFS on a small R-MAT graph.
+fn bench_bfs_e2e(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::new(12));
+    let storage = Arc::new(StripedStorage::in_memory(1).unwrap());
+    let graph = Arc::new(DiskGraph::create(&g, storage).unwrap());
+    let mut group = c.benchmark_group("bfs_e2e");
+    group.sample_size(10);
+    group.bench_function("blaze_rmat12", |b| {
+        b.iter(|| {
+            let engine = BlazeEngine::new(graph.clone(), EngineOptions::default()).unwrap();
+            let parent =
+                blaze_algorithms::bfs(&engine, 0, blaze_algorithms::ExecMode::Binned).unwrap();
+            black_box(parent.get(1))
+        })
+    });
+    group.bench_function("sync_rmat12", |b| {
+        b.iter(|| {
+            let engine = BlazeEngine::new(graph.clone(), EngineOptions::default()).unwrap();
+            let parent =
+                blaze_algorithms::bfs(&engine, 0, blaze_algorithms::ExecMode::Sync).unwrap();
+            black_box(parent.get(1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_propagation,
+    bench_frontier,
+    bench_merge,
+    bench_index,
+    bench_bfs_e2e
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Scale-out projection (Section VI): modeled query time on a cluster of
+//! 1–8 machines, each a paper-spec box (16 threads + one Optane SSD),
+//! connected by 10 GbE.
+//!
+//! Destination partitioning keeps `EdgeMap` communication-free; the only
+//! network cost is broadcasting newly activated frontier entries between
+//! iterations. The projection shows near-linear IO scaling with a
+//! broadcast overhead that grows with machine count — exactly the
+//! trade-off the paper's sketch anticipates.
+
+use blaze_bench::datasets::{prepare, scale_from_env};
+use blaze_bench::report::{print_table, write_csv};
+use blaze_core::{EngineOptions, VertexArray};
+use blaze_frontier::VertexSubset;
+use blaze_graph::Dataset;
+use blaze_perfmodel::{MachineConfig, PerfModel};
+use blaze_scaleout::Cluster;
+
+const NETWORK_BW: f64 = 1.25e9; // 10 GbE, bytes/second
+
+fn main() {
+    let scale = scale_from_env();
+    let g = prepare(Dataset::Rmat30, scale);
+    let n = g.csr.num_vertices();
+    let model = PerfModel::new(MachineConfig::paper_optane());
+
+    let mut rows = Vec::new();
+    for machines in [1usize, 2, 4, 8] {
+        let cluster = Cluster::build(&g.csr, machines, 1, EngineOptions::default()).unwrap();
+        // BFS from the hub.
+        let root = (0..n as u32).max_by_key(|&v| g.csr.degree(v)).unwrap_or(0);
+        let level = VertexArray::<i64>::new(n, -1);
+        level.set(root as usize, 0);
+        let mut frontier = VertexSubset::single(n, root);
+        let mut depth = 0i64;
+        while !frontier.is_empty() {
+            depth += 1;
+            let d = depth;
+            frontier = cluster
+                .edge_map(
+                    &frontier,
+                    |_s, _dst| 0u32,
+                    |dst, _v| {
+                        if level.get(dst as usize) == -1 {
+                            level.set(dst as usize, d);
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                    |dst| level.get(dst as usize) == -1,
+                    true,
+                    4,
+                )
+                .unwrap();
+        }
+        // Rounds are synchronized across machines, so per-round time is the
+        // slowest machine's. Summing max-per-round equals summing over the
+        // per-machine trace lists aligned by round.
+        let per_machine: Vec<Vec<f64>> = cluster
+            .machines()
+            .iter()
+            .map(|m| {
+                m.engine
+                    .take_traces()
+                    .iter()
+                    .map(|t| model.blaze_iteration(t).total_ns() * 1e-9)
+                    .collect()
+            })
+            .collect();
+        let rounds = per_machine.iter().map(Vec::len).max().unwrap_or(0);
+        let machine_s: f64 = (0..rounds)
+            .map(|r| {
+                per_machine
+                    .iter()
+                    .filter_map(|m| m.get(r).copied())
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        let network_s = cluster.stats().broadcast_bytes as f64 / NETWORK_BW;
+        let total = machine_s + network_s;
+        rows.push(vec![
+            machines.to_string(),
+            format!("{machine_s:.5}"),
+            format!("{network_s:.5}"),
+            format!("{total:.5}"),
+        ]);
+    }
+    // Speedups vs 1 machine.
+    let base: f64 = rows[0][3].parse().unwrap();
+    for row in &mut rows {
+        let t: f64 = row[3].parse().unwrap();
+        row.push(format!("{:.2}x", base / t));
+    }
+    print_table(
+        "Scale-out projection: BFS on rmat30, modeled (paper-spec machines, 10 GbE)",
+        &["machines", "compute+io s", "network s", "total s", "speedup"],
+        &rows,
+    );
+    let path =
+        write_csv("scaleout", &["machines", "compute_s", "network_s", "total_s", "speedup"], &rows);
+    println!("\nwrote {}", path.display());
+}

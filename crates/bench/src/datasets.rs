@@ -1,0 +1,42 @@
+//! Dataset preparation for the bench targets.
+
+use blaze_graph::{Csr, Dataset, DatasetScale};
+
+/// A generated dataset plus its transpose (queries like WCC and BC need
+/// both directions).
+pub struct PreparedGraph {
+    /// The dataset identity.
+    pub dataset: Dataset,
+    /// Out-edge CSR.
+    pub csr: Csr,
+    /// In-edge CSR (transpose).
+    pub transpose: Csr,
+}
+
+impl PreparedGraph {
+    /// Paper shorthand for tables.
+    pub fn short_name(&self) -> &'static str {
+        self.dataset.short_name()
+    }
+}
+
+/// Reads `BLAZE_SCALE` (tiny | small | medium), defaulting to tiny.
+pub fn scale_from_env() -> DatasetScale {
+    match std::env::var("BLAZE_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "medium" => DatasetScale::Medium,
+        "small" => DatasetScale::Small,
+        _ => DatasetScale::Tiny,
+    }
+}
+
+/// Generates `dataset` at `scale` along with its transpose.
+pub fn prepare(dataset: Dataset, scale: DatasetScale) -> PreparedGraph {
+    let csr = dataset.generate(scale);
+    let transpose = csr.transpose();
+    PreparedGraph { dataset, csr, transpose }
+}
+
+/// Prepares the six main-evaluation graphs.
+pub fn prepare_main_six(scale: DatasetScale) -> Vec<PreparedGraph> {
+    Dataset::main_six().into_iter().map(|d| prepare(d, scale)).collect()
+}

@@ -1,0 +1,26 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Every table and figure of the paper has a dedicated bench target (see
+//! `benches/`). Each target:
+//!
+//! 1. generates the scaled datasets (deterministic, see `blaze_graph::datasets`),
+//! 2. runs the relevant engines *functionally*, collecting work traces,
+//! 3. replays the traces on the paper's virtual machine (`blaze_perfmodel`),
+//! 4. prints the table and writes a CSV under `results/`.
+//!
+//! Environment knobs:
+//!
+//! * `BLAZE_SCALE` — `tiny` (default, 1/16384 of paper scale), `small`
+//!   (1/4096), or `medium` (1/1024). Larger scales sharpen the shapes at
+//!   the cost of runtime.
+//! * `BLAZE_RESULTS` — output directory for CSVs (default `./results`).
+
+pub mod datasets;
+pub mod engines;
+pub mod report;
+
+pub use datasets::{prepare, scale_from_env, PreparedGraph};
+pub use engines::{
+    run_blaze_query, run_flashgraph_query, run_graphene_query, BenchQueryOptions,
+};
+pub use report::{print_table, results_dir, write_csv};

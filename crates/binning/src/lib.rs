@@ -1,0 +1,28 @@
+//! Online binning (Section IV-A): atomic-free value propagation between
+//! scatter and gather threads.
+//!
+//! A *bin record* is a `(dst_vertex, value)` pair produced by an
+//! algorithm's scatter function. Records are routed to bin
+//! `dst % bin_count`. Each [`Bin`] owns a *pair* of fixed-capacity buffers:
+//! scatter threads append into the active buffer (batched through a small
+//! per-thread [`ScatterStaging`] to amortize the bin lock, as in
+//! propagation blocking); when it fills, the buffer is pushed onto the
+//! MPMC `full_bins` queue and the spare buffer takes over, so scatter and
+//! gather both keep making progress. A per-bin gather lock guarantees that
+//! **no two gather threads ever process the same bin concurrently** — which
+//! is the whole trick: all records for a destination vertex live in one
+//! bin, so gather can update vertex data with plain stores, no
+//! compare-and-swap, while the MPMC queue balances bins across gather
+//! threads dynamically.
+
+pub mod bin;
+pub mod config;
+pub mod record;
+pub mod space;
+pub mod staging;
+
+pub use bin::Bin;
+pub use config::BinningConfig;
+pub use record::{BinRecord, BinValue};
+pub use space::BinSpace;
+pub use staging::ScatterStaging;

@@ -1,0 +1,59 @@
+//! Bin records: the unit of scatter → gather communication.
+
+use blaze_types::VertexId;
+
+/// Types that can travel through bins as scattered values.
+///
+/// Implemented for the primitive payloads the queries use: vertex ids
+/// (BFS, WCC), floats (PageRank, SpMV, BC), and `()` for pure activations.
+pub trait BinValue: Copy + Send + Sync + 'static {}
+
+impl BinValue for () {}
+impl BinValue for u32 {}
+impl BinValue for u64 {}
+impl BinValue for i32 {}
+impl BinValue for i64 {}
+impl BinValue for f32 {}
+impl BinValue for f64 {}
+impl BinValue for (u32, f64) {}
+impl BinValue for (f64, f64) {}
+
+/// One `(destination, value)` pair (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinRecord<V> {
+    /// Destination vertex the value is gathered into.
+    pub dst: VertexId,
+    /// Algorithm-specific value returned by the scatter function.
+    pub value: V,
+}
+
+impl<V: BinValue> BinRecord<V> {
+    /// Creates a record.
+    #[inline]
+    pub fn new(dst: VertexId, value: V) -> Self {
+        Self { dst, value }
+    }
+
+    /// In-memory size of one record, used by the bin-space heuristics.
+    pub const fn size_bytes() -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_size_is_compact() {
+        assert_eq!(BinRecord::<u32>::size_bytes(), 8);
+        assert!(BinRecord::<f64>::size_bytes() <= 16);
+    }
+
+    #[test]
+    fn construction() {
+        let r = BinRecord::new(5, 1.5f64);
+        assert_eq!(r.dst, 5);
+        assert_eq!(r.value, 1.5);
+    }
+}

@@ -1,0 +1,240 @@
+//! The bin space: all bins plus the MPMC `full_bins` queue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+use blaze_types::{CachePadded, VertexId};
+
+use crate::bin::Bin;
+use crate::config::BinningConfig;
+use crate::record::{BinRecord, BinValue};
+
+/// A full (or final-partial) buffer travelling to a gather thread.
+#[derive(Debug)]
+pub struct FullBin<V> {
+    /// Which bin the records belong to.
+    pub bin_id: usize,
+    /// The records.
+    pub records: Vec<BinRecord<V>>,
+}
+
+/// The complete online-binning state for one `EdgeMap` execution.
+pub struct BinSpace<V> {
+    bins: Vec<Bin<V>>,
+    full_bins: SegQueue<FullBin<V>>,
+    /// Per-bin record counters for work-trace instrumentation.
+    records_per_bin: Vec<CachePadded<AtomicU64>>,
+    config: BinningConfig,
+    record_bytes: usize,
+}
+
+impl<V: BinValue> BinSpace<V> {
+    /// Allocates bins per `config` for records of type `V`.
+    pub fn new(config: BinningConfig) -> Self {
+        let record_bytes = BinRecord::<V>::size_bytes();
+        let capacity = config.buffer_capacity(record_bytes);
+        let bins = (0..config.bin_count).map(|_| Bin::new(capacity)).collect();
+        let records_per_bin =
+            (0..config.bin_count).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        Self { bins, full_bins: SegQueue::new(), records_per_bin, config, record_bytes }
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The bin a destination vertex routes to.
+    #[inline]
+    pub fn bin_of(&self, dst: VertexId) -> usize {
+        dst as usize % self.bins.len()
+    }
+
+    /// Appends a batch of records that all route to `bin_id`; full buffers
+    /// move to the `full_bins` queue.
+    pub fn append_batch(&self, bin_id: usize, batch: &[BinRecord<V>]) {
+        self.records_per_bin[bin_id].fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.bins[bin_id].append_batch(batch, |records| {
+            self.full_bins.push(FullBin { bin_id, records });
+        });
+    }
+
+    /// Pops one full bin and processes it under the bin's gather lock,
+    /// calling `f(bin_id, records)`. Returns `false` when the queue was
+    /// empty. The buffer is recycled afterwards.
+    pub fn process_one_full<F>(&self, mut f: F) -> bool
+    where
+        F: FnMut(usize, &[BinRecord<V>]),
+    {
+        let Some(full) = self.full_bins.pop() else {
+            return false;
+        };
+        let bin = &self.bins[full.bin_id];
+        {
+            let _exclusive = bin.lock_for_gather();
+            f(full.bin_id, &full.records);
+        }
+        bin.return_buffer(full.records);
+        true
+    }
+
+    /// Flushes every bin's partially-filled active buffer into the full
+    /// queue. Called once scatter is done so gather can drain everything.
+    pub fn flush_partials(&self) {
+        for (bin_id, bin) in self.bins.iter().enumerate() {
+            if let Some(records) = bin.drain_partial() {
+                self.full_bins.push(FullBin { bin_id, records });
+            }
+        }
+    }
+
+    /// Whether the full queue is currently empty.
+    pub fn full_queue_is_empty(&self) -> bool {
+        self.full_bins.is_empty()
+    }
+
+    /// Total records appended since the last
+    /// [`take_record_counts`](Self::take_record_counts).
+    pub fn total_records(&self) -> u64 {
+        self.records_per_bin.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Returns and resets the per-bin record counters (one `EdgeMap`'s
+    /// gather-work distribution, fed to the performance model).
+    pub fn take_record_counts(&self) -> Vec<u64> {
+        self.records_per_bin.iter().map(|c| c.swap(0, Ordering::Relaxed)).collect()
+    }
+
+    /// The configuration this space was built with.
+    pub fn config(&self) -> &BinningConfig {
+        &self.config
+    }
+
+    /// Bytes of memory held by the bin buffers (Figure 12 accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        self.config.allocated_bytes(self.record_bytes)
+    }
+}
+
+impl<V> std::fmt::Debug for BinSpace<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinSpace")
+            .field("bin_count", &self.bins.len())
+            .field("full_queue", &self.full_bins.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(bins: usize, records_per_buffer: usize) -> BinningConfig {
+        BinningConfig::new(bins, bins * 2 * records_per_buffer * 8, 4).unwrap()
+    }
+
+    #[test]
+    fn records_route_by_modulo() {
+        let space: BinSpace<u32> = BinSpace::new(config(4, 16));
+        assert_eq!(space.bin_of(0), 0);
+        assert_eq!(space.bin_of(5), 1);
+        assert_eq!(space.bin_of(7), 3);
+    }
+
+    #[test]
+    fn flush_then_gather_sees_every_record() {
+        let space: BinSpace<u32> = BinSpace::new(config(4, 16));
+        for dst in 0..40u32 {
+            let bin = space.bin_of(dst);
+            space.append_batch(bin, &[BinRecord::new(dst, dst * 2)]);
+        }
+        space.flush_partials();
+        let mut seen = Vec::new();
+        while space.process_one_full(|bin_id, records| {
+            for r in records {
+                assert_eq!(bin_id, (r.dst % 4) as usize, "record in wrong bin");
+                seen.push(r.dst);
+            }
+        }) {}
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+        assert_eq!(space.total_records(), 40);
+    }
+
+    #[test]
+    fn take_record_counts_resets() {
+        let space: BinSpace<u32> = BinSpace::new(config(2, 8));
+        space.append_batch(0, &[BinRecord::new(0, 1), BinRecord::new(2, 1)]);
+        space.append_batch(1, &[BinRecord::new(1, 1)]);
+        let counts = space.take_record_counts();
+        assert_eq!(counts, vec![2, 1]);
+        assert_eq!(space.total_records(), 0);
+    }
+
+    #[test]
+    fn concurrent_scatter_gather_pipeline() {
+        // 4 scatter threads + 2 gather threads over a small bin space;
+        // every value must be gathered exactly once.
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+        use std::sync::Arc;
+        const N: u32 = 20_000;
+        let space: Arc<BinSpace<u32>> = Arc::new(BinSpace::new(config(8, 32)));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let scatter_done = Arc::new(AtomicBool::new(false));
+        let finished_scatters = Arc::new(AtomicU64::new(0));
+
+        crossbeam::scope(|s| {
+            for t in 0..4u32 {
+                let space = space.clone();
+                let finished = finished_scatters.clone();
+                s.spawn(move |_| {
+                    for i in (t..N).step_by(4) {
+                        let bin = space.bin_of(i);
+                        space.append_batch(bin, &[BinRecord::new(i, i)]);
+                    }
+                    finished.fetch_add(1, Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let space = space.clone();
+                let sum = sum.clone();
+                let count = count.clone();
+                let done = scatter_done.clone();
+                s.spawn(move |_| loop {
+                    let progressed = space.process_one_full(|_, records| {
+                        for r in records {
+                            sum.fetch_add(r.value as u64, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    if !progressed {
+                        if done.load(Ordering::Acquire) && space.full_queue_is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            // Coordinator: once every scatter thread has finished, flush the
+            // partial buffers and release the gather threads — exactly the
+            // engine's end-of-iteration protocol.
+            let space2 = space.clone();
+            let done2 = scatter_done.clone();
+            let finished = finished_scatters.clone();
+            s.spawn(move |_| {
+                while finished.load(Ordering::Acquire) < 4 {
+                    std::thread::yield_now();
+                }
+                space2.flush_partials();
+                done2.store(true, Ordering::Release);
+            });
+        })
+        .unwrap();
+
+        assert_eq!(count.load(Ordering::Relaxed), N as u64);
+        let expected: u64 = (0..N as u64).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+}

@@ -1,0 +1,184 @@
+//! Artifact-compatible argument parsing (hand-rolled; single-dash long
+//! flags like the original binaries: `-computeWorkers 16 -startNode 0`).
+
+use std::path::PathBuf;
+
+use blaze_types::{BlazeError, Result};
+
+/// Parsed command line shared by all query binaries.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// Compute threads, split evenly between scatter and gather by
+    /// `binning_ratio` (`-computeWorkers`, default 2).
+    pub compute_workers: usize,
+    /// Root vertex for traversals (`-startNode`, default 0).
+    pub start_node: u32,
+    /// Total bin space in MiB (`-binSpace`; 0 = paper heuristic).
+    pub bin_space_mib: usize,
+    /// Scatter fraction of compute workers (`-binningRatio`, default 0.5).
+    pub binning_ratio: f64,
+    /// Number of bins (`-binCount`, default 1024).
+    pub bin_count: usize,
+    /// Device profile to simulate (`-device optane|nand|znand|vnand|none`).
+    pub device: String,
+    /// Maximum PageRank iterations (`-maxIters`, default 100).
+    pub max_iters: usize,
+    /// The `.gr.index` file (first positional argument).
+    pub index: PathBuf,
+    /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
+    pub adj: Vec<PathBuf>,
+    /// Transpose index (`-inIndexFilename`), for WCC/BC.
+    pub in_index: Option<PathBuf>,
+    /// Transpose stripe files (`-inAdjFilenames`, comma-separated).
+    pub in_adj: Vec<PathBuf>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            compute_workers: 2,
+            start_node: 0,
+            bin_space_mib: 0,
+            binning_ratio: 0.5,
+            bin_count: 1024,
+            device: "optane".to_string(),
+            max_iters: 100,
+            index: PathBuf::new(),
+            adj: Vec::new(),
+            in_index: None,
+            in_adj: Vec::new(),
+        }
+    }
+}
+
+/// Parses an artifact-style argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<CliArgs> {
+    let mut out = CliArgs::default();
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    let missing = |flag: &str| BlazeError::Config(format!("flag {flag} needs a value"));
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-computeWorkers" => {
+                out.compute_workers = it
+                    .next()
+                    .ok_or_else(|| missing("-computeWorkers"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-computeWorkers: {e}")))?;
+            }
+            "-startNode" => {
+                out.start_node = it
+                    .next()
+                    .ok_or_else(|| missing("-startNode"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-startNode: {e}")))?;
+            }
+            "-binSpace" => {
+                out.bin_space_mib = it
+                    .next()
+                    .ok_or_else(|| missing("-binSpace"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-binSpace: {e}")))?;
+            }
+            "-binningRatio" => {
+                out.binning_ratio = it
+                    .next()
+                    .ok_or_else(|| missing("-binningRatio"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-binningRatio: {e}")))?;
+            }
+            "-binCount" => {
+                out.bin_count = it
+                    .next()
+                    .ok_or_else(|| missing("-binCount"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-binCount: {e}")))?;
+            }
+            "-maxIters" => {
+                out.max_iters = it
+                    .next()
+                    .ok_or_else(|| missing("-maxIters"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-maxIters: {e}")))?;
+            }
+            "-device" => {
+                out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
+            }
+            "-inIndexFilename" => {
+                out.in_index =
+                    Some(PathBuf::from(it.next().ok_or_else(|| missing("-inIndexFilename"))?));
+            }
+            "-inAdjFilenames" => {
+                let v = it.next().ok_or_else(|| missing("-inAdjFilenames"))?;
+                out.in_adj = v.split(',').map(PathBuf::from).collect();
+            }
+            flag if flag.starts_with('-') => {
+                return Err(BlazeError::Config(format!("unknown flag {flag}")));
+            }
+            path => positional.push(PathBuf::from(path)),
+        }
+    }
+    if positional.is_empty() {
+        return Err(BlazeError::Config(
+            "usage: <query> [flags] <graph.gr.index> <graph.gr.adj.0> [more stripes...]".into(),
+        ));
+    }
+    out.index = positional.remove(0);
+    out.adj = positional;
+    if out.adj.is_empty() {
+        return Err(BlazeError::Config("at least one .gr.adj stripe file is required".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_artifact_example() {
+        // From the artifact appendix: bfs -computeWorkers 16 -startNode 0 ...
+        let a = parse(&args(
+            "-computeWorkers 16 -startNode 0 /mnt/nvme/rmat27.gr.index /mnt/nvme/rmat27.gr.adj.0",
+        ))
+        .unwrap();
+        assert_eq!(a.compute_workers, 16);
+        assert_eq!(a.start_node, 0);
+        assert_eq!(a.index.to_str().unwrap(), "/mnt/nvme/rmat27.gr.index");
+        assert_eq!(a.adj.len(), 1);
+    }
+
+    #[test]
+    fn parses_transpose_flags() {
+        let a = parse(&args(
+            "-computeWorkers 16 g.gr.index g.gr.adj.0 -inIndexFilename g.tgr.index \
+             -inAdjFilenames g.tgr.adj.0,g.tgr.adj.1",
+        ))
+        .unwrap();
+        assert!(a.in_index.is_some());
+        assert_eq!(a.in_adj.len(), 2);
+    }
+
+    #[test]
+    fn parses_binning_flags() {
+        let a = parse(&args(
+            "-binSpace 256 -binningRatio 0.5 -binCount 1024 g.gr.index g.gr.adj.0",
+        ))
+        .unwrap();
+        assert_eq!(a.bin_space_mib, 256);
+        assert_eq!(a.bin_count, 1024);
+        assert!((a.binning_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_files() {
+        assert!(parse(&args("-bogus 1 g.gr.index g.gr.adj.0")).is_err());
+        assert!(parse(&args("-computeWorkers 4")).is_err());
+        assert!(parse(&args("g.gr.index")).is_err());
+        assert!(parse(&args("-computeWorkers")).is_err());
+    }
+}

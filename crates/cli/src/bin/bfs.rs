@@ -1,0 +1,33 @@
+//! Artifact-style BFS binary.
+//!
+//! ```sh
+//! bfs -computeWorkers 16 -startNode 0 rmat27.gr.index rmat27.gr.adj.0
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match blaze_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bfs: {e}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match blaze_cli::open_engine(&cli, &cli.index, &cli.adj) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bfs: {e}");
+            std::process::exit(1);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let parent = blaze_algorithms::bfs(&engine, cli.start_node, blaze_algorithms::ExecMode::Binned)
+        .unwrap_or_else(|e| {
+            eprintln!("bfs: {e}");
+            std::process::exit(1);
+        });
+    let wall = t0.elapsed();
+    let reached = (0..engine.num_vertices()).filter(|&v| parent.get(v) != -1).count();
+    blaze_cli::print_run_summary("bfs", &engine, wall);
+    println!("reached {reached} vertices from root {}", cli.start_node);
+}

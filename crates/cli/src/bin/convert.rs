@@ -1,0 +1,67 @@
+//! Converts a text or binary edge list into the Blaze on-disk format
+//! (`.gr.index` + striped `.gr.adj.<i>`, plus the `.tgr.*` transpose).
+//!
+//! ```sh
+//! convert edges.txt /data/mygraph --stripes 2 --dedup
+//! ```
+
+use blaze_graph::disk::save_files;
+use blaze_graph::io::{read_edge_list_binary, read_edge_list_file};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut stripes = 1usize;
+    let mut dedup = false;
+    let mut binary = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stripes" => {
+                stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                if stripes == 0 {
+                    eprintln!("convert: bad --stripes");
+                    std::process::exit(2);
+                }
+            }
+            "--dedup" => dedup = true,
+            "--binary" => binary = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: convert <edge-list-file> <output-base> [--stripes N] [--dedup] [--binary]"
+        );
+        eprintln!("  output-base like /data/mygraph produces mygraph.gr.* and mygraph.tgr.*");
+        std::process::exit(2);
+    }
+    let input = &positional[0];
+    let out_base = std::path::PathBuf::from(&positional[1]);
+    let dir = out_base.parent().unwrap_or(std::path::Path::new("."));
+    let name = out_base.file_name().and_then(|n| n.to_str()).unwrap_or("graph");
+    std::fs::create_dir_all(dir).expect("create output dir");
+
+    let csr = if binary {
+        let f = std::fs::File::open(input).unwrap_or_else(|e| {
+            eprintln!("convert: cannot open {input}: {e}");
+            std::process::exit(1);
+        });
+        read_edge_list_binary(f, dedup)
+    } else {
+        read_edge_list_file(input, dedup)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("convert: {e}");
+        std::process::exit(1);
+    });
+    println!("parsed {} vertices, {} edges", csr.num_vertices(), csr.num_edges());
+    let transpose = csr.transpose();
+    let (gi, ga) =
+        save_files(&csr, dir, &format!("{name}.gr"), stripes).expect("write out-edges");
+    let (ti, ta) =
+        save_files(&transpose, dir, &format!("{name}.tgr"), stripes).expect("write transpose");
+    for p in [gi, ti].iter().chain(ga.iter()).chain(ta.iter()) {
+        println!("wrote {}", p.display());
+    }
+}

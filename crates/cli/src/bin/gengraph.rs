@@ -1,0 +1,66 @@
+//! Generates the paper's datasets to artifact-style files.
+//!
+//! ```sh
+//! gengraph rmat27 /data --scale tiny --stripes 1
+//! ```
+//!
+//! Produces `<name>.gr.index`, `<name>.gr.adj.<i>` (out-edges) and the
+//! `.tgr.*` transpose set, exactly the files the query binaries take.
+
+use blaze_graph::disk::save_files;
+use blaze_graph::{Dataset, DatasetScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut scale = DatasetScale::Tiny;
+    let mut stripes = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("tiny") => DatasetScale::Tiny,
+                    Some("small") => DatasetScale::Small,
+                    Some("medium") => DatasetScale::Medium,
+                    other => {
+                        eprintln!("gengraph: bad --scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--stripes" => {
+                stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                if stripes == 0 {
+                    eprintln!("gengraph: bad --stripes");
+                    std::process::exit(2);
+                }
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: gengraph <dataset> <output-dir> [--scale tiny|small|medium] [--stripes N]");
+        eprintln!("datasets: {}", Dataset::all().map(|d| d.name()).join(", "));
+        std::process::exit(2);
+    }
+    let Some(dataset) = Dataset::from_name(&positional[0]) else {
+        eprintln!("gengraph: unknown dataset {}", positional[0]);
+        std::process::exit(2);
+    };
+    let dir = std::path::PathBuf::from(&positional[1]);
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    println!("generating {dataset} at {scale:?} scale...");
+    let csr = dataset.generate(scale);
+    let transpose = csr.transpose();
+    println!("  {} vertices, {} edges", csr.num_vertices(), csr.num_edges());
+    let (gi, ga) = save_files(&csr, &dir, &format!("{}.gr", dataset.name()), stripes)
+        .expect("write out-edges");
+    let (ti, ta) = save_files(&transpose, &dir, &format!("{}.tgr", dataset.name()), stripes)
+        .expect("write transpose");
+    for p in [gi, ti].iter().chain(ga.iter()).chain(ta.iter()) {
+        let len = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        println!("  wrote {} ({} bytes)", p.display(), len);
+    }
+}

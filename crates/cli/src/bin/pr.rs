@@ -1,0 +1,33 @@
+//! Artifact-style PageRank (delta variant) binary.
+
+use blaze_algorithms::{pagerank_delta, ExecMode, PageRankConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match blaze_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pr: {e}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match blaze_cli::open_engine(&cli, &cli.index, &cli.adj) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("pr: {e}");
+            std::process::exit(1);
+        }
+    };
+    let config = PageRankConfig { max_iters: cli.max_iters, ..Default::default() };
+    let t0 = std::time::Instant::now();
+    let ranks = pagerank_delta(&engine, config, ExecMode::Binned).unwrap_or_else(|e| {
+        eprintln!("pr: {e}");
+        std::process::exit(1);
+    });
+    let wall = t0.elapsed();
+    blaze_cli::print_run_summary("pr", &engine, wall);
+    let top = (0..engine.num_vertices())
+        .max_by(|&a, &b| ranks.get(a).partial_cmp(&ranks.get(b)).unwrap())
+        .unwrap_or(0);
+    println!("top-ranked vertex: {top} (rank {:.6})", ranks.get(top));
+}

@@ -1,0 +1,37 @@
+//! Artifact-style WCC binary. Requires the transpose via
+//! `-inIndexFilename` / `-inAdjFilenames`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match blaze_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("wcc: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(in_index) = cli.in_index.clone() else {
+        eprintln!("wcc: the transpose graph is required (-inIndexFilename / -inAdjFilenames)");
+        std::process::exit(2);
+    };
+    let out_engine = blaze_cli::open_engine(&cli, &cli.index, &cli.adj).unwrap_or_else(|e| {
+        eprintln!("wcc: {e}");
+        std::process::exit(1);
+    });
+    let in_engine = blaze_cli::open_engine(&cli, &in_index, &cli.in_adj).unwrap_or_else(|e| {
+        eprintln!("wcc: {e}");
+        std::process::exit(1);
+    });
+    let t0 = std::time::Instant::now();
+    let labels = blaze_algorithms::wcc(&out_engine, &in_engine, blaze_algorithms::ExecMode::Binned)
+        .unwrap_or_else(|e| {
+            eprintln!("wcc: {e}");
+            std::process::exit(1);
+        });
+    let wall = t0.elapsed();
+    blaze_cli::print_run_summary("wcc", &out_engine, wall);
+    let mut roots: Vec<u32> = (0..labels.len()).map(|v| labels.get(v)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    println!("{} weakly connected components", roots.len());
+}

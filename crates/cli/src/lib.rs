@@ -1,0 +1,14 @@
+//! Shared plumbing for the artifact-style command-line binaries.
+//!
+//! The paper's artifact ships `bfs`, `pr`, `wcc`, `spmv`, and `bc` binaries
+//! taking a `.gr.index` file plus one or more `.gr.adj.<i>` stripe files
+//! and flags like `-computeWorkers`, `-startNode`, `-binSpace`,
+//! `-binningRatio`, and `-binCount`. This crate reproduces that interface
+//! (single-dash long flags included) over the Rust engine, plus a
+//! `gengraph` tool that generates the scaled datasets to disk.
+
+pub mod args;
+pub mod run;
+
+pub use args::{parse, CliArgs};
+pub use run::{open_engine, print_run_summary};

@@ -1,0 +1,126 @@
+//! Engine construction from parsed CLI arguments.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use blaze_binning::BinningConfig;
+use blaze_core::{BlazeEngine, EngineOptions};
+use blaze_graph::DiskGraph;
+use blaze_storage::{BlockDevice, DeviceProfile, FileDevice, SimDevice, StripedStorage};
+use blaze_types::{BlazeError, Result};
+
+use crate::args::CliArgs;
+
+/// Resolves the `-device` flag to a simulation profile (`none` disables
+/// the device model and runs on raw files).
+fn profile_for(name: &str) -> Result<Option<DeviceProfile>> {
+    Ok(match name {
+        "optane" => Some(DeviceProfile::optane_p4800x()),
+        "nand" => Some(DeviceProfile::nand_s3520()),
+        "znand" => Some(DeviceProfile::znand_sz983()),
+        "vnand" => Some(DeviceProfile::vnand_980pro()),
+        "none" => None,
+        other => {
+            return Err(BlazeError::Config(format!(
+                "unknown -device {other} (expected optane|nand|znand|vnand|none)"
+            )))
+        }
+    })
+}
+
+/// Opens the stripe files into a device array, optionally wrapped in the
+/// simulated-device model.
+fn open_storage(adj: &[PathBuf], device: &str) -> Result<Arc<StripedStorage>> {
+    let profile = profile_for(device)?;
+    let devices: Vec<Arc<dyn BlockDevice>> = adj
+        .iter()
+        .map(|p| -> Result<Arc<dyn BlockDevice>> {
+            let file = FileDevice::open(p)?;
+            Ok(match &profile {
+                Some(prof) => Arc::new(SimDevice::new(file, prof.clone())),
+                None => Arc::new(file),
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(Arc::new(StripedStorage::new(devices)?))
+}
+
+/// Builds an engine over one graph direction.
+pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<BlazeEngine> {
+    let storage = open_storage(adj, &args.device)?;
+    let graph = Arc::new(DiskGraph::open(index, storage)?);
+    let mut options = EngineOptions::default()
+        .with_compute_workers(args.compute_workers.max(2), args.binning_ratio);
+    if args.bin_space_mib > 0 {
+        options = options.with_binning(BinningConfig::new(
+            args.bin_count,
+            args.bin_space_mib << 20,
+            blaze_types::DEFAULT_STAGING_RECORDS,
+        )?);
+    } else if args.bin_count != blaze_types::DEFAULT_BIN_COUNT {
+        let heuristic = BinningConfig::for_graph(graph.storage_bytes());
+        options = options.with_binning(heuristic.with_bin_count(args.bin_count));
+    }
+    BlazeEngine::new(graph, options)
+}
+
+/// Prints the post-run summary every binary emits.
+pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Duration) {
+    let stats = engine.stats();
+    let graph = engine.graph();
+    println!("== {query} done ==");
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    println!(
+        "iterations: {}, edges processed: {}, bin records: {}",
+        stats.iterations, stats.edges_processed, stats.records_produced
+    );
+    println!("io: {} bytes in {} requests", stats.io_bytes, stats.io_requests);
+    let busy_ns: u64 = graph.storage().devices().iter().map(|d| d.stats().busy_ns()).sum();
+    if busy_ns > 0 {
+        println!(
+            "modeled device time: {:.3} s ({:.2} GB/s average)",
+            busy_ns as f64 / 1e9,
+            stats.io_bytes as f64 / busy_ns as f64
+        );
+    }
+    println!("wall time: {:.3} s", wall.as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_graph::disk::save_files;
+    use blaze_graph::gen::{rmat, RmatConfig};
+
+    #[test]
+    fn opens_engine_from_files_with_and_without_sim() {
+        let g = rmat(&RmatConfig::new(7));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 2).unwrap();
+        for device in ["optane", "nand", "none"] {
+            let args = CliArgs { device: device.into(), ..Default::default() };
+            let engine = open_engine(&args, &index, &adj).unwrap();
+            assert_eq!(engine.num_vertices(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn custom_binning_flags_apply() {
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
+        let args = CliArgs { bin_space_mib: 2, bin_count: 64, ..Default::default() };
+        let engine = open_engine(&args, &index, &adj).unwrap();
+        assert_eq!(engine.binning().bin_count, 64);
+        assert_eq!(engine.binning().bin_space_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn unknown_device_is_rejected() {
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
+        let args = CliArgs { device: "floppy".into(), ..Default::default() };
+        assert!(open_engine(&args, &index, &adj).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end tests of the artifact-style binaries: generate a graph with
+//! `gengraph`, then run every query binary against the produced files,
+//! exactly as the paper's appendix describes.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin).args(args).output().expect("spawn binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+fn gen_graph(dir: &Path) -> (String, String, String, String) {
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_gengraph"),
+        &["rmat27", dir.to_str().unwrap(), "--scale", "tiny", "--stripes", "2"],
+    );
+    assert!(ok, "gengraph failed: {text}");
+    let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    (p("rmat27.gr.index"), p("rmat27.gr.adj.0"), p("rmat27.gr.adj.1"), p("rmat27.tgr.index"))
+}
+
+#[test]
+fn gengraph_then_bfs() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, _) = gen_graph(dir.path());
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &["-computeWorkers", "4", "-startNode", "0", &index, &adj0, &adj1],
+    );
+    assert!(ok, "bfs failed: {text}");
+    assert!(text.contains("reached"), "{text}");
+    assert!(text.contains("io:"), "{text}");
+}
+
+#[test]
+fn pr_with_binning_flags() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, _) = gen_graph(dir.path());
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_pr"),
+        &[
+            "-computeWorkers", "4", "-binSpace", "4", "-binningRatio", "0.5",
+            "-binCount", "256", "-maxIters", "10", &index, &adj0, &adj1,
+        ],
+    );
+    assert!(ok, "pr failed: {text}");
+    assert!(text.contains("top-ranked vertex"), "{text}");
+}
+
+#[test]
+fn wcc_requires_and_uses_transpose() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, tindex) = gen_graph(dir.path());
+    // Without the transpose: usage error.
+    let (ok, _) = run(env!("CARGO_BIN_EXE_wcc"), &[&index, &adj0, &adj1]);
+    assert!(!ok, "wcc must demand the transpose");
+    // With it: success.
+    let tadj0 = dir.path().join("rmat27.tgr.adj.0").to_str().unwrap().to_string();
+    let tadj1 = dir.path().join("rmat27.tgr.adj.1").to_str().unwrap().to_string();
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_wcc"),
+        &[
+            &index, &adj0, &adj1,
+            "-inIndexFilename", &tindex,
+            "-inAdjFilenames", &format!("{tadj0},{tadj1}"),
+        ],
+    );
+    assert!(ok, "wcc failed: {text}");
+    assert!(text.contains("weakly connected components"), "{text}");
+}
+
+#[test]
+fn spmv_and_bc_run() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, tindex) = gen_graph(dir.path());
+    let (ok, text) = run(env!("CARGO_BIN_EXE_spmv"), &[&index, &adj0, &adj1]);
+    assert!(ok, "spmv failed: {text}");
+    assert!(text.contains("|y|_2"), "{text}");
+    let tadj0 = dir.path().join("rmat27.tgr.adj.0").to_str().unwrap().to_string();
+    let tadj1 = dir.path().join("rmat27.tgr.adj.1").to_str().unwrap().to_string();
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bc"),
+        &[
+            "-startNode", "0", &index, &adj0, &adj1,
+            "-inIndexFilename", &tindex,
+            "-inAdjFilenames", &format!("{tadj0},{tadj1}"),
+        ],
+    );
+    assert!(ok, "bc failed: {text}");
+    assert!(text.contains("top broker"), "{text}");
+}
+
+#[test]
+fn bad_flags_exit_nonzero() {
+    let (ok, text) = run(env!("CARGO_BIN_EXE_bfs"), &["-bogusFlag", "1"]);
+    assert!(!ok);
+    assert!(text.contains("unknown flag"), "{text}");
+    let (ok, _) = run(env!("CARGO_BIN_EXE_bfs"), &["/does/not/exist.index", "/nope.adj.0"]);
+    assert!(!ok);
+}
+
+#[test]
+fn convert_text_edge_list_then_query() {
+    let dir = tempfile::tempdir().unwrap();
+    // A small ring + chords, with comments and duplicates.
+    let edges = "# test graph\n0 1\n1 2\n2 3\n3 0\n0 2\n0 2\n";
+    let input = dir.path().join("edges.txt");
+    std::fs::write(&input, edges).unwrap();
+    let base = dir.path().join("ring");
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_convert"),
+        &[input.to_str().unwrap(), base.to_str().unwrap(), "--dedup", "--stripes", "2"],
+    );
+    assert!(ok, "convert failed: {text}");
+    assert!(text.contains("5 edges"), "dedup should leave 5 edges: {text}");
+    let index = dir.path().join("ring.gr.index");
+    let adj0 = dir.path().join("ring.gr.adj.0");
+    let adj1 = dir.path().join("ring.gr.adj.1");
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &[
+            "-startNode", "0",
+            index.to_str().unwrap(),
+            adj0.to_str().unwrap(),
+            adj1.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "bfs on converted graph failed: {text}");
+    assert!(text.contains("reached 4 vertices"), "{text}");
+}

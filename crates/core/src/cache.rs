@@ -1,0 +1,202 @@
+//! An LRU page cache for IO buffers.
+//!
+//! The published Blaze only recycles IO buffers randomly; the paper names
+//! smarter eviction as future work after losing to FlashGraph's LRU page
+//! cache on the high-locality sk2005 graph (Section V-B). This module
+//! implements that future work: a concurrent, lazily-evicting LRU keyed by
+//! global page id, optionally consulted by the engine's IO threads
+//! ([`EngineOptions::page_cache_pages`](crate::EngineOptions)) and shared
+//! with the FlashGraph-like baseline.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use blaze_types::PageId;
+
+/// Inner state under one lock. Eviction is *lazy*: every touch appends a
+/// `(page, stamp)` history entry and bumps the page's current stamp; on
+/// insert, stale history entries pop off the front until a live victim
+/// appears. Amortized O(1) per operation.
+#[derive(Debug, Default)]
+struct CacheInner {
+    pages: HashMap<PageId, (Arc<[u8]>, u64)>,
+    order: VecDeque<(PageId, u64)>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A concurrent LRU cache of 4 KiB adjacency pages.
+#[derive(Debug)]
+pub struct PageCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity` pages. Capacity 0
+    /// disables storage entirely (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: Mutex::new(CacheInner::default()), capacity }
+    }
+
+    /// Page capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `page` up, refreshing its recency on a hit.
+    pub fn get(&self, page: PageId) -> Option<Arc<[u8]>> {
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some(entry) = inner.pages.get_mut(&page) {
+            entry.1 = stamp;
+            let data = entry.0.clone();
+            inner.order.push_back((page, stamp));
+            inner.hits += 1;
+            Some(data)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts `page`, evicting least-recently-used pages as needed.
+    pub fn insert(&self, page: PageId, data: Arc<[u8]>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        while inner.pages.len() >= self.capacity && !inner.pages.contains_key(&page) {
+            let Some((victim, stamp)) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.pages.get(&victim).is_some_and(|(_, s)| *s == stamp) {
+                inner.pages.remove(&victim);
+            }
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.pages.insert(page, (data, stamp));
+        inner.order.push_back((page, stamp));
+    }
+
+    /// Current number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Whether the cache holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction or the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: Self::reset_stats
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Clears the hit/miss counters.
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+
+    /// Bytes held by cached page data (excludes bookkeeping).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.len() * blaze_types::PAGE_SIZE) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(byte: u8) -> Arc<[u8]> {
+        vec![byte; 8].into()
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = PageCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, page(1));
+        assert_eq!(c.get(1).unwrap()[0], 1);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let c = PageCache::new(2);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        assert!(c.get(1).is_some()); // 1 is now hottest
+        c.insert(3, page(3)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_existing_page_does_not_evict_others() {
+        let c = PageCache::new(2);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        c.insert(2, page(22)); // update, no eviction
+        assert!(c.get(1).is_some());
+        assert_eq!(c.get(2).unwrap()[0], 22);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let c = PageCache::new(0);
+        c.insert(9, page(9));
+        assert!(c.get(9).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_reuse_stays_bounded() {
+        let c = PageCache::new(8);
+        for round in 0..100u64 {
+            for p in 0..16u64 {
+                if c.get(p).is_none() {
+                    c.insert(p, page(p as u8));
+                }
+            }
+            assert!(c.len() <= 8, "round {round}: len {}", c.len());
+        }
+        let (hits, misses) = c.stats();
+        assert!(hits + misses == 1600);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_bounded() {
+        let c = Arc::new(PageCache::new(32));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let p = (t * 13 + i) % 64;
+                    if c.get(p).is_none() {
+                        c.insert(p, vec![p as u8; 4].into());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 32);
+    }
+}

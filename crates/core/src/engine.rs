@@ -1,0 +1,733 @@
+//! The out-of-core `EdgeMap` engine (Section IV-C, Figure 5).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::utils::Backoff;
+use parking_lot::Mutex;
+
+use blaze_binning::{BinSpace, BinValue, BinningConfig, ScatterStaging};
+use blaze_frontier::{PageSubset, VertexSubset};
+use blaze_graph::DiskGraph;
+use blaze_storage::buffer::FilledBuffer;
+use blaze_storage::request::merge_pages_with_window;
+use blaze_storage::BufferPool;
+use blaze_types::{IterationTrace, Result, VertexId};
+
+use crate::options::EngineOptions;
+use crate::stats::{fill_io_trace, snapshot_devices, ExecStats};
+
+/// Increments a counter when dropped — even if the owning thread panics in
+/// user code, so peers waiting on the counter cannot spin forever.
+struct CompletionGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// The Blaze engine: binds a [`DiskGraph`] to thread-pool and binning
+/// configuration and executes `EdgeMap`s over it.
+pub struct BlazeEngine {
+    graph: Arc<DiskGraph>,
+    options: EngineOptions,
+    binning: BinningConfig,
+    pool: BufferPool,
+    cache: Option<crate::cache::PageCache>,
+    traces: Mutex<Vec<IterationTrace>>,
+    stats: Mutex<ExecStats>,
+}
+
+impl BlazeEngine {
+    /// Creates an engine over `graph`. Binning defaults to the paper's
+    /// heuristics (5% of graph size, 1024 bins) unless overridden.
+    pub fn new(graph: Arc<DiskGraph>, options: EngineOptions) -> Result<Self> {
+        options.validate()?;
+        let binning = options
+            .binning
+            .clone()
+            .unwrap_or_else(|| BinningConfig::for_graph(graph.storage_bytes()));
+        let pool = BufferPool::with_bytes_and_pages(
+            options.io_buffer_bytes,
+            options.merge_window.max(blaze_types::MAX_MERGED_PAGES),
+        );
+        let cache = (options.page_cache_pages > 0)
+            .then(|| crate::cache::PageCache::new(options.page_cache_pages));
+        Ok(Self {
+            graph,
+            options,
+            binning,
+            pool,
+            cache,
+            traces: Mutex::new(Vec::new()),
+            stats: Mutex::new(ExecStats::default()),
+        })
+    }
+
+    /// The LRU page cache, when enabled via
+    /// [`EngineOptions::page_cache_pages`].
+    pub fn page_cache(&self) -> Option<&crate::cache::PageCache> {
+        self.cache.as_ref()
+    }
+
+    /// The graph this engine operates on.
+    pub fn graph(&self) -> &Arc<DiskGraph> {
+        &self.graph
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The effective binning configuration.
+    pub fn binning(&self) -> &BinningConfig {
+        &self.binning
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Takes the recorded per-iteration work traces (and clears them).
+    pub fn take_traces(&self) -> Vec<IterationTrace> {
+        std::mem::take(&mut self.traces.lock())
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats.lock().clone()
+    }
+
+    /// Transforms the vertex frontier into the per-device page frontier
+    /// (Figure 5, step 1), in parallel over frontier chunks.
+    pub fn build_page_subset(&self, frontier: &VertexSubset) -> PageSubset {
+        let members = frontier.members();
+        let num_devices = self.graph.storage().num_devices();
+        let threads = self.options.compute_workers().max(1);
+        if members.len() < 4096 || threads == 1 {
+            let ranges = members.iter().filter_map(|&v| self.graph.pages_of_vertex(v));
+            return PageSubset::from_page_ranges(ranges, num_devices);
+        }
+        let chunk = members.len().div_ceil(threads);
+        let parts: Vec<PageSubset> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = members
+                .chunks(chunk)
+                .map(|slice| {
+                    s.spawn(move |_| {
+                        let ranges = slice.iter().filter_map(|&v| self.graph.pages_of_vertex(v));
+                        PageSubset::from_page_ranges(ranges, num_devices)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("page transform panicked")).collect()
+        })
+        .expect("scope");
+        PageSubset::merge(parts, num_devices)
+    }
+
+    /// Out-of-core `EdgeMap` with online binning.
+    ///
+    /// Runs `scatter(src, dst) -> value` for every edge `(src, dst)` with
+    /// `src` in `frontier` and `cond(dst)` true; gather threads then apply
+    /// `gather(dst, value) -> activate` to accumulate values into vertex
+    /// data. When `output` is true, destinations for which `gather` returns
+    /// `true` form the returned frontier.
+    ///
+    /// `gather` may update [`VertexArray`](crate::VertexArray)s with plain
+    /// `get`/`set` — bin exclusivity guarantees a destination vertex is
+    /// only touched by one gather thread at a time.
+    pub fn edge_map<V, FS, FG, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: FS,
+        gather: FG,
+        cond: FC,
+        output: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        self.run_edge_map(frontier, &scatter, &gather, &cond, output, false)
+    }
+
+    /// The synchronization-based variant (Figure 8b): no bins — scatter
+    /// threads apply `gather` directly, so `gather` must perform its
+    /// updates with atomic read-modify-write operations
+    /// ([`VertexArray::fetch_update`](crate::VertexArray::fetch_update) /
+    /// [`fetch_add`](crate::VertexArray::fetch_add)).
+    pub fn edge_map_sync<V, FS, FG, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: FS,
+        gather: FG,
+        cond: FC,
+        output: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        self.run_edge_map(frontier, &scatter, &gather, &cond, output, true)
+    }
+
+    /// One IO thread's work: fetch the device's local page list into
+    /// filled buffers. Without a page cache, contiguous local pages merge
+    /// into requests of up to `merge_window` pages. With the cache
+    /// (the paper's future-work extension), cached pages are served from
+    /// memory and only uncached runs touch the device.
+    fn run_io_thread(
+        &self,
+        dev: usize,
+        local_pages: &[u64],
+        cache_hits: &AtomicU64,
+    ) -> Result<()> {
+        let storage = self.graph.storage();
+        let read_run = |first: u64, n: usize| -> Result<()> {
+            let mut buffer = self.pool.acquire_free();
+            if let Err(e) = storage.read_local_run(dev, first, buffer.pages_mut(n)) {
+                self.pool.release(buffer);
+                return Err(e);
+            }
+            if let Some(cache) = &self.cache {
+                for i in 0..n {
+                    let global = storage.global_page(dev, first + i as u64);
+                    let start = i * blaze_types::PAGE_SIZE;
+                    cache.insert(
+                        global,
+                        buffer.pages(n)[start..start + blaze_types::PAGE_SIZE].into(),
+                    );
+                }
+            }
+            let globals =
+                (0..n as u64).map(|i| storage.global_page(dev, first + i)).collect();
+            self.pool.push_filled(FilledBuffer { buffer, pages: globals });
+            Ok(())
+        };
+        let Some(cache) = &self.cache else {
+            for req in merge_pages_with_window(local_pages, self.options.merge_window) {
+                read_run(req.first_page, req.num_pages as usize)?;
+            }
+            return Ok(());
+        };
+        // Cached pages are delivered from memory; uncached pages still
+        // merge into contiguous runs before hitting the device.
+        let mut run: Vec<u64> = Vec::with_capacity(self.options.merge_window);
+        let flush = |run: &mut Vec<u64>| -> Result<()> {
+            if let Some(&first) = run.first() {
+                read_run(first, run.len())?;
+                run.clear();
+            }
+            Ok(())
+        };
+        for &local in local_pages {
+            let global = storage.global_page(dev, local);
+            if let Some(data) = cache.get(global) {
+                flush(&mut run)?;
+                cache_hits.fetch_add(1, Ordering::Relaxed);
+                let mut buffer = self.pool.acquire_free();
+                buffer.pages_mut(1).copy_from_slice(&data);
+                self.pool.push_filled(FilledBuffer { buffer, pages: vec![global] });
+                continue;
+            }
+            let extends_run =
+                run.last().is_some_and(|&last| local == last + 1) && run.len() < self.options.merge_window;
+            if !extends_run {
+                flush(&mut run)?;
+            }
+            run.push(local);
+        }
+        flush(&mut run)
+    }
+
+    fn run_edge_map<V, FS, FG, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: &FS,
+        gather: &FG,
+        cond: &FC,
+        output: bool,
+        sync_variant: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        let t0 = Instant::now();
+        let storage = self.graph.storage();
+        let num_devices = storage.num_devices();
+        let before = snapshot_devices(storage);
+
+        let pages = self.build_page_subset(frontier);
+        let out = VertexSubset::new(self.graph.num_vertices());
+        let space: BinSpace<V> = BinSpace::new(self.binning.clone());
+
+        let io_done = AtomicUsize::new(0);
+        let cache_hits = AtomicU64::new(0);
+        let scatters_done = AtomicUsize::new(0);
+        let all_scatter_done = AtomicBool::new(false);
+        let edges_processed = AtomicU64::new(0);
+        let records_sync = AtomicU64::new(0);
+        let io_error: Mutex<Option<blaze_types::BlazeError>> = Mutex::new(None);
+
+        let num_scatter = self.options.num_scatter;
+        let num_gather = if sync_variant { 0 } else { self.options.num_gather };
+
+        crossbeam::thread::scope(|s| {
+            // --- IO threads: one per device (Figure 5, steps 2-4). ---
+            for dev in 0..num_devices {
+                let pages = &pages;
+                let io_done = &io_done;
+                let io_error = &io_error;
+                let cache_hits = &cache_hits;
+                s.spawn(move |_| {
+                    // Guard: even a panic inside the IO path (or user code
+                    // reachable from it) must count the thread as done, or
+                    // scatter threads would spin on `io_done` forever.
+                    let _done = CompletionGuard { counter: io_done };
+                    if let Err(e) = self.run_io_thread(dev, pages.local_pages(dev), cache_hits) {
+                        *io_error.lock() = Some(e);
+                    }
+                });
+            }
+
+            // --- Scatter threads (steps 5-7). ---
+            for _ in 0..num_scatter {
+                let pool = &self.pool;
+                let space = &space;
+                let io_done = &io_done;
+                let scatters_done = &scatters_done;
+                let all_scatter_done = &all_scatter_done;
+                let edges_processed = &edges_processed;
+                let records_sync = &records_sync;
+                let graph = &self.graph;
+                let out = &out;
+                s.spawn(move |_| {
+                    // Guard: a panic in the user's scatter/cond closures
+                    // still counts this thread as done; the last departing
+                    // scatter (panicked or not) releases the gather side.
+                    struct ScatterGuard<'a, V: BinValue> {
+                        counter: &'a AtomicUsize,
+                        total: usize,
+                        space: &'a BinSpace<V>,
+                        all_done: &'a AtomicBool,
+                    }
+                    impl<V: BinValue> Drop for ScatterGuard<'_, V> {
+                        fn drop(&mut self) {
+                            if self.counter.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                                self.space.flush_partials();
+                                self.all_done.store(true, Ordering::Release);
+                            }
+                        }
+                    }
+                    let _done = ScatterGuard {
+                        counter: scatters_done,
+                        total: num_scatter,
+                        space,
+                        all_done: all_scatter_done,
+                    };
+                    let mut staging = ScatterStaging::new(space);
+                    let mut scratch = Vec::new();
+                    let mut local_edges = 0u64;
+                    let mut local_records = 0u64;
+                    let backoff = Backoff::new();
+                    loop {
+                        let Some(filled) = pool.pop_filled() else {
+                            if io_done.load(Ordering::Acquire) == num_devices
+                                && pool.filled_len() == 0
+                            {
+                                break;
+                            }
+                            backoff.snooze();
+                            continue;
+                        };
+                        backoff.reset();
+                        for (i, &page) in filled.pages.iter().enumerate() {
+                            let data = filled.page_data(i);
+                            graph.for_each_vertex_in_page(page, data, &mut scratch, |src, dsts| {
+                                if !frontier.contains(src) {
+                                    return;
+                                }
+                                for &dst in dsts {
+                                    local_edges += 1;
+                                    if !cond(dst) {
+                                        continue;
+                                    }
+                                    let value = scatter(src, dst);
+                                    if sync_variant {
+                                        // Apply directly with the user's
+                                        // atomic gather — the CAS path.
+                                        local_records += 1;
+                                        if gather(dst, value) && output {
+                                            out.insert(dst);
+                                        }
+                                    } else {
+                                        staging.push(space, dst, value);
+                                    }
+                                }
+                            });
+                        }
+                        pool.release(filled.buffer);
+                    }
+                    staging.flush(space);
+                    edges_processed.fetch_add(local_edges, Ordering::Relaxed);
+                    records_sync.fetch_add(local_records, Ordering::Relaxed);
+                });
+            }
+
+            // --- Gather threads (steps 8-9); absent in the sync variant. ---
+            for _ in 0..num_gather {
+                let space = &space;
+                let all_scatter_done = &all_scatter_done;
+                let out = &out;
+                s.spawn(move |_| {
+                    let backoff = Backoff::new();
+                    loop {
+                        let progressed = space.process_one_full(|_, records| {
+                            for r in records {
+                                if gather(r.dst, r.value) && output {
+                                    out.insert(r.dst);
+                                }
+                            }
+                        });
+                        if progressed {
+                            backoff.reset();
+                            continue;
+                        }
+                        if all_scatter_done.load(Ordering::Acquire)
+                            && space.full_queue_is_empty()
+                        {
+                            break;
+                        }
+                        backoff.snooze();
+                    }
+                });
+            }
+        })
+        .expect("edge_map worker panicked");
+
+        if let Some(e) = io_error.into_inner() {
+            return Err(e);
+        }
+
+        // Record the iteration's work trace.
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let mut trace = IterationTrace::new(num_devices);
+        let after = snapshot_devices(storage);
+        fill_io_trace(&mut trace, &before, &after);
+        trace.frontier_size = frontier.len() as u64;
+        trace.cache_hit_pages = cache_hits.load(Ordering::Relaxed);
+        trace.edges_processed = edges_processed.load(Ordering::Relaxed);
+        if sync_variant {
+            let records = records_sync.load(Ordering::Relaxed);
+            trace.records_produced = records;
+            trace.atomic_ops = records;
+        } else {
+            let counts = space.take_record_counts();
+            trace.records_produced = counts.iter().sum();
+            trace.records_per_bin = counts;
+            trace.bin_buffer_capacity = self
+                .binning
+                .buffer_capacity(std::mem::size_of::<blaze_binning::BinRecord<V>>())
+                as u64;
+        }
+        self.stats.lock().absorb(&trace, wall_ns);
+        if self.options.record_trace {
+            self.traces.lock().push(trace);
+        }
+
+        let mut out = out;
+        out.seal();
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for BlazeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlazeEngine")
+            .field("graph", &self.graph)
+            .field("scatter", &self.options.num_scatter)
+            .field("gather", &self.options.num_gather)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_array::VertexArray;
+    use blaze_graph::gen::{rmat, uniform, RmatConfig};
+    use blaze_graph::Csr;
+    use blaze_storage::StripedStorage;
+
+    fn engine(g: &Csr, devices: usize, options: EngineOptions) -> BlazeEngine {
+        let storage = Arc::new(StripedStorage::in_memory(devices).unwrap());
+        let graph = Arc::new(DiskGraph::create(g, storage).unwrap());
+        BlazeEngine::new(graph, options).unwrap()
+    }
+
+    /// In-memory BFS parents -> levels for comparison.
+    fn bfs_levels_ref(g: &Csr, root: u32) -> Vec<i64> {
+        let mut level = vec![-1i64; g.num_vertices()];
+        level[root as usize] = 0;
+        let mut frontier = vec![root];
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &d in g.neighbors(v) {
+                    if level[d as usize] == -1 {
+                        level[d as usize] = depth;
+                        next.push(d);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        level
+    }
+
+    /// Out-of-core BFS levels via edge_map.
+    fn bfs_levels_engine(engine: &BlazeEngine, root: u32, sync: bool) -> Vec<i64> {
+        let n = engine.num_vertices();
+        let level = VertexArray::<i64>::new(n, -1);
+        level.set(root as usize, 0);
+        let mut frontier = VertexSubset::single(n, root);
+        let mut depth: i64 = 0;
+        while !frontier.is_empty() {
+            depth += 1;
+            let d = depth;
+            let scatter = |_s: u32, _d: u32| 0u32;
+            let cond = |dst: u32| level.get(dst as usize) == -1;
+            frontier = if sync {
+                engine
+                    .edge_map_sync(
+                        &frontier,
+                        scatter,
+                        |dst: u32, _v: u32| {
+                            level.fetch_update(dst as usize, |cur| (cur == -1).then_some(d)).is_ok()
+                        },
+                        cond,
+                        true,
+                    )
+                    .unwrap()
+            } else {
+                engine
+                    .edge_map(
+                        &frontier,
+                        scatter,
+                        |dst: u32, _v: u32| {
+                            if level.get(dst as usize) == -1 {
+                                level.set(dst as usize, d);
+                                true
+                            } else {
+                                false
+                            }
+                        },
+                        cond,
+                        true,
+                    )
+                    .unwrap()
+            };
+        }
+        level.to_vec()
+    }
+
+    #[test]
+    fn edge_map_bfs_matches_reference_single_device() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 1, EngineOptions::default());
+        assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
+    }
+
+    #[test]
+    fn edge_map_bfs_matches_reference_striped() {
+        let g = uniform(9, 8, 3);
+        let e = engine(&g, 4, EngineOptions::default());
+        assert_eq!(bfs_levels_engine(&e, 1, false), bfs_levels_ref(&g, 1));
+    }
+
+    #[test]
+    fn sync_variant_matches_reference() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 2, EngineOptions::default());
+        assert_eq!(bfs_levels_engine(&e, 0, true), bfs_levels_ref(&g, 0));
+    }
+
+    #[test]
+    fn edge_map_with_many_threads() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 2, EngineOptions::default().with_compute_workers(8, 0.5));
+        assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
+    }
+
+    #[test]
+    fn full_frontier_touches_every_edge() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        let sum = VertexArray::<u64>::new(g.num_vertices(), 0);
+        e.edge_map(
+            &frontier,
+            |_s, _d| 1u32,
+            |dst, v| {
+                sum.set(dst as usize, sum.get(dst as usize) + v as u64);
+                true
+            },
+            |_| true,
+            false,
+        )
+        .unwrap();
+        let total: u64 = (0..g.num_vertices()).map(|i| sum.get(i)).sum();
+        assert_eq!(total, g.num_edges(), "every edge delivered exactly once");
+        let stats = e.stats();
+        assert_eq!(stats.edges_processed, g.num_edges());
+        assert_eq!(stats.records_produced, g.num_edges());
+    }
+
+    #[test]
+    fn cond_filters_scatter() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        // cond rejects everything: no records, no gather calls.
+        let out = e
+            .edge_map(
+                &frontier,
+                |_s, _d| 0u32,
+                |_dst, _v| panic!("gather must not run"),
+                |_| false,
+                true,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(e.stats().records_produced, 0);
+        assert_eq!(e.stats().edges_processed, g.num_edges());
+    }
+
+    #[test]
+    fn output_false_returns_empty_frontier() {
+        let g = rmat(&RmatConfig::new(7));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        let out = e
+            .edge_map(&frontier, |_s, _d| 0u32, |_d, _v| true, |_| true, false)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_frontier_is_a_no_op() {
+        let g = rmat(&RmatConfig::new(7));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::new(g.num_vertices());
+        let out = e
+            .edge_map(&frontier, |_s, _d| 0u32, |_d, _v| true, |_| true, true)
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(e.stats().io_bytes, 0);
+    }
+
+    #[test]
+    fn traces_record_io_and_work() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 2, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+        let traces = e.take_traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.io_bytes_per_device.len(), 2);
+        assert!(t.total_io_bytes() >= g.num_edges() * 4, "every edge byte read");
+        assert_eq!(t.edges_processed, g.num_edges());
+        assert_eq!(t.records_per_bin.iter().sum::<u64>(), t.records_produced);
+        // Page interleaving keeps the per-device IO balanced (Section IV-E).
+        let max = *t.io_bytes_per_device.iter().max().unwrap();
+        let min = *t.io_bytes_per_device.iter().min().unwrap();
+        assert!(max - min <= 8 * 4096, "skew {max}-{min}");
+        // A full-frontier scan reads contiguous pages: merging must produce
+        // mostly multi-page (sequential) requests.
+        assert!(
+            t.total_io_requests() < t.total_io_bytes() / 4096,
+            "requests should cover merged pages"
+        );
+    }
+
+    #[test]
+    fn sparse_frontier_reads_only_needed_pages() {
+        let g = rmat(&RmatConfig::new(10));
+        let e = engine(&g, 1, EngineOptions::default());
+        // One low-degree vertex: IO should be a handful of pages, not the
+        // whole graph.
+        let v = (0..g.num_vertices() as u32).find(|&v| g.degree(v) >= 1 && g.degree(v) <= 8).unwrap();
+        let frontier = VertexSubset::single(g.num_vertices(), v);
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+        let io = e.stats().io_bytes;
+        assert!(io <= 4 * 4096, "sparse frontier read {io} bytes");
+        assert!(io >= 4096);
+    }
+
+    #[test]
+    fn page_cache_serves_repeated_iterations() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 2, EngineOptions::default().with_page_cache(1 << 16));
+        let frontier = VertexSubset::full(g.num_vertices());
+        for _ in 0..2 {
+            e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+        }
+        let traces = e.take_traces();
+        assert_eq!(traces[0].cache_hit_pages, 0, "cold cache");
+        let pages = traces[0].total_io_bytes() / 4096;
+        assert_eq!(traces[1].cache_hit_pages, pages, "second pass fully cached");
+        assert_eq!(traces[1].total_io_bytes(), 0, "no device reads when cached");
+    }
+
+    #[test]
+    fn cached_bfs_matches_reference() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 1, EngineOptions::default().with_page_cache(128));
+        assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
+        let (hits, misses) = e.page_cache().unwrap().stats();
+        assert!(hits + misses > 0);
+    }
+
+    #[test]
+    fn tiny_cache_partially_serves() {
+        let g = rmat(&RmatConfig::new(10));
+        let e = engine(&g, 1, EngineOptions::default().with_page_cache(4));
+        let frontier = VertexSubset::full(g.num_vertices());
+        for _ in 0..2 {
+            e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+        }
+        let traces = e.take_traces();
+        let pages = traces[0].total_io_bytes() / 4096;
+        assert!(traces[1].cache_hit_pages < pages / 2, "4-page cache cannot serve a scan");
+        assert!(traces[1].total_io_bytes() > 0);
+    }
+
+    #[test]
+    fn atomic_ops_counted_only_in_sync_variant() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        e.edge_map(&frontier, |_s, _d| 0u32, |_d, _v| false, |_| true, false).unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert_eq!(t.atomic_ops, 0);
+        e.edge_map_sync(&frontier, |_s, _d| 0u32, |_d, _v| false, |_| true, false).unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert_eq!(t.atomic_ops, g.num_edges());
+    }
+}

@@ -1,0 +1,105 @@
+//! Memory-footprint accounting (Section IV-F, Figure 12).
+//!
+//! Under the semi-external model Blaze keeps in DRAM: the IO buffer pool
+//! (fixed), the bin space, the graph metadata (index + page→vertex map),
+//! the two frontiers, and the algorithm's vertex arrays. Everything else —
+//! the adjacency lists — stays on disk. Figure 12 reports the sum of these
+//! relative to the on-disk graph size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::BlazeEngine;
+
+/// Byte-accurate breakdown of an engine's DRAM usage for one query.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Graph index (degrees + line offsets) and page→vertex map.
+    pub metadata_bytes: u64,
+    /// The fixed IO buffer pool.
+    pub io_buffer_bytes: u64,
+    /// Bin buffers (both halves of every pair).
+    pub bin_bytes: u64,
+    /// Per-scatter-thread staging buffers.
+    pub staging_bytes: u64,
+    /// Frontier bitmaps/lists (input + output, conservatively 2 bitmaps).
+    pub frontier_bytes: u64,
+    /// Algorithm-specific vertex arrays (caller-reported).
+    pub algorithm_bytes: u64,
+    /// On-disk graph size, the denominator of Figure 12.
+    pub graph_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Measures `engine`, taking the algorithm arrays' size (and the bin
+    /// record size in bytes) from the caller.
+    pub fn measure(engine: &BlazeEngine, algorithm_bytes: u64, record_bytes: usize) -> Self {
+        let graph = engine.graph();
+        let binning = engine.binning();
+        let n = graph.num_vertices() as u64;
+        Self {
+            metadata_bytes: graph.metadata_bytes(),
+            io_buffer_bytes: engine.options().io_buffer_bytes as u64,
+            bin_bytes: binning.allocated_bytes(record_bytes),
+            staging_bytes: (engine.options().num_scatter
+                * binning.bin_count
+                * binning.staging_records
+                * record_bytes) as u64,
+            // Two frontiers at one bit per vertex each, plus sparse lists
+            // bounded by the bitmap size.
+            frontier_bytes: 2 * n.div_ceil(8),
+            algorithm_bytes,
+            graph_bytes: graph.storage_bytes(),
+        }
+    }
+
+    /// Total DRAM bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.metadata_bytes
+            + self.io_buffer_bytes
+            + self.bin_bytes
+            + self.staging_bytes
+            + self.frontier_bytes
+            + self.algorithm_bytes
+    }
+
+    /// Footprint relative to the on-disk graph size — the y-axis of
+    /// Figure 12.
+    pub fn ratio(&self) -> f64 {
+        if self.graph_bytes == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.graph_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::EngineOptions;
+    use blaze_graph::gen::{rmat, RmatConfig};
+    use blaze_graph::DiskGraph;
+    use blaze_storage::StripedStorage;
+    use std::sync::Arc;
+
+    #[test]
+    fn footprint_sums_components() {
+        let g = rmat(&RmatConfig::new(10));
+        let storage = Arc::new(StripedStorage::in_memory(1).unwrap());
+        let graph = Arc::new(DiskGraph::create(&g, storage).unwrap());
+        let engine = BlazeEngine::new(graph, EngineOptions::default()).unwrap();
+        let algo = (g.num_vertices() * 4) as u64; // one u32 per vertex (BFS)
+        let fp = MemoryFootprint::measure(&engine, algo, 8);
+        assert!(fp.metadata_bytes > 0);
+        assert!(fp.bin_bytes > 0);
+        assert_eq!(
+            fp.total_bytes(),
+            fp.metadata_bytes
+                + fp.io_buffer_bytes
+                + fp.bin_bytes
+                + fp.staging_bytes
+                + fp.frontier_bytes
+                + fp.algorithm_bytes
+        );
+        assert!(fp.ratio() > 0.0);
+    }
+}

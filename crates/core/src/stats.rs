@@ -1,0 +1,105 @@
+//! Execution statistics and work-trace recording.
+
+use blaze_storage::stats::IoStatsSnapshot;
+use blaze_storage::StripedStorage;
+use blaze_types::IterationTrace;
+
+/// Cumulative statistics of a query execution on the functional engine.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Number of `edge_map` iterations executed.
+    pub iterations: usize,
+    /// Total edges examined by scatter.
+    pub edges_processed: u64,
+    /// Total bin records produced.
+    pub records_produced: u64,
+    /// Total bytes read from storage.
+    pub io_bytes: u64,
+    /// Total IO requests issued.
+    pub io_requests: u64,
+    /// Wall time spent inside `edge_map`, nanoseconds (real, machine-local —
+    /// shape comparisons use the performance model instead).
+    pub wall_ns: u64,
+}
+
+impl ExecStats {
+    /// Folds one iteration trace into the totals.
+    pub fn absorb(&mut self, it: &IterationTrace, wall_ns: u64) {
+        self.iterations += 1;
+        self.edges_processed += it.edges_processed;
+        self.records_produced += it.records_produced;
+        self.io_bytes += it.total_io_bytes();
+        self.io_requests += it.total_io_requests();
+        self.wall_ns += wall_ns;
+    }
+}
+
+/// Computes the per-device IO delta between two snapshot vectors and fills
+/// the corresponding fields of `trace`.
+pub fn fill_io_trace(
+    trace: &mut IterationTrace,
+    before: &[IoStatsSnapshot],
+    after: &[IoStatsSnapshot],
+) {
+    debug_assert_eq!(before.len(), after.len());
+    trace.io_bytes_per_device = after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| a.read_bytes - b.read_bytes)
+        .collect();
+    trace.io_requests_per_device = after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| a.read_ops - b.read_ops)
+        .collect();
+    trace.io_sequential_requests_per_device = after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| a.sequential_reads - b.sequential_reads)
+        .collect();
+}
+
+/// Snapshots every device's stats.
+pub fn snapshot_devices(storage: &StripedStorage) -> Vec<IoStatsSnapshot> {
+    storage.devices().iter().map(|d| d.stats().snapshot()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut s = ExecStats::default();
+        let mut it = IterationTrace::new(2);
+        it.io_bytes_per_device = vec![4096, 8192];
+        it.io_requests_per_device = vec![1, 2];
+        it.edges_processed = 100;
+        it.records_produced = 60;
+        s.absorb(&it, 5000);
+        s.absorb(&it, 5000);
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.io_bytes, 2 * 12288);
+        assert_eq!(s.io_requests, 6);
+        assert_eq!(s.edges_processed, 200);
+        assert_eq!(s.wall_ns, 10_000);
+    }
+
+    #[test]
+    fn io_trace_is_the_snapshot_delta() {
+        let mut before = vec![IoStatsSnapshot::default(); 2];
+        before[0].read_bytes = 100;
+        before[0].read_ops = 1;
+        let mut after = before.clone();
+        after[0].read_bytes = 4196;
+        after[0].read_ops = 2;
+        after[1].read_bytes = 8192;
+        after[1].read_ops = 2;
+        after[1].sequential_reads = 1;
+        let mut t = IterationTrace::new(2);
+        fill_io_trace(&mut t, &before, &after);
+        assert_eq!(t.io_bytes_per_device, vec![4096, 8192]);
+        assert_eq!(t.io_requests_per_device, vec![1, 2]);
+        assert_eq!(t.io_sequential_requests_per_device, vec![0, 1]);
+    }
+}

@@ -1,0 +1,91 @@
+//! `VertexMap` (Section IV-B): in-memory application of a vertex function
+//! to every frontier member, producing a filtered frontier.
+
+use blaze_frontier::VertexSubset;
+use blaze_types::VertexId;
+
+/// Applies `f` to each vertex in `frontier`; the returned frontier contains
+/// exactly the vertices for which `f` returned `true`.
+///
+/// All vertex data is memory-resident under the semi-external model, so
+/// this runs without IO, parallelized over `threads` workers.
+pub fn vertex_map<F>(frontier: &VertexSubset, f: F, threads: usize) -> VertexSubset
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    let members = frontier.members();
+    let mut out = VertexSubset::new(frontier.capacity());
+    let threads = threads.max(1);
+    if members.len() < 2048 || threads == 1 {
+        for &v in &members {
+            if f(v) {
+                out.insert(v);
+            }
+        }
+    } else {
+        let chunk = members.len().div_ceil(threads);
+        let out_ref = &out;
+        let f_ref = &f;
+        crossbeam::thread::scope(|s| {
+            for slice in members.chunks(chunk) {
+                s.spawn(move |_| {
+                    for &v in slice {
+                        if f_ref(v) {
+                            out_ref.insert(v);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("vertex_map worker panicked");
+    }
+    out.seal();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_members() {
+        let f = VertexSubset::from_members(100, 0..100u32);
+        let out = vertex_map(&f, |v| v % 3 == 0, 2);
+        assert_eq!(out.len(), 34);
+        assert!(out.contains(0));
+        assert!(out.contains(99));
+        assert!(!out.contains(1));
+    }
+
+    #[test]
+    fn empty_in_empty_out() {
+        let f = VertexSubset::new(10);
+        let out = vertex_map(&f, |_| true, 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let f = VertexSubset::from_members(10_000, (0..10_000u32).filter(|v| v % 7 != 0));
+        let serial = vertex_map(&f, |v| v % 2 == 0, 1);
+        let parallel = vertex_map(&f, |v| v % 2 == 0, 8);
+        assert_eq!(serial.members(), parallel.members());
+    }
+
+    #[test]
+    fn side_effects_run_once_per_member() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        let f = VertexSubset::from_members(5000, 0..5000u32);
+        let out = vertex_map(
+            &f,
+            |_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                true
+            },
+            4,
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 5000);
+        assert_eq!(out.len(), 5000);
+    }
+}

@@ -1,0 +1,152 @@
+//! The page frontier: disk pages holding the edges of active vertices,
+//! partitioned per device (Figure 5, step 1).
+
+use blaze_types::PageId;
+
+/// A sorted, deduplicated set of global page ids, split into per-device
+/// lists of *local* page ids under the RAID-0 mapping
+/// `device = page % num_devices`, `local = page / num_devices` — the same
+/// convention as `blaze_storage::StripedStorage`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageSubset {
+    per_device: Vec<Vec<u64>>,
+    total: usize,
+}
+
+impl PageSubset {
+    /// Builds the subset from an iterator of (possibly overlapping,
+    /// unordered) inclusive page ranges — one range per frontier vertex.
+    pub fn from_page_ranges(
+        ranges: impl IntoIterator<Item = std::ops::RangeInclusive<PageId>>,
+        num_devices: usize,
+    ) -> Self {
+        assert!(num_devices >= 1);
+        let mut pages: Vec<PageId> = Vec::new();
+        for r in ranges {
+            pages.extend(r);
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        Self::from_sorted_pages(&pages, num_devices)
+    }
+
+    /// Builds the subset from a sorted, deduplicated global page list.
+    pub fn from_sorted_pages(pages: &[PageId], num_devices: usize) -> Self {
+        assert!(num_devices >= 1);
+        debug_assert!(pages.windows(2).all(|w| w[0] < w[1]));
+        let mut per_device = vec![Vec::new(); num_devices];
+        for &p in pages {
+            per_device[(p % num_devices as u64) as usize].push(p / num_devices as u64);
+        }
+        Self { per_device, total: pages.len() }
+    }
+
+    /// Merges several subsets built over disjoint chunks of the frontier
+    /// (the parallel transform of Figure 5 step 1). Page lists may overlap
+    /// between chunks; the merge re-deduplicates.
+    pub fn merge(parts: Vec<PageSubset>, num_devices: usize) -> Self {
+        let mut pages: Vec<PageId> = Vec::new();
+        for part in &parts {
+            for (d, locals) in part.per_device.iter().enumerate() {
+                for &l in locals {
+                    pages.push(l * part.per_device.len() as u64 + d as u64);
+                }
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        Self::from_sorted_pages(&pages, num_devices)
+    }
+
+    /// Number of devices this subset is partitioned across.
+    pub fn num_devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Sorted local page ids for `device`.
+    pub fn local_pages(&self, device: usize) -> &[u64] {
+        &self.per_device[device]
+    }
+
+    /// Total pages across all devices.
+    pub fn total_pages(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no pages are selected.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// All global page ids, ascending.
+    pub fn global_pages(&self) -> Vec<PageId> {
+        let n = self.per_device.len() as u64;
+        let mut pages: Vec<PageId> = self
+            .per_device
+            .iter()
+            .enumerate()
+            .flat_map(|(d, locals)| locals.iter().map(move |&l| l * n + d as u64))
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_dedup_and_partition() {
+        // Vertices spanning pages [0..=2], [2..=3], [7..=7].
+        let s = PageSubset::from_page_ranges(vec![0..=2, 2..=3, 7..=7], 2);
+        assert_eq!(s.total_pages(), 5);
+        assert_eq!(s.local_pages(0), &[0, 1]); // globals 0, 2
+        assert_eq!(s.local_pages(1), &[0, 1, 3]); // globals 1, 3, 7
+        assert_eq!(s.global_pages(), vec![0, 1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn single_device_keeps_global_ids() {
+        let s = PageSubset::from_sorted_pages(&[1, 5, 9], 1);
+        assert_eq!(s.local_pages(0), &[1, 5, 9]);
+        assert_eq!(s.global_pages(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let s = PageSubset::from_page_ranges(Vec::new(), 4);
+        assert!(s.is_empty());
+        assert_eq!(s.total_pages(), 0);
+        for d in 0..4 {
+            assert!(s.local_pages(d).is_empty());
+        }
+    }
+
+    #[test]
+    fn local_lists_stay_sorted() {
+        let s = PageSubset::from_page_ranges(vec![10..=20, 0..=5], 3);
+        for d in 0..3 {
+            let l = s.local_pages(d);
+            assert!(l.windows(2).all(|w| w[0] < w[1]), "device {d}");
+        }
+    }
+
+    #[test]
+    fn merge_re_deduplicates_overlap() {
+        let a = PageSubset::from_page_ranges(vec![0..=4], 2);
+        let b = PageSubset::from_page_ranges(vec![3..=6], 2);
+        let m = PageSubset::merge(vec![a, b], 2);
+        assert_eq!(m.global_pages(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.total_pages(), 7);
+    }
+
+    #[test]
+    fn contiguous_range_balances_across_devices() {
+        let s = PageSubset::from_page_ranges(vec![0..=999], 8);
+        let sizes: Vec<usize> = (0..8).map(|d| s.local_pages(d).len()).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+}

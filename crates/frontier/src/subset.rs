@@ -1,0 +1,266 @@
+//! The vertex frontier: Ligra-style dual sparse/dense representation.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use blaze_types::VertexId;
+
+use crate::bitmap::AtomicBitmap;
+
+/// Number of sparse-list shards; inserts hash across them to avoid a single
+/// contended lock.
+const SHARDS: usize = 16;
+
+/// A frontier switches from the sparse list to the dense bitmap when it
+/// exceeds `capacity / DENSE_DIVISOR` members.
+const DENSE_DIVISOR: usize = 20;
+
+/// A set of active vertices.
+///
+/// Membership is tracked in an [`AtomicBitmap`], so concurrent
+/// [`insert`](Self::insert) calls are lock-free and exactly-once. While the
+/// set is sparse, members are additionally appended to sharded lists so
+/// iteration does not scan the whole bitmap; once the set passes the density
+/// threshold the lists are abandoned and the bitmap serves iteration.
+#[derive(Debug)]
+pub struct VertexSubset {
+    bitmap: AtomicBitmap,
+    shards: Vec<Mutex<Vec<VertexId>>>,
+    count: AtomicUsize,
+    dense: AtomicBool,
+    /// Sorted member list, built by [`seal`](Self::seal) for sparse sets.
+    sealed: Option<Vec<VertexId>>,
+}
+
+impl VertexSubset {
+    /// An empty frontier over vertices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            bitmap: AtomicBitmap::new(capacity),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            count: AtomicUsize::new(0),
+            dense: AtomicBool::new(false),
+            sealed: None,
+        }
+    }
+
+    /// A frontier containing exactly `v`.
+    pub fn single(capacity: usize, v: VertexId) -> Self {
+        let mut s = Self::new(capacity);
+        s.insert(v);
+        s.seal();
+        s
+    }
+
+    /// A dense frontier containing every vertex (PageRank/WCC start state).
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        s.bitmap.set_all();
+        s.count.store(capacity, Ordering::Relaxed);
+        s.dense.store(true, Ordering::Relaxed);
+        s
+    }
+
+    /// Builds a sealed frontier from a list of members (duplicates ignored).
+    pub fn from_members(capacity: usize, members: impl IntoIterator<Item = VertexId>) -> Self {
+        let s = Self::new(capacity);
+        for v in members {
+            s.insert(v);
+        }
+        let mut s = s;
+        s.seal();
+        s
+    }
+
+    /// Capacity (total vertices in the graph).
+    pub fn capacity(&self) -> usize {
+        self.bitmap.len()
+    }
+
+    /// Inserts `v`; returns `true` iff it was not already a member.
+    /// Safe to call concurrently from many threads.
+    pub fn insert(&self, v: VertexId) -> bool {
+        if !self.bitmap.set(v as usize) {
+            return false;
+        }
+        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.dense.load(Ordering::Relaxed) {
+            self.shards[v as usize % SHARDS].lock().push(v);
+            if count * DENSE_DIVISOR > self.capacity() {
+                self.dense.store(true, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.bitmap.get(v as usize)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether the frontier is empty — the loop-termination test of every
+    /// algorithm.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the dense representation is active.
+    pub fn is_dense(&self) -> bool {
+        self.dense.load(Ordering::Relaxed)
+    }
+
+    /// Finalizes the frontier after concurrent construction: sparse sets get
+    /// their member list drained, sorted, and stored for fast iteration.
+    pub fn seal(&mut self) {
+        if self.dense.load(Ordering::Relaxed) {
+            self.sealed = None;
+            for shard in &self.shards {
+                shard.lock().clear();
+            }
+            return;
+        }
+        let mut members = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            members.append(&mut shard.lock());
+        }
+        // The dense flag may have flipped mid-insert; the bitmap is always
+        // authoritative, so only keep the list if it is complete.
+        if members.len() == self.len() {
+            members.sort_unstable();
+            self.sealed = Some(members);
+        } else {
+            self.sealed = None;
+        }
+    }
+
+    /// Sorted member list. Cheap for sealed sparse sets; scans the bitmap
+    /// otherwise.
+    pub fn members(&self) -> Vec<VertexId> {
+        if let Some(sealed) = &self.sealed {
+            return sealed.clone();
+        }
+        self.bitmap.iter_ones().map(|i| i as VertexId).collect()
+    }
+
+    /// Calls `f` for every member in ascending order.
+    pub fn for_each(&self, mut f: impl FnMut(VertexId)) {
+        if let Some(sealed) = &self.sealed {
+            for &v in sealed {
+                f(v);
+            }
+        } else {
+            for i in self.bitmap.iter_ones() {
+                f(i as VertexId);
+            }
+        }
+    }
+
+    /// Memory footprint of the frontier (Figure 12 accounting): the bitmap
+    /// plus any sparse member list.
+    pub fn memory_bytes(&self) -> u64 {
+        let list = self.sealed.as_ref().map_or(0, |s| s.len() * 4) as u64;
+        self.bitmap.memory_bytes() + list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_membership() {
+        let s = VertexSubset::new(100);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn single_and_full_constructors() {
+        let s = VertexSubset::single(50, 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.members(), vec![10]);
+        let f = VertexSubset::full(50);
+        assert_eq!(f.len(), 50);
+        assert!(f.is_dense());
+        assert_eq!(f.members().len(), 50);
+    }
+
+    #[test]
+    fn sealed_sparse_iterates_sorted() {
+        let mut s = VertexSubset::new(1000);
+        for v in [500u32, 3, 77, 12] {
+            s.insert(v);
+        }
+        s.seal();
+        assert_eq!(s.members(), vec![3, 12, 77, 500]);
+        let mut seen = Vec::new();
+        s.for_each(|v| seen.push(v));
+        assert_eq!(seen, vec![3, 12, 77, 500]);
+    }
+
+    #[test]
+    fn grows_dense_past_threshold() {
+        let mut s = VertexSubset::new(100);
+        for v in 0..20 {
+            s.insert(v);
+        }
+        assert!(s.is_dense(), "20/100 > 1/20 must flip dense");
+        s.seal();
+        assert_eq!(s.members(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_iteration_uses_bitmap() {
+        let mut s = VertexSubset::full(64);
+        s.seal();
+        assert_eq!(s.members().len(), 64);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_exactly_once() {
+        let s = std::sync::Arc::new(VertexSubset::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut fresh = 0;
+                for i in 0..10_000u32 {
+                    // Overlapping ranges across threads.
+                    if s.insert((i + t * 2500) % 10_000) {
+                        fresh += 1;
+                    }
+                }
+                fresh
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(s.len(), 10_000);
+    }
+
+    #[test]
+    fn unsealed_members_falls_back_to_bitmap() {
+        let s = VertexSubset::new(100);
+        s.insert(42);
+        s.insert(1);
+        // No seal() call: members still correct via bitmap scan.
+        assert_eq!(s.members(), vec![1, 42]);
+    }
+
+    #[test]
+    fn from_members_dedups() {
+        let s = VertexSubset::from_members(10, [1, 2, 2, 3, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.members(), vec![1, 2, 3]);
+    }
+}

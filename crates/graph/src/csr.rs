@@ -1,0 +1,173 @@
+//! In-memory Compressed Sparse Row graph.
+//!
+//! The in-memory CSR is the source of truth for building on-disk graphs, the
+//! reference implementations of every query, and the functional baselines.
+
+use blaze_types::VertexId;
+
+/// A directed graph in Compressed Sparse Row form.
+///
+/// `offsets` has `num_vertices + 1` entries; the out-neighbors of vertex `v`
+/// are `neighbors[offsets[v]..offsets[v+1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from raw parts. `offsets` must be monotonically
+    /// non-decreasing, start at 0, and end at `neighbors.len()`.
+    pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have >= 1 entry");
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self { offsets, neighbors }
+    }
+
+    /// An empty graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Offset of `v`'s first edge in the neighbor stream.
+    pub fn edge_offset(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The raw neighbor stream, in vertex order — exactly the byte layout of
+    /// the on-disk adjacency file.
+    pub fn neighbor_stream(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// The raw offset array (`num_vertices + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Iterates all `(src, dst)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&d| (v, d)))
+    }
+
+    /// Builds the transpose (in-edges become out-edges). Used for queries
+    /// that propagate along incoming edges (WCC on undirected views, BC's
+    /// backward sweep).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut in_degrees = vec![0u64; n + 1];
+        for &d in &self.neighbors {
+            in_degrees[d as usize + 1] += 1;
+        }
+        let mut offsets = in_degrees;
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; self.neighbors.len()];
+        for v in 0..n as VertexId {
+            for &d in self.neighbors(v) {
+                let slot = cursor[d as usize];
+                neighbors[slot as usize] = v;
+                cursor[d as usize] += 1;
+            }
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Total bytes of the graph as stored on disk: the 4-byte neighbor
+    /// stream plus the 4-byte degree array. This is the "input graph size"
+    /// denominator of Figure 12 and the bin-space heuristic.
+    pub fn storage_bytes(&self) -> u64 {
+        self.num_edges() * 4 + self.num_vertices() as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -> 1,2 ; 1 -> 2 ; 2 -> 0 ; 3 isolated.
+    fn small() -> Csr {
+        Csr::from_parts(vec![0, 2, 3, 4, 4], vec![1, 2, 2, 0])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = small();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.edge_offset(2), 3);
+    }
+
+    #[test]
+    fn edges_iterates_in_csr_order() {
+        let g = small();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = small();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.degree(3), 0);
+        // Transposing twice restores the original edge set.
+        let tt = t.transpose();
+        let mut orig: Vec<_> = g.edges().collect();
+        let mut back: Vec<_> = tt.edges().collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn storage_bytes_counts_stream_plus_degrees() {
+        let g = small();
+        assert_eq!(g.storage_bytes(), 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_parts_are_rejected() {
+        Csr::from_parts(vec![0, 3], vec![1]);
+    }
+}

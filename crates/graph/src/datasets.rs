@@ -1,0 +1,252 @@
+//! The seven target datasets of Table II, at reproducible reduced scale.
+//!
+//! The paper's graphs range from 2.3 GB (sk2005) to 102 GB (rmat30)
+//! downloads; this reproduction regenerates topologically equivalent
+//! stand-ins. Every phenomenon the evaluation relies on is a function of
+//! *shape*, not absolute size:
+//!
+//! * power-law vs uniform degree distribution (skewed computation, Fig 2),
+//! * vertex-numbering locality (sk2005's page-cache friendliness, Fig 7),
+//! * diameter (iteration count of BFS/BC).
+//!
+//! Scales are expressed as a divisor relative to the paper (e.g.
+//! [`DatasetScale::Small`] is 1/4096 of the paper's vertex count), so
+//! harnesses can trade runtime for fidelity uniformly.
+
+use crate::csr::Csr;
+use crate::gen::{self, RmatConfig};
+
+/// How far below paper scale to generate. Vertex counts divide by 2^shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// 1/16384 of paper scale — unit tests.
+    Tiny,
+    /// 1/4096 of paper scale — default for bench harnesses.
+    Small,
+    /// 1/1024 of paper scale — higher-fidelity runs.
+    Medium,
+}
+
+impl DatasetScale {
+    /// log2 of the vertex-count divisor.
+    pub fn shift(self) -> u32 {
+        match self {
+            DatasetScale::Tiny => 14,
+            DatasetScale::Small => 12,
+            DatasetScale::Medium => 10,
+        }
+    }
+}
+
+/// The seven graphs of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// rmat27: synthetic power-law, |V| = 134 M, |E| = 2147 M, diameter 10.
+    Rmat27,
+    /// rmat30: synthetic power-law, |V| = 1074 M, |E| = 17180 M, diameter 11.
+    Rmat30,
+    /// uran27: synthetic uniform, |V| = 134 M, |E| = 2147 M — the
+    /// adversarial no-locality graph.
+    Uran27,
+    /// twitter: real power-law, |V| = 61 M, |E| = 1468 M, diameter 75.
+    Twitter,
+    /// sk2005: real power-law web crawl with high locality, diameter 205.
+    Sk2005,
+    /// friendster: real power-law social graph, diameter 56.
+    Friendster,
+    /// hyperlink14: real power-law web graph, |V| = 1727 M, |E| = 64422 M.
+    Hyperlink14,
+}
+
+impl Dataset {
+    /// The six graphs used in the main comparisons (Figures 1, 7, 8, 9).
+    pub fn main_six() -> [Dataset; 6] {
+        [
+            Dataset::Rmat27,
+            Dataset::Rmat30,
+            Dataset::Uran27,
+            Dataset::Twitter,
+            Dataset::Sk2005,
+            Dataset::Friendster,
+        ]
+    }
+
+    /// All seven graphs of Table II.
+    pub fn all() -> [Dataset; 7] {
+        [
+            Dataset::Rmat27,
+            Dataset::Rmat30,
+            Dataset::Uran27,
+            Dataset::Twitter,
+            Dataset::Sk2005,
+            Dataset::Friendster,
+            Dataset::Hyperlink14,
+        ]
+    }
+
+    /// Paper shorthand (Table II "Short" column).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataset::Rmat27 => "r2",
+            Dataset::Rmat30 => "r3",
+            Dataset::Uran27 => "ur",
+            Dataset::Twitter => "tw",
+            Dataset::Sk2005 => "sk",
+            Dataset::Friendster => "fr",
+            Dataset::Hyperlink14 => "hy",
+        }
+    }
+
+    /// Full dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Rmat27 => "rmat27",
+            Dataset::Rmat30 => "rmat30",
+            Dataset::Uran27 => "uran27",
+            Dataset::Twitter => "twitter",
+            Dataset::Sk2005 => "sk2005",
+            Dataset::Friendster => "friendster",
+            Dataset::Hyperlink14 => "hyperlink14",
+        }
+    }
+
+    /// Whether the paper classifies the graph as synthetic.
+    pub fn is_synthetic(self) -> bool {
+        matches!(self, Dataset::Rmat27 | Dataset::Rmat30 | Dataset::Uran27)
+    }
+
+    /// log2 vertex count at paper scale.
+    fn paper_scale(self) -> u32 {
+        match self {
+            Dataset::Rmat27 | Dataset::Uran27 => 27,
+            Dataset::Rmat30 => 30,
+            // 61 M vertices ≈ 2^26; 51 M ≈ 2^25.6; 124 M ≈ 2^27; 1.7 B ≈ 2^30.7.
+            Dataset::Twitter => 26,
+            Dataset::Sk2005 => 26,
+            Dataset::Friendster => 27,
+            Dataset::Hyperlink14 => 31,
+        }
+    }
+
+    /// Edges per vertex at paper scale (|E| / |V| from Table II).
+    fn edge_factor(self) -> usize {
+        match self {
+            Dataset::Rmat27 | Dataset::Rmat30 | Dataset::Uran27 => 16,
+            Dataset::Twitter => 24,
+            Dataset::Sk2005 => 38,
+            Dataset::Friendster => 15,
+            Dataset::Hyperlink14 => 37,
+        }
+    }
+
+    /// Generates the stand-in graph at the given scale. Deterministic.
+    ///
+    /// Diameter-stretching path tails shrink with the scale divisor (full
+    /// length at [`DatasetScale::Medium`], ÷4 at `Small`, ÷16 at `Tiny`) so
+    /// that per-iteration IO volume keeps a sane ratio to iteration count.
+    pub fn generate(self, scale: DatasetScale) -> Csr {
+        let s = self.paper_scale().saturating_sub(scale.shift()).max(6);
+        let ef = self.edge_factor();
+        let tail = |base: usize| (base >> (scale.shift() - 10)).max(3);
+        match self {
+            Dataset::Rmat27 => gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(27)),
+            Dataset::Rmat30 => gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(30)),
+            Dataset::Uran27 => gen::uniform(s, ef, 27),
+            // Twitter: strongly skewed hubs (celebrities), random vertex
+            // numbering, moderate diameter (75 in the paper).
+            Dataset::Twitter => {
+                let base = gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(61).skew(0.62, 0.18, 0.15));
+                gen::shuffle_labels(&gen::with_path_tail(&base, tail(64)), 61)
+            }
+            // sk2005: power-law *with* crawl-order locality and a long
+            // diameter (205 in the paper).
+            Dataset::Sk2005 => {
+                let base = gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(51));
+                gen::relabel_bfs_order(&gen::with_path_tail(&base, tail(192)))
+            }
+            // friendster: milder skew, no locality, diameter 56.
+            Dataset::Friendster => {
+                let base = gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(124).skew(0.50, 0.22, 0.22));
+                gen::shuffle_labels(&gen::with_path_tail(&base, tail(48)), 124)
+            }
+            // hyperlink14: the largest graph; crawl-order locality, the
+            // paper's longest diameter (790).
+            Dataset::Hyperlink14 => {
+                let base = gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(64));
+                gen::relabel_bfs_order(&gen::with_path_tail(&base, tail(256)))
+            }
+        }
+    }
+
+    /// Parses a short or full name.
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::all()
+            .into_iter()
+            .find(|d| d.short_name() == name || d.name() == name)
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{DegreeDistribution, GraphStats};
+
+    #[test]
+    fn names_round_trip() {
+        for d in Dataset::all() {
+            assert_eq!(Dataset::from_name(d.short_name()), Some(d));
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Twitter.generate(DatasetScale::Tiny);
+        let b = Dataset::Twitter.generate(DatasetScale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distributions_match_table2() {
+        for d in [Dataset::Rmat27, Dataset::Twitter, Dataset::Friendster] {
+            let g = d.generate(DatasetScale::Tiny);
+            let s = GraphStats::compute(&g);
+            assert_eq!(
+                s.distribution,
+                DegreeDistribution::PowerLaw,
+                "{d} should be power-law"
+            );
+        }
+        let s = GraphStats::compute(&Dataset::Uran27.generate(DatasetScale::Tiny));
+        assert_eq!(s.distribution, DegreeDistribution::Uniform);
+    }
+
+    #[test]
+    fn sk2005_has_longer_diameter_than_rmat() {
+        let sk = GraphStats::compute(&Dataset::Sk2005.generate(DatasetScale::Tiny));
+        let r2 = GraphStats::compute(&Dataset::Rmat27.generate(DatasetScale::Tiny));
+        assert!(
+            sk.approx_diameter > 2 * r2.approx_diameter,
+            "sk {} vs rmat {}",
+            sk.approx_diameter,
+            r2.approx_diameter
+        );
+    }
+
+    #[test]
+    fn rmat30_is_the_largest_of_main_six() {
+        let sizes: Vec<u64> = Dataset::main_six()
+            .iter()
+            .map(|d| d.generate(DatasetScale::Tiny).num_edges())
+            .collect();
+        let r3 = Dataset::Rmat30.generate(DatasetScale::Tiny).num_edges();
+        assert_eq!(sizes.iter().copied().max().unwrap(), r3);
+    }
+}

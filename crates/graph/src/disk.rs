@@ -1,0 +1,385 @@
+//! The on-disk graph: page-packed adjacency stream over striped storage,
+//! plus the in-memory metadata needed to address it.
+//!
+//! On disk, a graph is the raw neighbor stream (4-byte little-endian vertex
+//! ids, in vertex order) packed into 4 KiB pages and striped across the
+//! device array. The artifact-compatible file layout is one `.gr.index`
+//! file (header + degree array) and one `.gr.adj.<i>` file per device.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use blaze_storage::{BlockDevice, FileDevice, StripedStorage};
+use blaze_types::{
+    BlazeError, PageId, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZE,
+};
+
+use crate::csr::Csr;
+use crate::index::GraphIndex;
+use crate::pagemap::PageVertexMap;
+
+const INDEX_MAGIC: &[u8; 8] = b"BLZIDX01";
+
+/// Writes the adjacency stream of `g` into `storage`, page-interleaved.
+/// Returns the number of pages written.
+pub fn write_to_storage(g: &Csr, storage: &StripedStorage) -> Result<u64> {
+    let stream = g.neighbor_stream();
+    let num_pages = stream.len().div_ceil(EDGES_PER_PAGE) as u64;
+    let mut page = vec![0u8; PAGE_SIZE];
+    for p in 0..num_pages {
+        let start = p as usize * EDGES_PER_PAGE;
+        let end = (start + EDGES_PER_PAGE).min(stream.len());
+        page.fill(0);
+        for (i, &v) in stream[start..end].iter().enumerate() {
+            page[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        storage.write_page(p, &page)?;
+    }
+    Ok(num_pages)
+}
+
+/// Writes the `.gr.index` file: magic, vertex count, edge count, degrees.
+pub fn write_index_file(path: impl AsRef<Path>, index: &GraphIndex) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(INDEX_MAGIC)?;
+    f.write_all(&(index.num_vertices() as u64).to_le_bytes())?;
+    f.write_all(&index.num_edges().to_le_bytes())?;
+    for &d in index.degrees() {
+        f.write_all(&d.to_le_bytes())?;
+    }
+    f.flush()?;
+    Ok(())
+}
+
+/// Reads a `.gr.index` file back into a [`GraphIndex`].
+pub fn read_index_file(path: impl AsRef<Path>) -> Result<GraphIndex> {
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut f = std::io::BufReader::new(file);
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != INDEX_MAGIC {
+        return Err(BlazeError::Format("bad index magic".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    f.read_exact(&mut u64buf)?;
+    let num_vertices = u64::from_le_bytes(u64buf) as usize;
+    f.read_exact(&mut u64buf)?;
+    let num_edges = u64::from_le_bytes(u64buf);
+    // Validate the header against the file size *before* allocating the
+    // degree array: a corrupted vertex count must not trigger a huge
+    // allocation or a short read.
+    let expected_len = 24u64.saturating_add((num_vertices as u64).saturating_mul(4));
+    if file_len != expected_len {
+        return Err(BlazeError::Format(format!(
+            "index file length {file_len} does not match header ({num_vertices} vertices \
+             need {expected_len} bytes)"
+        )));
+    }
+    let mut degrees = vec![0u32; num_vertices];
+    let mut u32buf = [0u8; 4];
+    for d in &mut degrees {
+        f.read_exact(&mut u32buf)?;
+        *d = u32::from_le_bytes(u32buf);
+    }
+    let index = GraphIndex::from_degrees(degrees);
+    if index.num_edges() != num_edges {
+        return Err(BlazeError::Format(format!(
+            "index edge count mismatch: header {num_edges}, degrees sum {}",
+            index.num_edges()
+        )));
+    }
+    Ok(index)
+}
+
+/// Writes the artifact-style file set `{base}.index` plus
+/// `{base}.adj.<i>` for `num_files` stripe files into `dir` — pass
+/// `"name.gr"` for the out-edge set and `"name.tgr"` for the transpose, as
+/// in the paper's artifact. Returns `(index_path, adj_paths)`.
+pub fn save_files(
+    g: &Csr,
+    dir: impl AsRef<Path>,
+    base: &str,
+    num_files: usize,
+) -> Result<(PathBuf, Vec<PathBuf>)> {
+    let dir = dir.as_ref();
+    let index_path = dir.join(format!("{base}.index"));
+    write_index_file(&index_path, &GraphIndex::from_csr(g))?;
+    let adj_paths: Vec<PathBuf> =
+        (0..num_files).map(|i| dir.join(format!("{base}.adj.{i}"))).collect();
+    let devices: Vec<Arc<dyn BlockDevice>> = adj_paths
+        .iter()
+        .map(|p| FileDevice::create(p).map(|d| Arc::new(d) as Arc<dyn BlockDevice>))
+        .collect::<Result<_>>()?;
+    let storage = StripedStorage::new(devices)?;
+    write_to_storage(g, &storage)?;
+    Ok((index_path, adj_paths))
+}
+
+/// A disk-resident graph: striped adjacency pages plus in-memory metadata.
+///
+/// This is the graph handle the out-of-core engine operates on. It holds no
+/// adjacency data in memory — only the [`GraphIndex`] (~4.5 B/vertex) and
+/// the [`PageVertexMap`] (8 B/page).
+pub struct DiskGraph {
+    storage: Arc<StripedStorage>,
+    index: GraphIndex,
+    pagemap: PageVertexMap,
+}
+
+impl DiskGraph {
+    /// Writes `g` into `storage` and returns the handle. The common path for
+    /// tests and benches.
+    pub fn create(g: &Csr, storage: Arc<StripedStorage>) -> Result<Self> {
+        write_to_storage(g, &storage)?;
+        let index = GraphIndex::from_csr(g);
+        let pagemap = PageVertexMap::build(&index);
+        Ok(Self { storage, index, pagemap })
+    }
+
+    /// Opens a graph whose adjacency pages are already present in `storage`,
+    /// loading metadata from the given `.gr.index` file.
+    pub fn open(index_path: impl AsRef<Path>, storage: Arc<StripedStorage>) -> Result<Self> {
+        let index = read_index_file(index_path)?;
+        let pagemap = PageVertexMap::build(&index);
+        Ok(Self { storage, index, pagemap })
+    }
+
+    /// Opens the artifact-style file set written by [`save_files`].
+    pub fn open_files(index_path: impl AsRef<Path>, adj_paths: &[PathBuf]) -> Result<Self> {
+        let devices: Vec<Arc<dyn BlockDevice>> = adj_paths
+            .iter()
+            .map(|p| FileDevice::open(p).map(|d| Arc::new(d) as Arc<dyn BlockDevice>))
+            .collect::<Result<_>>()?;
+        Self::open(index_path, Arc::new(StripedStorage::new(devices)?))
+    }
+
+    /// The device array holding the adjacency pages.
+    pub fn storage(&self) -> &Arc<StripedStorage> {
+        &self.storage
+    }
+
+    /// The in-memory index.
+    pub fn index(&self) -> &GraphIndex {
+        &self.index
+    }
+
+    /// The page → vertex map.
+    pub fn pagemap(&self) -> &PageVertexMap {
+        &self.pagemap
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.index.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.index.num_edges()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.index.degree(v)
+    }
+
+    /// Number of adjacency pages.
+    pub fn num_pages(&self) -> u64 {
+        self.pagemap.num_pages()
+    }
+
+    /// The inclusive page range holding `v`'s edges, or `None` if `v` has
+    /// no edges.
+    pub fn pages_of_vertex(&self, v: VertexId) -> Option<std::ops::RangeInclusive<PageId>> {
+        let deg = self.index.degree(v) as u64;
+        if deg == 0 {
+            return None;
+        }
+        let off = self.index.edge_offset(v);
+        Some(off / EDGES_PER_PAGE as u64..=(off + deg - 1) / EDGES_PER_PAGE as u64)
+    }
+
+    /// Size of the graph on disk (neighbor stream + degree array), the
+    /// denominator of Figure 12.
+    pub fn storage_bytes(&self) -> u64 {
+        self.num_edges() * 4 + self.num_vertices() as u64 * 4
+    }
+
+    /// Memory used by the in-memory metadata (index + page map).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.index.memory_bytes() + self.pagemap.memory_bytes()
+    }
+
+    /// Decodes one fetched page: calls `f(src, dsts)` for every vertex whose
+    /// edges intersect page `page`, with `dsts` the *portion of its
+    /// adjacency list stored in this page* decoded into `scratch`.
+    ///
+    /// `data` must be the `PAGE_SIZE` bytes of page `page`.
+    pub fn for_each_vertex_in_page<F>(&self, page: PageId, data: &[u8], scratch: &mut Vec<VertexId>, mut f: F)
+    where
+        F: FnMut(VertexId, &[VertexId]),
+    {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        let Some((begin, end)) = self.pagemap.vertices_in_page(page) else {
+            return;
+        };
+        let page_first_edge = page * EDGES_PER_PAGE as u64;
+        let page_last_edge = page_first_edge + EDGES_PER_PAGE as u64;
+        for v in begin..=end {
+            let deg = self.index.degree(v) as u64;
+            if deg == 0 {
+                continue;
+            }
+            let off = self.index.edge_offset(v);
+            let lo = off.max(page_first_edge);
+            let hi = (off + deg).min(page_last_edge);
+            if lo >= hi {
+                continue;
+            }
+            let byte_lo = ((lo - page_first_edge) * 4) as usize;
+            let byte_hi = ((hi - page_first_edge) * 4) as usize;
+            scratch.clear();
+            scratch.extend(
+                data[byte_lo..byte_hi]
+                    .chunks_exact(4)
+                    .map(|c| VertexId::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            );
+            f(v, scratch);
+        }
+    }
+
+    /// Reads the full adjacency list of `v` from storage. Convenience for
+    /// tests and examples; the engine never calls this.
+    pub fn read_neighbors(&self, v: VertexId) -> Result<Vec<VertexId>> {
+        let mut out = Vec::with_capacity(self.index.degree(v) as usize);
+        let Some(pages) = self.pages_of_vertex(v) else {
+            return Ok(out);
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut scratch = Vec::new();
+        for p in pages {
+            self.storage.read_page(p, &mut buf)?;
+            self.for_each_vertex_in_page(p, &buf, &mut scratch, |src, dsts| {
+                if src == v {
+                    out.extend_from_slice(dsts);
+                }
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for DiskGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskGraph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("num_pages", &self.num_pages())
+            .field("num_devices", &self.storage.num_devices())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, uniform, RmatConfig};
+
+    fn disk_graph(g: &Csr, devices: usize) -> DiskGraph {
+        let storage = Arc::new(StripedStorage::in_memory(devices).unwrap());
+        DiskGraph::create(g, storage).unwrap()
+    }
+
+    #[test]
+    fn neighbors_round_trip_single_device() {
+        let g = rmat(&RmatConfig::new(9));
+        let dg = disk_graph(&g, 1);
+        for v in (0..g.num_vertices() as VertexId).step_by(37) {
+            assert_eq!(dg.read_neighbors(v).unwrap(), g.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn neighbors_round_trip_striped() {
+        let g = uniform(9, 12, 5);
+        let dg = disk_graph(&g, 4);
+        for v in (0..g.num_vertices() as VertexId).step_by(29) {
+            assert_eq!(dg.read_neighbors(v).unwrap(), g.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn every_edge_is_decoded_exactly_once() {
+        let g = rmat(&RmatConfig::new(8));
+        let dg = disk_graph(&g, 2);
+        let mut total = 0u64;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut scratch = Vec::new();
+        for p in 0..dg.num_pages() {
+            dg.storage().read_page(p, &mut buf).unwrap();
+            dg.for_each_vertex_in_page(p, &buf, &mut scratch, |src, dsts| {
+                // Every decoded dst must be a real neighbor of src.
+                for d in dsts {
+                    assert!(g.neighbors(src).contains(d));
+                }
+                total += dsts.len() as u64;
+            });
+        }
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn pages_of_vertex_match_pagemap() {
+        let g = rmat(&RmatConfig::new(8));
+        let dg = disk_graph(&g, 1);
+        for v in 0..g.num_vertices() as VertexId {
+            match dg.pages_of_vertex(v) {
+                None => assert_eq!(g.degree(v), 0),
+                Some(pages) => {
+                    for p in pages {
+                        let (b, e) = dg.pagemap().vertices_in_page(p).unwrap();
+                        assert!(b <= v && v <= e);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = rmat(&RmatConfig::new(8));
+        let dir = tempfile::tempdir().unwrap();
+        let (index_path, adj_paths) = save_files(&g, dir.path(), "test.gr", 2).unwrap();
+        assert_eq!(adj_paths.len(), 2);
+        let dg = DiskGraph::open_files(&index_path, &adj_paths).unwrap();
+        assert_eq!(dg.num_vertices(), g.num_vertices());
+        assert_eq!(dg.num_edges(), g.num_edges());
+        for v in (0..g.num_vertices() as VertexId).step_by(41) {
+            assert_eq!(dg.read_neighbors(v).unwrap(), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn index_file_rejects_corruption() {
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.gr.index");
+        write_index_file(&path, &GraphIndex::from_csr(&g)).unwrap();
+        // Corrupt the magic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_index_file(&path).is_err());
+    }
+
+    #[test]
+    fn metadata_is_small_relative_to_graph() {
+        let g = rmat(&RmatConfig::new(12));
+        let dg = disk_graph(&g, 1);
+        let ratio = dg.metadata_bytes() as f64 / dg.storage_bytes() as f64;
+        assert!(ratio < 0.15, "metadata ratio {ratio}");
+    }
+}

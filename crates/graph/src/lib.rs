@@ -1,0 +1,34 @@
+//! Graph substrate for Blaze: in-memory CSR, synthetic graph generators, the
+//! page-interleaved on-disk format, and the compact in-memory metadata
+//! (indirection index + page→vertex map) of Section IV-F.
+//!
+//! The out-of-core engine never materializes the adjacency lists in memory;
+//! it keeps only:
+//!
+//! * a [`GraphIndex`] — degrees packed 16-per-cache-line with one 64-bit
+//!   offset per line (Figure 6), ~4.5 bytes per vertex;
+//! * a [`PageVertexMap`] — `(begin_vid, end_vid)` per 4 KiB page, 8 bytes
+//!   per page;
+//!
+//! while the neighbor stream lives on a [`StripedStorage`] array in 4 KiB
+//! pages ([`DiskGraph`]).
+//!
+//! [`StripedStorage`]: blaze_storage::StripedStorage
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod disk;
+pub mod gen;
+pub mod index;
+pub mod io;
+pub mod pagemap;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use datasets::{Dataset, DatasetScale};
+pub use disk::{write_to_storage, DiskGraph};
+pub use index::GraphIndex;
+pub use pagemap::PageVertexMap;
+pub use stats::{DegreeDistribution, GraphStats};

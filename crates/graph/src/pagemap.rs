@@ -1,0 +1,127 @@
+//! Page → vertex map (Section IV-F).
+//!
+//! For each on-disk adjacency page, Blaze keeps the pair
+//! `(begin_vertex_id, end_vertex_id)` of the vertices whose edges intersect
+//! the page — 8 bytes per page. Scatter threads use it to decode a fetched
+//! page without consulting any per-vertex structure beyond the index.
+
+use blaze_types::{PageId, VertexId, EDGES_PER_PAGE};
+
+use crate::index::GraphIndex;
+
+/// Per-page vertex span of the adjacency stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageVertexMap {
+    begin: Vec<VertexId>,
+    end: Vec<VertexId>,
+}
+
+impl PageVertexMap {
+    /// Builds the map from the graph index. Runs in O(V + P).
+    pub fn build(index: &GraphIndex) -> Self {
+        let num_pages = (index.num_edges() as usize).div_ceil(EDGES_PER_PAGE);
+        let mut begin = vec![VertexId::MAX; num_pages];
+        let mut end = vec![0 as VertexId; num_pages];
+        let mut offset: u64 = 0;
+        for v in 0..index.num_vertices() as VertexId {
+            let deg = index.degree(v) as u64;
+            if deg == 0 {
+                continue;
+            }
+            let first_page = offset / EDGES_PER_PAGE as u64;
+            let last_page = (offset + deg - 1) / EDGES_PER_PAGE as u64;
+            for p in first_page..=last_page {
+                let p = p as usize;
+                if begin[p] == VertexId::MAX {
+                    begin[p] = v;
+                }
+                end[p] = v;
+            }
+            offset += deg;
+        }
+        Self { begin, end }
+    }
+
+    /// Number of pages covered.
+    pub fn num_pages(&self) -> u64 {
+        self.begin.len() as u64
+    }
+
+    /// Inclusive `(begin_vid, end_vid)` span of page `p`, or `None` for a
+    /// page holding no edges (possible only past the end of the stream).
+    pub fn vertices_in_page(&self, p: PageId) -> Option<(VertexId, VertexId)> {
+        let b = *self.begin.get(p as usize)?;
+        if b == VertexId::MAX {
+            return None;
+        }
+        Some((b, self.end[p as usize]))
+    }
+
+    /// Bytes of memory the map occupies: 8 per page (Figure 12 accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.begin.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::gen::{rmat, RmatConfig};
+
+    #[test]
+    fn single_page_graph() {
+        // 3 vertices, 5 edges -> one page spanning vertices 0..=2.
+        let idx = GraphIndex::from_degrees(vec![2, 0, 3]);
+        let map = PageVertexMap::build(&idx);
+        assert_eq!(map.num_pages(), 1);
+        assert_eq!(map.vertices_in_page(0), Some((0, 2)));
+        assert_eq!(map.vertices_in_page(1), None);
+    }
+
+    #[test]
+    fn huge_vertex_spans_multiple_pages() {
+        // Vertex 1 has 3000 edges: pages 0..=3 all include it.
+        let idx = GraphIndex::from_degrees(vec![100, 3000, 50]);
+        let map = PageVertexMap::build(&idx);
+        assert_eq!(map.num_pages(), 4); // 3150 edges / 1024 per page
+        assert_eq!(map.vertices_in_page(0), Some((0, 1)));
+        assert_eq!(map.vertices_in_page(1), Some((1, 1)));
+        assert_eq!(map.vertices_in_page(2), Some((1, 1)));
+        assert_eq!(map.vertices_in_page(3), Some((1, 2)));
+    }
+
+    #[test]
+    fn page_boundaries_are_exact() {
+        // Vertex 0 fills exactly one page; vertex 1 starts page 1.
+        let idx = GraphIndex::from_degrees(vec![EDGES_PER_PAGE as u32, 4]);
+        let map = PageVertexMap::build(&idx);
+        assert_eq!(map.vertices_in_page(0), Some((0, 0)));
+        assert_eq!(map.vertices_in_page(1), Some((1, 1)));
+    }
+
+    #[test]
+    fn spans_cover_every_vertex_with_edges() {
+        let g = rmat(&RmatConfig::new(10));
+        let idx = GraphIndex::from_csr(&g);
+        let map = PageVertexMap::build(&idx);
+        for v in 0..g.num_vertices() as VertexId {
+            let deg = g.degree(v) as u64;
+            if deg == 0 {
+                continue;
+            }
+            let off = g.edge_offset(v);
+            for p in off / EDGES_PER_PAGE as u64..=(off + deg - 1) / EDGES_PER_PAGE as u64 {
+                let (b, e) = map.vertices_in_page(p).expect("page has edges");
+                assert!(b <= v && v <= e, "vertex {v} not in span of page {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_pages() {
+        let map = PageVertexMap::build(&GraphIndex::from_csr(&Csr::empty(10)));
+        assert_eq!(map.num_pages(), 0);
+        assert_eq!(map.memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Graph statistics: the columns of Table II.
+
+use blaze_types::VertexId;
+
+use crate::csr::Csr;
+
+/// Degree-distribution classification used in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeDistribution {
+    /// Heavy-tailed: a few hubs hold a large fraction of the edges.
+    PowerLaw,
+    /// Degrees concentrated around the mean.
+    Uniform,
+}
+
+impl std::fmt::Display for DegreeDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegreeDistribution::PowerLaw => write!(f, "power"),
+            DegreeDistribution::Uniform => write!(f, "uniform"),
+        }
+    }
+}
+
+/// Summary statistics of one graph.
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Directed edge count.
+    pub num_edges: u64,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Fraction of edges owned by the top 1% highest-degree vertices.
+    pub top1pct_edge_share: f64,
+    /// Classified distribution.
+    pub distribution: DegreeDistribution,
+    /// Approximate diameter (longest BFS depth from a double sweep).
+    pub approx_diameter: u32,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn compute(g: &Csr) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut degrees: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mean_degree = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = (n / 100).max(1).min(n.max(1));
+        let top_edges: u64 = degrees.iter().take(top).map(|&d| d as u64).sum();
+        let top1pct_edge_share = if m == 0 { 0.0 } else { top_edges as f64 / m as f64 };
+        let distribution = classify(max_degree, mean_degree, top1pct_edge_share);
+        let approx_diameter = approx_diameter(g);
+        Self {
+            num_vertices: n,
+            num_edges: m,
+            max_degree,
+            mean_degree,
+            top1pct_edge_share,
+            distribution,
+            approx_diameter,
+        }
+    }
+}
+
+/// Power-law if the top 1% of vertices holds a disproportionate edge share
+/// or the maximum degree dwarfs the mean.
+fn classify(max_degree: u32, mean_degree: f64, top1pct_share: f64) -> DegreeDistribution {
+    if top1pct_share > 0.10 || max_degree as f64 > 20.0 * mean_degree.max(1.0) {
+        DegreeDistribution::PowerLaw
+    } else {
+        DegreeDistribution::Uniform
+    }
+}
+
+/// Undirected BFS depth from `root`, and the deepest vertex reached.
+/// Traverses both `g` and its transpose so direction does not truncate the
+/// sweep (the paper reports undirected diameters).
+fn bfs_depth(g: &Csr, t: &Csr, root: VertexId) -> (u32, VertexId) {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut frontier = vec![root];
+    visited[root as usize] = true;
+    let mut depth = 0u32;
+    let mut last = root;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &d in g.neighbors(v).iter().chain(t.neighbors(v)) {
+                if !visited[d as usize] {
+                    visited[d as usize] = true;
+                    next.push(d);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        last = next[0];
+        depth += 1;
+        frontier = next;
+    }
+    (depth, last)
+}
+
+/// Double-sweep diameter lower bound on the undirected view: BFS from the
+/// max-degree vertex, then BFS again from the deepest vertex found.
+pub fn approx_diameter(g: &Csr) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let t = g.transpose();
+    let start = (0..n as VertexId).max_by_key(|&v| g.degree(v)).unwrap_or(0);
+    let (d1, far) = bfs_depth(g, &t, start);
+    let (d2, _) = bfs_depth(g, &t, far);
+    d1.max(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{rmat, uniform, RmatConfig};
+
+    #[test]
+    fn classifies_rmat_as_power_law() {
+        let s = GraphStats::compute(&rmat(&RmatConfig::new(10)));
+        assert_eq!(s.distribution, DegreeDistribution::PowerLaw);
+        assert!(s.top1pct_edge_share > 0.10, "share {}", s.top1pct_edge_share);
+    }
+
+    #[test]
+    fn classifies_uniform_as_uniform() {
+        let s = GraphStats::compute(&uniform(10, 16, 3));
+        assert_eq!(s.distribution, DegreeDistribution::Uniform);
+    }
+
+    #[test]
+    fn diameter_of_path_graph() {
+        // 0 -> 1 -> 2 -> 3 -> 4 (undirected)
+        let mut b = GraphBuilder::new(5).symmetrize(true);
+        for v in 0..4 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        assert_eq!(approx_diameter(&g), 4);
+    }
+
+    #[test]
+    fn diameter_of_star_is_small() {
+        let mut b = GraphBuilder::new(10).symmetrize(true);
+        for v in 1..10 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(approx_diameter(&g), 2);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::compute(&Csr::empty(3));
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.approx_diameter, 0);
+    }
+
+    use crate::csr::Csr;
+}

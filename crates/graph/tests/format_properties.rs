@@ -1,0 +1,85 @@
+//! Property-based tests of the on-disk format: round-trips for arbitrary
+//! graphs and rejection of corrupted metadata.
+
+use proptest::prelude::*;
+
+use blaze_graph::disk::{read_index_file, save_files, write_index_file};
+use blaze_graph::{Csr, DiskGraph, GraphBuilder, GraphIndex};
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    proptest::collection::vec((0u32..96, 0u32..96), 0..800).prop_map(|edges| {
+        let n = 96.max(edges.iter().map(|&(s, d)| s.max(d) + 1).max().unwrap_or(0) as usize);
+        let mut b = GraphBuilder::new(n).dedup(true);
+        b.extend(edges);
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Index files round-trip any degree sequence.
+    #[test]
+    fn index_file_round_trips(degrees in proptest::collection::vec(0u32..5000, 0..300)) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.idx");
+        let index = GraphIndex::from_degrees(degrees);
+        write_index_file(&path, &index).unwrap();
+        let back = read_index_file(&path).unwrap();
+        prop_assert_eq!(back, index);
+    }
+
+    /// A full save/open cycle over 1-3 stripe files preserves every
+    /// adjacency list.
+    #[test]
+    fn graph_files_round_trip(g in arb_graph(), stripes in 1usize..4) {
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "g.gr", stripes).unwrap();
+        let dg = DiskGraph::open_files(&index, &adj).unwrap();
+        prop_assert_eq!(dg.num_vertices(), g.num_vertices());
+        prop_assert_eq!(dg.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(dg.read_neighbors(v).unwrap(), g.neighbors(v).to_vec());
+        }
+    }
+
+    /// Any single-byte corruption of the header region is either detected
+    /// or yields a structurally consistent (never panicking) index.
+    #[test]
+    fn corrupted_headers_never_panic(
+        degrees in proptest::collection::vec(0u32..100, 1..50),
+        byte in 0usize..24,
+        value in 0u8..=255,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.idx");
+        write_index_file(&path, &GraphIndex::from_degrees(degrees)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        prop_assume!(bytes[byte] != value);
+        bytes[byte] = value;
+        std::fs::write(&path, &bytes).unwrap();
+        // Must not panic; corrupt magic/counts must be an Err.
+        match read_index_file(&path) {
+            Ok(index) => {
+                // Only possible if the corruption kept counts consistent.
+                let _ = index.num_edges();
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Truncated files are rejected, not mis-read.
+    #[test]
+    fn truncated_index_is_rejected(
+        degrees in proptest::collection::vec(1u32..100, 2..50),
+        cut in 1usize..20,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.idx");
+        write_index_file(&path, &GraphIndex::from_degrees(degrees)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assume!(cut < bytes.len());
+        std::fs::write(&path, &bytes[..bytes.len() - cut]).unwrap();
+        prop_assert!(read_index_file(&path).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Live calibration: measure this host's per-operation costs instead of
+//! using the paper-machine defaults.
+//!
+//! The default [`CostModel`](crate::CostModel) constants describe the
+//! paper's 2.1 GHz Xeon. When modeling "what would Blaze do on *this*
+//! machine with an Optane attached", [`calibrated_cost_model`] replaces
+//! the CPU-side constants with measured values from short single-threaded
+//! microbenchmarks (the IO-side constants still come from the device
+//! profile).
+
+use std::time::Instant;
+
+use crate::costs::CostModel;
+
+/// Measures the average nanoseconds per call of `op` over enough
+/// iterations to fill roughly `budget_ms` milliseconds.
+fn measure_ns(budget_ms: u64, mut op: impl FnMut(usize) -> u64) -> f64 {
+    // Warm up and estimate a batch size.
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    let mut iters = 0usize;
+    while t0.elapsed().as_millis() < budget_ms as u128 {
+        sink = sink.wrapping_add(op(iters));
+        iters += 1;
+    }
+    std::hint::black_box(sink);
+    if iters == 0 {
+        return 0.0;
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// A cost model with CPU-side constants measured on the current host.
+///
+/// Each probe mimics the hot loop it calibrates:
+/// * scatter — decode a neighbor id, test a bitmap bit, write a staging
+///   slot;
+/// * gather — read-modify-write a vertex array slot through a relaxed
+///   atomic;
+/// * CAS — `compare_exchange` on a shared cell;
+/// * message — push plus pop of a `(dst, value)` pair through a `Vec`
+///   queue.
+pub fn calibrated_cost_model(budget_ms: u64) -> CostModel {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n = 1 << 16;
+    let ids: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % n as u32).collect();
+
+    // Scatter proxy: read id, mask test, staged write.
+    let mut staging = vec![0u32; 64];
+    let bitmap = vec![u64::MAX; n / 64];
+    let scatter_ns = measure_ns(budget_ms, |i| {
+        let id = ids[i % n];
+        let bit = bitmap[(id as usize / 64) % bitmap.len()] >> (id % 64) & 1;
+        staging[(i % 64) & 63] = id.wrapping_add(bit as u32);
+        staging[i % 64] as u64
+    });
+
+    // Gather proxy: relaxed load + store on a shared array.
+    let cells: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let gather_ns = measure_ns(budget_ms, |i| {
+        let c = &cells[ids[i % n] as usize];
+        let v = c.load(Ordering::Relaxed).wrapping_add(1);
+        c.store(v, Ordering::Relaxed);
+        v
+    });
+
+    // CAS proxy: the sync variant's per-record cost over gather's.
+    let cas_ns = measure_ns(budget_ms, |i| {
+        let c = &cells[ids[i % n] as usize];
+        let cur = c.load(Ordering::Relaxed);
+        let _ = c.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed);
+        cur
+    });
+
+    // Message proxy: queue push + later pop/apply.
+    let mut queue: Vec<(u32, u32)> = Vec::with_capacity(n);
+    let msg_ns = measure_ns(budget_ms, |i| {
+        if queue.len() == n {
+            let mut acc = 0u64;
+            for &(d, v) in &queue {
+                acc = acc.wrapping_add((d ^ v) as u64);
+            }
+            queue.clear();
+            acc
+        } else {
+            queue.push((ids[i % n], i as u32));
+            0
+        }
+    });
+
+    let defaults = CostModel::default();
+    CostModel {
+        scatter_ns_per_edge: scatter_ns.max(0.3),
+        gather_ns_per_record: gather_ns.max(0.3),
+        cas_ns_per_op: (cas_ns - gather_ns).max(1.0),
+        message_ns: (2.0 * msg_ns).max(1.0),
+        ..defaults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_yields_plausible_constants() {
+        let c = calibrated_cost_model(20);
+        // Single-digit-to-tens of ns per op on any modern machine.
+        assert!((0.3..500.0).contains(&c.scatter_ns_per_edge), "{c:?}");
+        assert!((0.3..500.0).contains(&c.gather_ns_per_record), "{c:?}");
+        assert!((1.0..1000.0).contains(&c.cas_ns_per_op), "{c:?}");
+        assert!((1.0..2000.0).contains(&c.message_ns), "{c:?}");
+        // IO-side constants keep their defaults.
+        assert_eq!(c.io_submit_ns_per_request, CostModel::default().io_submit_ns_per_request);
+    }
+
+    #[test]
+    fn measure_handles_trivial_ops() {
+        let ns = measure_ns(5, |i| i as u64);
+        assert!(ns >= 0.0);
+    }
+}

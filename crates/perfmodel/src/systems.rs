@@ -1,0 +1,410 @@
+//! Per-system iteration and query timing models.
+
+use blaze_types::IterationTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::costs::CostModel;
+use crate::machine::MachineConfig;
+
+/// The modeled phases of one iteration, nanoseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IterationTiming {
+    /// Frontier → page-frontier transform (not overlapped).
+    pub transform_ns: f64,
+    /// Device busy time (max over devices).
+    pub io_ns: f64,
+    /// Pipelined compute time (scatter/gather or edge processing).
+    pub compute_ns: f64,
+    /// Non-overlapped tail (message processing, barrier).
+    pub tail_ns: f64,
+}
+
+impl IterationTiming {
+    /// Total iteration wall time: transform, then the pipelined max of IO
+    /// and compute, then the tail.
+    pub fn total_ns(&self) -> f64 {
+        self.transform_ns + self.io_ns.max(self.compute_ns) + self.tail_ns
+    }
+
+    /// Fraction of the iteration the device spends busy.
+    pub fn io_utilization(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.io_ns / total
+    }
+}
+
+/// Aggregated timing of a whole query.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryTiming {
+    /// Per-iteration timings.
+    pub iterations: Vec<IterationTiming>,
+    /// Total bytes read.
+    pub io_bytes: u64,
+}
+
+impl QueryTiming {
+    /// Total modeled query time in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.iterations.iter().map(IterationTiming::total_ns).sum()
+    }
+
+    /// Total modeled query time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total_ns() * 1e-9
+    }
+
+    /// Average read bandwidth over the query (bytes/second) — the metric of
+    /// Figures 1 and 8 ("total read IO bytes divided by total query
+    /// execution time").
+    pub fn avg_bandwidth(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.io_bytes as f64 / (t * 1e-9)
+    }
+}
+
+/// A machine + cost model bound together.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    /// The virtual machine.
+    pub machine: MachineConfig,
+    /// Per-operation costs.
+    pub costs: CostModel,
+}
+
+impl PerfModel {
+    /// Creates a model with default costs.
+    pub fn new(machine: MachineConfig) -> Self {
+        Self { machine, costs: CostModel::default() }
+    }
+
+    /// Max over devices of modeled IO busy time for one iteration.
+    fn max_device_io_ns(&self, t: &IterationTrace) -> f64 {
+        (0..t.io_bytes_per_device.len())
+            .map(|d| {
+                self.machine.device_io_ns(
+                    d.min(self.machine.devices.len() - 1),
+                    t.io_bytes_per_device[d],
+                    t.io_requests_per_device[d],
+                    t.io_sequential_requests_per_device.get(d).copied().unwrap_or(0),
+                )
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// IO-submission CPU time charged to the iteration's IO threads.
+    fn io_submit_ns(&self, t: &IterationTrace) -> f64 {
+        // One IO thread per device; the busiest thread bounds the phase.
+        t.io_requests_per_device
+            .iter()
+            .map(|&r| r as f64 * self.costs.io_submit_ns_per_request)
+            .fold(0.0, f64::max)
+    }
+
+    /// Gather skew: max bin load over mean bin load, floor 1.
+    fn bin_skew(t: &IterationTrace) -> f64 {
+        let total: u64 = t.records_per_bin.iter().sum();
+        let n = t.records_per_bin.len();
+        if total == 0 || n == 0 {
+            return 1.0;
+        }
+        let max = *t.records_per_bin.iter().max().unwrap() as f64;
+        (max / (total as f64 / n as f64)).max(1.0)
+    }
+
+    // --- Blaze (online binning) ---------------------------------------
+
+    /// One Blaze iteration: transform, then pipelined max(IO, scatter,
+    /// gather), then a barrier.
+    pub fn blaze_iteration(&self, t: &IterationTrace) -> IterationTiming {
+        let s_threads = self.machine.scatter_threads() as f64;
+        let g_threads = self.machine.gather_threads() as f64;
+        let pages = t.total_io_bytes() as f64 / 4096.0;
+        let scatter_work = t.edges_processed as f64 * self.costs.scatter_ns_per_edge
+            + pages * self.costs.page_decode_ns;
+        let scatter_ns = scatter_work / s_threads;
+        // Gather balances dynamically at bin granularity: a thread can never
+        // hold more than max(mean, heaviest bin).
+        let total_records: f64 = t.records_produced as f64;
+        let max_bin = t.records_per_bin.iter().copied().max().unwrap_or(0) as f64;
+        // Full-bin handoffs: each buffer of `bin_buffer_capacity` records
+        // costs one queue round-trip, split between scatter and gather.
+        let handoffs = if t.bin_buffer_capacity > 0 {
+            total_records / t.bin_buffer_capacity as f64
+        } else {
+            0.0
+        };
+        let handoff_ns = handoffs * self.costs.bin_handoff_ns / 2.0;
+        // Only bins that received records pay the flush/drain cost; idle
+        // bins are a cheap emptiness probe.
+        let active_bins = t.records_per_bin.iter().filter(|&&r| r > 0).count() as f64;
+        let bin_fixed = active_bins * self.costs.bin_fixed_ns
+            + t.records_per_bin.len() as f64 * self.costs.bin_probe_ns;
+        let scatter_ns = scatter_ns + handoff_ns / s_threads;
+        let gather_ns = ((total_records / g_threads).max(max_bin))
+            * self.costs.gather_ns_per_record
+            + (handoff_ns + bin_fixed) / g_threads;
+        let io_ns = self.max_device_io_ns(t).max(self.io_submit_ns(t));
+        IterationTiming {
+            transform_ns: t.frontier_size as f64 * self.costs.transform_ns_per_vertex
+                / self.machine.compute_threads as f64,
+            io_ns,
+            compute_ns: scatter_ns.max(gather_ns),
+            tail_ns: self.costs.barrier_ns
+                + t.vertex_map_size as f64 * self.costs.transform_ns_per_vertex
+                    / self.machine.compute_threads as f64,
+        }
+    }
+
+    // --- Synchronization-based variant ---------------------------------
+
+    /// One iteration of the CAS-based variant: all compute threads scatter
+    /// and apply; every record pays a contention-scaled CAS.
+    pub fn sync_iteration(&self, t: &IterationTrace) -> IterationTiming {
+        let threads = self.machine.compute_threads as f64;
+        let pages = t.total_io_bytes() as f64 / 4096.0;
+        let records = if t.atomic_ops > 0 { t.atomic_ops } else { t.records_produced };
+        let skew = Self::bin_skew(t);
+        let work = t.edges_processed as f64 * self.costs.scatter_ns_per_edge
+            + pages * self.costs.page_decode_ns
+            + records as f64 * (self.costs.gather_ns_per_record + self.costs.cas_cost_ns(skew));
+        let io_ns = self.max_device_io_ns(t).max(self.io_submit_ns(t));
+        IterationTiming {
+            transform_ns: t.frontier_size as f64 * self.costs.transform_ns_per_vertex / threads,
+            io_ns,
+            compute_ns: work / threads,
+            tail_ns: self.costs.barrier_ns
+                + t.vertex_map_size as f64 * self.costs.transform_ns_per_vertex / threads,
+        }
+    }
+
+    // --- FlashGraph -----------------------------------------------------
+
+    /// One FlashGraph iteration: edge processing overlaps IO, then the
+    /// straggler thread drains its message queue while the device idles
+    /// (Section III-A, Figure 2).
+    pub fn flashgraph_iteration(&self, t: &IterationTrace) -> IterationTiming {
+        let threads = self.machine.compute_threads as f64;
+        let pages = t.total_io_bytes() as f64 / 4096.0;
+        let edge_ns = (t.edges_processed as f64 * self.costs.scatter_ns_per_edge
+            + pages * self.costs.page_decode_ns
+            + t.records_produced as f64 * self.costs.message_ns * 0.5)
+            / threads;
+        // The non-overlapped tail: the busiest thread's queue.
+        let straggler = t.messages_per_thread.iter().copied().max().unwrap_or(0);
+        let msg_ns = straggler as f64 * self.costs.message_ns * 0.5;
+        let io_ns = self.max_device_io_ns(t).max(self.io_submit_ns(t));
+        IterationTiming {
+            transform_ns: t.frontier_size as f64 * self.costs.transform_ns_per_vertex / threads,
+            io_ns,
+            compute_ns: edge_ns,
+            tail_ns: msg_ns
+                + self.costs.barrier_ns
+                + t.vertex_map_size as f64 * self.costs.transform_ns_per_vertex / threads,
+        }
+    }
+
+    // --- Graphene ---------------------------------------------------------
+
+    /// One Graphene iteration: each disk is served by one IO thread and one
+    /// compute thread; the iteration ends when the most-loaded disk's
+    /// pipeline drains (Sections III-B, III-C).
+    pub fn graphene_iteration(&self, t: &IterationTrace) -> IterationTiming {
+        let total_bytes = t.total_io_bytes() as f64;
+        let mut worst = 0.0f64;
+        let mut worst_io = 0.0f64;
+        for d in 0..t.io_bytes_per_device.len() {
+            let bytes = t.io_bytes_per_device[d] as f64;
+            let io = self.machine.device_io_ns(
+                d.min(self.machine.devices.len() - 1),
+                t.io_bytes_per_device[d],
+                t.io_requests_per_device[d],
+                t.io_sequential_requests_per_device.get(d).copied().unwrap_or(0),
+            ) + t.io_requests_per_device[d] as f64 * self.costs.io_submit_ns_per_request;
+            // Edges on this disk scale with its share of the bytes.
+            let edges = if total_bytes > 0.0 {
+                t.edges_processed as f64 * bytes / total_bytes
+            } else {
+                0.0
+            };
+            let compute = edges * self.costs.graphene_ns_per_edge
+                + (bytes / 4096.0) * self.costs.page_decode_ns;
+            worst = worst.max(io.max(compute));
+            worst_io = worst_io.max(io);
+        }
+        IterationTiming {
+            transform_ns: t.frontier_size as f64 * self.costs.transform_ns_per_vertex
+                / self.machine.compute_threads as f64,
+            io_ns: worst_io,
+            compute_ns: worst,
+            tail_ns: self.costs.barrier_ns
+                + t.vertex_map_size as f64 * self.costs.transform_ns_per_vertex
+                    / self.machine.compute_threads as f64,
+        }
+    }
+
+    // --- Query aggregation ----------------------------------------------
+
+    /// Applies `iteration` over every trace of a query.
+    pub fn query_timing(
+        &self,
+        traces: &[IterationTrace],
+        iteration: impl Fn(&Self, &IterationTrace) -> IterationTiming,
+    ) -> QueryTiming {
+        QueryTiming {
+            iterations: traces.iter().map(|t| iteration(self, t)).collect(),
+            io_bytes: traces.iter().map(IterationTrace::total_io_bytes).sum(),
+        }
+    }
+
+    /// Convenience: Blaze query timing.
+    pub fn blaze_query(&self, traces: &[IterationTrace]) -> QueryTiming {
+        self.query_timing(traces, Self::blaze_iteration)
+    }
+
+    /// Convenience: sync-variant query timing.
+    pub fn sync_query(&self, traces: &[IterationTrace]) -> QueryTiming {
+        self.query_timing(traces, Self::sync_iteration)
+    }
+
+    /// Convenience: FlashGraph query timing.
+    pub fn flashgraph_query(&self, traces: &[IterationTrace]) -> QueryTiming {
+        self.query_timing(traces, Self::flashgraph_iteration)
+    }
+
+    /// Convenience: Graphene query timing.
+    pub fn graphene_query(&self, traces: &[IterationTrace]) -> QueryTiming {
+        self.query_timing(traces, Self::graphene_iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic SpMV-like iteration: every edge produces a record.
+    fn spmv_trace(edges: u64, skewed: bool) -> IterationTrace {
+        let mut t = IterationTrace::new(1);
+        let bytes = edges * 4;
+        t.io_bytes_per_device = vec![bytes];
+        t.io_requests_per_device = vec![(bytes / 16384).max(1)];
+        t.io_sequential_requests_per_device = vec![(bytes / 16384).max(1) / 2];
+        t.edges_processed = edges;
+        t.records_produced = edges;
+        let bins = 1024usize;
+        t.records_per_bin = if skewed {
+            // One hub bin holds 10% of all records.
+            let mut v = vec![edges * 9 / 10 / (bins as u64 - 1); bins];
+            v[0] = edges / 10;
+            v
+        } else {
+            vec![edges / bins as u64; bins]
+        };
+        t.messages_per_thread = if skewed {
+            let mut v = vec![edges / 32; 16];
+            v[0] = edges / 2; // straggler holds half the messages
+            v
+        } else {
+            vec![edges / 16; 16]
+        };
+        t.frontier_size = 1000;
+        t
+    }
+
+    #[test]
+    fn blaze_is_io_bound_on_optane() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let t = spmv_trace(10_000_000, false);
+        let timing = m.blaze_iteration(&t);
+        assert!(
+            timing.io_ns > timing.compute_ns,
+            "16 threads must keep up with one Optane: io {} vs compute {}",
+            timing.io_ns,
+            timing.compute_ns
+        );
+        assert!(timing.io_utilization() > 0.85, "util {}", timing.io_utilization());
+    }
+
+    #[test]
+    fn sync_variant_is_slower_than_blaze() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let t = spmv_trace(10_000_000, true);
+        let blaze = m.blaze_iteration(&t).total_ns();
+        let sync = m.sync_iteration(&t).total_ns();
+        assert!(sync > 1.1 * blaze, "sync {sync} vs blaze {blaze}");
+        // But not absurdly slower (paper: 38-85% of bandwidth).
+        let util = m.sync_iteration(&t).io_utilization();
+        assert!((0.30..0.95).contains(&util), "sync util {util}");
+    }
+
+    #[test]
+    fn flashgraph_straggler_tanks_utilization_on_optane_only() {
+        let t = spmv_trace(10_000_000, true);
+        let optane = PerfModel::new(MachineConfig::paper_optane());
+        let nand = PerfModel::new(MachineConfig::paper_nand());
+        let u_opt = optane.flashgraph_iteration(&t).io_utilization();
+        let u_nand = nand.flashgraph_iteration(&t).io_utilization();
+        assert!(u_opt < 0.5, "Optane util should collapse: {u_opt}");
+        assert!(u_nand > 0.7, "NAND mostly hides the straggler: {u_nand}");
+    }
+
+    #[test]
+    fn flashgraph_without_skew_performs_well() {
+        let t = spmv_trace(10_000_000, false);
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let u = m.flashgraph_iteration(&t).io_utilization();
+        let t_skew = spmv_trace(10_000_000, true);
+        let u_skew = m.flashgraph_iteration(&t_skew).io_utilization();
+        assert!(u > u_skew, "balanced {u} vs skewed {u_skew}");
+    }
+
+    #[test]
+    fn graphene_pipeline_is_compute_bound_on_optane() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let t = spmv_trace(10_000_000, false);
+        let timing = m.graphene_iteration(&t);
+        assert!(
+            timing.compute_ns > timing.io_ns,
+            "one compute thread per disk cannot keep up: {timing:?}"
+        );
+        let util = timing.io_utilization();
+        assert!((0.1..0.7).contains(&util), "graphene util {util}");
+    }
+
+    #[test]
+    fn thread_scaling_saturates_at_device_bandwidth() {
+        let t = spmv_trace(10_000_000, false);
+        let mut times = Vec::new();
+        for threads in [2usize, 4, 8, 16] {
+            let m = PerfModel::new(MachineConfig::paper_optane().with_threads(threads));
+            times.push(m.blaze_query(std::slice::from_ref(&t)).total_ns());
+        }
+        // 2 -> 4 threads should speed up markedly; 8 -> 16 barely (IO-bound).
+        assert!(times[0] / times[1] > 1.5, "2->4: {times:?}");
+        assert!(times[2] / times[3] < 1.3, "8->16 saturated: {times:?}");
+    }
+
+    #[test]
+    fn query_bandwidth_matches_bytes_over_time() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let t = spmv_trace(1_000_000, false);
+        let q = m.blaze_query(&[t.clone(), t]);
+        let bw = q.avg_bandwidth();
+        assert!(bw > 0.0);
+        assert!(bw <= m.machine.devices[0].seq_read_bw * 1.01);
+    }
+
+    #[test]
+    fn empty_trace_costs_only_barrier() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let t = IterationTrace::new(1);
+        let timing = m.blaze_iteration(&t);
+        assert_eq!(timing.io_ns, 0.0);
+        assert!(timing.total_ns() >= m.costs.barrier_ns);
+    }
+}

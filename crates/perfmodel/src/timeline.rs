@@ -1,0 +1,169 @@
+//! Bandwidth-over-time timelines (Figure 2).
+
+use blaze_types::IterationTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::systems::{IterationTiming, PerfModel};
+
+/// One constant-bandwidth span of the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSegment {
+    /// Start time, seconds.
+    pub start_s: f64,
+    /// End time, seconds.
+    pub end_s: f64,
+    /// Read bandwidth over the span, bytes/second.
+    pub bandwidth: f64,
+}
+
+/// A read-bandwidth timeline of a query execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Ordered, contiguous segments.
+    pub segments: Vec<TimelineSegment>,
+}
+
+impl Timeline {
+    /// Builds the timeline from per-iteration timings: during each
+    /// iteration's pipelined phase the device streams its bytes; during the
+    /// transform and tail phases it is idle (bandwidth zero) — the gaps of
+    /// Figure 2(b).
+    pub fn build(
+        model: &PerfModel,
+        traces: &[IterationTrace],
+        iteration: impl Fn(&PerfModel, &IterationTrace) -> IterationTiming,
+    ) -> Timeline {
+        let mut segments = Vec::new();
+        let mut t = 0.0f64;
+        let mut push = |t: &mut f64, dur_ns: f64, bw: f64| {
+            if dur_ns <= 0.0 {
+                return;
+            }
+            let dur = dur_ns * 1e-9;
+            segments.push(TimelineSegment { start_s: *t, end_s: *t + dur, bandwidth: bw });
+            *t += dur;
+        };
+        for trace in traces {
+            let timing = iteration(model, trace);
+            push(&mut t, timing.transform_ns, 0.0);
+            let busy = timing.io_ns.max(timing.compute_ns);
+            let bw = if busy > 0.0 {
+                trace.total_io_bytes() as f64 / (busy * 1e-9)
+            } else {
+                0.0
+            };
+            push(&mut t, busy, bw);
+            push(&mut t, timing.tail_ns, 0.0);
+        }
+        Timeline { segments }
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.segments.last().map_or(0.0, |s| s.end_s)
+    }
+
+    /// Samples the timeline at `samples` evenly spaced instants —
+    /// the plotted series of Figure 2.
+    pub fn sample(&self, samples: usize) -> Vec<(f64, f64)> {
+        let dur = self.duration_s();
+        if dur == 0.0 || samples == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(samples);
+        let mut seg = 0usize;
+        for i in 0..samples {
+            let t = dur * (i as f64 + 0.5) / samples as f64;
+            while seg + 1 < self.segments.len() && self.segments[seg].end_s < t {
+                seg += 1;
+            }
+            out.push((t, self.segments[seg].bandwidth));
+        }
+        out
+    }
+
+    /// Fraction of total time the device spends idle (bandwidth below
+    /// `threshold` bytes/s).
+    pub fn idle_fraction(&self, threshold: f64) -> f64 {
+        let dur = self.duration_s();
+        if dur == 0.0 {
+            return 0.0;
+        }
+        let idle: f64 = self
+            .segments
+            .iter()
+            .filter(|s| s.bandwidth < threshold)
+            .map(|s| s.end_s - s.start_s)
+            .sum();
+        idle / dur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    fn trace(edges: u64, straggler: bool) -> IterationTrace {
+        let mut t = IterationTrace::new(1);
+        t.io_bytes_per_device = vec![edges * 4];
+        t.io_requests_per_device = vec![(edges * 4 / 16384).max(1)];
+        t.io_sequential_requests_per_device = vec![0];
+        t.edges_processed = edges;
+        t.records_produced = edges;
+        t.messages_per_thread = if straggler {
+            let mut v = vec![edges / 64; 16];
+            v[3] = edges / 2;
+            v
+        } else {
+            vec![edges / 16; 16]
+        };
+        t
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_ordered() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let traces = vec![trace(1_000_000, true); 3];
+        let tl = Timeline::build(&m, &traces, PerfModel::flashgraph_iteration);
+        for w in tl.segments.windows(2) {
+            assert!((w[0].end_s - w[1].start_s).abs() < 1e-12);
+            assert!(w[0].start_s < w[0].end_s);
+        }
+        assert!(tl.duration_s() > 0.0);
+    }
+
+    #[test]
+    fn flashgraph_on_optane_shows_idle_gaps_but_not_on_nand() {
+        let traces = vec![trace(4_000_000, true); 4];
+        let optane = PerfModel::new(MachineConfig::paper_optane());
+        let nand = PerfModel::new(MachineConfig::paper_nand());
+        let tl_opt =
+            Timeline::build(&optane, &traces, PerfModel::flashgraph_iteration);
+        let tl_nand = Timeline::build(&nand, &traces, PerfModel::flashgraph_iteration);
+        let idle_opt = tl_opt.idle_fraction(1e6);
+        let idle_nand = tl_nand.idle_fraction(1e6);
+        assert!(idle_opt > 0.3, "Optane idle fraction {idle_opt}");
+        assert!(idle_nand < 0.25, "NAND idle fraction {idle_nand}");
+    }
+
+    #[test]
+    fn sampling_covers_the_whole_duration() {
+        let m = PerfModel::new(MachineConfig::paper_optane());
+        let traces = vec![trace(1_000_000, false); 2];
+        let tl = Timeline::build(&m, &traces, PerfModel::blaze_iteration);
+        let series = tl.sample(100);
+        assert_eq!(series.len(), 100);
+        assert!(series[0].0 < series[99].0);
+        assert!(series[99].0 <= tl.duration_s());
+        assert!(series.iter().any(|&(_, bw)| bw > 0.0));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::default();
+        assert_eq!(tl.duration_s(), 0.0);
+        assert!(tl.sample(10).is_empty());
+        assert_eq!(tl.idle_fraction(1.0), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The simulated cluster: one Blaze engine per machine, zero network
+//! traffic inside `EdgeMap`, frontier broadcast between iterations.
+
+use std::sync::Arc;
+
+use blaze_binning::BinValue;
+use blaze_core::{BlazeEngine, EngineOptions};
+use blaze_frontier::VertexSubset;
+use blaze_graph::{Csr, DiskGraph};
+use blaze_storage::StripedStorage;
+use blaze_types::{Result, VertexId};
+
+use crate::partition::{partition_by_destination, DstPartition};
+
+/// One machine of the cluster.
+pub struct Machine {
+    /// Destination range this machine gathers for.
+    pub dst_range: std::ops::Range<VertexId>,
+    /// The machine's engine over its destination-partitioned subgraph.
+    pub engine: BlazeEngine,
+}
+
+/// Cross-machine communication accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// `edge_map` rounds executed.
+    pub rounds: usize,
+    /// Bytes each machine would send per round to broadcast its newly
+    /// activated vertices (id + value) to the other machines, summed.
+    pub broadcast_bytes: u64,
+    /// Total bytes read from every machine's device array.
+    pub io_bytes: u64,
+}
+
+/// A destination-partitioned Blaze cluster.
+///
+/// Every machine holds the edges whose destination is in its range, so the
+/// gather side of every `EdgeMap` is machine-local (bins never cross the
+/// network). The input frontier is replicated: in a real deployment each
+/// machine would receive the newly activated ids (and the source values
+/// the scatter function reads) at the end of the previous iteration —
+/// [`ClusterStats::broadcast_bytes`] measures exactly that traffic.
+pub struct Cluster {
+    machines: Vec<Machine>,
+    num_vertices: usize,
+    stats: parking_lot::Mutex<ClusterStats>,
+}
+
+impl Cluster {
+    /// Builds a cluster of `machines` over `g`, each machine with
+    /// `devices_per_machine` simulated SSDs and the given engine options.
+    pub fn build(
+        g: &Csr,
+        machines: usize,
+        devices_per_machine: usize,
+        options: EngineOptions,
+    ) -> Result<Self> {
+        let parts = partition_by_destination(g, machines);
+        let machines = parts
+            .into_iter()
+            .map(|DstPartition { dst_range, subgraph }| -> Result<Machine> {
+                let storage = Arc::new(StripedStorage::in_memory(devices_per_machine)?);
+                let graph = Arc::new(DiskGraph::create(&subgraph, storage)?);
+                let engine = BlazeEngine::new(graph, options.clone())?;
+                Ok(Machine { dst_range, engine })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            machines,
+            num_vertices: g.num_vertices(),
+            stats: parking_lot::Mutex::new(ClusterStats::default()),
+        })
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of vertices in the global graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Per-machine engines (for inspecting traces/stats).
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Communication accounting so far.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats.lock().clone()
+    }
+
+    /// Distributed `EdgeMap`: every machine runs the same scatter/gather
+    /// over its destination partition; the returned frontier is the union
+    /// of the machines' outputs. `value_bytes` sizes the per-activation
+    /// broadcast for the communication model (vertex id + scattered state).
+    pub fn edge_map<V, FS, FG, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: FS,
+        gather: FG,
+        cond: FC,
+        output: bool,
+        value_bytes: usize,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        let mut out = VertexSubset::new(self.num_vertices);
+        let mut broadcast = 0u64;
+        for machine in &self.machines {
+            let local = machine.engine.edge_map(frontier, &scatter, &gather, &cond, output)?;
+            // Activations outside this machine's own range would be a bug:
+            // destination partitioning guarantees locality.
+            debug_assert!(local
+                .members()
+                .iter()
+                .all(|v| machine.dst_range.contains(v)));
+            // Each activation must reach the other machines before the
+            // next round (they need it in their replicated frontier).
+            broadcast +=
+                local.len() as u64 * (4 + value_bytes as u64) * (self.machines.len() as u64 - 1);
+            for v in local.members() {
+                out.insert(v);
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.rounds += 1;
+        stats.broadcast_bytes += broadcast;
+        stats.io_bytes = self
+            .machines
+            .iter()
+            .map(|m| m.engine.stats().io_bytes)
+            .sum();
+        drop(stats);
+        out.seal();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_core::VertexArray;
+    use blaze_graph::gen::{rmat, uniform, RmatConfig};
+
+    /// Cluster BFS levels, mirroring Algorithm 1 over the cluster API.
+    fn cluster_bfs(cluster: &Cluster, root: VertexId) -> Vec<i64> {
+        let n = cluster.num_vertices();
+        let level = VertexArray::<i64>::new(n, -1);
+        level.set(root as usize, 0);
+        let mut frontier = VertexSubset::single(n, root);
+        let mut depth = 0i64;
+        while !frontier.is_empty() {
+            depth += 1;
+            let d = depth;
+            frontier = cluster
+                .edge_map(
+                    &frontier,
+                    |_s: u32, _d: u32| 0u32,
+                    |dst: u32, _v: u32| {
+                        if level.get(dst as usize) == -1 {
+                            level.set(dst as usize, d);
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                    |dst: u32| level.get(dst as usize) == -1,
+                    true,
+                    4,
+                )
+                .unwrap();
+        }
+        level.to_vec()
+    }
+
+    fn reference_levels(g: &Csr, root: u32) -> Vec<i64> {
+        let mut level = vec![-1i64; g.num_vertices()];
+        level[root as usize] = 0;
+        let mut frontier = vec![root];
+        let mut d = 0;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &w in g.neighbors(v) {
+                    if level[w as usize] == -1 {
+                        level[w as usize] = d;
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        level
+    }
+
+    #[test]
+    fn cluster_bfs_matches_single_machine_reference() {
+        let g = rmat(&RmatConfig::new(9));
+        for machines in [1, 2, 4] {
+            let cluster = Cluster::build(&g, machines, 1, EngineOptions::default()).unwrap();
+            assert_eq!(
+                cluster_bfs(&cluster, 0),
+                reference_levels(&g, 0),
+                "{machines} machines"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_stays_machine_local() {
+        // The debug_assert in edge_map enforces it; run a full-frontier
+        // round on 4 machines to exercise it.
+        let g = uniform(9, 8, 5);
+        let cluster = Cluster::build(&g, 4, 2, EngineOptions::default()).unwrap();
+        let frontier = VertexSubset::full(g.num_vertices());
+        let sum = VertexArray::<u64>::new(g.num_vertices(), 0);
+        cluster
+            .edge_map(
+                &frontier,
+                |_s: u32, _d: u32| 1u32,
+                |d: u32, v: u32| {
+                    sum.set(d as usize, sum.get(d as usize) + v as u64);
+                    true
+                },
+                |_d: u32| true,
+                true,
+                4,
+            )
+            .unwrap();
+        let total: u64 = (0..g.num_vertices()).map(|v| sum.get(v)).sum();
+        assert_eq!(total, g.num_edges(), "every edge delivered exactly once across machines");
+    }
+
+    #[test]
+    fn broadcast_bytes_scale_with_activations_and_machines() {
+        let g = rmat(&RmatConfig::new(8));
+        let f2 = {
+            let c = Cluster::build(&g, 2, 1, EngineOptions::default()).unwrap();
+            cluster_bfs(&c, 0);
+            c.stats()
+        };
+        let f4 = {
+            let c = Cluster::build(&g, 4, 1, EngineOptions::default()).unwrap();
+            cluster_bfs(&c, 0);
+            c.stats()
+        };
+        assert!(f4.broadcast_bytes > f2.broadcast_bytes, "{f4:?} vs {f2:?}");
+        // 4 machines broadcast to 3 peers vs 1 peer: exactly 3x the bytes
+        // for the same activation stream.
+        assert_eq!(f4.broadcast_bytes, 3 * f2.broadcast_bytes);
+        assert!(f2.rounds > 0 && f2.io_bytes > 0);
+    }
+
+    #[test]
+    fn io_splits_across_machines() {
+        let g = rmat(&RmatConfig::new(9));
+        let single = Cluster::build(&g, 1, 1, EngineOptions::default()).unwrap();
+        let quad = Cluster::build(&g, 4, 1, EngineOptions::default()).unwrap();
+        let frontier = VertexSubset::full(g.num_vertices());
+        let run = |c: &Cluster| {
+            c.edge_map(&frontier, |s: u32, _d: u32| s, |_d: u32, _v: u32| false, |_| true, false, 4)
+                .unwrap();
+            c.machines().iter().map(|m| m.engine.stats().io_bytes).collect::<Vec<_>>()
+        };
+        let s = run(&single);
+        let q = run(&quad);
+        // Each machine reads only its own column slice; totals are close to
+        // the single-machine scan (pages are padded per machine).
+        let total_q: u64 = q.iter().sum();
+        // Page rounding pads each machine's last page, so allow modest
+        // overhead at this tiny scale.
+        assert!(total_q as f64 <= 1.5 * s[0] as f64, "quad {total_q} vs single {}", s[0]);
+        let max = *q.iter().max().unwrap() as f64;
+        let min = *q.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.0, "per-machine IO balanced: {q:?}");
+    }
+}

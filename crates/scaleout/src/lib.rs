@@ -1,0 +1,25 @@
+//! Scale-out Blaze: destination-partitioned execution across machines —
+//! an implementation of the extension sketched in Section VI of the paper:
+//!
+//! > "One potential way to scale out Blaze is to partition the input graph
+//! > based on the destination vertex and place each partition in each
+//! > machine. This allows a single machine to process only a subset of
+//! > edges and vertex-related values, and, more importantly, to propagate
+//! > values between scatter and gather threads locally, avoiding the
+//! > costly network communications during EDGEMAP execution."
+//!
+//! Each [`Machine`](cluster::Machine) owns the edges whose *destination* falls in its vertex
+//! range, stored as its own page-interleaved `DiskGraph` over its own
+//! device array, and runs a full Blaze engine over them. Because the
+//! destination ranges are disjoint, every gather is machine-local: bins
+//! never cross machines, so `EdgeMap` needs **zero network traffic**. The
+//! only cross-machine communication is the iteration-boundary broadcast of
+//! newly-activated frontier vertices (and their source values), which
+//! [`ClusterStats`] accounts so the network cost of the design can be
+//! modeled.
+
+pub mod cluster;
+pub mod partition;
+
+pub use cluster::{Cluster, ClusterStats};
+pub use partition::{partition_by_destination, DstPartition};

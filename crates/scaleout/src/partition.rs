@@ -1,0 +1,103 @@
+//! Destination-based graph partitioning.
+
+use blaze_graph::{Csr, GraphBuilder};
+use blaze_types::VertexId;
+
+/// One machine's share of the graph: the edges whose destination falls in
+/// `dst_range`, over the *global* vertex id space.
+#[derive(Debug)]
+pub struct DstPartition {
+    /// The destination range this machine is responsible for.
+    pub dst_range: std::ops::Range<VertexId>,
+    /// The column-sliced subgraph (global ids; sources keep all their ids,
+    /// neighbor lists are filtered to `dst_range`).
+    pub subgraph: Csr,
+}
+
+/// Splits `g` into `machines` partitions by destination, balancing
+/// *in-edge mass* so every machine gathers a similar number of records —
+/// the property that keeps the cluster's gather work even.
+pub fn partition_by_destination(g: &Csr, machines: usize) -> Vec<DstPartition> {
+    assert!(machines >= 1);
+    let n = g.num_vertices();
+    // In-degree mass prefix.
+    let mut in_mass = vec![0u64; n];
+    for (_, d) in g.edges() {
+        in_mass[d as usize] += 1;
+    }
+    let total: u64 = in_mass.iter().sum();
+    // Equal-mass boundaries.
+    let mut bounds = Vec::with_capacity(machines + 1);
+    bounds.push(0 as VertexId);
+    let mut acc = 0u64;
+    let mut next = 1u64;
+    for (v, &m) in in_mass.iter().enumerate() {
+        acc += m;
+        while bounds.len() < machines && acc * machines as u64 >= next * total.max(1) {
+            bounds.push((v + 1) as VertexId);
+            next += 1;
+        }
+    }
+    while bounds.len() < machines {
+        bounds.push(n as VertexId);
+    }
+    bounds.push(n as VertexId);
+
+    (0..machines)
+        .map(|m| {
+            let dst_range = bounds[m]..bounds[m + 1];
+            let mut b = GraphBuilder::new(n);
+            for (s, d) in g.edges() {
+                if dst_range.contains(&d) {
+                    b.add_edge(s, d);
+                }
+            }
+            DstPartition { dst_range, subgraph: b.build() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blaze_graph::gen::{rmat, RmatConfig};
+
+    #[test]
+    fn partitions_cover_every_edge_exactly_once() {
+        let g = rmat(&RmatConfig::new(9));
+        let parts = partition_by_destination(&g, 4);
+        assert_eq!(parts.len(), 4);
+        let total: u64 = parts.iter().map(|p| p.subgraph.num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+        // Ranges tile the vertex space.
+        assert_eq!(parts[0].dst_range.start, 0);
+        assert_eq!(parts[3].dst_range.end as usize, g.num_vertices());
+        for w in parts.windows(2) {
+            assert_eq!(w[0].dst_range.end, w[1].dst_range.start);
+        }
+        // Every edge lands in the partition owning its destination.
+        for p in &parts {
+            for (_, d) in p.subgraph.edges() {
+                assert!(p.dst_range.contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn in_edge_mass_is_balanced() {
+        let g = rmat(&RmatConfig::new(11));
+        let parts = partition_by_destination(&g, 8);
+        let counts: Vec<u64> = parts.iter().map(|p| p.subgraph.num_edges()).collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 1.5, "edge balance {counts:?}");
+    }
+
+    #[test]
+    fn single_machine_is_identity() {
+        let g = rmat(&RmatConfig::new(8));
+        let parts = partition_by_destination(&g, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].subgraph, g);
+    }
+}

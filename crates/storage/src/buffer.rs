@@ -1,0 +1,242 @@
+//! IO buffers and the free/filled buffer queues of the EdgeMap engine
+//! (Figure 5, steps 3–7).
+//!
+//! A fixed set of buffers is allocated up front (the paper uses a static
+//! 64 MiB pool for all workloads). IO threads take buffers from the *free*
+//! MPMC queue, fill them with up to [`MAX_MERGED_PAGES`] pages, and push them
+//! to the *filled* MPMC queue; scatter threads pop filled buffers and return
+//! them to the free queue when done. Because scatter keeps pace with IO, a
+//! small pool suffices — if it ever drains, IO threads back off, which is
+//! exactly the "fast producer, slow consumer" stall the paper describes for
+//! Graphene (Section III-C).
+
+use crossbeam::queue::{ArrayQueue, SegQueue};
+use crossbeam::utils::Backoff;
+
+use blaze_types::{PageId, MAX_MERGED_PAGES, PAGE_SIZE};
+
+/// A reusable IO buffer large enough for one merged request.
+#[derive(Debug)]
+pub struct IoBuffer {
+    data: Box<[u8]>,
+}
+
+impl IoBuffer {
+    /// Allocates a zeroed buffer of [`MAX_MERGED_PAGES`] pages.
+    pub fn new() -> Self {
+        Self::with_pages(MAX_MERGED_PAGES)
+    }
+
+    /// Allocates a zeroed buffer of `pages` pages (for engines configured
+    /// with a larger merge window than the paper's default).
+    pub fn with_pages(pages: usize) -> Self {
+        Self { data: vec![0u8; pages.max(1) * PAGE_SIZE].into_boxed_slice() }
+    }
+
+    /// Number of pages this buffer can hold.
+    pub fn capacity_pages(&self) -> usize {
+        self.data.len() / PAGE_SIZE
+    }
+
+    /// Mutable view of the first `n` pages, for the IO thread to read into.
+    pub fn pages_mut(&mut self, n: usize) -> &mut [u8] {
+        &mut self.data[..n * PAGE_SIZE]
+    }
+
+    /// Immutable view of the first `n` pages.
+    pub fn pages(&self, n: usize) -> &[u8] {
+        &self.data[..n * PAGE_SIZE]
+    }
+}
+
+impl Default for IoBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A filled buffer travelling from an IO thread to a scatter thread: the
+/// buffer plus the global ids of the pages it holds, in order.
+#[derive(Debug)]
+pub struct FilledBuffer {
+    /// The buffer holding the page data.
+    pub buffer: IoBuffer,
+    /// Global page ids of the pages in `buffer`, in storage order. These are
+    /// consecutive *local* pages on one device, so globally they are strided
+    /// by the device count.
+    pub pages: Vec<PageId>,
+}
+
+impl FilledBuffer {
+    /// Page data for the `i`-th page in this buffer.
+    pub fn page_data(&self, i: usize) -> &[u8] {
+        &self.buffer.data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]
+    }
+
+    /// Number of pages held.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The free/filled MPMC buffer queues shared by IO and scatter threads.
+pub struct BufferPool {
+    free: ArrayQueue<IoBuffer>,
+    filled: SegQueue<FilledBuffer>,
+    capacity: usize,
+    pages_per_buffer: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` buffers, all initially free, each
+    /// holding [`MAX_MERGED_PAGES`] pages.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_buffer_pages(capacity, MAX_MERGED_PAGES)
+    }
+
+    /// Creates a pool of `capacity` buffers of `pages_per_buffer` pages —
+    /// buffers must be at least as large as the engine's merge window.
+    pub fn with_buffer_pages(capacity: usize, pages_per_buffer: usize) -> Self {
+        let capacity = capacity.max(1);
+        let pages_per_buffer = pages_per_buffer.max(1);
+        let free = ArrayQueue::new(capacity);
+        for _ in 0..capacity {
+            free.push(IoBuffer::with_pages(pages_per_buffer)).expect("fresh queue has room");
+        }
+        Self { free, filled: SegQueue::new(), capacity, pages_per_buffer }
+    }
+
+    /// Creates a pool sized so that its buffers total roughly `bytes`.
+    pub fn with_bytes(bytes: usize) -> Self {
+        Self::new(bytes / (MAX_MERGED_PAGES * PAGE_SIZE))
+    }
+
+    /// [`with_bytes`](Self::with_bytes) with a custom buffer size in pages.
+    pub fn with_bytes_and_pages(bytes: usize, pages_per_buffer: usize) -> Self {
+        let pages_per_buffer = pages_per_buffer.max(1);
+        Self::with_buffer_pages(bytes / (pages_per_buffer * PAGE_SIZE), pages_per_buffer)
+    }
+
+    /// Pages each buffer holds.
+    pub fn pages_per_buffer(&self) -> usize {
+        self.pages_per_buffer
+    }
+
+    /// Number of buffers owned by the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tries to take a free buffer without blocking.
+    pub fn try_acquire_free(&self) -> Option<IoBuffer> {
+        self.free.pop()
+    }
+
+    /// Takes a free buffer, backing off (spin → yield) until one is
+    /// available. IO threads block here when scatter falls behind.
+    pub fn acquire_free(&self) -> IoBuffer {
+        let backoff = Backoff::new();
+        loop {
+            if let Some(buf) = self.free.pop() {
+                return buf;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Returns a drained buffer to the free queue (Figure 5, step 7).
+    pub fn release(&self, buffer: IoBuffer) {
+        // The pool created every buffer, so the queue can never overflow.
+        let _ = self.free.push(buffer);
+    }
+
+    /// Publishes a filled buffer for scatter threads (step 4).
+    pub fn push_filled(&self, filled: FilledBuffer) {
+        self.filled.push(filled);
+    }
+
+    /// Takes the next filled buffer, if any (step 5).
+    pub fn pop_filled(&self) -> Option<FilledBuffer> {
+        self.filled.pop()
+    }
+
+    /// Number of buffers currently waiting in the filled queue.
+    pub fn filled_len(&self) -> usize {
+        self.filled.len()
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("free", &self.free.len())
+            .field("filled", &self.filled.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_starts_full_of_free_buffers() {
+        let pool = BufferPool::new(4);
+        let mut held = Vec::new();
+        for _ in 0..4 {
+            held.push(pool.try_acquire_free().expect("buffer available"));
+        }
+        assert!(pool.try_acquire_free().is_none());
+        for b in held {
+            pool.release(b);
+        }
+        assert!(pool.try_acquire_free().is_some());
+    }
+
+    #[test]
+    fn with_bytes_sizes_pool() {
+        let pool = BufferPool::with_bytes(64 * MAX_MERGED_PAGES * PAGE_SIZE);
+        assert_eq!(pool.capacity(), 64);
+    }
+
+    #[test]
+    fn filled_round_trip_preserves_data_and_pages() {
+        let pool = BufferPool::new(1);
+        let mut buf = pool.try_acquire_free().unwrap();
+        buf.pages_mut(2)[0] = 0xAB;
+        buf.pages_mut(2)[PAGE_SIZE] = 0xCD;
+        pool.push_filled(FilledBuffer { buffer: buf, pages: vec![10, 14] });
+        let filled = pool.pop_filled().unwrap();
+        assert_eq!(filled.num_pages(), 2);
+        assert_eq!(filled.pages, vec![10, 14]);
+        assert_eq!(filled.page_data(0)[0], 0xAB);
+        assert_eq!(filled.page_data(1)[0], 0xCD);
+        pool.release(filled.buffer);
+    }
+
+    #[test]
+    fn producer_consumer_recycles_buffers() {
+        // 2 buffers, 64 messages: recycling must keep both sides going.
+        let pool = std::sync::Arc::new(BufferPool::new(2));
+        let producer_pool = pool.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..64u64 {
+                let mut buf = producer_pool.acquire_free();
+                buf.pages_mut(1)[0] = i as u8;
+                producer_pool.push_filled(FilledBuffer { buffer: buf, pages: vec![i] });
+            }
+        });
+        let mut seen = Vec::new();
+        while seen.len() < 64 {
+            if let Some(f) = pool.pop_filled() {
+                seen.push(f.pages[0]);
+                pool.release(f.buffer);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,46 @@
+//! The [`BlockDevice`] trait: the only storage interface the engine sees.
+
+use blaze_types::{Result, PAGE_SIZE};
+
+use crate::stats::IoStats;
+
+/// A page-granular block device.
+///
+/// Implementations must be safe to call concurrently from multiple threads
+/// (Blaze issues one IO thread per device, but buffers may be written back
+/// by any thread and the striped array fans requests out in parallel).
+pub trait BlockDevice: Send + Sync {
+    /// Reads `buf.len()` bytes starting at byte `offset`.
+    ///
+    /// `buf.len()` must be a multiple of [`PAGE_SIZE`] and the range must lie
+    /// within the device.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` starting at byte `offset`, extending the device if the
+    /// implementation supports growth (files and memory devices do).
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()>;
+
+    /// Current device length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the device holds no data.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-device IO counters. Functional devices keep byte/request counts;
+    /// [`SimDevice`](crate::SimDevice) additionally accumulates modeled
+    /// service time.
+    fn stats(&self) -> &IoStats;
+
+    /// Reads `count` pages starting at `first_page` into `buf`.
+    fn read_pages(&self, first_page: u64, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len() % PAGE_SIZE, 0);
+        self.read_at(first_page * PAGE_SIZE as u64, buf)
+    }
+
+    /// Number of whole pages on the device.
+    fn num_pages(&self) -> u64 {
+        self.len() / PAGE_SIZE as u64
+    }
+}

@@ -1,0 +1,119 @@
+//! Fault injection: a device wrapper that fails selected requests.
+//!
+//! Used by the test suites to verify that IO errors propagate cleanly out
+//! of the multi-threaded engine pipeline instead of wedging or being
+//! swallowed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use blaze_types::{BlazeError, Result};
+
+use crate::device::BlockDevice;
+use crate::stats::IoStats;
+
+/// Wraps a device and fails reads according to a policy.
+#[derive(Debug)]
+pub struct FaultyDevice<D> {
+    inner: D,
+    /// Fail every read whose (1-based) sequence number is a multiple of
+    /// this value; 0 disables injection.
+    fail_every: u64,
+    /// Fail all reads once this many reads have succeeded (u64::MAX
+    /// disables).
+    fail_after: u64,
+    reads: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<D: BlockDevice> FaultyDevice<D> {
+    /// Fails every `n`-th read.
+    pub fn fail_every(inner: D, n: u64) -> Self {
+        Self {
+            inner,
+            fail_every: n,
+            fail_after: u64::MAX,
+            reads: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Lets `n` reads succeed, then fails all subsequent reads.
+    pub fn fail_after(inner: D, n: u64) -> Self {
+        Self {
+            inner,
+            fail_every: 0,
+            fail_after: n,
+            reads: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of injected failures so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self) -> bool {
+        let seq = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        let by_every = self.fail_every > 0 && seq.is_multiple_of(self.fail_every);
+        let by_after = seq > self.fail_after;
+        by_every || by_after
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if self.should_fail() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(BlazeError::Io(std::io::Error::other(
+                format!("injected read failure at offset {offset}"),
+            )));
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.inner.write_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+    use blaze_types::PAGE_SIZE;
+
+    #[test]
+    fn fail_every_third_read() {
+        let dev = FaultyDevice::fail_every(MemDevice::with_len(8 * PAGE_SIZE), 3);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let results: Vec<bool> = (0..6).map(|p| dev.read_pages(p, &mut buf).is_ok()).collect();
+        assert_eq!(results, vec![true, true, false, true, true, false]);
+        assert_eq!(dev.injected_failures(), 2);
+    }
+
+    #[test]
+    fn fail_after_threshold() {
+        let dev = FaultyDevice::fail_after(MemDevice::with_len(8 * PAGE_SIZE), 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(dev.read_pages(0, &mut buf).is_ok());
+        assert!(dev.read_pages(1, &mut buf).is_ok());
+        assert!(dev.read_pages(2, &mut buf).is_err());
+        assert!(dev.read_pages(3, &mut buf).is_err());
+    }
+
+    #[test]
+    fn writes_pass_through() {
+        let dev = FaultyDevice::fail_every(MemDevice::new(), 1);
+        assert!(dev.write_at(0, &[1, 2, 3]).is_ok());
+        assert_eq!(dev.len(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! Storage substrate for Blaze: block devices, device simulation, RAID-0
+//! striping, IO-request merging, and IO buffer pools.
+//!
+//! The paper evaluates Blaze on Intel Optane and NAND SSDs. This crate
+//! provides the same abstractions against simulated hardware:
+//!
+//! * [`BlockDevice`] — positioned page reads/writes, the only interface the
+//!   engine sees.
+//! * [`MemDevice`] / [`FileDevice`] — functional backing stores (RAM / a
+//!   plain file).
+//! * [`SimDevice`] — wraps any device with a calibrated service-time model
+//!   ([`DeviceProfile`]) and per-request accounting, so benches can report
+//!   modeled bandwidth for the device generations of Table I.
+//! * [`StripedStorage`] — page-interleaved (RAID-0) striping over N devices,
+//!   Blaze's topology-agnostic partitioning (Section IV-E).
+//! * [`merge_pages`] — merges at most [`MAX_MERGED_PAGES`] contiguous pages
+//!   per request and never merges across gaps (Section IV-C).
+//! * [`BufferPool`] — fixed set of IO buffers recycled through MPMC
+//!   free/filled queues (Figure 5, steps 3–7).
+//!
+//! [`MAX_MERGED_PAGES`]: blaze_types::MAX_MERGED_PAGES
+
+pub mod buffer;
+pub mod device;
+pub mod faulty;
+pub mod file;
+pub mod mem;
+pub mod profile;
+pub mod request;
+pub mod sim;
+pub mod stats;
+pub mod stripe;
+
+pub use buffer::{BufferPool, FilledBuffer, IoBuffer};
+pub use device::BlockDevice;
+pub use faulty::FaultyDevice;
+pub use file::FileDevice;
+pub use mem::MemDevice;
+pub use profile::{AccessPattern, DeviceProfile};
+pub use request::{merge_pages, IoRequest};
+pub use sim::SimDevice;
+pub use stats::IoStats;
+pub use stripe::StripedStorage;

@@ -1,0 +1,188 @@
+//! Device performance profiles for the SSD generations of Table I.
+//!
+//! A profile models read service time as `latency + bytes / bandwidth`, where
+//! the bandwidth depends on whether the request continues the previous one
+//! (sequential) or jumps (random). This two-parameter model is enough to
+//! reproduce the paper's central hardware observation: NAND SSDs are ~3x
+//! slower for random 4 KiB reads than sequential, while fast NVMe drives
+//! (Optane, Z-NAND, V-NAND) are nearly symmetric.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a request continues the previous request's byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// The request starts exactly where the previous one ended.
+    Sequential,
+    /// The request starts anywhere else.
+    Random,
+}
+
+/// Performance model of one SSD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable model name.
+    pub name: String,
+    /// Sustained sequential 4 KiB read bandwidth, bytes/second.
+    pub seq_read_bw: f64,
+    /// Sustained random 4 KiB read bandwidth, bytes/second.
+    pub rand_read_bw: f64,
+    /// Fixed per-request latency, nanoseconds. Models submission and device
+    /// command overhead; dominates only for tiny queue depths.
+    pub latency_ns: u64,
+    /// Number of requests the device can service concurrently.
+    pub queue_depth: u32,
+}
+
+impl DeviceProfile {
+    /// Intel NAND SSD DC S3520 (2016): 386 MB/s sequential, 132 MB/s random
+    /// 4 KiB reads — the classic 3x seq/rand asymmetry (Table I).
+    pub fn nand_s3520() -> Self {
+        Self {
+            name: "Intel NAND SSD DC S3520 (2016)".to_string(),
+            seq_read_bw: 386.0e6,
+            rand_read_bw: 132.0e6,
+            latency_ns: 90_000,
+            queue_depth: 32,
+        }
+    }
+
+    /// Intel Optane SSD DC P4800X (2017): 2550 MB/s sequential, 2360 MB/s
+    /// random — the paper's primary Fast NVMe Drive (Table I).
+    pub fn optane_p4800x() -> Self {
+        Self {
+            name: "Intel Optane SSD DC P4800X (2017)".to_string(),
+            seq_read_bw: 2550.0e6,
+            rand_read_bw: 2360.0e6,
+            latency_ns: 10_000,
+            queue_depth: 128,
+        }
+    }
+
+    /// Samsung Z-NAND SZ983 (2018): 3400 MB/s sequential, 3072 MB/s random
+    /// (Table I).
+    pub fn znand_sz983() -> Self {
+        Self {
+            name: "Samsung Z-NAND SZ983 (2018)".to_string(),
+            seq_read_bw: 3400.0e6,
+            rand_read_bw: 3072.0e6,
+            latency_ns: 12_000,
+            queue_depth: 128,
+        }
+    }
+
+    /// Samsung 980 Pro V-NAND (2020): 3500 MB/s sequential, 2827 MB/s random
+    /// (Table I).
+    pub fn vnand_980pro() -> Self {
+        Self {
+            name: "Samsung 980 Pro (2020)".to_string(),
+            seq_read_bw: 3500.0e6,
+            rand_read_bw: 2827.0e6,
+            latency_ns: 20_000,
+            queue_depth: 128,
+        }
+    }
+
+    /// All four profiles of Table I, in the paper's row order.
+    pub fn table1() -> Vec<Self> {
+        vec![Self::nand_s3520(), Self::optane_p4800x(), Self::znand_sz983(), Self::vnand_980pro()]
+    }
+
+    /// Bandwidth for the given access pattern, bytes/second.
+    pub fn bandwidth(&self, pattern: AccessPattern) -> f64 {
+        match pattern {
+            AccessPattern::Sequential => self.seq_read_bw,
+            AccessPattern::Random => self.rand_read_bw,
+        }
+    }
+
+    /// Modeled service time of one read request, nanoseconds.
+    ///
+    /// Service time is `latency/queue_depth + bytes/bandwidth`: with a full
+    /// queue the fixed latency overlaps across outstanding requests, so the
+    /// per-request share shrinks; the transfer term is the device's
+    /// throughput limit and never overlaps.
+    pub fn read_service_ns(&self, bytes: u64, pattern: AccessPattern) -> u64 {
+        let latency_share = self.latency_ns as f64 / self.queue_depth as f64;
+        let transfer = bytes as f64 / self.bandwidth(pattern) * 1e9;
+        (latency_share + transfer) as u64
+    }
+
+    /// Effective throughput (bytes/second) for back-to-back requests of
+    /// `bytes` with the given pattern — what a microbenchmark measures.
+    pub fn effective_bandwidth(&self, bytes: u64, pattern: AccessPattern) -> f64 {
+        let ns = self.read_service_ns(bytes, pattern).max(1);
+        bytes as f64 / (ns as f64 / 1e9)
+    }
+
+    /// Ratio of random to sequential 4 KiB bandwidth; ~0.33 for NAND, ≥0.8
+    /// for FNDs. Used to classify a drive as a Fast NVMe Drive.
+    pub fn symmetry(&self) -> f64 {
+        self.rand_read_bw / self.seq_read_bw
+    }
+
+    /// Whether the profile qualifies as a Fast NVMe Drive: near-symmetric
+    /// random/sequential bandwidth (the property Blaze exploits).
+    pub fn is_fnd(&self) -> bool {
+        self.symmetry() >= 0.75
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand_is_asymmetric_fnds_are_not() {
+        assert!(!DeviceProfile::nand_s3520().is_fnd());
+        assert!(DeviceProfile::optane_p4800x().is_fnd());
+        assert!(DeviceProfile::znand_sz983().is_fnd());
+        assert!(DeviceProfile::vnand_980pro().is_fnd());
+    }
+
+    #[test]
+    fn nand_random_is_one_third_of_sequential() {
+        let p = DeviceProfile::nand_s3520();
+        let ratio = p.symmetry();
+        assert!((0.30..0.40).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn optane_gap_is_within_ten_percent() {
+        let p = DeviceProfile::optane_p4800x();
+        assert!(p.symmetry() > 0.90, "symmetry {}", p.symmetry());
+    }
+
+    #[test]
+    fn optane_beats_nand_by_paper_factors() {
+        let nand = DeviceProfile::nand_s3520();
+        let opt = DeviceProfile::optane_p4800x();
+        let seq_gain = opt.seq_read_bw / nand.seq_read_bw;
+        let rand_gain = opt.rand_read_bw / nand.rand_read_bw;
+        // Paper: 6.6x sequential and 17.9x random improvement.
+        assert!((6.0..7.5).contains(&seq_gain), "seq gain {seq_gain}");
+        assert!((16.0..19.0).contains(&rand_gain), "rand gain {rand_gain}");
+    }
+
+    #[test]
+    fn service_time_scales_with_bytes() {
+        let p = DeviceProfile::optane_p4800x();
+        let one = p.read_service_ns(4096, AccessPattern::Random);
+        let four = p.read_service_ns(4 * 4096, AccessPattern::Random);
+        assert!(four > one);
+        // Four pages must be cheaper than four independent requests.
+        assert!(four < 4 * one);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_profile_bandwidth_for_large_requests() {
+        let p = DeviceProfile::optane_p4800x();
+        let eff = p.effective_bandwidth(1 << 20, AccessPattern::Sequential);
+        assert!(eff > 0.95 * p.seq_read_bw, "eff {eff}");
+    }
+
+    #[test]
+    fn table1_has_four_rows() {
+        assert_eq!(DeviceProfile::table1().len(), 4);
+    }
+}

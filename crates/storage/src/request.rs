@@ -1,0 +1,132 @@
+//! IO request representation and contiguous-page merging.
+//!
+//! Blaze merges **up to four contiguous 4 KiB pages** into one request and
+//! never merges across gaps: on fast NVMe drives, random 4 KiB reads are
+//! cheap enough that fetching non-target pages to enlarge a request is a net
+//! loss, and large requests inflate async submission time (Section IV-C).
+
+use blaze_types::{PageId, MAX_MERGED_PAGES};
+
+/// One read request: `num_pages` contiguous pages starting at `first_page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRequest {
+    /// First page of the run.
+    pub first_page: PageId,
+    /// Number of contiguous pages (1..=[`MAX_MERGED_PAGES`]).
+    pub num_pages: u32,
+}
+
+impl IoRequest {
+    /// Byte offset of the request on the device.
+    pub fn offset(&self) -> u64 {
+        self.first_page * blaze_types::PAGE_SIZE as u64
+    }
+
+    /// Request length in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.num_pages as usize * blaze_types::PAGE_SIZE
+    }
+
+    /// One past the last page covered.
+    pub fn end_page(&self) -> PageId {
+        self.first_page + self.num_pages as u64
+    }
+}
+
+/// Merges a **sorted, deduplicated** slice of page ids into IO requests,
+/// combining runs of contiguous pages up to `max_merge` pages per request.
+///
+/// Panics in debug builds if `pages` is not strictly increasing.
+pub fn merge_pages_with_window(pages: &[PageId], max_merge: usize) -> Vec<IoRequest> {
+    debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be sorted unique");
+    debug_assert!(max_merge >= 1);
+    let mut requests = Vec::new();
+    let mut iter = pages.iter().copied();
+    let Some(first) = iter.next() else {
+        return requests;
+    };
+    let mut run_start = first;
+    let mut run_len = 1u32;
+    for page in iter {
+        if page == run_start + run_len as u64 && (run_len as usize) < max_merge {
+            run_len += 1;
+        } else {
+            requests.push(IoRequest { first_page: run_start, num_pages: run_len });
+            run_start = page;
+            run_len = 1;
+        }
+    }
+    requests.push(IoRequest { first_page: run_start, num_pages: run_len });
+    requests
+}
+
+/// [`merge_pages_with_window`] with the paper's window of
+/// [`MAX_MERGED_PAGES`] pages.
+pub fn merge_pages(pages: &[PageId]) -> Vec<IoRequest> {
+    merge_pages_with_window(pages, MAX_MERGED_PAGES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(first: u64, n: u32) -> IoRequest {
+        IoRequest { first_page: first, num_pages: n }
+    }
+
+    #[test]
+    fn empty_input_yields_no_requests() {
+        assert!(merge_pages(&[]).is_empty());
+    }
+
+    #[test]
+    fn isolated_pages_stay_single() {
+        assert_eq!(merge_pages(&[1, 3, 7]), vec![req(1, 1), req(3, 1), req(7, 1)]);
+    }
+
+    #[test]
+    fn contiguous_run_merges_up_to_four() {
+        assert_eq!(merge_pages(&[10, 11, 12, 13]), vec![req(10, 4)]);
+    }
+
+    #[test]
+    fn long_run_splits_at_window() {
+        // Nine contiguous pages -> 4 + 4 + 1.
+        let pages: Vec<u64> = (0..9).collect();
+        assert_eq!(merge_pages(&pages), vec![req(0, 4), req(4, 4), req(8, 1)]);
+    }
+
+    #[test]
+    fn gaps_are_never_bridged() {
+        // 0,1 then gap then 3,4: Graphene would bridge small gaps; Blaze must not.
+        assert_eq!(merge_pages(&[0, 1, 3, 4]), vec![req(0, 2), req(3, 2)]);
+    }
+
+    #[test]
+    fn window_of_one_disables_merging() {
+        assert_eq!(
+            merge_pages_with_window(&[0, 1, 2], 1),
+            vec![req(0, 1), req(1, 1), req(2, 1)]
+        );
+    }
+
+    #[test]
+    fn request_geometry() {
+        let r = req(3, 2);
+        assert_eq!(r.offset(), 3 * 4096);
+        assert_eq!(r.len_bytes(), 8192);
+        assert_eq!(r.end_page(), 5);
+    }
+
+    #[test]
+    fn merged_requests_cover_exactly_the_input() {
+        let pages = vec![0u64, 1, 2, 3, 4, 8, 9, 20, 21, 22, 23, 24, 25, 26, 27, 28];
+        let reqs = merge_pages(&pages);
+        let mut covered = Vec::new();
+        for r in &reqs {
+            assert!(r.num_pages as usize <= MAX_MERGED_PAGES);
+            covered.extend(r.first_page..r.end_page());
+        }
+        assert_eq!(covered, pages);
+    }
+}

@@ -1,0 +1,172 @@
+//! Device simulation: attaches a [`DeviceProfile`] service-time model and
+//! sequential/random classification to any functional [`BlockDevice`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use blaze_types::Result;
+
+use crate::device::BlockDevice;
+use crate::profile::{AccessPattern, DeviceProfile};
+use crate::stats::IoStats;
+
+/// A [`BlockDevice`] wrapper that classifies each read as sequential or
+/// random (by comparing its offset with the end of the previous request) and
+/// charges the modeled service time of the wrapped [`DeviceProfile`] to the
+/// device's [`IoStats`].
+///
+/// The data path is fully functional — reads return real bytes from the inner
+/// device — while `stats().busy_ns()` accumulates the time the *modeled* SSD
+/// would have been busy, which is what the bench harness converts into
+/// bandwidth figures.
+#[derive(Debug)]
+pub struct SimDevice<D> {
+    inner: D,
+    profile: DeviceProfile,
+    /// Byte offset one past the end of the previous read, for seq/rand
+    /// classification. `u64::MAX` before the first request.
+    prev_end: AtomicU64,
+    stats: IoStats,
+}
+
+impl<D: BlockDevice> SimDevice<D> {
+    /// Wraps `inner` with the service-time model of `profile`.
+    pub fn new(inner: D, profile: DeviceProfile) -> Self {
+        Self { inner, profile, prev_end: AtomicU64::new(u64::MAX), stats: IoStats::new() }
+    }
+
+    /// The performance profile this device simulates.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The wrapped functional device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Classifies a request at `offset` and advances the sequential cursor.
+    fn classify(&self, offset: u64, len: u64) -> AccessPattern {
+        let prev = self.prev_end.swap(offset + len, Ordering::Relaxed);
+        if prev == offset {
+            AccessPattern::Sequential
+        } else {
+            AccessPattern::Random
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SimDevice<D> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let pattern = self.classify(offset, buf.len() as u64);
+        self.inner.read_at(offset, buf)?;
+        let service = self.profile.read_service_ns(buf.len() as u64, pattern);
+        self.stats.add_busy_ns(service);
+        self.stats
+            .record_read(buf.len() as u64, pattern == AccessPattern::Sequential);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.inner.write_at(offset, buf)?;
+        self.stats.record_write(buf.len() as u64);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+    use blaze_types::PAGE_SIZE;
+
+    fn sim(pages: usize, profile: DeviceProfile) -> SimDevice<MemDevice> {
+        SimDevice::new(MemDevice::with_len(pages * PAGE_SIZE), profile)
+    }
+
+    #[test]
+    fn sequential_reads_are_classified_sequential() {
+        let dev = sim(16, DeviceProfile::optane_p4800x());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for p in 0..8 {
+            dev.read_pages(p, &mut buf).unwrap();
+        }
+        // First read is random (no predecessor), the rest sequential.
+        assert_eq!(dev.stats().read_ops(), 8);
+        assert_eq!(dev.stats().sequential_reads(), 7);
+    }
+
+    #[test]
+    fn strided_reads_are_classified_random() {
+        let dev = sim(16, DeviceProfile::optane_p4800x());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for p in [0u64, 5, 2, 9, 14] {
+            dev.read_pages(p, &mut buf).unwrap();
+        }
+        assert_eq!(dev.stats().sequential_reads(), 0);
+    }
+
+    #[test]
+    fn nand_random_is_charged_more_than_sequential() {
+        let seq = sim(1024, DeviceProfile::nand_s3520());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for p in 0..256 {
+            seq.read_pages(p, &mut buf).unwrap();
+        }
+        let rand = sim(1024, DeviceProfile::nand_s3520());
+        for i in 0..256u64 {
+            rand.read_pages((i * 397) % 1024, &mut buf).unwrap();
+        }
+        let t_seq = seq.stats().busy_ns();
+        let t_rand = rand.stats().busy_ns();
+        assert!(
+            t_rand as f64 > 2.0 * t_seq as f64,
+            "rand {t_rand} should be ≫ seq {t_seq} on NAND"
+        );
+    }
+
+    #[test]
+    fn optane_random_is_nearly_free_of_penalty() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let seq = sim(1024, DeviceProfile::optane_p4800x());
+        for p in 0..256 {
+            seq.read_pages(p, &mut buf).unwrap();
+        }
+        let rand = sim(1024, DeviceProfile::optane_p4800x());
+        for i in 0..256u64 {
+            rand.read_pages((i * 397) % 1024, &mut buf).unwrap();
+        }
+        let ratio = rand.stats().busy_ns() as f64 / seq.stats().busy_ns() as f64;
+        assert!(ratio < 1.15, "optane rand/seq busy ratio {ratio}");
+    }
+
+    #[test]
+    fn modeled_bandwidth_matches_profile() {
+        let dev = sim(4096, DeviceProfile::optane_p4800x());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for p in 0..4096 {
+            dev.read_pages(p, &mut buf).unwrap();
+        }
+        let bw = dev.stats().modeled_read_bandwidth().unwrap();
+        let expected = DeviceProfile::optane_p4800x()
+            .effective_bandwidth(PAGE_SIZE as u64, AccessPattern::Sequential);
+        let rel = (bw - expected).abs() / expected;
+        assert!(rel < 0.05, "bw {bw} vs expected {expected}");
+    }
+
+    #[test]
+    fn data_path_is_functional() {
+        let dev = sim(2, DeviceProfile::vnand_980pro());
+        dev.write_at(0, &[7u8; PAGE_SIZE]).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        dev.read_at(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-device IO accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe IO counters attached to every device.
+///
+/// All counters use relaxed atomics: they are statistics, not
+/// synchronization. `busy_ns` is only populated by [`SimDevice`] and holds
+/// the modeled device service time in nanoseconds.
+///
+/// [`SimDevice`]: crate::SimDevice
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read_ops: AtomicU64,
+    read_bytes: AtomicU64,
+    write_ops: AtomicU64,
+    write_bytes: AtomicU64,
+    sequential_reads: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read of `bytes`; `sequential` marks whether the request
+    /// started exactly where the previous one ended.
+    pub fn record_read(&self, bytes: u64, sequential: bool) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if sequential {
+            self.sequential_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one write of `bytes`.
+    pub fn record_write(&self, bytes: u64) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds modeled device busy time.
+    pub fn add_busy_ns(&self, ns: u64) {
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of read requests served.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of write requests served.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Read requests that continued the previous request's offset.
+    pub fn sequential_reads(&self) -> u64 {
+        self.sequential_reads.load(Ordering::Relaxed)
+    }
+
+    /// Modeled device busy time in nanoseconds (zero for functional devices).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Modeled average read bandwidth in bytes/second over the busy period.
+    /// Returns `None` when no busy time has been recorded.
+    pub fn modeled_read_bandwidth(&self) -> Option<f64> {
+        let ns = self.busy_ns();
+        if ns == 0 {
+            return None;
+        }
+        Some(self.read_bytes() as f64 / (ns as f64 / 1e9))
+    }
+
+    /// Resets every counter to zero. Used between bench phases.
+    pub fn reset(&self) {
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.sequential_reads.store(0, Ordering::Relaxed);
+        self.busy_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops(),
+            read_bytes: self.read_bytes(),
+            write_ops: self.write_ops(),
+            write_bytes: self.write_bytes(),
+            sequential_reads: self.sequential_reads(),
+            busy_ns: self.busy_ns(),
+        }
+    }
+}
+
+/// A plain-data copy of [`IoStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    pub read_ops: u64,
+    pub read_bytes: u64,
+    pub write_ops: u64,
+    pub write_bytes: u64,
+    pub sequential_reads: u64,
+    pub busy_ns: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops - earlier.read_ops,
+            read_bytes: self.read_bytes - earlier.read_bytes,
+            write_ops: self.write_ops - earlier.write_ops,
+            write_bytes: self.write_bytes - earlier.write_bytes,
+            sequential_reads: self.sequential_reads - earlier.sequential_reads,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(4096, true);
+        s.record_read(8192, false);
+        s.record_write(4096);
+        assert_eq!(s.read_ops(), 2);
+        assert_eq!(s.read_bytes(), 12288);
+        assert_eq!(s.sequential_reads(), 1);
+        assert_eq!(s.write_ops(), 1);
+        assert_eq!(s.write_bytes(), 4096);
+    }
+
+    #[test]
+    fn bandwidth_requires_busy_time() {
+        let s = IoStats::new();
+        s.record_read(1 << 20, false);
+        assert!(s.modeled_read_bandwidth().is_none());
+        s.add_busy_ns(1_000_000_000);
+        let bw = s.modeled_read_bandwidth().unwrap();
+        assert!((bw - (1 << 20) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = IoStats::new();
+        s.record_read(4096, true);
+        s.add_busy_ns(5);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let s = IoStats::new();
+        s.record_read(4096, false);
+        let a = s.snapshot();
+        s.record_read(4096, true);
+        s.record_read(4096, true);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.read_ops, 2);
+        assert_eq!(d.read_bytes, 8192);
+        assert_eq!(d.sequential_reads, 2);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = std::sync::Arc::new(IoStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_read(4096, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read_ops(), 4000);
+        assert_eq!(s.read_bytes(), 4000 * 4096);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error handling for the Blaze workspace.
+
+use std::fmt;
+
+/// Unified error type for storage, graph-format, and engine failures.
+#[derive(Debug)]
+pub enum BlazeError {
+    /// An underlying IO operation failed.
+    Io(std::io::Error),
+    /// A file or byte stream did not match the expected on-disk format.
+    Format(String),
+    /// A configuration value was invalid (e.g. zero bins, zero threads).
+    Config(String),
+    /// The engine reached an inconsistent internal state.
+    Engine(String),
+    /// A request addressed a page or byte range outside the device.
+    OutOfRange { offset: u64, len: u64, device_len: u64 },
+}
+
+impl fmt::Display for BlazeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlazeError::Io(e) => write!(f, "io error: {e}"),
+            BlazeError::Format(m) => write!(f, "format error: {m}"),
+            BlazeError::Config(m) => write!(f, "configuration error: {m}"),
+            BlazeError::Engine(m) => write!(f, "engine error: {m}"),
+            BlazeError::OutOfRange { offset, len, device_len } => write!(
+                f,
+                "request [{offset}, {offset}+{len}) exceeds device length {device_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BlazeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlazeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BlazeError {
+    fn from(e: std::io::Error) -> Self {
+        BlazeError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BlazeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = BlazeError::OutOfRange { offset: 4096, len: 8192, device_len: 4096 };
+        let s = e.to_string();
+        assert!(s.contains("4096"), "{s}");
+        assert!(s.contains("exceeds"), "{s}");
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: BlazeError = io.into();
+        assert!(matches!(e, BlazeError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

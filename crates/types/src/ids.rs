@@ -1,0 +1,20 @@
+//! Identifier types.
+//!
+//! Blaze is a semi-external engine: vertex metadata lives in memory, so vertex
+//! ids are kept at 32 bits (the paper's largest graph, hyperlink14, has 1.7 B
+//! vertices — still within `u32`). Edge offsets are 64-bit because edge counts
+//! exceed 4 B on large graphs.
+
+/// A vertex identifier. Dense in `0..num_vertices`.
+pub type VertexId = u32;
+
+/// A global page number within the striped adjacency file.
+pub type PageId = u64;
+
+/// Index of a device within a [`StripedStorage`] array.
+///
+/// [`StripedStorage`]: https://docs.rs/blaze-storage
+pub type DeviceId = usize;
+
+/// A global edge offset (index into the on-disk neighbor stream).
+pub type EdgeOffset = u64;

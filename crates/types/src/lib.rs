@@ -1,0 +1,18 @@
+//! Common identifiers, constants, errors, and work-trace types shared by every
+//! crate in the Blaze workspace.
+//!
+//! The types here are deliberately small and dependency-free so that the
+//! storage, graph, engine, baseline, and performance-model crates can all
+//! exchange data without depending on each other.
+
+pub mod constants;
+pub mod error;
+pub mod ids;
+pub mod trace;
+pub mod util;
+
+pub use constants::*;
+pub use error::{BlazeError, Result};
+pub use ids::{DeviceId, EdgeOffset, PageId, VertexId};
+pub use trace::{EnginePhase, IterationTrace, QueryTrace};
+pub use util::CachePadded;
