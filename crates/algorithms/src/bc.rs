@@ -21,7 +21,11 @@ pub fn bc(
     mode: ExecMode,
 ) -> Result<VertexArray<f64>> {
     let n = out_engine.num_vertices();
-    assert_eq!(n, in_engine.num_vertices(), "transpose must match the graph");
+    assert_eq!(
+        n,
+        in_engine.num_vertices(),
+        "transpose must match the graph"
+    );
     let depth = VertexArray::<i64>::new(n, -1);
     let sigma = VertexArray::<f64>::new(n, 0.0);
     depth.set(root as usize, 0);
@@ -29,8 +33,7 @@ pub fn bc(
 
     // --- Forward sweep: shortest-path counts, level by level. ---
     let mut levels: Vec<VertexSubset> = vec![VertexSubset::single(n, root)];
-    loop {
-        let current = levels.last().unwrap();
+    while let Some(current) = levels.last() {
         if current.is_empty() {
             levels.pop();
             break;
@@ -92,9 +95,8 @@ pub fn bc(
         let frontier = &levels[l];
         // SCATTER (over in-edges): (1 + delta[w]) / sigma[w] of the deeper
         // vertex w. GATHER accumulates into predecessors at level l-1.
-        let scatter = |w: VertexId, _v: VertexId| {
-            (1.0 + delta.get(w as usize)) / sigma.get(w as usize)
-        };
+        let scatter =
+            |w: VertexId, _v: VertexId| (1.0 + delta.get(w as usize)) / sigma.get(w as usize);
         let cond = |v: VertexId| depth.get(v as usize) == (l as i64) - 1;
         match mode {
             ExecMode::Binned => in_engine.edge_map(
@@ -171,10 +173,16 @@ mod tests {
         let s1 = Arc::new(StripedStorage::in_memory(devices).unwrap());
         let s2 = Arc::new(StripedStorage::in_memory(devices).unwrap());
         (
-            BlazeEngine::new(Arc::new(DiskGraph::create(g, s1).unwrap()), EngineOptions::default())
-                .unwrap(),
-            BlazeEngine::new(Arc::new(DiskGraph::create(&t, s2).unwrap()), EngineOptions::default())
-                .unwrap(),
+            BlazeEngine::new(
+                Arc::new(DiskGraph::create(g, s1).unwrap()),
+                EngineOptions::default(),
+            )
+            .unwrap(),
+            BlazeEngine::new(
+                Arc::new(DiskGraph::create(&t, s2).unwrap()),
+                EngineOptions::default(),
+            )
+            .unwrap(),
         )
     }
 

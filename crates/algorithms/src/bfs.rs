@@ -65,8 +65,11 @@ mod tests {
 
     fn engine(g: &Csr, devices: usize) -> BlazeEngine {
         let storage = Arc::new(StripedStorage::in_memory(devices).unwrap());
-        BlazeEngine::new(Arc::new(DiskGraph::create(g, storage).unwrap()), EngineOptions::default())
-            .unwrap()
+        BlazeEngine::new(
+            Arc::new(DiskGraph::create(g, storage).unwrap()),
+            EngineOptions::default(),
+        )
+        .unwrap()
     }
 
     /// A parent array is valid iff every reached vertex's parent is a real
@@ -83,7 +86,10 @@ mod tests {
             } else {
                 assert!(p >= 0, "reached vertex {v} needs a parent");
                 let p = p as u32;
-                assert!(g.neighbors(p).contains(&v), "parent {p} must have edge to {v}");
+                assert!(
+                    g.neighbors(p).contains(&v),
+                    "parent {p} must have edge to {v}"
+                );
                 assert_eq!(
                     levels[p as usize] + 1,
                     levels[v as usize],

@@ -46,7 +46,13 @@ pub enum Query {
 impl Query {
     /// The five queries in the paper's order.
     pub fn all() -> [Query; 5] {
-        [Query::Bfs, Query::PageRank, Query::Wcc, Query::SpMV, Query::Bc]
+        [
+            Query::Bfs,
+            Query::PageRank,
+            Query::Wcc,
+            Query::SpMV,
+            Query::Bc,
+        ]
     }
 
     /// Paper abbreviation.

@@ -23,7 +23,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        Self { damping: 0.85, epsilon: 0.01, max_iters: 100 }
+        Self {
+            damping: 0.85,
+            epsilon: 0.01,
+            max_iters: 100,
+        }
     }
 }
 
@@ -108,8 +112,11 @@ mod tests {
 
     fn engine(g: &Csr, devices: usize) -> BlazeEngine {
         let storage = Arc::new(StripedStorage::in_memory(devices).unwrap());
-        BlazeEngine::new(Arc::new(DiskGraph::create(g, storage).unwrap()), EngineOptions::default())
-            .unwrap()
+        BlazeEngine::new(
+            Arc::new(DiskGraph::create(g, storage).unwrap()),
+            EngineOptions::default(),
+        )
+        .unwrap()
     }
 
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
@@ -158,7 +165,10 @@ mod tests {
             .unwrap()
             .0 as u32;
         let best_in_deg = t.degree(best);
-        let max_in_deg = (0..t.num_vertices() as u32).map(|v| t.degree(v)).max().unwrap();
+        let max_in_deg = (0..t.num_vertices() as u32)
+            .map(|v| t.degree(v))
+            .max()
+            .unwrap();
         assert!(
             best_in_deg as f64 >= 0.5 * max_in_deg as f64,
             "top rank vertex has in-degree {best_in_deg}, max is {max_in_deg}"
@@ -169,7 +179,10 @@ mod tests {
     fn converges_before_max_iters() {
         let g = rmat(&RmatConfig::new(8));
         let e = engine(&g, 1);
-        let cfg = PageRankConfig { epsilon: 0.05, ..Default::default() };
+        let cfg = PageRankConfig {
+            epsilon: 0.05,
+            ..Default::default()
+        };
         pagerank_delta(&e, cfg, ExecMode::Binned).unwrap();
         let iters = e.stats().iterations;
         assert!(iters < cfg.max_iters, "needed {iters} iterations");

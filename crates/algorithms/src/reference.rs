@@ -50,8 +50,9 @@ pub fn pagerank_delta(g: &Csr, damping: f64, epsilon: f64, max_iters: usize) -> 
             }
         }
         // Apply-filter over every vertex that received mass.
-        let mut touched: Vec<VertexId> =
-            (0..n as VertexId).filter(|&v| ngh_sum[v as usize] != 0.0).collect();
+        let mut touched: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| ngh_sum[v as usize] != 0.0)
+            .collect();
         let mut next = Vec::new();
         for &i in &touched {
             delta[i as usize] = ngh_sum[i as usize] * damping;
@@ -109,8 +110,7 @@ pub fn bc_scores(g: &Csr, root: VertexId) -> Vec<f64> {
     depth[root as usize] = 0;
     let mut levels: Vec<Vec<VertexId>> = vec![vec![root]];
     // Forward sweep: count shortest paths level by level.
-    loop {
-        let current = levels.last().unwrap();
+    while let Some(current) = levels.last() {
         let d = levels.len() as i64;
         let mut next = Vec::new();
         let mut sigma_add: Vec<(VertexId, f64)> = Vec::new();

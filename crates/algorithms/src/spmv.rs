@@ -57,20 +57,28 @@ mod tests {
 
     fn engine(g: &Csr, devices: usize) -> BlazeEngine {
         let storage = Arc::new(StripedStorage::in_memory(devices).unwrap());
-        BlazeEngine::new(Arc::new(DiskGraph::create(g, storage).unwrap()), EngineOptions::default())
-            .unwrap()
+        BlazeEngine::new(
+            Arc::new(DiskGraph::create(g, storage).unwrap()),
+            EngineOptions::default(),
+        )
+        .unwrap()
     }
 
     fn assert_close(a: &[f64], b: &[f64]) {
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < 1e-9 * x.abs().max(1.0), "y[{i}]: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-9 * x.abs().max(1.0),
+                "y[{i}]: {x} vs {y}"
+            );
         }
     }
 
     #[test]
     fn matches_reference_binned() {
         let g = rmat(&RmatConfig::new(9));
-        let x: Vec<f64> = (0..g.num_vertices()).map(|i| (i % 13) as f64 * 0.5).collect();
+        let x: Vec<f64> = (0..g.num_vertices())
+            .map(|i| (i % 13) as f64 * 0.5)
+            .collect();
         let e = engine(&g, 1);
         let y = spmv(&e, &x, ExecMode::Binned).unwrap();
         assert_close(&y.to_vec(), &reference::spmv(&g, &x));
@@ -79,7 +87,9 @@ mod tests {
     #[test]
     fn matches_reference_sync_striped() {
         let g = rmat(&RmatConfig::new(8));
-        let x: Vec<f64> = (0..g.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+        let x: Vec<f64> = (0..g.num_vertices())
+            .map(|i| 1.0 / (i + 1) as f64)
+            .collect();
         let e = engine(&g, 4);
         let y = spmv(&e, &x, ExecMode::Sync).unwrap();
         assert_close(&y.to_vec(), &reference::spmv(&g, &x));

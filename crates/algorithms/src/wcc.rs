@@ -2,7 +2,7 @@
 //! propagation with shortcutting (pointer jumping), run over both the CSR
 //! and its transpose so labels flow along the undirected view.
 
-use std::sync::Arc;
+use blaze_sync::Arc;
 
 use blaze_core::{vertex_map, BlazeEngine, VertexArray};
 use blaze_frontier::VertexSubset;
@@ -19,7 +19,11 @@ pub fn wcc(
     mode: ExecMode,
 ) -> Result<VertexArray<u32>> {
     let n = out_engine.num_vertices();
-    assert_eq!(n, in_engine.num_vertices(), "transpose must match the graph");
+    assert_eq!(
+        n,
+        in_engine.num_vertices(),
+        "transpose must match the graph"
+    );
     let ids = Arc::new(VertexArray::<u32>::new(n, 0));
     let prev_ids = VertexArray::<u32>::new(n, 0);
     for v in 0..n {
@@ -36,7 +40,10 @@ pub fn wcc(
         let touched_in = run_direction(in_engine, &frontier, &ids, mode)?;
         let candidates = VertexSubset::from_members(
             n,
-            touched_out.members().into_iter().chain(touched_in.members()),
+            touched_out
+                .members()
+                .into_iter()
+                .chain(touched_in.members()),
         );
         // APPLYFILTER: shortcut (pointer jump) and keep only changed ids.
         frontier = vertex_map(
@@ -100,7 +107,8 @@ fn run_direction(
             frontier,
             scatter,
             |d: VertexId, v: u32| {
-                ids.fetch_update(d as usize, |cur| (v < cur).then_some(v)).is_ok()
+                ids.fetch_update(d as usize, |cur| (v < cur).then_some(v))
+                    .is_ok()
             },
             cond,
             true,
@@ -122,10 +130,16 @@ mod tests {
         let s1 = Arc::new(StripedStorage::in_memory(devices).unwrap());
         let s2 = Arc::new(StripedStorage::in_memory(devices).unwrap());
         (
-            BlazeEngine::new(Arc::new(DiskGraph::create(g, s1).unwrap()), EngineOptions::default())
-                .unwrap(),
-            BlazeEngine::new(Arc::new(DiskGraph::create(&t, s2).unwrap()), EngineOptions::default())
-                .unwrap(),
+            BlazeEngine::new(
+                Arc::new(DiskGraph::create(g, s1).unwrap()),
+                EngineOptions::default(),
+            )
+            .unwrap(),
+            BlazeEngine::new(
+                Arc::new(DiskGraph::create(&t, s2).unwrap()),
+                EngineOptions::default(),
+            )
+            .unwrap(),
         )
     }
 

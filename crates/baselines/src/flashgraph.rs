@@ -1,10 +1,10 @@
 //! FlashGraph-like engine: message passing keyed by vertex id, plus an LRU
 //! page cache (Sections II-D, III-A).
 
-use std::sync::Arc;
+use blaze_sync::Arc;
 
 use blaze_core::PageCache;
-use parking_lot::Mutex;
+use blaze_sync::Mutex;
 
 use blaze_frontier::VertexSubset;
 use blaze_graph::DiskGraph;
@@ -25,7 +25,10 @@ pub struct FlashGraphOptions {
 
 impl Default for FlashGraphOptions {
     fn default() -> Self {
-        Self { num_threads: 16, cache_pages: 1024 }
+        Self {
+            num_threads: 16,
+            cache_pages: 1024,
+        }
     }
 }
 
@@ -44,7 +47,12 @@ impl FlashGraphEngine {
     /// Creates the engine over a disk graph.
     pub fn new(graph: Arc<DiskGraph>, options: FlashGraphOptions) -> Self {
         let cache = PageCache::new(options.cache_pages);
-        Self { graph, options, cache, traces: Mutex::new(Vec::new()) }
+        Self {
+            graph,
+            options,
+            cache,
+            traces: Mutex::new(Vec::new()),
+        }
     }
 
     /// The underlying graph.
@@ -117,18 +125,19 @@ impl OocEngine for FlashGraphEngine {
         let mut scratch = Vec::new();
         for page in pages {
             let data = self.fetch_page(page, &mut trace)?;
-            self.graph.for_each_vertex_in_page(page, &data, &mut scratch, |src, dsts| {
-                if !frontier.contains(src) {
-                    return;
-                }
-                for &dst in dsts {
-                    trace.edges_processed += 1;
-                    if cond(dst) {
-                        let value = scatter(src, dst);
-                        queues[dst as usize % threads].push((dst, value));
+            self.graph
+                .for_each_vertex_in_page(page, &data, &mut scratch, |src, dsts| {
+                    if !frontier.contains(src) {
+                        return;
                     }
-                }
-            });
+                    for &dst in dsts {
+                        trace.edges_processed += 1;
+                        if cond(dst) {
+                            let value = scatter(src, dst);
+                            queues[dst as usize % threads].push((dst, value));
+                        }
+                    }
+                });
         }
 
         // Phase 3: end-of-iteration message processing. In FlashGraph every
@@ -163,7 +172,7 @@ impl OocEngine for FlashGraphEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blaze_graph::gen::{rmat, relabel_bfs_order, RmatConfig};
+    use blaze_graph::gen::{relabel_bfs_order, rmat, RmatConfig};
     use blaze_graph::Csr;
     use blaze_storage::StripedStorage;
 
@@ -172,30 +181,34 @@ mod tests {
         let graph = Arc::new(DiskGraph::create(g, storage).unwrap());
         FlashGraphEngine::new(
             graph,
-            FlashGraphOptions { num_threads: 16, cache_pages },
+            FlashGraphOptions {
+                num_threads: 16,
+                cache_pages,
+            },
         )
     }
-
-
 
     #[test]
     fn full_edge_map_touches_every_edge() {
         let g = rmat(&RmatConfig::new(8));
         let e = engine(&g, 64);
         let frontier = VertexSubset::full(g.num_vertices());
-        let count = std::sync::atomic::AtomicU64::new(0);
+        let count = blaze_sync::atomic::AtomicU64::new(0);
         e.edge_map(
             &frontier,
             |_s, _d| (),
             |_d, _v| {
-                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                count.fetch_add(1, blaze_sync::atomic::Ordering::Relaxed);
                 false
             },
             |_| true,
             false,
         )
         .unwrap();
-        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), g.num_edges());
+        assert_eq!(
+            count.load(blaze_sync::atomic::Ordering::Relaxed),
+            g.num_edges()
+        );
         let t = e.take_traces().pop().unwrap();
         assert_eq!(t.edges_processed, g.num_edges());
         assert_eq!(t.records_produced, g.num_edges());
@@ -207,7 +220,8 @@ mod tests {
         let g = rmat(&RmatConfig::new(10));
         let e = engine(&g, 16);
         let frontier = VertexSubset::full(g.num_vertices());
-        e.edge_map(&frontier, |_s, _d| (), |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map(&frontier, |_s, _d| (), |_d, _v| false, |_| true, false)
+            .unwrap();
         let t = e.take_traces().pop().unwrap();
         assert!(
             t.message_skew() > 1.5,
@@ -222,7 +236,8 @@ mod tests {
         let e = engine(&g, 1 << 16); // cache larger than the graph
         let frontier = VertexSubset::full(g.num_vertices());
         for _ in 0..2 {
-            e.edge_map(&frontier, |_s, _d| (), |_d, _v| false, |_| true, false).unwrap();
+            e.edge_map(&frontier, |_s, _d| (), |_d, _v| false, |_| true, false)
+                .unwrap();
         }
         let traces = e.take_traces();
         assert_eq!(traces[0].cache_hit_pages, 0);
@@ -237,10 +252,14 @@ mod tests {
         let e = engine(&g, 4);
         let frontier = VertexSubset::full(g.num_vertices());
         for _ in 0..2 {
-            e.edge_map(&frontier, |_s, _d| (), |_d, _v| false, |_| true, false).unwrap();
+            e.edge_map(&frontier, |_s, _d| (), |_d, _v| false, |_| true, false)
+                .unwrap();
         }
         let traces = e.take_traces();
         let pages = traces[0].total_io_bytes() / PAGE_SIZE as u64;
-        assert!(traces[1].cache_hit_pages < pages / 2, "tiny cache cannot serve most pages");
+        assert!(
+            traces[1].cache_hit_pages < pages / 2,
+            "tiny cache cannot serve most pages"
+        );
     }
 }

@@ -9,15 +9,15 @@
 //! pulled from each disk diverge on power-law graphs, which is exactly the
 //! skewed-IO pathology of Figure 3.
 
-use std::sync::Arc;
+use blaze_sync::Arc;
 
-use parking_lot::Mutex;
+use blaze_sync::Mutex;
 
 use blaze_frontier::VertexSubset;
 use blaze_graph::Csr;
 use blaze_storage::request::merge_pages_with_window;
 use blaze_storage::{BlockDevice, MemDevice};
-use blaze_types::{IterationTrace, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZE};
+use blaze_types::{BlazeError, IterationTrace, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZE};
 
 use crate::common::OocEngine;
 use crate::stats_util::fill_io_trace;
@@ -36,7 +36,11 @@ pub struct GrapheneOptions {
 
 impl Default for GrapheneOptions {
     fn default() -> Self {
-        Self { num_disks: 8, grid: 8, merge_window: 8 }
+        Self {
+            num_disks: 8,
+            grid: 8,
+            merge_window: 8,
+        }
     }
 }
 
@@ -107,8 +111,9 @@ impl GrapheneEngine {
         let row_splits = mass_splits(&out_mass, p);
         let col_splits = mass_splits(&in_mass, p);
 
-        let devices: Vec<Arc<MemDevice>> =
-            (0..options.num_disks).map(|_| Arc::new(MemDevice::new())).collect();
+        let devices: Vec<Arc<MemDevice>> = (0..options.num_disks)
+            .map(|_| Arc::new(MemDevice::new()))
+            .collect();
         let mut device_cursor = vec![0u64; options.num_disks];
         let mut partitions = Vec::with_capacity(p * p);
 
@@ -145,18 +150,28 @@ impl GrapheneEngine {
                     for (k, &d) in stream[start..end].iter().enumerate() {
                         page[k * 4..k * 4 + 4].copy_from_slice(&d.to_le_bytes());
                     }
-                    devices[device]
-                        .write_at((base_page + pg) * PAGE_SIZE as u64, &page)?;
+                    devices[device].write_at((base_page + pg) * PAGE_SIZE as u64, &page)?;
                 }
                 device_cursor[device] += num_pages;
-                partitions.push(Partition { device, base_page, rows, offsets });
+                partitions.push(Partition {
+                    device,
+                    base_page,
+                    rows,
+                    offsets,
+                });
             }
         }
         // Placement written; clear construction-time write stats.
         for d in &devices {
             d.stats().reset();
         }
-        Ok(Self { num_vertices: n, partitions, devices, options, traces: Mutex::new(Vec::new()) })
+        Ok(Self {
+            num_vertices: n,
+            partitions,
+            devices,
+            options,
+            traces: Mutex::new(Vec::new()),
+        })
     }
 
     /// Takes (and clears) the recorded per-iteration traces.
@@ -168,7 +183,10 @@ impl GrapheneEngine {
     /// 2-D scheme optimizes for.
     pub fn partition_edge_range(&self) -> (u64, u64) {
         let counts: Vec<u64> = self.partitions.iter().map(Partition::num_edges).collect();
-        (*counts.iter().max().unwrap(), *counts.iter().min().unwrap())
+        (
+            counts.iter().max().copied().unwrap_or(0),
+            counts.iter().min().copied().unwrap_or(0),
+        )
     }
 
     /// Total edges per disk (the quantity Graphene balances statically).
@@ -236,15 +254,20 @@ impl OocEngine for GrapheneEngine {
             let mut fetched: Vec<(u64, Vec<u8>)> = Vec::with_capacity(pages.len());
             for req in merge_pages_with_window(&pages, self.options.merge_window) {
                 let mut buf = vec![0u8; req.len_bytes()];
-                device.read_at((part.base_page + req.first_page) * PAGE_SIZE as u64, &mut buf)?;
+                device.read_at(
+                    (part.base_page + req.first_page) * PAGE_SIZE as u64,
+                    &mut buf,
+                )?;
                 for k in 0..req.num_pages as u64 {
                     let start = k as usize * PAGE_SIZE;
                     fetched.push((req.first_page + k, buf[start..start + PAGE_SIZE].to_vec()));
                 }
             }
-            let page_data = |pg: u64| -> &[u8] {
-                let idx = fetched.binary_search_by_key(&pg, |(p, _)| *p).expect("page fetched");
-                &fetched[idx].1
+            let page_data = |pg: u64| -> Result<&[u8]> {
+                let idx = fetched
+                    .binary_search_by_key(&pg, |(p, _)| *p)
+                    .map_err(|_| BlazeError::Engine(format!("page {pg} was not fetched")))?;
+                Ok(&fetched[idx].1)
             };
             // Decode and apply. Graphene updates vertex state directly with
             // atomic operations (no binning), so every record is an RMW.
@@ -254,7 +277,7 @@ impl OocEngine for GrapheneEngine {
                 for e in off..off + deg {
                     let pg = e / EDGES_PER_PAGE as u64;
                     let slot = (e % EDGES_PER_PAGE as u64) as usize * 4;
-                    let bytes = page_data(pg);
+                    let bytes = page_data(pg)?;
                     let dst = VertexId::from_le_bytes([
                         bytes[slot],
                         bytes[slot + 1],
@@ -323,7 +346,10 @@ mod tests {
         let per = e.edges_per_disk();
         let max = *per.iter().max().unwrap() as f64;
         let min = *per.iter().min().unwrap() as f64;
-        assert!(max / min.max(1.0) < 1.6, "static balance should hold: {per:?}");
+        assert!(
+            max / min.max(1.0) < 1.6,
+            "static balance should hold: {per:?}"
+        );
     }
 
     #[test]
@@ -331,19 +357,22 @@ mod tests {
         let g = uniform(8, 8, 3);
         let e = GrapheneEngine::new(&g, GrapheneOptions::default()).unwrap();
         let frontier = VertexSubset::full(g.num_vertices());
-        let count = std::sync::atomic::AtomicU64::new(0);
+        let count = blaze_sync::atomic::AtomicU64::new(0);
         e.edge_map(
             &frontier,
             |_s, _d| (),
             |_d, _v| {
-                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                count.fetch_add(1, blaze_sync::atomic::Ordering::Relaxed);
                 false
             },
             |_| true,
             false,
         )
         .unwrap();
-        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), g.num_edges());
+        assert_eq!(
+            count.load(blaze_sync::atomic::Ordering::Relaxed),
+            g.num_edges()
+        );
         let t = e.take_traces().pop().unwrap();
         assert_eq!(t.edges_processed, g.num_edges());
         assert_eq!(t.atomic_ops, g.num_edges());
@@ -352,16 +381,23 @@ mod tests {
     #[test]
     fn gather_sees_correct_destinations() {
         let g = rmat(&RmatConfig::new(7));
-        let e = GrapheneEngine::new(&g, GrapheneOptions { num_disks: 4, grid: 4, merge_window: 4 })
-            .unwrap();
+        let e = GrapheneEngine::new(
+            &g,
+            GrapheneOptions {
+                num_disks: 4,
+                grid: 4,
+                merge_window: 4,
+            },
+        )
+        .unwrap();
         let frontier = VertexSubset::full(g.num_vertices());
         // Sum of dst ids must match the graph.
-        let sum = std::sync::atomic::AtomicU64::new(0);
+        let sum = blaze_sync::atomic::AtomicU64::new(0);
         e.edge_map(
             &frontier,
             |_s, d| d,
             |_d, v: u32| {
-                sum.fetch_add(v as u64, std::sync::atomic::Ordering::Relaxed);
+                sum.fetch_add(v as u64, blaze_sync::atomic::Ordering::Relaxed);
                 false
             },
             |_| true,
@@ -369,7 +405,7 @@ mod tests {
         )
         .unwrap();
         let expected: u64 = g.edges().map(|(_, d)| d as u64).sum();
-        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), expected);
+        assert_eq!(sum.load(blaze_sync::atomic::Ordering::Relaxed), expected);
     }
 
     #[test]
@@ -377,11 +413,16 @@ mod tests {
         let g = rmat(&RmatConfig::new(9));
         let e = GrapheneEngine::new(&g, GrapheneOptions::default()).unwrap();
         let full = VertexSubset::full(g.num_vertices());
-        e.edge_map(&full, |_s, _d| (), |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map(&full, |_s, _d| (), |_d, _v| false, |_| true, false)
+            .unwrap();
         let full_bytes = e.take_traces().pop().unwrap().total_io_bytes();
         let sparse = VertexSubset::from_members(g.num_vertices(), [0u32, 7, 19]);
-        e.edge_map(&sparse, |_s, _d| (), |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map(&sparse, |_s, _d| (), |_d, _v| false, |_| true, false)
+            .unwrap();
         let sparse_bytes = e.take_traces().pop().unwrap().total_io_bytes();
-        assert!(sparse_bytes < full_bytes / 2, "{sparse_bytes} vs {full_bytes}");
+        assert!(
+            sparse_bytes < full_bytes / 2,
+            "{sparse_bytes} vs {full_bytes}"
+        );
     }
 }

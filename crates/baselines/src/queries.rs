@@ -135,8 +135,7 @@ pub fn wcc<E: OocEngine>(out_engine: &E, in_engine: &E) -> Result<VertexArray<u3
         };
         let a = run(out_engine, &frontier)?;
         let b = run(in_engine, &frontier)?;
-        let candidates =
-            VertexSubset::from_members(n, a.members().into_iter().chain(b.members()));
+        let candidates = VertexSubset::from_members(n, a.members().into_iter().chain(b.members()));
         let mut next = VertexSubset::new(n);
         let mut count = 0u64;
         candidates.for_each(|i| {
@@ -190,7 +189,8 @@ pub fn bc<E: OocEngine>(out_engine: &E, in_engine: &E, root: VertexId) -> Result
     let mut levels = vec![VertexSubset::single(n, root)];
     loop {
         let level = levels.len() as i64;
-        let current = VertexSubset::from_members(n, levels.last().unwrap().members());
+        let Some(deepest) = levels.last() else { break };
+        let current = VertexSubset::from_members(n, deepest.members());
         if current.is_empty() {
             levels.pop();
             break;
@@ -257,7 +257,7 @@ mod tests {
     use blaze_graph::gen::{rmat, RmatConfig};
     use blaze_graph::{Csr, DiskGraph};
     use blaze_storage::StripedStorage;
-    use std::sync::Arc;
+    use blaze_sync::Arc;
 
     fn reference_levels(g: &Csr, root: u32) -> Vec<i64> {
         let mut level = vec![-1i64; g.num_vertices()];

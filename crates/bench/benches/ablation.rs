@@ -12,7 +12,9 @@
 
 use blaze_algorithms::{bfs, ExecMode, Query};
 use blaze_bench::datasets::{prepare, scale_from_env};
-use blaze_bench::engines::{run_flashgraph_query, run_graphene_query, traversal_root, BenchQueryOptions};
+use blaze_bench::engines::{
+    run_flashgraph_query, run_graphene_query, traversal_root, BenchQueryOptions,
+};
 use blaze_bench::report::{print_table, write_csv};
 use blaze_core::{BlazeEngine, EngineOptions};
 use blaze_graph::{Dataset, DiskGraph};
@@ -21,10 +23,7 @@ use blaze_storage::StripedStorage;
 use blaze_types::IterationTrace;
 use std::sync::Arc;
 
-fn blaze_bfs_traces(
-    g: &blaze_bench::PreparedGraph,
-    options: EngineOptions,
-) -> Vec<IterationTrace> {
+fn blaze_bfs_traces(g: &blaze_bench::PreparedGraph, options: EngineOptions) -> Vec<IterationTrace> {
     let storage = Arc::new(StripedStorage::in_memory(1).expect("storage"));
     let graph = Arc::new(DiskGraph::create(&g.csr, storage).expect("graph"));
     let engine = BlazeEngine::new(graph, options).expect("engine");
@@ -109,14 +108,21 @@ fn main() {
         &["window pages", "io requests", "io time s", "total s"],
         &merge_rows,
     );
-    write_csv("ablation_merge", &["window", "requests", "io_s", "total_s"], &merge_rows);
+    write_csv(
+        "ablation_merge",
+        &["window", "requests", "io_s", "total_s"],
+        &merge_rows,
+    );
 
     // --- 3. Placement: worst per-disk max/min ratio under BFS. ---
     let mut place_rows = Vec::new();
     for dataset in [Dataset::Rmat30, Dataset::Uran27] {
         let g = prepare(dataset, scale);
         // Blaze: 8-way page interleave.
-        let blaze_opts = BenchQueryOptions { blaze_devices: 8, ..opts.clone() };
+        let blaze_opts = BenchQueryOptions {
+            blaze_devices: 8,
+            ..opts.clone()
+        };
         let blaze_traces =
             blaze_bench::run_blaze_query(Query::Bfs, &g, ExecMode::Binned, &blaze_opts);
         let graphene_traces = run_graphene_query(Query::Bfs, &g, &opts).expect("bfs");
@@ -144,6 +150,10 @@ fn main() {
         &["graph", "blaze", "graphene"],
         &place_rows,
     );
-    let path = write_csv("ablation_placement", &["graph", "blaze", "graphene"], &place_rows);
+    let path = write_csv(
+        "ablation_placement",
+        &["graph", "blaze", "graphene"],
+        &place_rows,
+    );
     println!("\nwrote {}", path.display());
 }

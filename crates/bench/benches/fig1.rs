@@ -30,7 +30,10 @@ fn main() {
                     _ => {
                         // Graphene's figure-1 run uses a single Optane SSD:
                         // partitions on one disk, 1 IO + 1 compute thread.
-                        let one_disk = BenchQueryOptions { graphene_disks: 1, ..opts.clone() };
+                        let one_disk = BenchQueryOptions {
+                            graphene_disks: 1,
+                            ..opts.clone()
+                        };
                         let traces = run_graphene_query(query, g, &one_disk).expect("query");
                         model.graphene_query(&traces)
                     }
@@ -56,7 +59,13 @@ fn main() {
         &["system", "query", "graph", "read GB/s", "utilization"],
         &rows,
     );
-    let path = write_csv("fig1", &["system", "query", "graph", "gbps", "utilization"], &rows);
+    let path = write_csv(
+        "fig1",
+        &["system", "query", "graph", "gbps", "utilization"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
-    println!("paper shape: BFS near device BW for both; PR/WCC/SpMV drop to 23-30% on power-law graphs");
+    println!(
+        "paper shape: BFS near device BW for both; PR/WCC/SpMV drop to 23-30% on power-law graphs"
+    );
 }

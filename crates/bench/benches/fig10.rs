@@ -17,8 +17,7 @@ use blaze_storage::StripedStorage;
 use std::sync::Arc;
 
 /// Scaled sweep: 16 KiB → 4 MiB stands in for the paper's 16 MB → 1 GB.
-const BIN_SPACES: [usize; 6] =
-    [16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20];
+const BIN_SPACES: [usize; 6] = [16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20];
 
 fn main() {
     let scale = scale_from_env();
@@ -34,12 +33,11 @@ fn main() {
             let graph = Arc::new(DiskGraph::create(&g.csr, storage).expect("graph"));
             // Small staging batches so tiny bin spaces are not floored away.
             let binning = BinningConfig::new(1024, space, 8).expect("binning");
-            let engine = BlazeEngine::new(
-                graph,
-                EngineOptions::default().with_binning(binning),
-            )
-            .expect("engine");
-            let x: Vec<f64> = (0..g.csr.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+            let engine = BlazeEngine::new(graph, EngineOptions::default().with_binning(binning))
+                .expect("engine");
+            let x: Vec<f64> = (0..g.csr.num_vertices())
+                .map(|i| 1.0 / (i + 1) as f64)
+                .collect();
             spmv(&engine, &x, ExecMode::Binned).expect("spmv");
             let traces = engine.take_traces();
             row.push(gbps(model.blaze_query(&traces).avg_bandwidth()));

@@ -23,7 +23,11 @@ use std::sync::Arc;
 const BIN_COUNTS: [usize; 8] = [4, 16, 64, 256, 1024, 4096, 16384, 131072];
 const BIN_SPACE: usize = 256 << 10; // scaled from 256 MB
 
-fn run_query_with_bins(g: &blaze_bench::PreparedGraph, query: Query, bins: usize) -> Vec<IterationTrace> {
+fn run_query_with_bins(
+    g: &blaze_bench::PreparedGraph,
+    query: Query,
+    bins: usize,
+) -> Vec<IterationTrace> {
     let storage = Arc::new(StripedStorage::in_memory(1).expect("storage"));
     let graph = Arc::new(DiskGraph::create(&g.csr, storage).expect("graph"));
     let binning = BinningConfig::new(bins, BIN_SPACE, 8).expect("binning");
@@ -37,7 +41,9 @@ fn run_query_with_bins(g: &blaze_bench::PreparedGraph, query: Query, bins: usize
             pagerank_delta(&engine, PageRankConfig::default(), ExecMode::Binned).expect("pr");
         }
         Query::SpMV => {
-            let x: Vec<f64> = (0..g.csr.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+            let x: Vec<f64> = (0..g.csr.num_vertices())
+                .map(|i| 1.0 / (i + 1) as f64)
+                .collect();
             spmv(&engine, &x, ExecMode::Binned).expect("spmv");
         }
         Query::Wcc => {
@@ -77,7 +83,11 @@ fn main() {
         .chain(BIN_COUNTS.iter().map(|b| b.to_string()))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Figure 11a: modeled time (s) vs bin count, rmat27", &header_refs, &count_rows);
+    print_table(
+        "Figure 11a: modeled time (s) vs bin count, rmat27",
+        &header_refs,
+        &count_rows,
+    );
     write_csv("fig11_bincount", &header_refs, &count_rows);
 
     // (b) scatter:gather ratio sweep at 16 threads, using one trace set.
@@ -89,8 +99,8 @@ fn main() {
         let traces = run_blaze_query(query, &g, ExecMode::Binned, &opts);
         let mut row = vec![query.short_name().to_string()];
         for &(s, gth) in &ratios {
-            let machine = MachineConfig::paper_optane()
-                .with_scatter_ratio(s as f64 / (s + gth) as f64);
+            let machine =
+                MachineConfig::paper_optane().with_scatter_ratio(s as f64 / (s + gth) as f64);
             let m = PerfModel::new(machine);
             row.push(format!("{:.4}", m.blaze_query(&traces).total_s()));
         }

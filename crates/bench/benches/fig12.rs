@@ -17,11 +17,11 @@ use std::sync::Arc;
 /// Bytes per vertex of algorithm state, per query (Algorithms 1-3 + BC).
 fn algorithm_bytes_per_vertex(query: Query) -> u64 {
     match query {
-        Query::Bfs => 8,            // Parent: one i64 array
-        Query::PageRank => 24,      // p, delta, ngh_sum: three f64 arrays
-        Query::Wcc => 8,            // Ids, PrevIds: two u32 arrays
-        Query::SpMV => 16,          // x and y: two f64 arrays
-        Query::Bc => 32,            // depth, sigma, delta, acc
+        Query::Bfs => 8,       // Parent: one i64 array
+        Query::PageRank => 24, // p, delta, ngh_sum: three f64 arrays
+        Query::Wcc => 8,       // Ids, PrevIds: two u32 arrays
+        Query::SpMV => 16,     // x and y: two f64 arrays
+        Query::Bc => 32,       // depth, sigma, delta, acc
     }
 }
 

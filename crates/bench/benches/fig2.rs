@@ -16,8 +16,10 @@ fn main() {
     let scale = scale_from_env();
     let opts = BenchQueryOptions::default();
     let g = prepare(Dataset::Rmat30, scale);
-    let machines =
-        [("nand", MachineConfig::paper_nand()), ("optane", MachineConfig::paper_optane())];
+    let machines = [
+        ("nand", MachineConfig::paper_nand()),
+        ("optane", MachineConfig::paper_optane()),
+    ];
     let queries = [Query::PageRank, Query::Wcc, Query::SpMV];
 
     let mut summary = Vec::new();
@@ -49,8 +51,16 @@ fn main() {
         &["device", "query", "duration s", "idle fraction"],
         &summary,
     );
-    let path = write_csv("fig2_timeline", &["device", "query", "time_s", "gbps"], &series_rows);
-    let spath = write_csv("fig2_summary", &["device", "query", "duration_s", "idle_pct"], &summary);
+    let path = write_csv(
+        "fig2_timeline",
+        &["device", "query", "time_s", "gbps"],
+        &series_rows,
+    );
+    let spath = write_csv(
+        "fig2_summary",
+        &["device", "query", "duration_s", "idle_pct"],
+        &summary,
+    );
     println!("\nwrote {} and {}", path.display(), spath.display());
     println!("paper shape: NAND timeline pinned at device BW; Optane timeline drops to zero at every iteration tail");
 }

@@ -47,11 +47,19 @@ fn main() {
     }
     print_table(
         "Figure 3: Graphene per-iteration IO skew across 8 disks (BFS)",
-        &["graph", "max (max-min) bytes", "worst max/min", "iterations"],
+        &[
+            "graph",
+            "max (max-min) bytes",
+            "worst max/min",
+            "iterations",
+        ],
         &summary,
     );
-    let path =
-        write_csv("fig3", &["graph", "iteration", "skew_bytes", "max_bytes", "min_bytes"], &per_iter_rows);
+    let path = write_csv(
+        "fig3",
+        &["graph", "iteration", "skew_bytes", "max_bytes", "min_bytes"],
+        &per_iter_rows,
+    );
     println!("\nwrote {}", path.display());
     println!("paper shape: power-law graphs skew up to >100 MB and 1.7-2.1x max/min; uran27 stays under ~1 MB (scales with dataset size)");
 }

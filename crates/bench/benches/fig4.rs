@@ -20,7 +20,12 @@ fn main() {
     let scale = scale_from_env();
     let opts = BenchQueryOptions::default();
     let costs = CostModel::default();
-    let graphs = [Dataset::Rmat27, Dataset::Uran27, Dataset::Twitter, Dataset::Sk2005];
+    let graphs = [
+        Dataset::Rmat27,
+        Dataset::Uran27,
+        Dataset::Twitter,
+        Dataset::Sk2005,
+    ];
     let queries = [Query::Bfs, Query::Bc, Query::PageRank];
     let nand = DeviceProfile::nand_s3520();
     let optane = DeviceProfile::optane_p4800x();
@@ -37,8 +42,18 @@ fn main() {
                 query.short_name().to_string(),
                 dataset.short_name().to_string(),
                 gbps(rate),
-                if rate >= nand.rand_read_bw { "yes" } else { "no" }.to_string(),
-                if rate >= optane.rand_read_bw { "yes" } else { "no" }.to_string(),
+                if rate >= nand.rand_read_bw {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
+                if rate >= optane.rand_read_bw {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]);
         }
     }
@@ -51,7 +66,11 @@ fn main() {
         &["query", "graph", "compute GB/s", ">= NAND", ">= Optane"],
         &rows,
     );
-    let path = write_csv("fig4", &["query", "graph", "gbps", "beats_nand", "beats_optane"], &rows);
+    let path = write_csv(
+        "fig4",
+        &["query", "graph", "gbps", "beats_nand", "beats_optane"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
     println!("paper shape: bars clear the NAND line on most workloads but never the Optane line");
 }

@@ -31,12 +31,17 @@ fn main() {
 
             // Graphene comparison: one disk (the Figure 7 testbed is a
             // single Optane SSD); PR compares a single full iteration.
-            let one_disk = BenchQueryOptions { graphene_disks: 1, ..opts.clone() };
+            let one_disk = BenchQueryOptions {
+                graphene_disks: 1,
+                ..opts.clone()
+            };
             let gr_s = run_graphene_query(query, g, &one_disk)
                 .map(|traces| model.graphene_query(&traces).total_s());
             let blaze_vs_gr_s = if query == Query::PageRank {
                 // First iteration only (full frontier) on the Blaze side.
-                model.blaze_query(&blaze_traces[..1.min(blaze_traces.len())]).total_s()
+                model
+                    .blaze_query(&blaze_traces[..1.min(blaze_traces.len())])
+                    .total_s()
             } else {
                 blaze_s
             };
@@ -54,12 +59,28 @@ fn main() {
     }
     print_table(
         "Figure 7: modeled query times (s) and Blaze speedups",
-        &["query", "graph", "blaze s", "flashgraph s", "vs FG", "graphene s", "vs GR"],
+        &[
+            "query",
+            "graph",
+            "blaze s",
+            "flashgraph s",
+            "vs FG",
+            "graphene s",
+            "vs GR",
+        ],
         &rows,
     );
     let path = write_csv(
         "fig7",
-        &["query", "graph", "blaze_s", "flashgraph_s", "speedup_fg", "graphene_s", "speedup_gr"],
+        &[
+            "query",
+            "graph",
+            "blaze_s",
+            "flashgraph_s",
+            "speedup_fg",
+            "graphene_s",
+            "speedup_gr",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

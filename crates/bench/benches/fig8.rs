@@ -39,13 +39,23 @@ fn main() {
         }
     }
     print_table(
-        &format!("Figure 8: Blaze vs sync-variant read bandwidth (device {} GB/s)", gbps(device_bw)),
+        &format!(
+            "Figure 8: Blaze vs sync-variant read bandwidth (device {} GB/s)",
+            gbps(device_bw)
+        ),
         &["query", "graph", "blaze GB/s", "util", "sync GB/s", "util"],
         &rows,
     );
     let path = write_csv(
         "fig8",
-        &["query", "graph", "blaze_gbps", "blaze_util", "sync_gbps", "sync_util"],
+        &[
+            "query",
+            "graph",
+            "blaze_gbps",
+            "blaze_util",
+            "sync_gbps",
+            "sync_util",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

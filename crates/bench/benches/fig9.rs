@@ -25,8 +25,7 @@ fn main() {
             let times: Vec<f64> = THREADS
                 .iter()
                 .map(|&t| {
-                    let model =
-                        PerfModel::new(MachineConfig::paper_optane().with_threads(t));
+                    let model = PerfModel::new(MachineConfig::paper_optane().with_threads(t));
                     model.blaze_query(&traces).total_s()
                 })
                 .collect();
@@ -41,12 +40,28 @@ fn main() {
     }
     print_table(
         "Figure 9: modeled Blaze runtime (s) vs compute threads",
-        &["query", "graph", "t=2", "t=4", "t=8", "t=16", "2->16 speedup"],
+        &[
+            "query",
+            "graph",
+            "t=2",
+            "t=4",
+            "t=8",
+            "t=16",
+            "2->16 speedup",
+        ],
         &rows,
     );
     let path = write_csv(
         "fig9",
-        &["query", "graph", "t2_s", "t4_s", "t8_s", "t16_s", "speedup_2_to_16"],
+        &[
+            "query",
+            "graph",
+            "t2_s",
+            "t4_s",
+            "t8_s",
+            "t16_s",
+            "speedup_2_to_16",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

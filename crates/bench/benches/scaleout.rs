@@ -94,10 +94,19 @@ fn main() {
     }
     print_table(
         "Scale-out projection: BFS on rmat30, modeled (paper-spec machines, 10 GbE)",
-        &["machines", "compute+io s", "network s", "total s", "speedup"],
+        &[
+            "machines",
+            "compute+io s",
+            "network s",
+            "total s",
+            "speedup",
+        ],
         &rows,
     );
-    let path =
-        write_csv("scaleout", &["machines", "compute_s", "network_s", "total_s", "speedup"], &rows);
+    let path = write_csv(
+        "scaleout",
+        &["machines", "compute_s", "network_s", "total_s", "speedup"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 }

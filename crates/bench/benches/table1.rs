@@ -13,13 +13,22 @@ const DEVICE_PAGES: u64 = 4096;
 const READS: u64 = 4096;
 
 fn measure(profile: &DeviceProfile, random: bool) -> f64 {
-    let dev = SimDevice::new(MemDevice::with_len((DEVICE_PAGES as usize) * PAGE_SIZE), profile.clone());
+    let dev = SimDevice::new(
+        MemDevice::with_len((DEVICE_PAGES as usize) * PAGE_SIZE),
+        profile.clone(),
+    );
     let mut buf = vec![0u8; PAGE_SIZE];
     for i in 0..READS {
-        let page = if random { (i.wrapping_mul(2654435761)) % DEVICE_PAGES } else { i % DEVICE_PAGES };
+        let page = if random {
+            (i.wrapping_mul(2654435761)) % DEVICE_PAGES
+        } else {
+            i % DEVICE_PAGES
+        };
         dev.read_pages(page, &mut buf).expect("read");
     }
-    dev.stats().modeled_read_bandwidth().expect("busy time recorded")
+    dev.stats()
+        .modeled_read_bandwidth()
+        .expect("busy time recorded")
 }
 
 fn main() {

@@ -19,17 +19,38 @@ fn main() {
             format!("{:.1}", stats.num_edges as f64 / 1e3),
             stats.distribution.to_string(),
             stats.approx_diameter.to_string(),
-            if dataset.is_synthetic() { "synthetic" } else { "real (stand-in)" }.to_string(),
+            if dataset.is_synthetic() {
+                "synthetic"
+            } else {
+                "real (stand-in)"
+            }
+            .to_string(),
         ]);
     }
     print_table(
         &format!("Table II: target graphs at {scale:?} scale (|V|,|E| in thousands)"),
-        &["dataset", "short", "|V| k", "|E| k", "distribution", "diameter", "type"],
+        &[
+            "dataset",
+            "short",
+            "|V| k",
+            "|E| k",
+            "distribution",
+            "diameter",
+            "type",
+        ],
         &rows,
     );
     let path = write_csv(
         "table2",
-        &["dataset", "short", "vertices_k", "edges_k", "distribution", "diameter", "type"],
+        &[
+            "dataset",
+            "short",
+            "vertices_k",
+            "edges_k",
+            "distribution",
+            "diameter",
+            "type",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());

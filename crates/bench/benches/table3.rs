@@ -65,7 +65,10 @@ fn main() {
     // Graphene: BFS on 8 disks for IO skew; PR on 1 disk for the pipeline.
     let gr_bfs = run_graphene_query(Query::Bfs, &g, &opts).expect("bfs");
     let gr_io_ratio = worst_io_ratio(&gr_bfs);
-    let one_disk = BenchQueryOptions { graphene_disks: 1, ..opts.clone() };
+    let one_disk = BenchQueryOptions {
+        graphene_disks: 1,
+        ..opts.clone()
+    };
     let gr_pr = run_graphene_query(Query::PageRank, &g, &one_disk).expect("pr");
     let gr_timing = model.graphene_query(&gr_pr);
     let gr_compute_bound = gr_timing
@@ -102,9 +105,23 @@ fn main() {
     ];
     print_table(
         "Table III: root causes, measured (rmat30)",
-        &["system", "skewed computation", "skewed IO", "fast IO & slow computation"],
+        &[
+            "system",
+            "skewed computation",
+            "skewed IO",
+            "fast IO & slow computation",
+        ],
         &rows,
     );
-    let path = write_csv("table3", &["system", "skewed_compute", "skewed_io", "fast_io_slow_compute"], &rows);
+    let path = write_csv(
+        "table3",
+        &[
+            "system",
+            "skewed_compute",
+            "skewed_io",
+            "fast_io_slow_compute",
+        ],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 }

@@ -22,7 +22,11 @@ impl PreparedGraph {
 
 /// Reads `BLAZE_SCALE` (tiny | small | medium), defaulting to tiny.
 pub fn scale_from_env() -> DatasetScale {
-    match std::env::var("BLAZE_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("BLAZE_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "medium" => DatasetScale::Medium,
         "small" => DatasetScale::Small,
         _ => DatasetScale::Tiny,
@@ -33,10 +37,17 @@ pub fn scale_from_env() -> DatasetScale {
 pub fn prepare(dataset: Dataset, scale: DatasetScale) -> PreparedGraph {
     let csr = dataset.generate(scale);
     let transpose = csr.transpose();
-    PreparedGraph { dataset, csr, transpose }
+    PreparedGraph {
+        dataset,
+        csr,
+        transpose,
+    }
 }
 
 /// Prepares the six main-evaluation graphs.
 pub fn prepare_main_six(scale: DatasetScale) -> Vec<PreparedGraph> {
-    Dataset::main_six().into_iter().map(|d| prepare(d, scale)).collect()
+    Dataset::main_six()
+        .into_iter()
+        .map(|d| prepare(d, scale))
+        .collect()
 }

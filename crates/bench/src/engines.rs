@@ -1,7 +1,7 @@
 //! Query execution adapters: run one (engine, query, dataset) combination
 //! functionally and return the recorded work traces.
 
-use std::sync::Arc;
+use blaze_sync::Arc;
 
 use blaze_algorithms::{self as algo, ExecMode, Query};
 use blaze_baselines::{
@@ -53,14 +53,15 @@ impl Default for BenchQueryOptions {
 /// Root choice for traversal queries: the highest-out-degree vertex, which
 /// reaches the giant component.
 pub fn traversal_root(g: &Csr) -> VertexId {
-    (0..g.num_vertices() as VertexId).max_by_key(|&v| g.degree(v)).unwrap_or(0)
+    (0..g.num_vertices() as VertexId)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(0)
 }
 
 fn blaze_engine(csr: &Csr, opts: &BenchQueryOptions) -> BlazeEngine {
     let storage = Arc::new(StripedStorage::in_memory(opts.blaze_devices).expect("storage"));
     let graph = Arc::new(DiskGraph::create(csr, storage).expect("disk graph"));
-    let engine_opts =
-        EngineOptions::default().with_compute_workers(opts.blaze_threads.max(2), 0.5);
+    let engine_opts = EngineOptions::default().with_compute_workers(opts.blaze_threads.max(2), 0.5);
     BlazeEngine::new(graph, engine_opts).expect("engine")
 }
 
@@ -88,7 +89,9 @@ pub fn run_blaze_query(
             engine.take_traces()
         }
         Query::SpMV => {
-            let x: Vec<f64> = (0..g.csr.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+            let x: Vec<f64> = (0..g.csr.num_vertices())
+                .map(|i| 1.0 / (i + 1) as f64)
+                .collect();
             algo::spmv(&engine, &x, mode).expect("spmv");
             engine.take_traces()
         }
@@ -125,7 +128,10 @@ fn flashgraph_engine(csr: &Csr, opts: &BenchQueryOptions) -> FlashGraphEngine {
     };
     FlashGraphEngine::new(
         graph,
-        FlashGraphOptions { num_threads: opts.flashgraph_threads, cache_pages },
+        FlashGraphOptions {
+            num_threads: opts.flashgraph_threads,
+            cache_pages,
+        },
     )
 }
 
@@ -143,12 +149,20 @@ pub fn run_flashgraph_query(
             engine.take_traces()
         }
         Query::PageRank => {
-            base_queries::pagerank_delta(&engine, &degree, 0.85, opts.pr_epsilon, opts.pr_max_iters)
-                .expect("pagerank");
+            base_queries::pagerank_delta(
+                &engine,
+                &degree,
+                0.85,
+                opts.pr_epsilon,
+                opts.pr_max_iters,
+            )
+            .expect("pagerank");
             engine.take_traces()
         }
         Query::SpMV => {
-            let x: Vec<f64> = (0..g.csr.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+            let x: Vec<f64> = (0..g.csr.num_vertices())
+                .map(|i| 1.0 / (i + 1) as f64)
+                .collect();
             base_queries::spmv(&engine, &x).expect("spmv");
             engine.take_traces()
         }
@@ -183,7 +197,10 @@ pub fn run_graphene_query(
     g: &PreparedGraph,
     opts: &BenchQueryOptions,
 ) -> Option<Vec<IterationTrace>> {
-    let graphene_opts = GrapheneOptions { num_disks: opts.graphene_disks, ..Default::default() };
+    let graphene_opts = GrapheneOptions {
+        num_disks: opts.graphene_disks,
+        ..Default::default()
+    };
     let engine = GrapheneEngine::new(&g.csr, graphene_opts.clone()).expect("graphene");
     let degree = |v: VertexId| g.csr.degree(v);
     match query {
@@ -196,7 +213,9 @@ pub fn run_graphene_query(
             Some(engine.take_traces())
         }
         Query::SpMV => {
-            let x: Vec<f64> = (0..g.csr.num_vertices()).map(|i| 1.0 / (i + 1) as f64).collect();
+            let x: Vec<f64> = (0..g.csr.num_vertices())
+                .map(|i| 1.0 / (i + 1) as f64)
+                .collect();
             base_queries::spmv(&engine, &x).expect("spmv");
             Some(engine.take_traces())
         }

@@ -20,7 +20,5 @@ pub mod engines;
 pub mod report;
 
 pub use datasets::{prepare, scale_from_env, PreparedGraph};
-pub use engines::{
-    run_blaze_query, run_flashgraph_query, run_graphene_query, BenchQueryOptions,
-};
+pub use engines::{run_blaze_query, run_flashgraph_query, run_graphene_query, BenchQueryOptions};
 pub use report::{print_table, results_dir, write_csv};

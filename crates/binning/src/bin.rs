@@ -2,7 +2,7 @@
 //! protocol that keeps scatter and gather threads concurrently productive
 //! (Section IV-A, third optimization).
 
-use parking_lot::{Condvar, Mutex};
+use blaze_sync::{Condvar, Mutex};
 
 use crate::record::{BinRecord, BinValue};
 
@@ -117,7 +117,7 @@ impl<V: BinValue> Bin<V> {
     /// Locks this bin for gather processing. While the guard lives, no other
     /// gather thread may process records of this bin — the exclusivity that
     /// makes vertex updates synchronization-free.
-    pub fn lock_for_gather(&self) -> parking_lot::MutexGuard<'_, ()> {
+    pub fn lock_for_gather(&self) -> blaze_sync::MutexGuard<'_, ()> {
         self.gather_lock.lock()
     }
 
@@ -179,10 +179,10 @@ mod tests {
 
     #[test]
     fn scatter_blocks_until_gather_returns_buffer() {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        use std::sync::Arc;
+        use blaze_sync::atomic::{AtomicBool, Ordering};
+        use blaze_sync::Arc;
         let bin = Arc::new(Bin::new(2));
-        let queue = Arc::new(crossbeam::queue::SegQueue::<Vec<BinRecord<u32>>>::new());
+        let queue = Arc::new(blaze_sync::queue::SegQueue::<Vec<BinRecord<u32>>>::new());
         let made_progress = Arc::new(AtomicBool::new(false));
 
         // Fill both buffers: first append emits one full buffer, second
@@ -201,7 +201,10 @@ mod tests {
             progress.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
-        assert!(!made_progress.load(Ordering::SeqCst), "scatter should be blocked");
+        assert!(
+            !made_progress.load(Ordering::SeqCst),
+            "scatter should be blocked"
+        );
 
         // Gather: process the queued full buffer and return it.
         let full = queue.pop().unwrap();

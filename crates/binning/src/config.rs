@@ -1,6 +1,8 @@
 //! Binning configuration and the paper's tuning heuristics (Section V-E).
 
-use blaze_types::{BlazeError, Result, DEFAULT_BIN_COUNT, DEFAULT_BIN_SPACE_RATIO, DEFAULT_STAGING_RECORDS};
+use blaze_types::{
+    BlazeError, Result, DEFAULT_BIN_COUNT, DEFAULT_BIN_SPACE_RATIO, DEFAULT_STAGING_RECORDS,
+};
 
 /// Parameters of the online-binning machinery.
 ///
@@ -27,7 +29,11 @@ impl BinningConfig {
         if staging_records == 0 {
             return Err(BlazeError::Config("staging_records must be >= 1".into()));
         }
-        Ok(Self { bin_count, bin_space_bytes, staging_records })
+        Ok(Self {
+            bin_count,
+            bin_space_bytes,
+            staging_records,
+        })
     }
 
     /// The paper's default heuristic for a graph of `graph_bytes` on disk:

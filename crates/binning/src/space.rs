@@ -1,8 +1,8 @@
 //! The bin space: all bins plus the MPMC `full_bins` queue.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use blaze_sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::queue::SegQueue;
+use blaze_sync::queue::SegQueue;
 
 use blaze_types::{CachePadded, VertexId};
 
@@ -35,9 +35,16 @@ impl<V: BinValue> BinSpace<V> {
         let record_bytes = BinRecord::<V>::size_bytes();
         let capacity = config.buffer_capacity(record_bytes);
         let bins = (0..config.bin_count).map(|_| Bin::new(capacity)).collect();
-        let records_per_bin =
-            (0..config.bin_count).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
-        Self { bins, full_bins: SegQueue::new(), records_per_bin, config, record_bytes }
+        let records_per_bin = (0..config.bin_count)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        Self {
+            bins,
+            full_bins: SegQueue::new(),
+            records_per_bin,
+            config,
+            record_bytes,
+        }
     }
 
     /// Number of bins.
@@ -54,7 +61,7 @@ impl<V: BinValue> BinSpace<V> {
     /// Appends a batch of records that all route to `bin_id`; full buffers
     /// move to the `full_bins` queue.
     pub fn append_batch(&self, bin_id: usize, batch: &[BinRecord<V>]) {
-        self.records_per_bin[bin_id].fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.records_per_bin[bin_id].fetch_add(batch.len() as u64, Ordering::Relaxed); // sync-audit: per-bin work counter; read post-join or for heuristics.
         self.bins[bin_id].append_batch(batch, |records| {
             self.full_bins.push(FullBin { bin_id, records });
         });
@@ -97,13 +104,21 @@ impl<V: BinValue> BinSpace<V> {
     /// Total records appended since the last
     /// [`take_record_counts`](Self::take_record_counts).
     pub fn total_records(&self) -> u64 {
-        self.records_per_bin.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.records_per_bin
+            .iter()
+            // sync-audit: work counter; authoritative only after scatter joins.
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Returns and resets the per-bin record counters (one `EdgeMap`'s
     /// gather-work distribution, fed to the performance model).
     pub fn take_record_counts(&self) -> Vec<u64> {
-        self.records_per_bin.iter().map(|c| c.swap(0, Ordering::Relaxed)).collect()
+        self.records_per_bin
+            .iter()
+            // sync-audit: reset between iterations; scatter threads are quiescent.
+            .map(|c| c.swap(0, Ordering::Relaxed))
+            .collect()
     }
 
     /// The configuration this space was built with.
@@ -176,8 +191,8 @@ mod tests {
     fn concurrent_scatter_gather_pipeline() {
         // 4 scatter threads + 2 gather threads over a small bin space;
         // every value must be gathered exactly once.
-        use std::sync::atomic::{AtomicBool, AtomicU64};
-        use std::sync::Arc;
+        use blaze_sync::atomic::{AtomicBool, AtomicU64};
+        use blaze_sync::Arc;
         const N: u32 = 20_000;
         let space: Arc<BinSpace<u32>> = Arc::new(BinSpace::new(config(8, 32)));
         let sum = Arc::new(AtomicU64::new(0));
@@ -185,16 +200,16 @@ mod tests {
         let scatter_done = Arc::new(AtomicBool::new(false));
         let finished_scatters = Arc::new(AtomicU64::new(0));
 
-        crossbeam::scope(|s| {
+        blaze_sync::thread::scope(|s| {
             for t in 0..4u32 {
                 let space = space.clone();
                 let finished = finished_scatters.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in (t..N).step_by(4) {
                         let bin = space.bin_of(i);
                         space.append_batch(bin, &[BinRecord::new(i, i)]);
                     }
-                    finished.fetch_add(1, Ordering::Release);
+                    finished.fetch_add(1, Ordering::Release); // sync-audit: per-bin work counter; read post-join or for heuristics.
                 });
             }
             for _ in 0..2 {
@@ -202,15 +217,16 @@ mod tests {
                 let sum = sum.clone();
                 let count = count.clone();
                 let done = scatter_done.clone();
-                s.spawn(move |_| loop {
+                s.spawn(move || loop {
                     let progressed = space.process_one_full(|_, records| {
                         for r in records {
-                            sum.fetch_add(r.value as u64, Ordering::Relaxed);
-                            count.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(r.value as u64, Ordering::Relaxed); // sync-audit: per-bin work counter; read post-join or for heuristics.
+                            count.fetch_add(1, Ordering::Relaxed); // sync-audit: per-bin work counter; read post-join or for heuristics.
                         }
                     });
                     if !progressed {
                         if done.load(Ordering::Acquire) && space.full_queue_is_empty() {
+                            // sync-audit: work counter; authoritative only after scatter joins.
                             break;
                         }
                         std::thread::yield_now();
@@ -223,18 +239,18 @@ mod tests {
             let space2 = space.clone();
             let done2 = scatter_done.clone();
             let finished = finished_scatters.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 while finished.load(Ordering::Acquire) < 4 {
+                    // sync-audit: work counter; authoritative only after scatter joins.
                     std::thread::yield_now();
                 }
                 space2.flush_partials();
                 done2.store(true, Ordering::Release);
             });
-        })
-        .unwrap();
+        });
 
-        assert_eq!(count.load(Ordering::Relaxed), N as u64);
+        assert_eq!(count.load(Ordering::Relaxed), N as u64); // sync-audit: work counter; authoritative only after scatter joins.
         let expected: u64 = (0..N as u64).sum();
-        assert_eq!(sum.load(Ordering::Relaxed), expected);
+        assert_eq!(sum.load(Ordering::Relaxed), expected); // sync-audit: work counter; authoritative only after scatter joins.
     }
 }

@@ -23,7 +23,9 @@ impl<V: BinValue> ScatterStaging<V> {
     /// staging batch size.
     pub fn new(space: &BinSpace<V>) -> Self {
         let capacity = space.config().staging_records;
-        let buffers = (0..space.bin_count()).map(|_| Vec::with_capacity(capacity)).collect();
+        let buffers = (0..space.bin_count())
+            .map(|_| Vec::with_capacity(capacity))
+            .collect();
         Self { buffers, capacity }
     }
 

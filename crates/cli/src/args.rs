@@ -105,8 +105,9 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
                 out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
             }
             "-inIndexFilename" => {
-                out.in_index =
-                    Some(PathBuf::from(it.next().ok_or_else(|| missing("-inIndexFilename"))?));
+                out.in_index = Some(PathBuf::from(
+                    it.next().ok_or_else(|| missing("-inIndexFilename"))?,
+                ));
             }
             "-inAdjFilenames" => {
                 let v = it.next().ok_or_else(|| missing("-inAdjFilenames"))?;
@@ -126,7 +127,9 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
     out.index = positional.remove(0);
     out.adj = positional;
     if out.adj.is_empty() {
-        return Err(BlazeError::Config("at least one .gr.adj stripe file is required".into()));
+        return Err(BlazeError::Config(
+            "at least one .gr.adj stripe file is required".into(),
+        ));
     }
     Ok(out)
 }

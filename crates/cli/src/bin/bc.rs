@@ -36,7 +36,7 @@ fn main() {
     let wall = t0.elapsed();
     blaze_cli::print_run_summary("bc", &out_engine, wall);
     let top = (0..out_engine.num_vertices())
-        .max_by(|&a, &b| scores.get(a).partial_cmp(&scores.get(b)).unwrap())
+        .max_by(|&a, &b| scores.get(a).total_cmp(&scores.get(b)))
         .unwrap_or(0);
     println!("top broker: vertex {top} (score {:.2})", scores.get(top));
 }

@@ -27,7 +27,9 @@ fn main() {
             std::process::exit(1);
         });
     let wall = t0.elapsed();
-    let reached = (0..engine.num_vertices()).filter(|&v| parent.get(v) != -1).count();
+    let reached = (0..engine.num_vertices())
+        .filter(|&v| parent.get(v) != -1)
+        .count();
     blaze_cli::print_run_summary("bfs", &engine, wall);
     println!("reached {reached} vertices from root {}", cli.start_node);
 }

@@ -39,7 +39,10 @@ fn main() {
     let input = &positional[0];
     let out_base = std::path::PathBuf::from(&positional[1]);
     let dir = out_base.parent().unwrap_or(std::path::Path::new("."));
-    let name = out_base.file_name().and_then(|n| n.to_str()).unwrap_or("graph");
+    let name = out_base
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("graph");
     std::fs::create_dir_all(dir).expect("create output dir");
 
     let csr = if binary {
@@ -55,10 +58,13 @@ fn main() {
         eprintln!("convert: {e}");
         std::process::exit(1);
     });
-    println!("parsed {} vertices, {} edges", csr.num_vertices(), csr.num_edges());
+    println!(
+        "parsed {} vertices, {} edges",
+        csr.num_vertices(),
+        csr.num_edges()
+    );
     let transpose = csr.transpose();
-    let (gi, ga) =
-        save_files(&csr, dir, &format!("{name}.gr"), stripes).expect("write out-edges");
+    let (gi, ga) = save_files(&csr, dir, &format!("{name}.gr"), stripes).expect("write out-edges");
     let (ti, ta) =
         save_files(&transpose, dir, &format!("{name}.tgr"), stripes).expect("write transpose");
     for p in [gi, ti].iter().chain(ga.iter()).chain(ta.iter()) {

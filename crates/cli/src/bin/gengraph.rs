@@ -40,7 +40,9 @@ fn main() {
         }
     }
     if positional.len() != 2 {
-        eprintln!("usage: gengraph <dataset> <output-dir> [--scale tiny|small|medium] [--stripes N]");
+        eprintln!(
+            "usage: gengraph <dataset> <output-dir> [--scale tiny|small|medium] [--stripes N]"
+        );
         eprintln!("datasets: {}", Dataset::all().map(|d| d.name()).join(", "));
         std::process::exit(2);
     }
@@ -54,11 +56,20 @@ fn main() {
     println!("generating {dataset} at {scale:?} scale...");
     let csr = dataset.generate(scale);
     let transpose = csr.transpose();
-    println!("  {} vertices, {} edges", csr.num_vertices(), csr.num_edges());
+    println!(
+        "  {} vertices, {} edges",
+        csr.num_vertices(),
+        csr.num_edges()
+    );
     let (gi, ga) = save_files(&csr, &dir, &format!("{}.gr", dataset.name()), stripes)
         .expect("write out-edges");
-    let (ti, ta) = save_files(&transpose, &dir, &format!("{}.tgr", dataset.name()), stripes)
-        .expect("write transpose");
+    let (ti, ta) = save_files(
+        &transpose,
+        &dir,
+        &format!("{}.tgr", dataset.name()),
+        stripes,
+    )
+    .expect("write transpose");
     for p in [gi, ti].iter().chain(ga.iter()).chain(ta.iter()) {
         let len = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
         println!("  wrote {} ({} bytes)", p.display(), len);

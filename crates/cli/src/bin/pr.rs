@@ -18,7 +18,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let config = PageRankConfig { max_iters: cli.max_iters, ..Default::default() };
+    let config = PageRankConfig {
+        max_iters: cli.max_iters,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let ranks = pagerank_delta(&engine, config, ExecMode::Binned).unwrap_or_else(|e| {
         eprintln!("pr: {e}");
@@ -27,7 +30,7 @@ fn main() {
     let wall = t0.elapsed();
     blaze_cli::print_run_summary("pr", &engine, wall);
     let top = (0..engine.num_vertices())
-        .max_by(|&a, &b| ranks.get(a).partial_cmp(&ranks.get(b)).unwrap())
+        .max_by(|&a, &b| ranks.get(a).total_cmp(&ranks.get(b)))
         .unwrap_or(0);
     println!("top-ranked vertex: {top} (rank {:.6})", ranks.get(top));
 }

@@ -1,7 +1,7 @@
 //! Engine construction from parsed CLI arguments.
 
+use blaze_sync::Arc;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
 use blaze_binning::BinningConfig;
 use blaze_core::{BlazeEngine, EngineOptions};
@@ -49,6 +49,13 @@ fn open_storage(adj: &[PathBuf], device: &str) -> Result<Arc<StripedStorage>> {
 pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<BlazeEngine> {
     let storage = open_storage(adj, &args.device)?;
     let graph = Arc::new(DiskGraph::open(index, storage)?);
+    if args.start_node as usize >= graph.num_vertices() {
+        return Err(BlazeError::Config(format!(
+            "-startNode {} is out of range (graph has {} vertices)",
+            args.start_node,
+            graph.num_vertices()
+        )));
+    }
     let mut options = EngineOptions::default()
         .with_compute_workers(args.compute_workers.max(2), args.binning_ratio);
     if args.bin_space_mib > 0 {
@@ -69,13 +76,25 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
     let stats = engine.stats();
     let graph = engine.graph();
     println!("== {query} done ==");
-    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     println!(
         "iterations: {}, edges processed: {}, bin records: {}",
         stats.iterations, stats.edges_processed, stats.records_produced
     );
-    println!("io: {} bytes in {} requests", stats.io_bytes, stats.io_requests);
-    let busy_ns: u64 = graph.storage().devices().iter().map(|d| d.stats().busy_ns()).sum();
+    println!(
+        "io: {} bytes in {} requests",
+        stats.io_bytes, stats.io_requests
+    );
+    let busy_ns: u64 = graph
+        .storage()
+        .devices()
+        .iter()
+        .map(|d| d.stats().busy_ns())
+        .sum();
     if busy_ns > 0 {
         println!(
             "modeled device time: {:.3} s ({:.2} GB/s average)",
@@ -98,7 +117,10 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (index, adj) = save_files(&g, dir.path(), "t.gr", 2).unwrap();
         for device in ["optane", "nand", "none"] {
-            let args = CliArgs { device: device.into(), ..Default::default() };
+            let args = CliArgs {
+                device: device.into(),
+                ..Default::default()
+            };
             let engine = open_engine(&args, &index, &adj).unwrap();
             assert_eq!(engine.num_vertices(), g.num_vertices());
         }
@@ -109,7 +131,11 @@ mod tests {
         let g = rmat(&RmatConfig::new(6));
         let dir = tempfile::tempdir().unwrap();
         let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
-        let args = CliArgs { bin_space_mib: 2, bin_count: 64, ..Default::default() };
+        let args = CliArgs {
+            bin_space_mib: 2,
+            bin_count: 64,
+            ..Default::default()
+        };
         let engine = open_engine(&args, &index, &adj).unwrap();
         assert_eq!(engine.binning().bin_count, 64);
         assert_eq!(engine.binning().bin_space_bytes, 2 << 20);
@@ -120,7 +146,10 @@ mod tests {
         let g = rmat(&RmatConfig::new(6));
         let dir = tempfile::tempdir().unwrap();
         let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
-        let args = CliArgs { device: "floppy".into(), ..Default::default() };
+        let args = CliArgs {
+            device: "floppy".into(),
+            ..Default::default()
+        };
         assert!(open_engine(&args, &index, &adj).is_err());
     }
 }

@@ -18,11 +18,23 @@ fn run(bin: &str, args: &[&str]) -> (bool, String) {
 fn gen_graph(dir: &Path) -> (String, String, String, String) {
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_gengraph"),
-        &["rmat27", dir.to_str().unwrap(), "--scale", "tiny", "--stripes", "2"],
+        &[
+            "rmat27",
+            dir.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--stripes",
+            "2",
+        ],
     );
     assert!(ok, "gengraph failed: {text}");
     let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
-    (p("rmat27.gr.index"), p("rmat27.gr.adj.0"), p("rmat27.gr.adj.1"), p("rmat27.tgr.index"))
+    (
+        p("rmat27.gr.index"),
+        p("rmat27.gr.adj.0"),
+        p("rmat27.gr.adj.1"),
+        p("rmat27.tgr.index"),
+    )
 }
 
 #[test]
@@ -31,7 +43,15 @@ fn gengraph_then_bfs() {
     let (index, adj0, adj1, _) = gen_graph(dir.path());
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_bfs"),
-        &["-computeWorkers", "4", "-startNode", "0", &index, &adj0, &adj1],
+        &[
+            "-computeWorkers",
+            "4",
+            "-startNode",
+            "0",
+            &index,
+            &adj0,
+            &adj1,
+        ],
     );
     assert!(ok, "bfs failed: {text}");
     assert!(text.contains("reached"), "{text}");
@@ -45,8 +65,19 @@ fn pr_with_binning_flags() {
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_pr"),
         &[
-            "-computeWorkers", "4", "-binSpace", "4", "-binningRatio", "0.5",
-            "-binCount", "256", "-maxIters", "10", &index, &adj0, &adj1,
+            "-computeWorkers",
+            "4",
+            "-binSpace",
+            "4",
+            "-binningRatio",
+            "0.5",
+            "-binCount",
+            "256",
+            "-maxIters",
+            "10",
+            &index,
+            &adj0,
+            &adj1,
         ],
     );
     assert!(ok, "pr failed: {text}");
@@ -61,14 +92,28 @@ fn wcc_requires_and_uses_transpose() {
     let (ok, _) = run(env!("CARGO_BIN_EXE_wcc"), &[&index, &adj0, &adj1]);
     assert!(!ok, "wcc must demand the transpose");
     // With it: success.
-    let tadj0 = dir.path().join("rmat27.tgr.adj.0").to_str().unwrap().to_string();
-    let tadj1 = dir.path().join("rmat27.tgr.adj.1").to_str().unwrap().to_string();
+    let tadj0 = dir
+        .path()
+        .join("rmat27.tgr.adj.0")
+        .to_str()
+        .unwrap()
+        .to_string();
+    let tadj1 = dir
+        .path()
+        .join("rmat27.tgr.adj.1")
+        .to_str()
+        .unwrap()
+        .to_string();
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_wcc"),
         &[
-            &index, &adj0, &adj1,
-            "-inIndexFilename", &tindex,
-            "-inAdjFilenames", &format!("{tadj0},{tadj1}"),
+            &index,
+            &adj0,
+            &adj1,
+            "-inIndexFilename",
+            &tindex,
+            "-inAdjFilenames",
+            &format!("{tadj0},{tadj1}"),
         ],
     );
     assert!(ok, "wcc failed: {text}");
@@ -82,14 +127,30 @@ fn spmv_and_bc_run() {
     let (ok, text) = run(env!("CARGO_BIN_EXE_spmv"), &[&index, &adj0, &adj1]);
     assert!(ok, "spmv failed: {text}");
     assert!(text.contains("|y|_2"), "{text}");
-    let tadj0 = dir.path().join("rmat27.tgr.adj.0").to_str().unwrap().to_string();
-    let tadj1 = dir.path().join("rmat27.tgr.adj.1").to_str().unwrap().to_string();
+    let tadj0 = dir
+        .path()
+        .join("rmat27.tgr.adj.0")
+        .to_str()
+        .unwrap()
+        .to_string();
+    let tadj1 = dir
+        .path()
+        .join("rmat27.tgr.adj.1")
+        .to_str()
+        .unwrap()
+        .to_string();
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_bc"),
         &[
-            "-startNode", "0", &index, &adj0, &adj1,
-            "-inIndexFilename", &tindex,
-            "-inAdjFilenames", &format!("{tadj0},{tadj1}"),
+            "-startNode",
+            "0",
+            &index,
+            &adj0,
+            &adj1,
+            "-inIndexFilename",
+            &tindex,
+            "-inAdjFilenames",
+            &format!("{tadj0},{tadj1}"),
         ],
     );
     assert!(ok, "bc failed: {text}");
@@ -101,7 +162,10 @@ fn bad_flags_exit_nonzero() {
     let (ok, text) = run(env!("CARGO_BIN_EXE_bfs"), &["-bogusFlag", "1"]);
     assert!(!ok);
     assert!(text.contains("unknown flag"), "{text}");
-    let (ok, _) = run(env!("CARGO_BIN_EXE_bfs"), &["/does/not/exist.index", "/nope.adj.0"]);
+    let (ok, _) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &["/does/not/exist.index", "/nope.adj.0"],
+    );
     assert!(!ok);
 }
 
@@ -115,17 +179,27 @@ fn convert_text_edge_list_then_query() {
     let base = dir.path().join("ring");
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_convert"),
-        &[input.to_str().unwrap(), base.to_str().unwrap(), "--dedup", "--stripes", "2"],
+        &[
+            input.to_str().unwrap(),
+            base.to_str().unwrap(),
+            "--dedup",
+            "--stripes",
+            "2",
+        ],
     );
     assert!(ok, "convert failed: {text}");
-    assert!(text.contains("5 edges"), "dedup should leave 5 edges: {text}");
+    assert!(
+        text.contains("5 edges"),
+        "dedup should leave 5 edges: {text}"
+    );
     let index = dir.path().join("ring.gr.index");
     let adj0 = dir.path().join("ring.gr.adj.0");
     let adj1 = dir.path().join("ring.gr.adj.1");
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_bfs"),
         &[
-            "-startNode", "0",
+            "-startNode",
+            "0",
             index.to_str().unwrap(),
             adj0.to_str().unwrap(),
             adj1.to_str().unwrap(),

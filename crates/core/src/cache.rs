@@ -8,11 +8,11 @@
 //! ([`EngineOptions::page_cache_pages`](crate::EngineOptions)) and shared
 //! with the FlashGraph-like baseline.
 
+use blaze_sync::Arc;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
 
-use parking_lot::Mutex;
+use blaze_sync::Mutex;
 
 use blaze_types::PageId;
 
@@ -40,7 +40,10 @@ impl PageCache {
     /// Creates a cache holding at most `capacity` pages. Capacity 0
     /// disables storage entirely (every lookup misses).
     pub fn new(capacity: usize) -> Self {
-        Self { inner: Mutex::new(CacheInner::default()), capacity }
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
     }
 
     /// Page capacity.

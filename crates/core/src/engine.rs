@@ -1,11 +1,11 @@
 //! The out-of-core `EdgeMap` engine (Section IV-C, Figure 5).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use blaze_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use blaze_sync::Arc;
 use std::time::Instant;
 
-use crossbeam::utils::Backoff;
-use parking_lot::Mutex;
+use blaze_sync::Backoff;
+use blaze_sync::Mutex;
 
 use blaze_binning::{BinSpace, BinValue, BinningConfig, ScatterStaging};
 use blaze_frontier::{PageSubset, VertexSubset};
@@ -26,7 +26,7 @@ struct CompletionGuard<'a> {
 
 impl Drop for CompletionGuard<'_> {
     fn drop(&mut self) {
-        self.counter.fetch_add(1, Ordering::Release);
+        self.counter.fetch_add(1, Ordering::Release); // sync-audit: trace counter; read only after the worker scope joins.
     }
 }
 
@@ -111,23 +111,29 @@ impl BlazeEngine {
         let num_devices = self.graph.storage().num_devices();
         let threads = self.options.compute_workers().max(1);
         if members.len() < 4096 || threads == 1 {
-            let ranges = members.iter().filter_map(|&v| self.graph.pages_of_vertex(v));
+            let ranges = members
+                .iter()
+                .filter_map(|&v| self.graph.pages_of_vertex(v));
             return PageSubset::from_page_ranges(ranges, num_devices);
         }
         let chunk = members.len().div_ceil(threads);
-        let parts: Vec<PageSubset> = crossbeam::thread::scope(|s| {
+        let parts: Vec<PageSubset> = blaze_sync::thread::scope(|s| {
             let handles: Vec<_> = members
                 .chunks(chunk)
                 .map(|slice| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let ranges = slice.iter().filter_map(|&v| self.graph.pages_of_vertex(v));
                         PageSubset::from_page_ranges(ranges, num_devices)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("page transform panicked")).collect()
-        })
-        .expect("scope");
+            handles
+                .into_iter()
+                // panic-audit: re-raises a worker thread's panic on the caller
+                // (the same propagation std::thread::scope performs).
+                .map(|h| h.join().expect("page transform panicked"))
+                .collect()
+        });
         PageSubset::merge(parts, num_devices)
     }
 
@@ -186,12 +192,7 @@ impl BlazeEngine {
     /// into requests of up to `merge_window` pages. With the cache
     /// (the paper's future-work extension), cached pages are served from
     /// memory and only uncached runs touch the device.
-    fn run_io_thread(
-        &self,
-        dev: usize,
-        local_pages: &[u64],
-        cache_hits: &AtomicU64,
-    ) -> Result<()> {
+    fn run_io_thread(&self, dev: usize, local_pages: &[u64], cache_hits: &AtomicU64) -> Result<()> {
         let storage = self.graph.storage();
         let read_run = |first: u64, n: usize| -> Result<()> {
             let mut buffer = self.pool.acquire_free();
@@ -209,9 +210,13 @@ impl BlazeEngine {
                     );
                 }
             }
-            let globals =
-                (0..n as u64).map(|i| storage.global_page(dev, first + i)).collect();
-            self.pool.push_filled(FilledBuffer { buffer, pages: globals });
+            let globals = (0..n as u64)
+                .map(|i| storage.global_page(dev, first + i))
+                .collect();
+            self.pool.push_filled(FilledBuffer {
+                buffer,
+                pages: globals,
+            });
             Ok(())
         };
         let Some(cache) = &self.cache else {
@@ -234,14 +239,17 @@ impl BlazeEngine {
             let global = storage.global_page(dev, local);
             if let Some(data) = cache.get(global) {
                 flush(&mut run)?;
-                cache_hits.fetch_add(1, Ordering::Relaxed);
+                cache_hits.fetch_add(1, Ordering::Relaxed); // sync-audit: trace counter; read only after the worker scope joins.
                 let mut buffer = self.pool.acquire_free();
                 buffer.pages_mut(1).copy_from_slice(&data);
-                self.pool.push_filled(FilledBuffer { buffer, pages: vec![global] });
+                self.pool.push_filled(FilledBuffer {
+                    buffer,
+                    pages: vec![global],
+                });
                 continue;
             }
-            let extends_run =
-                run.last().is_some_and(|&last| local == last + 1) && run.len() < self.options.merge_window;
+            let extends_run = run.last().is_some_and(|&last| local == last + 1)
+                && run.len() < self.options.merge_window;
             if !extends_run {
                 flush(&mut run)?;
             }
@@ -283,16 +291,20 @@ impl BlazeEngine {
         let io_error: Mutex<Option<blaze_types::BlazeError>> = Mutex::new(None);
 
         let num_scatter = self.options.num_scatter;
-        let num_gather = if sync_variant { 0 } else { self.options.num_gather };
+        let num_gather = if sync_variant {
+            0
+        } else {
+            self.options.num_gather
+        };
 
-        crossbeam::thread::scope(|s| {
+        blaze_sync::thread::scope(|s| {
             // --- IO threads: one per device (Figure 5, steps 2-4). ---
             for dev in 0..num_devices {
                 let pages = &pages;
                 let io_done = &io_done;
                 let io_error = &io_error;
                 let cache_hits = &cache_hits;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Guard: even a panic inside the IO path (or user code
                     // reachable from it) must count the thread as done, or
                     // scatter threads would spin on `io_done` forever.
@@ -314,7 +326,7 @@ impl BlazeEngine {
                 let records_sync = &records_sync;
                 let graph = &self.graph;
                 let out = &out;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Guard: a panic in the user's scatter/cond closures
                     // still counts this thread as done; the last departing
                     // scatter (panicked or not) releases the gather side.
@@ -327,6 +339,7 @@ impl BlazeEngine {
                     impl<V: BinValue> Drop for ScatterGuard<'_, V> {
                         fn drop(&mut self) {
                             if self.counter.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                                // sync-audit: trace counter; read only after the worker scope joins.
                                 self.space.flush_partials();
                                 self.all_done.store(true, Ordering::Release);
                             }
@@ -345,7 +358,7 @@ impl BlazeEngine {
                     let backoff = Backoff::new();
                     loop {
                         let Some(filled) = pool.pop_filled() else {
-                            if io_done.load(Ordering::Acquire) == num_devices
+                            if io_done.load(Ordering::Acquire) == num_devices // sync-audit: trace counter; workers joined by the enclosing scope.
                                 && pool.filled_len() == 0
                             {
                                 break;
@@ -382,8 +395,8 @@ impl BlazeEngine {
                         pool.release(filled.buffer);
                     }
                     staging.flush(space);
-                    edges_processed.fetch_add(local_edges, Ordering::Relaxed);
-                    records_sync.fetch_add(local_records, Ordering::Relaxed);
+                    edges_processed.fetch_add(local_edges, Ordering::Relaxed); // sync-audit: trace counter; read only after the worker scope joins.
+                    records_sync.fetch_add(local_records, Ordering::Relaxed); // sync-audit: trace counter; read only after the worker scope joins.
                 });
             }
 
@@ -392,7 +405,7 @@ impl BlazeEngine {
                 let space = &space;
                 let all_scatter_done = &all_scatter_done;
                 let out = &out;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let backoff = Backoff::new();
                     loop {
                         let progressed = space.process_one_full(|_, records| {
@@ -406,7 +419,7 @@ impl BlazeEngine {
                             backoff.reset();
                             continue;
                         }
-                        if all_scatter_done.load(Ordering::Acquire)
+                        if all_scatter_done.load(Ordering::Acquire) // sync-audit: trace counter; workers joined by the enclosing scope.
                             && space.full_queue_is_empty()
                         {
                             break;
@@ -415,8 +428,7 @@ impl BlazeEngine {
                     }
                 });
             }
-        })
-        .expect("edge_map worker panicked");
+        });
 
         if let Some(e) = io_error.into_inner() {
             return Err(e);
@@ -428,10 +440,10 @@ impl BlazeEngine {
         let after = snapshot_devices(storage);
         fill_io_trace(&mut trace, &before, &after);
         trace.frontier_size = frontier.len() as u64;
-        trace.cache_hit_pages = cache_hits.load(Ordering::Relaxed);
-        trace.edges_processed = edges_processed.load(Ordering::Relaxed);
+        trace.cache_hit_pages = cache_hits.load(Ordering::Relaxed); // sync-audit: trace counter; workers joined by the enclosing scope.
+        trace.edges_processed = edges_processed.load(Ordering::Relaxed); // sync-audit: trace counter; workers joined by the enclosing scope.
         if sync_variant {
-            let records = records_sync.load(Ordering::Relaxed);
+            let records = records_sync.load(Ordering::Relaxed); // sync-audit: trace counter; workers joined by the enclosing scope.
             trace.records_produced = records;
             trace.atomic_ops = records;
         } else {
@@ -518,7 +530,9 @@ mod tests {
                         &frontier,
                         scatter,
                         |dst: u32, _v: u32| {
-                            level.fetch_update(dst as usize, |cur| (cur == -1).then_some(d)).is_ok()
+                            level
+                                .fetch_update(dst as usize, |cur| (cur == -1).then_some(d))
+                                .is_ok()
                         },
                         cond,
                         true,
@@ -646,12 +660,16 @@ mod tests {
         let g = rmat(&RmatConfig::new(9));
         let e = engine(&g, 2, EngineOptions::default());
         let frontier = VertexSubset::full(g.num_vertices());
-        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
         let traces = e.take_traces();
         assert_eq!(traces.len(), 1);
         let t = &traces[0];
         assert_eq!(t.io_bytes_per_device.len(), 2);
-        assert!(t.total_io_bytes() >= g.num_edges() * 4, "every edge byte read");
+        assert!(
+            t.total_io_bytes() >= g.num_edges() * 4,
+            "every edge byte read"
+        );
         assert_eq!(t.edges_processed, g.num_edges());
         assert_eq!(t.records_per_bin.iter().sum::<u64>(), t.records_produced);
         // Page interleaving keeps the per-device IO balanced (Section IV-E).
@@ -672,9 +690,12 @@ mod tests {
         let e = engine(&g, 1, EngineOptions::default());
         // One low-degree vertex: IO should be a handful of pages, not the
         // whole graph.
-        let v = (0..g.num_vertices() as u32).find(|&v| g.degree(v) >= 1 && g.degree(v) <= 8).unwrap();
+        let v = (0..g.num_vertices() as u32)
+            .find(|&v| g.degree(v) >= 1 && g.degree(v) <= 8)
+            .unwrap();
         let frontier = VertexSubset::single(g.num_vertices(), v);
-        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
         let io = e.stats().io_bytes;
         assert!(io <= 4 * 4096, "sparse frontier read {io} bytes");
         assert!(io >= 4096);
@@ -686,7 +707,8 @@ mod tests {
         let e = engine(&g, 2, EngineOptions::default().with_page_cache(1 << 16));
         let frontier = VertexSubset::full(g.num_vertices());
         for _ in 0..2 {
-            e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+            e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+                .unwrap();
         }
         let traces = e.take_traces();
         assert_eq!(traces[0].cache_hit_pages, 0, "cold cache");
@@ -710,11 +732,15 @@ mod tests {
         let e = engine(&g, 1, EngineOptions::default().with_page_cache(4));
         let frontier = VertexSubset::full(g.num_vertices());
         for _ in 0..2 {
-            e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false).unwrap();
+            e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+                .unwrap();
         }
         let traces = e.take_traces();
         let pages = traces[0].total_io_bytes() / 4096;
-        assert!(traces[1].cache_hit_pages < pages / 2, "4-page cache cannot serve a scan");
+        assert!(
+            traces[1].cache_hit_pages < pages / 2,
+            "4-page cache cannot serve a scan"
+        );
         assert!(traces[1].total_io_bytes() > 0);
     }
 
@@ -723,10 +749,12 @@ mod tests {
         let g = rmat(&RmatConfig::new(8));
         let e = engine(&g, 1, EngineOptions::default());
         let frontier = VertexSubset::full(g.num_vertices());
-        e.edge_map(&frontier, |_s, _d| 0u32, |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map(&frontier, |_s, _d| 0u32, |_d, _v| false, |_| true, false)
+            .unwrap();
         let t = e.take_traces().pop().unwrap();
         assert_eq!(t.atomic_ops, 0);
-        e.edge_map_sync(&frontier, |_s, _d| 0u32, |_d, _v| false, |_| true, false).unwrap();
+        e.edge_map_sync(&frontier, |_s, _d| 0u32, |_d, _v| false, |_| true, false)
+            .unwrap();
         let t = e.take_traces().pop().unwrap();
         assert_eq!(t.atomic_ops, g.num_edges());
     }

@@ -24,7 +24,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use std::sync::Arc;
+//! use blaze_sync::Arc;
 //! use blaze_core::{BlazeEngine, EngineOptions, VertexArray};
 //! use blaze_frontier::VertexSubset;
 //! use blaze_graph::{gen, DiskGraph};

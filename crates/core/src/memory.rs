@@ -6,12 +6,10 @@
 //! the adjacency lists — stays on disk. Figure 12 reports the sum of these
 //! relative to the on-disk graph size.
 
-use serde::{Deserialize, Serialize};
-
 use crate::engine::BlazeEngine;
 
 /// Byte-accurate breakdown of an engine's DRAM usage for one query.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MemoryFootprint {
     /// Graph index (degrees + line offsets) and page→vertex map.
     pub metadata_bytes: u64,
@@ -79,7 +77,7 @@ mod tests {
     use blaze_graph::gen::{rmat, RmatConfig};
     use blaze_graph::DiskGraph;
     use blaze_storage::StripedStorage;
-    use std::sync::Arc;
+    use blaze_sync::Arc;
 
     #[test]
     fn footprint_sums_components() {

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn zero_threads_rejected() {
-        let o = EngineOptions { num_gather: 0, ..Default::default() };
+        let o = EngineOptions {
+            num_gather: 0,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
     }
 }

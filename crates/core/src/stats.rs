@@ -61,7 +61,11 @@ pub fn fill_io_trace(
 
 /// Snapshots every device's stats.
 pub fn snapshot_devices(storage: &StripedStorage) -> Vec<IoStatsSnapshot> {
-    storage.devices().iter().map(|d| d.stats().snapshot()).collect()
+    storage
+        .devices()
+        .iter()
+        .map(|d| d.stats().snapshot())
+        .collect()
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! provided for the synchronization-based engine variant, which is exactly
 //! the CPU cost Blaze exists to avoid.
 
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
+use blaze_sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 
 /// Element types storable in a [`VertexArray`].
 pub trait VertexValue: Copy + Send + Sync + 'static {
@@ -36,14 +36,20 @@ macro_rules! impl_direct {
             }
             #[inline]
             fn load(cell: &Self::Cell) -> Self {
+                // sync-audit: Relaxed — vertex slots are independent cells;
+                // binned gather serializes same-vertex updates via the bin
+                // gather lock, and sync mode relies on CAS atomicity only.
                 cell.load(Ordering::Relaxed)
             }
             #[inline]
             fn store(cell: &Self::Cell, v: Self) {
+                // sync-audit: Relaxed — see `load` above.
                 cell.store(v, Ordering::Relaxed)
             }
             #[inline]
             fn compare_exchange(cell: &Self::Cell, current: Self, new: Self) -> Result<Self, Self> {
+                // sync-audit: Relaxed — see `load` above; the RMW itself is
+                // atomic, which is all edge-parallel updates need.
                 cell.compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
             }
         }
@@ -64,19 +70,24 @@ macro_rules! impl_float {
             }
             #[inline]
             fn load(cell: &Self::Cell) -> Self {
+                // sync-audit: Relaxed — same cell-independence argument as
+                // the integer impl above; floats ride in their bit pattern.
                 <$t>::from_bits(cell.load(Ordering::Relaxed))
             }
             #[inline]
             fn store(cell: &Self::Cell, v: Self) {
+                // sync-audit: Relaxed — see `load` above.
                 cell.store(v.to_bits(), Ordering::Relaxed)
             }
             #[inline]
             fn compare_exchange(cell: &Self::Cell, current: Self, new: Self) -> Result<Self, Self> {
+                // sync-audit: Relaxed — atomic RMW on the bit pattern; no
+                // ordering obligation beyond the exchange itself.
                 cell.compare_exchange(
                     current.to_bits(),
                     new.to_bits(),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::Relaxed, // sync-audit: see above.
+                    Ordering::Relaxed, // sync-audit: see above.
                 )
                 .map(<$t>::from_bits)
                 .map_err(<$t>::from_bits)
@@ -96,7 +107,9 @@ pub struct VertexArray<T: VertexValue> {
 impl<T: VertexValue> VertexArray<T> {
     /// Creates an array of `n` cells, all holding `init`.
     pub fn new(n: usize, init: T) -> Self {
-        Self { cells: (0..n).map(|_| T::new_cell(init)).collect() }
+        Self {
+            cells: (0..n).map(|_| T::new_cell(init)).collect(),
+        }
     }
 
     /// Number of vertices covered.
@@ -160,13 +173,18 @@ impl VertexArray<f64> {
     /// synchronization-based PageRank/SpMV variants.
     #[inline]
     pub fn fetch_add(&self, i: usize, delta: f64) -> f64 {
-        self.fetch_update(i, |v| Some(v + delta)).expect("fetch_update with Some never fails")
+        // The closure always returns `Some`, so `fetch_update` cannot fail;
+        // `Err` would still carry the previous value, keeping this total.
+        self.fetch_update(i, |v| Some(v + delta))
+            .unwrap_or_else(|v| v)
     }
 }
 
 impl<T: VertexValue + std::fmt::Debug> std::fmt::Debug for VertexArray<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("VertexArray").field("len", &self.len()).finish()
+        f.debug_struct("VertexArray")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -214,7 +232,7 @@ mod tests {
 
     #[test]
     fn concurrent_fetch_add_is_exact() {
-        let a = std::sync::Arc::new(VertexArray::<f64>::new(4, 0.0));
+        let a = blaze_sync::Arc::new(VertexArray::<f64>::new(4, 0.0));
         let mut handles = Vec::new();
         for _ in 0..4 {
             let a = a.clone();

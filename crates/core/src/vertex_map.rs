@@ -26,9 +26,9 @@ where
         let chunk = members.len().div_ceil(threads);
         let out_ref = &out;
         let f_ref = &f;
-        crossbeam::thread::scope(|s| {
+        blaze_sync::thread::scope(|s| {
             for slice in members.chunks(chunk) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for &v in slice {
                         if f_ref(v) {
                             out_ref.insert(v);
@@ -36,8 +36,7 @@ where
                     }
                 });
             }
-        })
-        .expect("vertex_map worker panicked");
+        });
     }
     out.seal();
     out
@@ -74,7 +73,7 @@ mod tests {
 
     #[test]
     fn side_effects_run_once_per_member() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use blaze_sync::atomic::{AtomicU64, Ordering};
         let calls = AtomicU64::new(0);
         let f = VertexSubset::from_members(5000, 0..5000u32);
         let out = vertex_map(

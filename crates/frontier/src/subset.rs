@@ -1,8 +1,8 @@
 //! The vertex frontier: Ligra-style dual sparse/dense representation.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use blaze_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use blaze_sync::Mutex;
 
 use blaze_types::VertexId;
 
@@ -57,8 +57,8 @@ impl VertexSubset {
     pub fn full(capacity: usize) -> Self {
         let mut s = Self::new(capacity);
         s.bitmap.set_all();
-        s.count.store(capacity, Ordering::Relaxed);
-        s.dense.store(true, Ordering::Relaxed);
+        s.count.store(capacity, Ordering::Relaxed); // sync-audit: constructor/exclusive path; no concurrent readers yet.
+        s.dense.store(true, Ordering::Relaxed); // sync-audit: monotonic one-way flag; late observers just buffer a little longer.
         s
     }
 
@@ -84,11 +84,12 @@ impl VertexSubset {
         if !self.bitmap.set(v as usize) {
             return false;
         }
-        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1; // sync-audit: size counter; atomicity suffices, exact order unobservable.
         if !self.dense.load(Ordering::Relaxed) {
+            // sync-audit: stale read only delays the dense switch or is post-seal.
             self.shards[v as usize % SHARDS].lock().push(v);
             if count * DENSE_DIVISOR > self.capacity() {
-                self.dense.store(true, Ordering::Relaxed);
+                self.dense.store(true, Ordering::Relaxed); // sync-audit: monotonic one-way flag; late observers just buffer a little longer.
             }
         }
         true
@@ -102,7 +103,7 @@ impl VertexSubset {
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // sync-audit: racy size; authoritative after seal (&mut barrier).
     }
 
     /// Whether the frontier is empty — the loop-termination test of every
@@ -113,12 +114,13 @@ impl VertexSubset {
 
     /// Whether the dense representation is active.
     pub fn is_dense(&self) -> bool {
-        self.dense.load(Ordering::Relaxed)
+        self.dense.load(Ordering::Relaxed) // sync-audit: stale read only delays the dense switch or is post-seal.
     }
 
     /// Finalizes the frontier after concurrent construction: sparse sets get
     /// their member list drained, sorted, and stored for fast iteration.
     pub fn seal(&mut self) {
+        // sync-audit: stale read only delays the dense switch or is post-seal.
         if self.dense.load(Ordering::Relaxed) {
             self.sealed = None;
             for shard in &self.shards {
@@ -228,7 +230,7 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_are_exactly_once() {
-        let s = std::sync::Arc::new(VertexSubset::new(10_000));
+        let s = blaze_sync::Arc::new(VertexSubset::new(10_000));
         let mut handles = Vec::new();
         for t in 0..4u32 {
             let s = s.clone();

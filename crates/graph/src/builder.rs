@@ -18,7 +18,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph with `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        Self { num_vertices, ..Default::default() }
+        Self {
+            num_vertices,
+            ..Default::default()
+        }
     }
 
     /// Removes duplicate edges during [`build`](Self::build).

@@ -21,14 +21,20 @@ impl Csr {
     pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
         assert!(!offsets.is_empty(), "offsets must have >= 1 entry");
         assert_eq!(offsets[0], 0);
-        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        assert_eq!(
+            offsets.last().copied().unwrap_or(0) as usize,
+            neighbors.len()
+        );
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         Self { offsets, neighbors }
     }
 
     /// An empty graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -38,7 +44,7 @@ impl Csr {
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> u64 {
-        *self.offsets.last().unwrap()
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Out-degree of `v`.

@@ -155,7 +155,12 @@ impl Dataset {
             // Twitter: strongly skewed hubs (celebrities), random vertex
             // numbering, moderate diameter (75 in the paper).
             Dataset::Twitter => {
-                let base = gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(61).skew(0.62, 0.18, 0.15));
+                let base = gen::rmat(
+                    &RmatConfig::new(s)
+                        .edge_factor(ef)
+                        .seed(61)
+                        .skew(0.62, 0.18, 0.15),
+                );
                 gen::shuffle_labels(&gen::with_path_tail(&base, tail(64)), 61)
             }
             // sk2005: power-law *with* crawl-order locality and a long
@@ -166,7 +171,12 @@ impl Dataset {
             }
             // friendster: milder skew, no locality, diameter 56.
             Dataset::Friendster => {
-                let base = gen::rmat(&RmatConfig::new(s).edge_factor(ef).seed(124).skew(0.50, 0.22, 0.22));
+                let base = gen::rmat(
+                    &RmatConfig::new(s)
+                        .edge_factor(ef)
+                        .seed(124)
+                        .skew(0.50, 0.22, 0.22),
+                );
                 gen::shuffle_labels(&gen::with_path_tail(&base, tail(48)), 124)
             }
             // hyperlink14: the largest graph; crawl-order locality, the

@@ -6,14 +6,12 @@
 //! device array. The artifact-compatible file layout is one `.gr.index`
 //! file (header + degree array) and one `.gr.adj.<i>` file per device.
 
+use blaze_sync::Arc;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
 use blaze_storage::{BlockDevice, FileDevice, StripedStorage};
-use blaze_types::{
-    BlazeError, PageId, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZE,
-};
+use blaze_types::{BlazeError, PageId, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZE};
 
 use crate::csr::Csr;
 use crate::index::GraphIndex;
@@ -106,8 +104,9 @@ pub fn save_files(
     let dir = dir.as_ref();
     let index_path = dir.join(format!("{base}.index"));
     write_index_file(&index_path, &GraphIndex::from_csr(g))?;
-    let adj_paths: Vec<PathBuf> =
-        (0..num_files).map(|i| dir.join(format!("{base}.adj.{i}"))).collect();
+    let adj_paths: Vec<PathBuf> = (0..num_files)
+        .map(|i| dir.join(format!("{base}.adj.{i}")))
+        .collect();
     let devices: Vec<Arc<dyn BlockDevice>> = adj_paths
         .iter()
         .map(|p| FileDevice::create(p).map(|d| Arc::new(d) as Arc<dyn BlockDevice>))
@@ -135,7 +134,11 @@ impl DiskGraph {
         write_to_storage(g, &storage)?;
         let index = GraphIndex::from_csr(g);
         let pagemap = PageVertexMap::build(&index);
-        Ok(Self { storage, index, pagemap })
+        Ok(Self {
+            storage,
+            index,
+            pagemap,
+        })
     }
 
     /// Opens a graph whose adjacency pages are already present in `storage`,
@@ -143,7 +146,11 @@ impl DiskGraph {
     pub fn open(index_path: impl AsRef<Path>, storage: Arc<StripedStorage>) -> Result<Self> {
         let index = read_index_file(index_path)?;
         let pagemap = PageVertexMap::build(&index);
-        Ok(Self { storage, index, pagemap })
+        Ok(Self {
+            storage,
+            index,
+            pagemap,
+        })
     }
 
     /// Opens the artifact-style file set written by [`save_files`].
@@ -218,8 +225,13 @@ impl DiskGraph {
     /// adjacency list stored in this page* decoded into `scratch`.
     ///
     /// `data` must be the `PAGE_SIZE` bytes of page `page`.
-    pub fn for_each_vertex_in_page<F>(&self, page: PageId, data: &[u8], scratch: &mut Vec<VertexId>, mut f: F)
-    where
+    pub fn for_each_vertex_in_page<F>(
+        &self,
+        page: PageId,
+        data: &[u8],
+        scratch: &mut Vec<VertexId>,
+        mut f: F,
+    ) where
         F: FnMut(VertexId, &[VertexId]),
     {
         debug_assert_eq!(data.len(), PAGE_SIZE);

@@ -6,10 +6,7 @@
 //! paper's phenomena depend on — degree distribution (power-law vs uniform)
 //! and locality — at a reduced scale (see `datasets`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use blaze_types::VertexId;
+use blaze_types::{SplitMix64, VertexId};
 
 use crate::builder::GraphBuilder;
 use crate::csr::Csr;
@@ -34,7 +31,14 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// Graph500-style defaults at the given scale.
     pub fn new(scale: u32) -> Self {
-        Self { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, seed: 42 }
+        Self {
+            scale,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 42,
+        }
     }
 
     /// Sets the edge factor.
@@ -59,12 +63,12 @@ impl RmatConfig {
 }
 
 /// Generates one R-MAT edge endpoint pair.
-fn rmat_edge(rng: &mut StdRng, scale: u32, a: f64, b: f64, c: f64) -> (VertexId, VertexId) {
+fn rmat_edge(rng: &mut SplitMix64, scale: u32, a: f64, b: f64, c: f64) -> (VertexId, VertexId) {
     let (mut src, mut dst) = (0u64, 0u64);
     for _ in 0..scale {
         src <<= 1;
         dst <<= 1;
-        let r: f64 = rng.gen();
+        let r: f64 = rng.next_f64();
         if r < a {
             // top-left quadrant: no bits set
         } else if r < a + b {
@@ -83,7 +87,7 @@ fn rmat_edge(rng: &mut StdRng, scale: u32, a: f64, b: f64, c: f64) -> (VertexId,
 pub fn rmat(config: &RmatConfig) -> Csr {
     let n = 1usize << config.scale;
     let m = n * config.edge_factor;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut b = GraphBuilder::new(n).dedup(true).drop_self_loops(true);
     for _ in 0..m {
         let (s, d) = rmat_edge(&mut rng, config.scale, config.a, config.b, config.c);
@@ -97,11 +101,11 @@ pub fn rmat(config: &RmatConfig) -> Csr {
 pub fn uniform(scale: u32, edge_factor: usize, seed: u64) -> Csr {
     let n = 1usize << scale;
     let m = n * edge_factor;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n).dedup(true).drop_self_loops(true);
     for _ in 0..m {
-        let s = rng.gen_range(0..n as VertexId);
-        let d = rng.gen_range(0..n as VertexId);
+        let s = rng.below(n as u64) as VertexId;
+        let d = rng.below(n as u64) as VertexId;
         b.add_edge(s, d);
     }
     b.build()
@@ -153,9 +157,9 @@ pub fn relabel_bfs_order(g: &Csr) -> Csr {
 pub fn shuffle_labels(g: &Csr, seed: u64) -> Csr {
     let n = g.num_vertices();
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.below_usize(i + 1);
         perm.swap(i, j);
     }
     let mut b = GraphBuilder::new(n);
@@ -240,8 +244,12 @@ mod tests {
         assert_eq!(r.num_vertices(), g.num_vertices());
         assert_eq!(r.num_edges(), g.num_edges());
         // Degree multiset is invariant under relabeling.
-        let mut dg: Vec<u32> = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
-        let mut dr: Vec<u32> = (0..r.num_vertices() as VertexId).map(|v| r.degree(v)).collect();
+        let mut dg: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .collect();
+        let mut dr: Vec<u32> = (0..r.num_vertices() as VertexId)
+            .map(|v| r.degree(v))
+            .collect();
         dg.sort_unstable();
         dr.sort_unstable();
         assert_eq!(dg, dr);
@@ -272,8 +280,12 @@ mod tests {
     fn shuffle_preserves_degree_multiset() {
         let g = rmat(&RmatConfig::new(8));
         let s = shuffle_labels(&g, 11);
-        let mut dg: Vec<u32> = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
-        let mut ds: Vec<u32> = (0..s.num_vertices() as VertexId).map(|v| s.degree(v)).collect();
+        let mut dg: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .collect();
+        let mut ds: Vec<u32> = (0..s.num_vertices() as VertexId)
+            .map(|v| s.degree(v))
+            .collect();
         dg.sort_unstable();
         ds.sort_unstable();
         assert_eq!(dg, ds);

@@ -31,12 +31,18 @@ impl GraphIndex {
             }
             running += d as u64;
         }
-        Self { degrees, line_offsets, num_edges: running }
+        Self {
+            degrees,
+            line_offsets,
+            num_edges: running,
+        }
     }
 
     /// Builds the index for `g`.
     pub fn from_csr(g: &Csr) -> Self {
-        let degrees = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).collect();
+        let degrees = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .collect();
         Self::from_degrees(degrees)
     }
 
@@ -116,6 +122,9 @@ mod tests {
     fn memory_is_about_4_5_bytes_per_vertex() {
         let idx = GraphIndex::from_degrees(vec![1; 16000]);
         let per_vertex = idx.memory_bytes() as f64 / 16000.0;
-        assert!((4.4..4.6).contains(&per_vertex), "bytes/vertex {per_vertex}");
+        assert!(
+            (4.4..4.6).contains(&per_vertex),
+            "bytes/vertex {per_vertex}"
+        );
     }
 }

@@ -51,7 +51,11 @@ pub fn read_edge_list_text<R: Read>(reader: R, dedup: bool) -> Result<Csr> {
         max_id = max_id.max(s as u64).max(d as u64);
         edges.push((s, d));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::new(n).dedup(dedup);
     b.extend(edges);
     Ok(b.build())
@@ -65,7 +69,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>, dedup: bool) -> Result<Csr> {
 /// Writes `g` as a text edge list (one `src dst` per line, `#` header).
 pub fn write_edge_list_text<W: Write>(g: &Csr, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (s, d) in g.edges() {
         writeln!(w, "{s} {d}")?;
     }
@@ -105,7 +114,11 @@ pub fn read_edge_list_binary<R: Read>(reader: R, dedup: bool) -> Result<Csr> {
         max_id = max_id.max(s).max(d);
         edges.push((s, d));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::new(n).dedup(dedup);
     b.extend(edges);
     Ok(b.build())

@@ -52,7 +52,11 @@ impl GraphStats {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top = (n / 100).max(1).min(n.max(1));
         let top_edges: u64 = degrees.iter().take(top).map(|&d| d as u64).sum();
-        let top1pct_edge_share = if m == 0 { 0.0 } else { top_edges as f64 / m as f64 };
+        let top1pct_edge_share = if m == 0 {
+            0.0
+        } else {
+            top_edges as f64 / m as f64
+        };
         let distribution = classify(max_degree, mean_degree, top1pct_edge_share);
         let approx_diameter = approx_diameter(g);
         Self {
@@ -131,7 +135,11 @@ mod tests {
     fn classifies_rmat_as_power_law() {
         let s = GraphStats::compute(&rmat(&RmatConfig::new(10)));
         assert_eq!(s.distribution, DegreeDistribution::PowerLaw);
-        assert!(s.top1pct_edge_share > 0.10, "share {}", s.top1pct_edge_share);
+        assert!(
+            s.top1pct_edge_share > 0.10,
+            "share {}",
+            s.top1pct_edge_share
+        );
     }
 
     #[test]

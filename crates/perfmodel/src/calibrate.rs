@@ -41,9 +41,11 @@ fn measure_ns(budget_ms: u64, mut op: impl FnMut(usize) -> u64) -> f64 {
 /// * message — push plus pop of a `(dst, value)` pair through a `Vec`
 ///   queue.
 pub fn calibrated_cost_model(budget_ms: u64) -> CostModel {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use blaze_sync::atomic::{AtomicU64, Ordering};
     let n = 1 << 16;
-    let ids: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % n as u32).collect();
+    let ids: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) % n as u32)
+        .collect();
 
     // Scatter proxy: read id, mask test, staged write.
     let mut staging = vec![0u32; 64];
@@ -59,16 +61,16 @@ pub fn calibrated_cost_model(budget_ms: u64) -> CostModel {
     let cells: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let gather_ns = measure_ns(budget_ms, |i| {
         let c = &cells[ids[i % n] as usize];
-        let v = c.load(Ordering::Relaxed).wrapping_add(1);
-        c.store(v, Ordering::Relaxed);
+        let v = c.load(Ordering::Relaxed).wrapping_add(1); // sync-audit: single-threaded probe measuring the raw cost of the op itself.
+        c.store(v, Ordering::Relaxed); // sync-audit: single-threaded probe measuring the raw cost of the op itself.
         v
     });
 
     // CAS proxy: the sync variant's per-record cost over gather's.
     let cas_ns = measure_ns(budget_ms, |i| {
         let c = &cells[ids[i % n] as usize];
-        let cur = c.load(Ordering::Relaxed);
-        let _ = c.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed);
+        let cur = c.load(Ordering::Relaxed); // sync-audit: single-threaded probe measuring the raw cost of the op itself.
+        let _ = c.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed); // sync-audit: single-threaded probe measuring the raw cost of the op itself.
         cur
     });
 
@@ -111,7 +113,10 @@ mod tests {
         assert!((1.0..1000.0).contains(&c.cas_ns_per_op), "{c:?}");
         assert!((1.0..2000.0).contains(&c.message_ns), "{c:?}");
         // IO-side constants keep their defaults.
-        assert_eq!(c.io_submit_ns_per_request, CostModel::default().io_submit_ns_per_request);
+        assert_eq!(
+            c.io_submit_ns_per_request,
+            CostModel::default().io_submit_ns_per_request
+        );
     }
 
     #[test]

@@ -9,10 +9,8 @@
 //!   (straggler-bound message processing) and the sync-Blaze variant
 //!   reaches 38–85% (CAS overhead + hub contention).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation costs in nanoseconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Decoding one edge in a fetched page and evaluating `cond`/`scatter`,
     /// plus staging the record (Blaze scatter path).

@@ -1,10 +1,9 @@
 //! The virtual machine the model replays traces on.
 
 use blaze_storage::{AccessPattern, DeviceProfile};
-use serde::{Deserialize, Serialize};
 
 /// Machine configuration: compute threads plus a device array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Compute threads available to the engine (16 in the paper; the
     /// testbed has 20 physical cores, IO threads use the remainder).
@@ -75,13 +74,7 @@ impl MachineConfig {
 
     /// Modeled busy time of one device serving `bytes` over `requests`
     /// requests of which `sequential` continued their predecessor.
-    pub fn device_io_ns(
-        &self,
-        device: usize,
-        bytes: u64,
-        requests: u64,
-        sequential: u64,
-    ) -> f64 {
+    pub fn device_io_ns(&self, device: usize, bytes: u64, requests: u64, sequential: u64) -> f64 {
         if bytes == 0 || requests == 0 {
             return 0.0;
         }

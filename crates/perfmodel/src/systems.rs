@@ -1,13 +1,12 @@
 //! Per-system iteration and query timing models.
 
 use blaze_types::IterationTrace;
-use serde::{Deserialize, Serialize};
 
 use crate::costs::CostModel;
 use crate::machine::MachineConfig;
 
 /// The modeled phases of one iteration, nanoseconds.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct IterationTiming {
     /// Frontier → page-frontier transform (not overlapped).
     pub transform_ns: f64,
@@ -37,7 +36,7 @@ impl IterationTiming {
 }
 
 /// Aggregated timing of a whole query.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryTiming {
     /// Per-iteration timings.
     pub iterations: Vec<IterationTiming>,
@@ -80,7 +79,10 @@ pub struct PerfModel {
 impl PerfModel {
     /// Creates a model with default costs.
     pub fn new(machine: MachineConfig) -> Self {
-        Self { machine, costs: CostModel::default() }
+        Self {
+            machine,
+            costs: CostModel::default(),
+        }
     }
 
     /// Max over devices of modeled IO busy time for one iteration.
@@ -91,7 +93,10 @@ impl PerfModel {
                     d.min(self.machine.devices.len() - 1),
                     t.io_bytes_per_device[d],
                     t.io_requests_per_device[d],
-                    t.io_sequential_requests_per_device.get(d).copied().unwrap_or(0),
+                    t.io_sequential_requests_per_device
+                        .get(d)
+                        .copied()
+                        .unwrap_or(0),
                 )
             })
             .fold(0.0, f64::max)
@@ -113,7 +118,7 @@ impl PerfModel {
         if total == 0 || n == 0 {
             return 1.0;
         }
-        let max = *t.records_per_bin.iter().max().unwrap() as f64;
+        let max = t.records_per_bin.iter().max().copied().unwrap_or(0) as f64;
         (max / (total as f64 / n as f64)).max(1.0)
     }
 
@@ -168,7 +173,11 @@ impl PerfModel {
     pub fn sync_iteration(&self, t: &IterationTrace) -> IterationTiming {
         let threads = self.machine.compute_threads as f64;
         let pages = t.total_io_bytes() as f64 / 4096.0;
-        let records = if t.atomic_ops > 0 { t.atomic_ops } else { t.records_produced };
+        let records = if t.atomic_ops > 0 {
+            t.atomic_ops
+        } else {
+            t.records_produced
+        };
         let skew = Self::bin_skew(t);
         let work = t.edges_processed as f64 * self.costs.scatter_ns_per_edge
             + pages * self.costs.page_decode_ns
@@ -224,7 +233,10 @@ impl PerfModel {
                 d.min(self.machine.devices.len() - 1),
                 t.io_bytes_per_device[d],
                 t.io_requests_per_device[d],
-                t.io_sequential_requests_per_device.get(d).copied().unwrap_or(0),
+                t.io_sequential_requests_per_device
+                    .get(d)
+                    .copied()
+                    .unwrap_or(0),
             ) + t.io_requests_per_device[d] as f64 * self.costs.io_submit_ns_per_request;
             // Edges on this disk scale with its share of the bytes.
             let edges = if total_bytes > 0.0 {
@@ -327,7 +339,11 @@ mod tests {
             timing.io_ns,
             timing.compute_ns
         );
-        assert!(timing.io_utilization() > 0.85, "util {}", timing.io_utilization());
+        assert!(
+            timing.io_utilization() > 0.85,
+            "util {}",
+            timing.io_utilization()
+        );
     }
 
     #[test]

@@ -1,12 +1,11 @@
 //! Bandwidth-over-time timelines (Figure 2).
 
 use blaze_types::IterationTrace;
-use serde::{Deserialize, Serialize};
 
 use crate::systems::{IterationTiming, PerfModel};
 
 /// One constant-bandwidth span of the timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineSegment {
     /// Start time, seconds.
     pub start_s: f64,
@@ -17,7 +16,7 @@ pub struct TimelineSegment {
 }
 
 /// A read-bandwidth timeline of a query execution.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
     /// Ordered, contiguous segments.
     pub segments: Vec<TimelineSegment>,
@@ -40,7 +39,11 @@ impl Timeline {
                 return;
             }
             let dur = dur_ns * 1e-9;
-            segments.push(TimelineSegment { start_s: *t, end_s: *t + dur, bandwidth: bw });
+            segments.push(TimelineSegment {
+                start_s: *t,
+                end_s: *t + dur,
+                bandwidth: bw,
+            });
             *t += dur;
         };
         for trace in traces {
@@ -138,8 +141,7 @@ mod tests {
         let traces = vec![trace(4_000_000, true); 4];
         let optane = PerfModel::new(MachineConfig::paper_optane());
         let nand = PerfModel::new(MachineConfig::paper_nand());
-        let tl_opt =
-            Timeline::build(&optane, &traces, PerfModel::flashgraph_iteration);
+        let tl_opt = Timeline::build(&optane, &traces, PerfModel::flashgraph_iteration);
         let tl_nand = Timeline::build(&nand, &traces, PerfModel::flashgraph_iteration);
         let idle_opt = tl_opt.idle_fraction(1e6);
         let idle_nand = tl_nand.idle_fraction(1e6);

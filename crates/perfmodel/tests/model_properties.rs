@@ -8,11 +8,11 @@ use blaze_types::IterationTrace;
 
 fn arb_trace() -> impl Strategy<Value = IterationTrace> {
     (
-        1u64..10_000,            // pages read
-        0u64..5_000_000,         // edges
+        1u64..10_000,                                            // pages read
+        0u64..5_000_000,                                         // edges
         proptest::sample::select(vec![1usize, 4, 16, 64, 1024]), // bins
-        0.0f64..1.0,             // record fraction
-        0.0f64..1.0,             // sequential fraction
+        0.0f64..1.0,                                             // record fraction
+        0.0f64..1.0,                                             // sequential fraction
     )
         .prop_map(|(pages, edges, bins, rec_frac, seq_frac)| {
             let mut t = IterationTrace::new(1);
@@ -20,8 +20,7 @@ fn arb_trace() -> impl Strategy<Value = IterationTrace> {
             let requests = pages.div_ceil(4).max(1);
             t.io_bytes_per_device = vec![bytes];
             t.io_requests_per_device = vec![requests];
-            t.io_sequential_requests_per_device =
-                vec![(requests as f64 * seq_frac) as u64];
+            t.io_sequential_requests_per_device = vec![(requests as f64 * seq_frac) as u64];
             t.edges_processed = edges;
             t.records_produced = (edges as f64 * rec_frac) as u64;
             // Spread records over bins with a hub in bin 0.

@@ -1,7 +1,7 @@
 //! The simulated cluster: one Blaze engine per machine, zero network
 //! traffic inside `EdgeMap`, frontier broadcast between iterations.
 
-use std::sync::Arc;
+use blaze_sync::Arc;
 
 use blaze_binning::BinValue;
 use blaze_core::{BlazeEngine, EngineOptions};
@@ -43,7 +43,7 @@ pub struct ClusterStats {
 pub struct Cluster {
     machines: Vec<Machine>,
     num_vertices: usize,
-    stats: parking_lot::Mutex<ClusterStats>,
+    stats: blaze_sync::Mutex<ClusterStats>,
 }
 
 impl Cluster {
@@ -58,17 +58,23 @@ impl Cluster {
         let parts = partition_by_destination(g, machines);
         let machines = parts
             .into_iter()
-            .map(|DstPartition { dst_range, subgraph }| -> Result<Machine> {
-                let storage = Arc::new(StripedStorage::in_memory(devices_per_machine)?);
-                let graph = Arc::new(DiskGraph::create(&subgraph, storage)?);
-                let engine = BlazeEngine::new(graph, options.clone())?;
-                Ok(Machine { dst_range, engine })
-            })
+            .map(
+                |DstPartition {
+                     dst_range,
+                     subgraph,
+                 }|
+                 -> Result<Machine> {
+                    let storage = Arc::new(StripedStorage::in_memory(devices_per_machine)?);
+                    let graph = Arc::new(DiskGraph::create(&subgraph, storage)?);
+                    let engine = BlazeEngine::new(graph, options.clone())?;
+                    Ok(Machine { dst_range, engine })
+                },
+            )
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             machines,
             num_vertices: g.num_vertices(),
-            stats: parking_lot::Mutex::new(ClusterStats::default()),
+            stats: blaze_sync::Mutex::new(ClusterStats::default()),
         })
     }
 
@@ -114,7 +120,9 @@ impl Cluster {
         let mut out = VertexSubset::new(self.num_vertices);
         let mut broadcast = 0u64;
         for machine in &self.machines {
-            let local = machine.engine.edge_map(frontier, &scatter, &gather, &cond, output)?;
+            let local = machine
+                .engine
+                .edge_map(frontier, &scatter, &gather, &cond, output)?;
             // Activations outside this machine's own range would be a bug:
             // destination partitioning guarantees locality.
             debug_assert!(local
@@ -236,7 +244,11 @@ mod tests {
             )
             .unwrap();
         let total: u64 = (0..g.num_vertices()).map(|v| sum.get(v)).sum();
-        assert_eq!(total, g.num_edges(), "every edge delivered exactly once across machines");
+        assert_eq!(
+            total,
+            g.num_edges(),
+            "every edge delivered exactly once across machines"
+        );
     }
 
     #[test]
@@ -266,9 +278,19 @@ mod tests {
         let quad = Cluster::build(&g, 4, 1, EngineOptions::default()).unwrap();
         let frontier = VertexSubset::full(g.num_vertices());
         let run = |c: &Cluster| {
-            c.edge_map(&frontier, |s: u32, _d: u32| s, |_d: u32, _v: u32| false, |_| true, false, 4)
-                .unwrap();
-            c.machines().iter().map(|m| m.engine.stats().io_bytes).collect::<Vec<_>>()
+            c.edge_map(
+                &frontier,
+                |s: u32, _d: u32| s,
+                |_d: u32, _v: u32| false,
+                |_| true,
+                false,
+                4,
+            )
+            .unwrap();
+            c.machines()
+                .iter()
+                .map(|m| m.engine.stats().io_bytes)
+                .collect::<Vec<_>>()
         };
         let s = run(&single);
         let q = run(&quad);
@@ -277,7 +299,11 @@ mod tests {
         let total_q: u64 = q.iter().sum();
         // Page rounding pads each machine's last page, so allow modest
         // overhead at this tiny scale.
-        assert!(total_q as f64 <= 1.5 * s[0] as f64, "quad {total_q} vs single {}", s[0]);
+        assert!(
+            total_q as f64 <= 1.5 * s[0] as f64,
+            "quad {total_q} vs single {}",
+            s[0]
+        );
         let max = *q.iter().max().unwrap() as f64;
         let min = *q.iter().min().unwrap() as f64;
         assert!(max / min.max(1.0) < 2.0, "per-machine IO balanced: {q:?}");

@@ -52,7 +52,10 @@ pub fn partition_by_destination(g: &Csr, machines: usize) -> Vec<DstPartition> {
                     b.add_edge(s, d);
                 }
             }
-            DstPartition { dst_range, subgraph: b.build() }
+            DstPartition {
+                dst_range,
+                subgraph: b.build(),
+            }
         })
         .collect()
 }

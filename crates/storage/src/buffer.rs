@@ -10,8 +10,8 @@
 //! exactly the "fast producer, slow consumer" stall the paper describes for
 //! Graphene (Section III-C).
 
-use crossbeam::queue::{ArrayQueue, SegQueue};
-use crossbeam::utils::Backoff;
+use blaze_sync::queue::{ArrayQueue, SegQueue};
+use blaze_sync::Backoff;
 
 use blaze_types::{PageId, MAX_MERGED_PAGES, PAGE_SIZE};
 
@@ -30,7 +30,9 @@ impl IoBuffer {
     /// Allocates a zeroed buffer of `pages` pages (for engines configured
     /// with a larger merge window than the paper's default).
     pub fn with_pages(pages: usize) -> Self {
-        Self { data: vec![0u8; pages.max(1) * PAGE_SIZE].into_boxed_slice() }
+        Self {
+            data: vec![0u8; pages.max(1) * PAGE_SIZE].into_boxed_slice(),
+        }
     }
 
     /// Number of pages this buffer can hold.
@@ -101,9 +103,17 @@ impl BufferPool {
         let pages_per_buffer = pages_per_buffer.max(1);
         let free = ArrayQueue::new(capacity);
         for _ in 0..capacity {
-            free.push(IoBuffer::with_pages(pages_per_buffer)).expect("fresh queue has room");
+            // A fresh queue with `capacity` slots accepts exactly `capacity`
+            // pushes, so the push cannot fail; the binding makes overflow
+            // drop the buffer instead of panicking.
+            let _ = free.push(IoBuffer::with_pages(pages_per_buffer));
         }
-        Self { free, filled: SegQueue::new(), capacity, pages_per_buffer }
+        Self {
+            free,
+            filled: SegQueue::new(),
+            capacity,
+            pages_per_buffer,
+        }
     }
 
     /// Creates a pool sized so that its buffers total roughly `bytes`.
@@ -206,7 +216,10 @@ mod tests {
         let mut buf = pool.try_acquire_free().unwrap();
         buf.pages_mut(2)[0] = 0xAB;
         buf.pages_mut(2)[PAGE_SIZE] = 0xCD;
-        pool.push_filled(FilledBuffer { buffer: buf, pages: vec![10, 14] });
+        pool.push_filled(FilledBuffer {
+            buffer: buf,
+            pages: vec![10, 14],
+        });
         let filled = pool.pop_filled().unwrap();
         assert_eq!(filled.num_pages(), 2);
         assert_eq!(filled.pages, vec![10, 14]);
@@ -218,13 +231,16 @@ mod tests {
     #[test]
     fn producer_consumer_recycles_buffers() {
         // 2 buffers, 64 messages: recycling must keep both sides going.
-        let pool = std::sync::Arc::new(BufferPool::new(2));
+        let pool = blaze_sync::Arc::new(BufferPool::new(2));
         let producer_pool = pool.clone();
         let producer = std::thread::spawn(move || {
             for i in 0..64u64 {
                 let mut buf = producer_pool.acquire_free();
                 buf.pages_mut(1)[0] = i as u8;
-                producer_pool.push_filled(FilledBuffer { buffer: buf, pages: vec![i] });
+                producer_pool.push_filled(FilledBuffer {
+                    buffer: buf,
+                    pages: vec![i],
+                });
             }
         });
         let mut seen = Vec::new();

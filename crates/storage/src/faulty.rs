@@ -4,7 +4,7 @@
 //! of the multi-threaded engine pipeline instead of wedging or being
 //! swallowed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use blaze_sync::atomic::{AtomicU64, Ordering};
 
 use blaze_types::{BlazeError, Result};
 
@@ -50,11 +50,11 @@ impl<D: BlockDevice> FaultyDevice<D> {
 
     /// Number of injected failures so far.
     pub fn injected_failures(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.load(Ordering::Relaxed) // sync-audit: fault-injection bookkeeping; exactness per-op, order irrelevant.
     }
 
     fn should_fail(&self) -> bool {
-        let seq = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        let seq = self.reads.fetch_add(1, Ordering::Relaxed) + 1; // sync-audit: fault-injection bookkeeping; exactness per-op, order irrelevant.
         let by_every = self.fail_every > 0 && seq.is_multiple_of(self.fail_every);
         let by_after = seq > self.fail_after;
         by_every || by_after
@@ -64,10 +64,10 @@ impl<D: BlockDevice> FaultyDevice<D> {
 impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         if self.should_fail() {
-            self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(BlazeError::Io(std::io::Error::other(
-                format!("injected read failure at offset {offset}"),
-            )));
+            self.injected.fetch_add(1, Ordering::Relaxed); // sync-audit: fault-injection bookkeeping; exactness per-op, order irrelevant.
+            return Err(BlazeError::Io(std::io::Error::other(format!(
+                "injected read failure at offset {offset}"
+            ))));
         }
         self.inner.read_at(offset, buf)
     }
@@ -95,7 +95,9 @@ mod tests {
     fn fail_every_third_read() {
         let dev = FaultyDevice::fail_every(MemDevice::with_len(8 * PAGE_SIZE), 3);
         let mut buf = vec![0u8; PAGE_SIZE];
-        let results: Vec<bool> = (0..6).map(|p| dev.read_pages(p, &mut buf).is_ok()).collect();
+        let results: Vec<bool> = (0..6)
+            .map(|p| dev.read_pages(p, &mut buf).is_ok())
+            .collect();
         assert_eq!(results, vec![true, true, false, true, true, false]);
         assert_eq!(dev.injected_failures(), 2);
     }

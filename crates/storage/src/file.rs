@@ -1,9 +1,9 @@
 //! File-backed block device using positioned reads.
 
+use blaze_sync::atomic::{AtomicU64, Ordering};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use blaze_types::{BlazeError, Result};
 
@@ -33,14 +33,22 @@ impl FileDevice {
             .truncate(false)
             .open(path)?;
         let len = file.metadata()?.len();
-        Ok(Self { file, len: AtomicU64::new(len), stats: IoStats::new() })
+        Ok(Self {
+            file,
+            len: AtomicU64::new(len),
+            stats: IoStats::new(),
+        })
     }
 
     /// Opens an existing file read-only.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let file = OpenOptions::new().read(true).open(path)?;
         let len = file.metadata()?.len();
-        Ok(Self { file, len: AtomicU64::new(len), stats: IoStats::new() })
+        Ok(Self {
+            file,
+            len: AtomicU64::new(len),
+            stats: IoStats::new(),
+        })
     }
 }
 
@@ -125,9 +133,10 @@ mod tests {
     #[test]
     fn concurrent_positioned_reads() {
         let dir = tempfile::tempdir().unwrap();
-        let dev = std::sync::Arc::new(FileDevice::create(dir.path().join("d")).unwrap());
+        let dev = blaze_sync::Arc::new(FileDevice::create(dir.path().join("d")).unwrap());
         for p in 0..4u64 {
-            dev.write_at(p * PAGE_SIZE as u64, &vec![p as u8 + 1; PAGE_SIZE]).unwrap();
+            dev.write_at(p * PAGE_SIZE as u64, &vec![p as u8 + 1; PAGE_SIZE])
+                .unwrap();
         }
         let mut handles = Vec::new();
         for t in 0..4u64 {

@@ -1,7 +1,7 @@
 //! In-memory block device.
 
+use blaze_sync::RwLock;
 use blaze_types::{BlazeError, Result};
-use parking_lot::RwLock;
 
 use crate::device::BlockDevice;
 use crate::stats::IoStats;
@@ -24,12 +24,18 @@ impl MemDevice {
 
     /// Creates a device pre-sized to `len` zero bytes.
     pub fn with_len(len: usize) -> Self {
-        Self { data: RwLock::new(vec![0; len]), stats: IoStats::new() }
+        Self {
+            data: RwLock::new(vec![0; len]),
+            stats: IoStats::new(),
+        }
     }
 
     /// Creates a device holding a copy of `data`.
     pub fn from_bytes(data: Vec<u8>) -> Self {
-        Self { data: RwLock::new(data), stats: IoStats::new() }
+        Self {
+            data: RwLock::new(data),
+            stats: IoStats::new(),
+        }
     }
 }
 
@@ -117,9 +123,10 @@ mod tests {
 
     #[test]
     fn concurrent_reads_see_consistent_data() {
-        let dev = std::sync::Arc::new(MemDevice::with_len(8 * PAGE_SIZE));
+        let dev = blaze_sync::Arc::new(MemDevice::with_len(8 * PAGE_SIZE));
         for p in 0..8u64 {
-            dev.write_at(p * PAGE_SIZE as u64, &vec![p as u8; PAGE_SIZE]).unwrap();
+            dev.write_at(p * PAGE_SIZE as u64, &vec![p as u8; PAGE_SIZE])
+                .unwrap();
         }
         let mut handles = Vec::new();
         for t in 0..4 {

@@ -7,10 +7,8 @@
 //! slower for random 4 KiB reads than sequential, while fast NVMe drives
 //! (Optane, Z-NAND, V-NAND) are nearly symmetric.
 
-use serde::{Deserialize, Serialize};
-
 /// Whether a request continues the previous request's byte range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessPattern {
     /// The request starts exactly where the previous one ended.
     Sequential,
@@ -19,7 +17,7 @@ pub enum AccessPattern {
 }
 
 /// Performance model of one SSD.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Human-readable model name.
     pub name: String,
@@ -85,7 +83,12 @@ impl DeviceProfile {
 
     /// All four profiles of Table I, in the paper's row order.
     pub fn table1() -> Vec<Self> {
-        vec![Self::nand_s3520(), Self::optane_p4800x(), Self::znand_sz983(), Self::vnand_980pro()]
+        vec![
+            Self::nand_s3520(),
+            Self::optane_p4800x(),
+            Self::znand_sz983(),
+            Self::vnand_980pro(),
+        ]
     }
 
     /// Bandwidth for the given access pattern, bytes/second.

@@ -38,7 +38,10 @@ impl IoRequest {
 ///
 /// Panics in debug builds if `pages` is not strictly increasing.
 pub fn merge_pages_with_window(pages: &[PageId], max_merge: usize) -> Vec<IoRequest> {
-    debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be sorted unique");
+    debug_assert!(
+        pages.windows(2).all(|w| w[0] < w[1]),
+        "pages must be sorted unique"
+    );
     debug_assert!(max_merge >= 1);
     let mut requests = Vec::new();
     let mut iter = pages.iter().copied();
@@ -51,12 +54,18 @@ pub fn merge_pages_with_window(pages: &[PageId], max_merge: usize) -> Vec<IoRequ
         if page == run_start + run_len as u64 && (run_len as usize) < max_merge {
             run_len += 1;
         } else {
-            requests.push(IoRequest { first_page: run_start, num_pages: run_len });
+            requests.push(IoRequest {
+                first_page: run_start,
+                num_pages: run_len,
+            });
             run_start = page;
             run_len = 1;
         }
     }
-    requests.push(IoRequest { first_page: run_start, num_pages: run_len });
+    requests.push(IoRequest {
+        first_page: run_start,
+        num_pages: run_len,
+    });
     requests
 }
 
@@ -71,7 +80,10 @@ mod tests {
     use super::*;
 
     fn req(first: u64, n: u32) -> IoRequest {
-        IoRequest { first_page: first, num_pages: n }
+        IoRequest {
+            first_page: first,
+            num_pages: n,
+        }
     }
 
     #[test]
@@ -81,7 +93,10 @@ mod tests {
 
     #[test]
     fn isolated_pages_stay_single() {
-        assert_eq!(merge_pages(&[1, 3, 7]), vec![req(1, 1), req(3, 1), req(7, 1)]);
+        assert_eq!(
+            merge_pages(&[1, 3, 7]),
+            vec![req(1, 1), req(3, 1), req(7, 1)]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Device simulation: attaches a [`DeviceProfile`] service-time model and
 //! sequential/random classification to any functional [`BlockDevice`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use blaze_sync::atomic::{AtomicU64, Ordering};
 
 use blaze_types::Result;
 
@@ -31,7 +31,12 @@ pub struct SimDevice<D> {
 impl<D: BlockDevice> SimDevice<D> {
     /// Wraps `inner` with the service-time model of `profile`.
     pub fn new(inner: D, profile: DeviceProfile) -> Self {
-        Self { inner, profile, prev_end: AtomicU64::new(u64::MAX), stats: IoStats::new() }
+        Self {
+            inner,
+            profile,
+            prev_end: AtomicU64::new(u64::MAX),
+            stats: IoStats::new(),
+        }
     }
 
     /// The performance profile this device simulates.
@@ -46,7 +51,7 @@ impl<D: BlockDevice> SimDevice<D> {
 
     /// Classifies a request at `offset` and advances the sequential cursor.
     fn classify(&self, offset: u64, len: u64) -> AccessPattern {
-        let prev = self.prev_end.swap(offset + len, Ordering::Relaxed);
+        let prev = self.prev_end.swap(offset + len, Ordering::Relaxed); // sync-audit: heuristic cursor; a stale value only misclassifies a pattern.
         if prev == offset {
             AccessPattern::Sequential
         } else {

@@ -6,7 +6,7 @@
 //! `p % n` at local page `p / n`, so *any* subset of graph pages spreads
 //! almost perfectly evenly over the array (Section IV-E).
 
-use std::sync::Arc;
+use blaze_sync::Arc;
 
 use blaze_types::{BlazeError, DeviceId, PageId, Result, PAGE_SIZE};
 
@@ -21,7 +21,9 @@ impl StripedStorage {
     /// Builds an array over `devices`. At least one device is required.
     pub fn new(devices: Vec<Arc<dyn BlockDevice>>) -> Result<Self> {
         if devices.is_empty() {
-            return Err(BlazeError::Config("striped storage needs >= 1 device".into()));
+            return Err(BlazeError::Config(
+                "striped storage needs >= 1 device".into(),
+            ));
         }
         Ok(Self { devices })
     }
@@ -106,7 +108,10 @@ impl StripedStorage {
 
     /// Per-device read bytes, for IO-skew measurements (Figure 3).
     pub fn read_bytes_per_device(&self) -> Vec<u64> {
-        self.devices.iter().map(|d| d.stats().read_bytes()).collect()
+        self.devices
+            .iter()
+            .map(|d| d.stats().read_bytes())
+            .collect()
     }
 
     /// Resets statistics on every device.

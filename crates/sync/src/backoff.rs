@@ -1,0 +1,80 @@
+//! Exponential backoff for spin loops (crossbeam `Backoff` replacement).
+
+#[cfg(not(loom))]
+const SPIN_LIMIT: u32 = 6;
+#[cfg(not(loom))]
+const YIELD_LIMIT: u32 = 10;
+
+/// Backs off in spin loops: a few rounds of busy-spinning, then OS-level
+/// yields. Under `--cfg loom` every `snooze` is a scheduler yield point, so
+/// spin loops become explorable interleavings instead of wasted time.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Creates a backoff in the "just started spinning" state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the initial state (call after making progress).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off one step: spins while cheap, yields once spinning has not
+    /// helped. Call in loops that wait for another thread's progress.
+    #[cfg(not(loom))]
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Model-checked builds: a snooze is exactly one scheduling point.
+    #[cfg(loom)]
+    pub fn snooze(&self) {
+        crate::model::thread::yield_now();
+    }
+
+    /// Whether spinning has exceeded the yield threshold — callers may then
+    /// switch to blocking on a real primitive.
+    #[cfg(not(loom))]
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+
+    /// Model-checked builds: backoff is always "complete" so tests exercise
+    /// the blocking path rather than unbounded spin schedules.
+    #[cfg(loom)]
+    pub fn is_completed(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

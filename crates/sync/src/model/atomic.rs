@@ -1,0 +1,216 @@
+//! Model-checked atomics.
+//!
+//! Every operation is a scheduling point, so the explorer interleaves
+//! atomic accesses at instruction granularity. Values behave sequentially
+//! consistently regardless of the `Ordering` argument — see the `model`
+//! module docs for why that is an accepted fidelity limit and how the
+//! `// sync-audit:` lint covers the gap.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+
+use super::scheduler::current;
+
+/// A fence is a pure ordering operation; under sequential consistency it
+/// reduces to a scheduling point.
+pub fn fence(_order: Ordering) {
+    let (sched, me) = current();
+    sched.yield_point(me);
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Model-checked atomic (sequentially consistent; every access is a
+        /// scheduling point).
+        #[derive(Default)]
+        pub struct $name {
+            v: UnsafeCell<$ty>,
+        }
+
+        // SAFETY: the cell is only accessed by the thread holding the
+        // scheduler's execution token (every method yields to the scheduler
+        // first), and token transfer synchronizes through a std mutex.
+        unsafe impl Send for $name {}
+        // SAFETY: as above — accesses are serialized by the scheduler.
+        unsafe impl Sync for $name {}
+
+        impl $name {
+            /// Creates an atomic initialized to `v`.
+            pub fn new(v: $ty) -> Self {
+                Self {
+                    v: UnsafeCell::new(v),
+                }
+            }
+
+            fn with<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                let (sched, me) = current();
+                sched.yield_point(me);
+                // SAFETY: we hold the execution token between scheduling
+                // points, so this is the only live access to the cell.
+                f(unsafe { &mut *self.v.get() })
+            }
+
+            /// Loads the value.
+            pub fn load(&self, _order: Ordering) -> $ty {
+                self.with(|v| *v)
+            }
+
+            /// Stores `val`.
+            pub fn store(&self, val: $ty, _order: Ordering) {
+                self.with(|v| *v = val)
+            }
+
+            /// Swaps in `val`, returning the previous value.
+            pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| std::mem::replace(v, val))
+            }
+
+            /// Compare-and-exchange; returns `Ok(previous)` on success.
+            pub fn compare_exchange(
+                &self,
+                expected: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.with(|v| {
+                    if *v == expected {
+                        *v = new;
+                        Ok(expected)
+                    } else {
+                        Err(*v)
+                    }
+                })
+            }
+
+            /// Weak compare-and-exchange. The model never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                expected: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(expected, new, success, failure)
+            }
+
+            /// Fetch-and-update in the style of `std`'s `fetch_update`.
+            pub fn fetch_update(
+                &self,
+                _set_order: Ordering,
+                _fetch_order: Ordering,
+                mut f: impl FnMut($ty) -> Option<$ty>,
+            ) -> Result<$ty, $ty> {
+                self.with(|v| match f(*v) {
+                    Some(new) => Ok(std::mem::replace(v, new)),
+                    None => Err(*v),
+                })
+            }
+
+            /// Exclusive access without synchronization (requires `&mut`).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.v.get_mut()
+            }
+
+            /// Consumes the atomic and returns the value.
+            pub fn into_inner(self) -> $ty {
+                self.v.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(concat!("model::", stringify!($name)))
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $ty:ty) => {
+        model_atomic!($name, $ty);
+
+        impl $name {
+            /// Adds, wrapping; returns the previous value.
+            pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.wrapping_add(val);
+                    prev
+                })
+            }
+
+            /// Subtracts, wrapping; returns the previous value.
+            pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.wrapping_sub(val);
+                    prev
+                })
+            }
+
+            /// Bitwise OR; returns the previous value.
+            pub fn fetch_or(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev | val;
+                    prev
+                })
+            }
+
+            /// Bitwise AND; returns the previous value.
+            pub fn fetch_and(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev & val;
+                    prev
+                })
+            }
+
+            /// Maximum; returns the previous value.
+            pub fn fetch_max(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.max(val);
+                    prev
+                })
+            }
+
+            /// Minimum; returns the previous value.
+            pub fn fetch_min(&self, val: $ty, _order: Ordering) -> $ty {
+                self.with(|v| {
+                    let prev = *v;
+                    *v = prev.min(val);
+                    prev
+                })
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, bool);
+model_atomic_int!(AtomicU8, u8);
+model_atomic_int!(AtomicU32, u32);
+model_atomic_int!(AtomicU64, u64);
+model_atomic_int!(AtomicUsize, usize);
+model_atomic_int!(AtomicI64, i64);
+
+impl AtomicBool {
+    /// Bitwise OR; returns the previous value.
+    pub fn fetch_or(&self, val: bool, _order: Ordering) -> bool {
+        self.with(|v| {
+            let prev = *v;
+            *v = prev | val;
+            prev
+        })
+    }
+
+    /// Bitwise AND; returns the previous value.
+    pub fn fetch_and(&self, val: bool, _order: Ordering) -> bool {
+        self.with(|v| {
+            let prev = *v;
+            *v = prev & val;
+            prev
+        })
+    }
+}

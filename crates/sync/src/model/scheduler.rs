@@ -1,0 +1,448 @@
+//! The cooperative scheduler and depth-first schedule explorer.
+//!
+//! One OS thread exists per model thread, but exactly one of them runs at a
+//! time: the scheduler hands an execution token from thread to thread at
+//! scheduling points. Token hand-off happens under a real `std::sync::Mutex`
+//! (`Scheduler::state`), so everything thread A did before yielding the
+//! token *happens-before* everything thread B does after receiving it —
+//! which is what makes the model's `UnsafeCell`-based primitives sound.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use super::Config;
+
+/// What a blocked model thread is waiting for. Resources are identified by
+/// the address of the primitive, which is stable within one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resource {
+    /// Waiting to acquire a mutex (or rwlock, modeled as exclusive).
+    Lock(usize),
+    /// Waiting on a condition variable.
+    Condvar(usize),
+    /// Waiting for a thread to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// One recorded branch point: a state where more than one thread could run.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// Candidate threads in exploration order (default choice first).
+    pub candidates: Vec<usize>,
+    /// The thread that was chosen.
+    pub chosen: usize,
+    /// The thread that held the token before this decision, and whether it
+    /// was still runnable (a switch away from it is then preemptive).
+    prev: usize,
+    prev_runnable: bool,
+    /// Preemptive switches taken by the schedule before this decision.
+    preemptions_before: usize,
+}
+
+struct State {
+    status: Vec<Status>,
+    /// Thread currently holding the execution token.
+    current: usize,
+    live: usize,
+    /// Replayed choices for the branch points of this execution.
+    prefix: Vec<usize>,
+    trail: Vec<Decision>,
+    preemptions: usize,
+    steps: u64,
+    /// Set when the execution must unwind (user panic or deadlock).
+    abort: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+/// Sentinel panic payload used to unwind model threads of an aborted
+/// execution without reporting them as failures themselves.
+struct AbortToken;
+
+/// Result of one complete execution.
+pub(crate) struct Outcome {
+    pub trail: Vec<Decision>,
+    pub panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct Scheduler {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+    config: Config,
+}
+
+thread_local! {
+    /// The execution context of the current OS thread, set while it acts as
+    /// a model thread: the scheduler it belongs to and its model thread id.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and model-thread id of the calling thread.
+///
+/// # Panics
+/// Panics when called outside a `model::check` execution — model primitives
+/// cannot be used from unmanaged threads.
+pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            // panic-audit: deliberate usage-error report — the model facade
+            // is meaningless outside a `model::check` execution.
+            .expect("blaze-sync model primitive used outside model::check")
+    })
+}
+
+impl Scheduler {
+    pub(crate) fn new(prefix: Vec<usize>, config: Config) -> Arc<Self> {
+        Arc::new(Self {
+            state: StdMutex::new(State {
+                status: Vec::new(),
+                current: 0,
+                live: 0,
+                prefix,
+                trail: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                abort: false,
+                panic_payload: None,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+            config,
+        })
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, State> {
+        // A model thread that panics mid-update poisons the std mutex; the
+        // abort protocol still needs the state to drain the execution.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs one complete execution of `f` and returns its trail.
+    pub(crate) fn run_execution(self: Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+        self.spawn_model_thread(move || f());
+        // Wait for every model thread to finish (normally or by unwinding).
+        {
+            let mut state = self.lock_state();
+            while state.live > 0 {
+                state = self
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        for handle in self
+            .os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            // The model thread has already signalled Finished; this join
+            // only reaps the OS thread and cannot block on model state.
+            let _ = handle.join();
+        }
+        let mut state = self.lock_state();
+        Outcome {
+            trail: std::mem::take(&mut state.trail),
+            panic_payload: state.panic_payload.take(),
+        }
+    }
+
+    /// Registers a new model thread and starts its OS thread. Returns the
+    /// model thread id.
+    pub(crate) fn spawn_model_thread<F>(self: &Arc<Self>, body: F) -> usize
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let id = {
+            let mut state = self.lock_state();
+            state.status.push(Status::Runnable);
+            state.live += 1;
+            state.status.len() - 1
+        };
+        let sched = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("model-{id}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((sched.clone(), id)));
+                // Threads other than the root must wait to be scheduled
+                // before touching any model state.
+                if id != 0 {
+                    sched.wait_for_token(id);
+                }
+                let result = catch_unwind(AssertUnwindSafe(body));
+                sched.finish_thread(id, result.err());
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+            // panic-audit: OS thread exhaustion leaves the checker unable to
+            // continue; aborting the test run is the only sensible outcome.
+            .expect("failed to spawn model OS thread");
+        self.os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+        id
+    }
+
+    fn wait_for_token(&self, me: usize) {
+        let mut state = self.lock_state();
+        while state.current != me {
+            if state.abort {
+                drop(state);
+                std::panic::panic_any(AbortToken);
+            }
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.abort {
+            drop(state);
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// A scheduling point: the calling thread offers to yield the token.
+    /// Branch points are recorded wherever another thread could run too.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut state = self.lock_state();
+        self.check_abort_and_steps(&mut state);
+        let aborted = self.pick_next(&mut state, me);
+        let next = state.current;
+        drop(state);
+        if aborted {
+            self.cv.notify_all();
+            std::panic::panic_any(AbortToken);
+        }
+        if next != me {
+            self.cv.notify_all();
+            self.wait_for_token(me);
+        }
+    }
+
+    /// Blocks the calling thread on `resource` and schedules someone else.
+    /// Returns once the thread has been unblocked *and* rescheduled.
+    pub(crate) fn block_on(&self, me: usize, resource: Resource) {
+        let mut state = self.lock_state();
+        self.check_abort_and_steps(&mut state);
+        state.status[me] = Status::Blocked(resource);
+        let aborted = self.pick_next(&mut state, me);
+        drop(state);
+        self.cv.notify_all();
+        if aborted {
+            std::panic::panic_any(AbortToken);
+        }
+        self.wait_for_token(me);
+    }
+
+    /// Marks every thread blocked on `resource` runnable again. The waker
+    /// keeps the token; woken threads run when a later decision picks them.
+    pub(crate) fn unblock_all(&self, resource: Resource) {
+        let mut state = self.lock_state();
+        for status in state.status.iter_mut() {
+            if *status == Status::Blocked(resource) {
+                *status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Marks the lowest-id thread blocked on `resource` runnable (condvar
+    /// `notify_one`). Which waiter a real condvar wakes is unspecified;
+    /// lowest-id is a deterministic choice the explorer can replay.
+    pub(crate) fn unblock_one(&self, resource: Resource) {
+        let mut state = self.lock_state();
+        for status in state.status.iter_mut() {
+            if *status == Status::Blocked(resource) {
+                *status = Status::Runnable;
+                break;
+            }
+        }
+    }
+
+    /// Whether thread `target` has finished (for `join`).
+    pub(crate) fn is_finished(&self, target: usize) -> bool {
+        matches!(self.lock_state().status[target], Status::Finished)
+    }
+
+    /// Aborts the execution and waits for every thread in `targets` to
+    /// finish. Used by a panicking `thread::scope`: the scope's stack frame
+    /// is about to unwind, so threads borrowing from it must exit first.
+    ///
+    /// Once `abort` is set and the condvar is broadcast, every other live
+    /// thread unwinds with [`AbortToken`] at its next token wait — no token
+    /// hand-off is needed — and each finish broadcasts again, so this wait
+    /// always terminates.
+    pub(crate) fn abort_and_drain(&self, targets: &[usize]) {
+        let mut state = self.lock_state();
+        state.abort = true;
+        self.cv.notify_all();
+        while targets
+            .iter()
+            .any(|&t| !matches!(state.status[t], Status::Finished))
+        {
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn finish_thread(&self, me: usize, panic_payload: Option<Box<dyn Any + Send>>) {
+        let mut state = self.lock_state();
+        state.status[me] = Status::Finished;
+        state.live -= 1;
+        match panic_payload {
+            Some(payload) if payload.is::<AbortToken>() => {
+                // Unwound as part of an abort someone else initiated.
+            }
+            Some(payload) => {
+                if state.panic_payload.is_none() {
+                    state.panic_payload = Some(payload);
+                }
+                state.abort = true;
+            }
+            None => {}
+        }
+        // Wake joiners of this thread.
+        for status in state.status.iter_mut() {
+            if *status == Status::Blocked(Resource::Join(me)) {
+                *status = Status::Runnable;
+            }
+        }
+        if state.live > 0 && !state.abort {
+            // A deadlock among the survivors is recorded in the state; this
+            // thread is exiting, so it must not unwind again itself.
+            let _ = self.pick_next(&mut state, me);
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn check_abort_and_steps(&self, state: &mut State) {
+        if state.abort {
+            std::panic::panic_any(AbortToken);
+        }
+        state.steps += 1;
+        if state.steps > self.config.max_steps {
+            state.abort = true;
+            if state.panic_payload.is_none() {
+                state.panic_payload = Some(Box::new(format!(
+                    "model execution exceeded {} scheduling points; \
+                     likely an unbounded spin outside facade primitives",
+                    self.config.max_steps
+                )));
+            }
+            self.cv.notify_all();
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Chooses the next thread to hold the token. `me` is the thread at the
+    /// scheduling point (it may or may not still be runnable). Returns
+    /// `true` when the execution must abort (deadlock detected).
+    fn pick_next(&self, state: &mut State, me: usize) -> bool {
+        let runnable: Vec<usize> = state
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if state.live == 0 || state.status.iter().all(|s| *s == Status::Finished) {
+                return false;
+            }
+            // Every live thread is blocked: deadlock.
+            let held: Vec<String> = state
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Status::Blocked(r) => Some(format!("thread {i} blocked on {r:?}")),
+                    _ => None,
+                })
+                .collect();
+            state.abort = true;
+            if state.panic_payload.is_none() {
+                state.panic_payload =
+                    Some(Box::new(format!("deadlock detected: {}", held.join(", "))));
+            }
+            return true;
+        }
+        let me_runnable = state.status[me] == Status::Runnable;
+        if runnable.len() == 1 {
+            // Forced choice: no branch point.
+            let chosen = runnable[0];
+            if me_runnable && chosen != me {
+                state.preemptions += 1;
+            }
+            state.current = chosen;
+            return false;
+        }
+        // Exploration order: default choice first (continue the current
+        // thread when possible — zero preemptions), then the rest ascending.
+        let default = if me_runnable { me } else { runnable[0] };
+        let mut candidates = Vec::with_capacity(runnable.len());
+        candidates.push(default);
+        candidates.extend(runnable.iter().copied().filter(|&t| t != default));
+
+        let idx = state.trail.len();
+        let chosen = match state.prefix.get(idx) {
+            Some(&replayed) => replayed,
+            None => default,
+        };
+        debug_assert!(
+            candidates.contains(&chosen),
+            "replayed choice must be runnable"
+        );
+        let preemptive = me_runnable && chosen != me;
+        state.trail.push(Decision {
+            candidates,
+            chosen,
+            prev: me,
+            prev_runnable: me_runnable,
+            preemptions_before: state.preemptions,
+        });
+        if preemptive {
+            state.preemptions += 1;
+        }
+        state.current = chosen;
+        false
+    }
+}
+
+/// Computes the next schedule prefix to explore, depth-first: backtracks to
+/// the deepest branch point with an untried candidate that fits within the
+/// preemption bound. Returns `None` when the space is exhausted.
+pub(crate) fn next_prefix(trail: &[Decision], preemption_bound: usize) -> Option<Vec<usize>> {
+    for i in (0..trail.len()).rev() {
+        let d = &trail[i];
+        let pos = d
+            .candidates
+            .iter()
+            .position(|&c| c == d.chosen)
+            // panic-audit: `Decision::chosen` is always appended from its own
+            // candidate set; absence would be checker corruption.
+            .expect("chosen candidate recorded in its own decision");
+        for &alt in &d.candidates[pos + 1..] {
+            let alt_preemptive = d.prev_runnable && alt != d.prev;
+            if d.preemptions_before + usize::from(alt_preemptive) <= preemption_bound {
+                let mut prefix: Vec<usize> = trail[..i].iter().map(|d| d.chosen).collect();
+                prefix.push(alt);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}

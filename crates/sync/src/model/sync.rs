@@ -1,0 +1,267 @@
+//! Model-checked lock and condition-variable implementations.
+//!
+//! All data lives in `UnsafeCell`s that are only ever touched by the thread
+//! holding the scheduler's execution token; token hand-off goes through the
+//! scheduler's internal `std::sync::Mutex`, which provides the
+//! happens-before edge that makes this sound (see `scheduler` module docs).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use super::scheduler::{current, Resource};
+
+/// A model-checked mutual-exclusion lock.
+pub struct Mutex<T> {
+    held: UnsafeCell<bool>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: `held` and `data` are only accessed by the model thread currently
+// holding the scheduler's execution token; the token transfer synchronizes
+// through the scheduler's std mutex, so no two threads access the cells
+// concurrently and all accesses are ordered.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — the scheduler serializes every access to the cells.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard for the model [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            held: UnsafeCell::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn resource(&self) -> Resource {
+        Resource::Lock(self as *const _ as *const () as usize)
+    }
+
+    fn held(&self) -> bool {
+        // SAFETY: caller is the token holder (all public paths go through a
+        // scheduling point first), so the cell cannot be accessed
+        // concurrently.
+        unsafe { *self.held.get() }
+    }
+
+    fn set_held(&self, v: bool) {
+        // SAFETY: as in `held` — serialized by the execution token.
+        unsafe { *self.held.get() = v }
+    }
+
+    pub(crate) fn raw_lock(&self) {
+        let (sched, me) = current();
+        loop {
+            sched.yield_point(me);
+            if !self.held() {
+                self.set_held(true);
+                return;
+            }
+            sched.block_on(me, self.resource());
+        }
+    }
+
+    pub(crate) fn raw_unlock(&self) {
+        let (sched, _me) = current();
+        self.set_held(false);
+        sched.unblock_all(self.resource());
+    }
+
+    /// Acquires the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.raw_lock();
+        MutexGuard { mutex: self }
+    }
+
+    /// Acquires the lock only if it is free at this scheduling point.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let (sched, me) = current();
+        sched.yield_point(me);
+        if self.held() {
+            return None;
+        }
+        self.set_held(true);
+        Some(MutexGuard { mutex: self })
+    }
+
+    /// Consumes the mutex and returns its value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Exclusive access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("model::Mutex")
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this thread holds the model lock, and the
+        // scheduler serializes execution, so no aliasing access exists.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive by lock ownership + serial
+        // execution.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.raw_unlock();
+    }
+}
+
+/// A model-checked condition variable.
+#[derive(Default)]
+pub struct Condvar {
+    _private: (),
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+
+    fn resource(&self) -> Resource {
+        Resource::Condvar(self as *const _ as *const () as usize)
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified, then
+    /// re-acquires the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let (sched, me) = current();
+        guard.mutex.raw_unlock();
+        sched.block_on(me, self.resource());
+        guard.mutex.raw_lock();
+    }
+
+    /// Wakes one waiting thread (the model deterministically picks the
+    /// lowest-id waiter).
+    pub fn notify_one(&self) {
+        let (sched, _me) = current();
+        sched.unblock_one(self.resource());
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        let (sched, _me) = current();
+        sched.unblock_all(self.resource());
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("model::Condvar")
+    }
+}
+
+/// A model-checked reader-writer lock.
+///
+/// Readers are modeled as exclusive: this collapses reader-reader
+/// concurrency (which cannot produce data races) but fully explores
+/// reader-writer and writer-writer interleavings. It keeps the model's
+/// state space small where the real code uses `RwLock` only on cold paths.
+pub struct RwLock<T> {
+    inner: Mutex<T>,
+}
+
+/// Shared-access guard for the model [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: MutexGuard<'a, T>,
+}
+
+/// Exclusive-access guard for the model [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: MutexGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquires shared access (exclusive in the model; see type docs).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Consumes the lock and returns its value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Exclusive access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("model::RwLock")
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}

@@ -1,0 +1,179 @@
+//! Model-checked thread spawning, joining, and scoped threads.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use super::scheduler::{current, Resource};
+
+/// Handle to a model thread; `join` blocks (in model time) until it exits.
+pub struct JoinHandle<T> {
+    target: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a model thread. The new thread becomes runnable immediately and a
+/// branch point follows, so the explorer covers both "child runs first" and
+/// "parent continues" schedules.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = current();
+    let result = Arc::new(StdMutex::new(None));
+    let slot = result.clone();
+    let target = sched.spawn_model_thread(move || {
+        let value = f();
+        *slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+    });
+    sched.yield_point(me);
+    JoinHandle { target, result }
+}
+
+/// Yields the token: a pure scheduling point.
+pub fn yield_now() {
+    let (sched, me) = current();
+    sched.yield_point(me);
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// The `Err` arm of the standard API is unreachable here: a panicking
+    /// model thread aborts the whole execution and fails the test, so a
+    /// completed `join` always has a value.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let (sched, me) = current();
+        while !sched.is_finished(self.target) {
+            sched.block_on(me, Resource::Join(self.target));
+        }
+        let value = self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            // panic-audit: `block_on(Join)` returns only once the target
+            // finished, and a finished thread always deposits its result.
+            .expect("finished model thread stored its result");
+        Ok(value)
+    }
+}
+
+/// Model-checked scoped threads, mirroring `std::thread::scope`: threads
+/// spawned on the [`Scope`] may borrow non-`'static` data, and every one of
+/// them has exited by the time `scope` returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    let scope = Scope {
+        pending: StdMutex::new(Vec::new()),
+        _scope: PhantomData,
+        _env: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    let pending: Vec<usize> = std::mem::take(
+        &mut *scope
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    let (sched, me) = current();
+    match result {
+        Ok(value) => {
+            // Implicitly join the threads the closure did not join itself;
+            // these joins are ordinary scheduling points.
+            for target in pending {
+                while !sched.is_finished(target) {
+                    sched.block_on(me, Resource::Join(target));
+                }
+            }
+            value
+        }
+        Err(payload) => {
+            // The scope is unwinding: the borrowed stack frames are about
+            // to die, so the execution aborts and every pending thread must
+            // exit before the panic continues.
+            sched.abort_and_drain(&pending);
+            resume_unwind(payload)
+        }
+    }
+}
+
+/// Spawn surface handed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    /// Model-thread ids spawned in this scope and not yet joined.
+    pending: StdMutex<Vec<usize>>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a model thread that may borrow from `'env`.
+    pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let (sched, me) = current();
+        let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let slot = result.clone();
+        let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let value = f();
+            *slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+        });
+        // SAFETY: `scope` guarantees this closure has finished running (via
+        // join or abort-and-drain) before any `'scope`/`'env` borrow it
+        // captures can dangle, so erasing the lifetime for the spawn API is
+        // sound — the same argument `std::thread::scope` relies on.
+        let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+        let target = sched.spawn_model_thread(move || body());
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(target);
+        // Branch point: the child may run before the parent continues.
+        sched.yield_point(me);
+        ScopedJoinHandle {
+            target,
+            result,
+            pending: &self.pending,
+        }
+    }
+}
+
+/// Handle to a scoped model thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    target: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    pending: &'scope StdMutex<Vec<usize>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result. As with
+    /// [`JoinHandle::join`], the `Err` arm is unreachable in the model.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let (sched, me) = current();
+        while !sched.is_finished(self.target) {
+            sched.block_on(me, Resource::Join(self.target));
+        }
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .retain(|&t| t != self.target);
+        let value = self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            // panic-audit: `block_on(Join)` returns only once the target
+            // finished, and a finished thread always deposits its result.
+            .expect("finished model thread stored its result");
+        Ok(value)
+    }
+}

@@ -1,0 +1,171 @@
+//! MPMC queues for the IO→scatter→gather pipeline.
+//!
+//! These replace `crossbeam::queue::{SegQueue, ArrayQueue}`. They are built
+//! on the facade's own [`Mutex`](crate::Mutex), which has two consequences:
+//! the hand-off of a popped element is synchronized by the lock (no relaxed
+//! publication to audit), and under `--cfg loom` the queues are model-checked
+//! for free, because the model's mutex is what serializes them.
+//!
+//! The pipeline pushes and pops whole buffers (64 KiB IO buffers, multi-KiB
+//! bin buffers), so one short critical section per element is far off the
+//! hot path; a lock-free ring is deliberately *not* used here until a
+//! profile demands it.
+
+use std::collections::VecDeque;
+
+use crate::Mutex;
+
+/// An unbounded MPMC FIFO queue (crossbeam `SegQueue` replacement).
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends `value` at the tail.
+    pub fn push(&self, value: T) {
+        self.inner.lock().push_back(value);
+    }
+
+    /// Removes the head element, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued elements at the time of the call.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue held no elements at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A bounded MPMC FIFO queue (crossbeam `ArrayQueue` replacement).
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    /// Creates an empty queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ArrayQueue capacity must be non-zero");
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Appends `value` at the tail, or returns it if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.lock();
+        if q.len() == self.capacity {
+            return Err(value);
+        }
+        q.push_back(value);
+        Ok(())
+    }
+
+    /// Removes the head element, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queued elements at the time of the call.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue held no elements at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seg_queue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn array_queue_bounds_capacity() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(()));
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_deliver_everything() {
+        let q = std::sync::Arc::new(SegQueue::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        q.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let mut all: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4000).collect::<Vec<_>>());
+    }
+}

@@ -14,7 +14,11 @@ pub enum BlazeError {
     /// The engine reached an inconsistent internal state.
     Engine(String),
     /// A request addressed a page or byte range outside the device.
-    OutOfRange { offset: u64, len: u64, device_len: u64 },
+    OutOfRange {
+        offset: u64,
+        len: u64,
+        device_len: u64,
+    },
 }
 
 impl fmt::Display for BlazeError {
@@ -24,7 +28,11 @@ impl fmt::Display for BlazeError {
             BlazeError::Format(m) => write!(f, "format error: {m}"),
             BlazeError::Config(m) => write!(f, "configuration error: {m}"),
             BlazeError::Engine(m) => write!(f, "engine error: {m}"),
-            BlazeError::OutOfRange { offset, len, device_len } => write!(
+            BlazeError::OutOfRange {
+                offset,
+                len,
+                device_len,
+            } => write!(
                 f,
                 "request [{offset}, {offset}+{len}) exceeds device length {device_len}"
             ),
@@ -56,7 +64,11 @@ mod tests {
 
     #[test]
     fn display_is_descriptive() {
-        let e = BlazeError::OutOfRange { offset: 4096, len: 8192, device_len: 4096 };
+        let e = BlazeError::OutOfRange {
+            offset: 4096,
+            len: 8192,
+            device_len: 4096,
+        };
         let s = e.to_string();
         assert!(s.contains("4096"), "{s}");
         assert!(s.contains("exceeds"), "{s}");

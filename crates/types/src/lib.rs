@@ -8,11 +8,13 @@
 pub mod constants;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod trace;
 pub mod util;
 
 pub use constants::*;
 pub use error::{BlazeError, Result};
 pub use ids::{DeviceId, EdgeOffset, PageId, VertexId};
+pub use rng::SplitMix64;
 pub use trace::{EnginePhase, IterationTrace, QueryTrace};
 pub use util::CachePadded;

@@ -11,10 +11,8 @@
 //! All quantities in these structs are **measured** from real executions of
 //! the real algorithms; only the time axis is modeled.
 
-use serde::{Deserialize, Serialize};
-
 /// A named phase of engine execution, used to attribute modeled time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnginePhase {
     /// Transforming the vertex frontier into the page frontier.
     FrontierTransform,
@@ -31,7 +29,7 @@ pub enum EnginePhase {
 }
 
 /// Work performed by one iteration (one `EdgeMap` round) of a query.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct IterationTrace {
     /// Bytes read from each device during this iteration.
     pub io_bytes_per_device: Vec<u64>,
@@ -64,7 +62,6 @@ pub struct IterationTrace {
     /// Records per bin buffer in the binning configuration that produced
     /// this trace (0 when binning was not used). Drives the bin-handoff
     /// cost of the performance model.
-    #[serde(default)]
     pub bin_buffer_capacity: u64,
 }
 
@@ -109,13 +106,13 @@ impl IterationTrace {
         if total == 0 || n == 0 {
             return 1.0;
         }
-        let max = *self.messages_per_thread.iter().max().unwrap() as f64;
+        let max = self.messages_per_thread.iter().max().copied().unwrap_or(0) as f64;
         max / (total as f64 / n as f64)
     }
 }
 
 /// The complete trace of one query execution: one entry per iteration.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryTrace {
     /// Human-readable query name, e.g. `"bfs"`.
     pub query: String,
@@ -128,12 +125,19 @@ pub struct QueryTrace {
 impl QueryTrace {
     /// Creates an empty trace for `query` over `dataset`.
     pub fn new(query: impl Into<String>, dataset: impl Into<String>) -> Self {
-        Self { query: query.into(), dataset: dataset.into(), iterations: Vec::new() }
+        Self {
+            query: query.into(),
+            dataset: dataset.into(),
+            iterations: Vec::new(),
+        }
     }
 
     /// Total bytes read across the whole query.
     pub fn total_io_bytes(&self) -> u64 {
-        self.iterations.iter().map(IterationTrace::total_io_bytes).sum()
+        self.iterations
+            .iter()
+            .map(IterationTrace::total_io_bytes)
+            .sum()
     }
 
     /// Total edges examined across the whole query.
@@ -191,11 +195,10 @@ mod tests {
     }
 
     #[test]
-    fn traces_serialize_round_trip() {
+    fn traces_clone_deeply() {
         let mut q = QueryTrace::new("pr", "r3");
         q.iterations.push(IterationTrace::new(2));
-        let json = serde_json::to_string(&q).unwrap();
-        let back: QueryTrace = serde_json::from_str(&json).unwrap();
+        let back = q.clone();
         assert_eq!(back.query, "pr");
         assert_eq!(back.iterations.len(), 1);
         assert_eq!(back.iterations[0].io_bytes_per_device.len(), 2);

@@ -1,0 +1,362 @@
+//! The workspace analysis gate (`cargo xtask lint`).
+//!
+//! Three rules, all operating on comment/string-stripped code text:
+//!
+//! 1. `sync-ordering` — every `Ordering::Relaxed` / `Ordering::SeqCst` in
+//!    library code must carry a `// sync-audit:` justification on the same
+//!    line or within the three lines above. The blaze-sync model checker
+//!    executes all atomics sequentially-consistently, so relaxed orderings
+//!    are exactly the part loom cannot vouch for — each one needs a written
+//!    argument.
+//! 2. `panic` — no `.unwrap()` / `.expect(` in non-test library code;
+//!    structurally-infallible or deliberately-aborting sites carry a
+//!    `// panic-audit:` justification instead.
+//! 3. `sync-facade` — no direct `std::sync`, `parking_lot`, or `crossbeam`
+//!    references outside the `blaze-sync` facade crate, so every piece of
+//!    concurrent state stays model-checkable under `--cfg loom`.
+//!
+//! Scope: `src/` trees of `crates/*` and the workspace root. Binary targets
+//! (`src/bin/`) are exempt from the `panic` rule (a CLI aborting loudly is
+//! fine), `shims/*` mimic third-party crates and are exempt from `panic`
+//! and `sync-facade` (they exist precisely to wrap std machinery), and the
+//! `blaze-bench` harness is exempt from `panic` (setup failures should
+//! abort the run).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{contains_word, scan, CodeLine};
+
+/// How many lines above a match a waiver comment may sit.
+const WAIVER_WINDOW: usize = 3;
+
+/// Crates (by directory name under `crates/`) exempt from the `panic` rule.
+const PANIC_EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+
+/// The facade crate allowed to touch std sync machinery directly.
+const FACADE_CRATE: &str = "sync";
+
+/// One rule violation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub path: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass<'a> {
+    /// Directory name under `crates/` or `shims/` ("binning", "sync", ...).
+    pub crate_name: &'a str,
+    /// Under `shims/` (third-party stand-ins).
+    pub is_shim: bool,
+    /// Binary target (`src/bin/...` or `src/main.rs`).
+    pub is_bin: bool,
+}
+
+/// Classifies a workspace-relative path; `None` for files the gate skips
+/// entirely (tests, benches, examples, build scripts, non-Rust).
+pub fn classify(rel: &Path) -> Option<FileClass<'_>> {
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return None;
+    }
+    let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let (crate_name, is_shim, rest) = match comps.as_slice() {
+        ["crates", name, rest @ ..] => (*name, false, rest),
+        ["shims", name, rest @ ..] => (*name, true, rest),
+        ["src", ..] => ("(root)", false, &comps[1..]),
+        _ => return None,
+    };
+    // Only library/binary sources are in scope; integration tests, benches,
+    // and examples may use whatever they like.
+    let in_src = comps.contains(&"src");
+    if !in_src {
+        return None;
+    }
+    let is_bin = rest.first() == Some(&"bin")
+        || comps.contains(&"bin")
+        || rel.file_name().and_then(|f| f.to_str()) == Some("main.rs");
+    Some(FileClass {
+        crate_name,
+        is_shim,
+        is_bin,
+    })
+}
+
+/// Whether a waiver token appears on the line or within the window above.
+fn waived(lines: &[CodeLine], idx: usize, token: &str) -> bool {
+    let lo = idx.saturating_sub(WAIVER_WINDOW);
+    lines[lo..=idx].iter().any(|l| l.raw.contains(token))
+}
+
+/// Runs all rules over one file's source text.
+pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Violation> {
+    let lines = scan(source);
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, line: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            path: rel.to_path_buf(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        // Rule 1: relaxed/SeqCst orderings need a sync-audit justification.
+        for ordering in ["Ordering::Relaxed", "Ordering::SeqCst"] {
+            if code.contains(ordering) && !waived(&lines, idx, "sync-audit:") {
+                push(
+                    &mut out,
+                    line.number,
+                    "sync-ordering",
+                    format!(
+                        "`{ordering}` without a `// sync-audit:` justification \
+                         (the loom model runs atomics sequentially consistently, \
+                         so the ordering argument must be written down)"
+                    ),
+                );
+            }
+        }
+
+        // Rule 2: no unwrap/expect in non-test library code.
+        if !class.is_bin && !class.is_shim && !PANIC_EXEMPT_CRATES.contains(&class.crate_name) {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) && !waived(&lines, idx, "panic-audit:") {
+                    push(
+                        &mut out,
+                        line.number,
+                        "panic",
+                        format!(
+                            "`{pat}` in library code without a `// panic-audit:` \
+                             justification; propagate a BlazeError instead"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Rule 3: all synchronization goes through the blaze-sync facade.
+        if class.crate_name != FACADE_CRATE && !class.is_shim {
+            for pat in ["std::sync", "parking_lot", "crossbeam"] {
+                if contains_word(code, pat.split("::").next().unwrap_or(pat)) && code.contains(pat)
+                {
+                    push(
+                        &mut out,
+                        line.number,
+                        "sync-facade",
+                        format!(
+                            "direct `{pat}` reference outside blaze-sync; import \
+                             through `blaze_sync` so the code stays model-checkable"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `target/`.
+fn collect_rs(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the gate over the workspace rooted at `root`. Returns the number of
+/// files scanned plus all violations.
+pub fn run(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut scanned = 0;
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&path)?;
+        scanned += 1;
+        violations.extend(check_source(&rel, class, &source));
+    }
+    Ok((scanned, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_class() -> FileClass<'static> {
+        FileClass {
+            crate_name: "core",
+            is_shim: false,
+            is_bin: false,
+        }
+    }
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_source(Path::new("crates/core/src/x.rs"), lib_class(), src)
+    }
+
+    #[test]
+    fn classify_scopes_targets() {
+        assert_eq!(
+            classify(Path::new("crates/core/src/engine.rs")),
+            Some(FileClass {
+                crate_name: "core",
+                is_shim: false,
+                is_bin: false
+            })
+        );
+        assert_eq!(
+            classify(Path::new("crates/cli/src/bin/bfs.rs")).map(|c| c.is_bin),
+            Some(true)
+        );
+        assert_eq!(
+            classify(Path::new("shims/tempfile/src/lib.rs")).map(|c| c.is_shim),
+            Some(true)
+        );
+        assert!(classify(Path::new("crates/core/tests/loom_pipeline.rs")).is_none());
+        assert!(classify(Path::new("crates/bench/benches/micro.rs")).is_none());
+        assert!(classify(Path::new("crates/core/README.md")).is_none());
+    }
+
+    #[test]
+    fn seeded_unjustified_ordering_is_flagged() {
+        let v = check("let x = a.load(Ordering::Relaxed);");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sync-ordering");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn sync_audit_comment_waives_ordering() {
+        let src = "// sync-audit: monotonic counter, no ordering dependency.\n\
+                   let x = a.load(Ordering::Relaxed);";
+        assert!(check(src).is_empty());
+        let same_line = "let x = a.load(Ordering::Relaxed); // sync-audit: counter.";
+        assert!(check(same_line).is_empty());
+    }
+
+    #[test]
+    fn waiver_window_is_bounded() {
+        let src = "// sync-audit: too far away.\n\n\n\n\nlet x = a.load(Ordering::SeqCst);";
+        let v = check(src);
+        assert_eq!(v.len(), 1, "waiver beyond the window must not apply");
+    }
+
+    #[test]
+    fn seeded_unwrap_is_flagged_and_audit_waives() {
+        let v = check("let y = maybe.unwrap();");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic");
+        let waived = "// panic-audit: checked non-empty above.\nlet y = maybe.unwrap();";
+        assert!(check(waived).is_empty());
+    }
+
+    #[test]
+    fn expect_in_test_module_is_allowed() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { maybe.unwrap(); }\n}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn seeded_facade_violation_is_flagged() {
+        let v = check("use std::sync::Arc;");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sync-facade");
+        let v = check("let q = crossbeam::queue::SegQueue::new();");
+        assert_eq!(v.len(), 1);
+        let v = check("use parking_lot::Mutex;");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn facade_rule_skips_sync_crate_and_shims() {
+        let sync = FileClass {
+            crate_name: "sync",
+            is_shim: false,
+            is_bin: false,
+        };
+        let v = check_source(
+            Path::new("crates/sync/src/std_impl.rs"),
+            sync,
+            "use std::sync::Mutex;",
+        );
+        assert!(v.is_empty());
+        let shim = FileClass {
+            crate_name: "tempfile",
+            is_shim: true,
+            is_bin: false,
+        };
+        let v = check_source(
+            Path::new("shims/tempfile/src/lib.rs"),
+            shim,
+            "use std::sync::Mutex;",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn bin_targets_may_panic_but_not_bypass_facade() {
+        let bin = FileClass {
+            crate_name: "cli",
+            is_shim: false,
+            is_bin: true,
+        };
+        let v = check_source(
+            Path::new("crates/cli/src/bin/bfs.rs"),
+            bin,
+            "args.parse().unwrap();\nuse std::sync::Arc;",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sync-facade");
+    }
+
+    #[test]
+    fn patterns_in_strings_and_comments_are_ignored() {
+        let src = "// std::sync is forbidden — this comment is fine\n\
+                   let s = \"Ordering::Relaxed .unwrap() std::sync\";";
+        assert!(check(src).is_empty());
+    }
+}

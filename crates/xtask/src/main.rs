@@ -1,0 +1,76 @@
+//! Workspace automation driver (`cargo xtask <command>`).
+//!
+//! Commands:
+//! * `lint` — run the static analysis gate (see the `lint` module docs).
+
+mod lint;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Finds the workspace root: walks up from the current directory to the
+/// first `Cargo.toml` containing a `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace analysis gate"
+    );
+}
+
+fn run_lint() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::FAILURE;
+    };
+    match lint::run(&root) {
+        Ok((scanned, violations)) if violations.is_empty() => {
+            println!("xtask lint: {scanned} files scanned, 0 violations");
+            ExitCode::SUCCESS
+        }
+        Ok((scanned, violations)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "\nxtask lint: {scanned} files scanned, {} violation(s)",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

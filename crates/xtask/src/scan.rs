@@ -1,0 +1,316 @@
+//! A line-oriented Rust source scanner for the lint rules.
+//!
+//! The lint rules match on *code* text only, so the scanner strips string
+//! literals, character literals, and comments (which would otherwise
+//! produce false positives — not least inside this very crate, whose rule
+//! patterns appear as string literals). It also tracks brace depth to skip
+//! `#[cfg(test)]`-gated items, because unit-test modules inside library
+//! sources are allowed to use anything.
+
+/// One source line, classified.
+#[derive(Debug)]
+pub struct CodeLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The original line text (used for waiver-comment lookups).
+    pub raw: String,
+    /// The line with strings, char literals, and comments blanked out.
+    pub code: String,
+    /// Whether the line sits inside a test-gated item (`#[cfg(test)]`,
+    /// `#[cfg(all(test, ...))]`, or `#[test]`).
+    pub in_test: bool,
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Normal,
+    /// Nested block comment (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by `n` `#`s.
+    RawStr(u32),
+}
+
+/// Whether `hay` contains `needle` as a whole word (no identifier
+/// characters adjacent).
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Strips comments/strings and flags test-gated regions.
+pub fn scan(source: &str) -> Vec<CodeLine> {
+    let mut state = State::Normal;
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which a test-gated item opened; lines are `in_test` while
+    // the current depth is strictly greater.
+    let mut test_until: Option<i64> = None;
+    // A test attribute was seen and we are waiting for the item's `{`.
+    let mut pending_test = false;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw_line.len());
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            match state {
+                State::Normal => match c {
+                    '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+                    '/' if bytes.get(i + 1) == Some(&'*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push(' ');
+                        i += 1;
+                    }
+                    'r' if matches!(bytes.get(i + 1), Some('"' | '#')) => {
+                        // Possible raw string: r"..." or r#"..."#.
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            code.push(' ');
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal is 'x' or an
+                        // escape; a lifetime is 'ident with no closing '.
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push(' ');
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            code.push(' ');
+                            i += 3;
+                        } else {
+                            code.push(c); // lifetime tick
+                            i += 1;
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        if pending_test {
+                            pending_test = false;
+                            if test_until.is_none() {
+                                test_until = Some(depth - 1);
+                            }
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if test_until.is_some_and(|d| depth <= d) {
+                            test_until = None;
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                    ';' => {
+                        // `#[cfg(test)] mod tests;` — attribute consumed by
+                        // a braceless item.
+                        pending_test = false;
+                        code.push(c);
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::BlockComment(ref mut n) => {
+                    if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                        *n -= 1;
+                        i += 2;
+                        if *n == 0 {
+                            state = State::Normal;
+                        }
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        *n += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        state = State::Normal;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0u32;
+                        while seen < hashes && bytes.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            state = State::Normal;
+                            i = j;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // An unterminated plain string at end-of-line is a syntax error in
+        // real code; recover to Normal so one bad line cannot hide the rest
+        // of the file. Raw strings and block comments legitimately span
+        // lines.
+        if matches!(state, State::Str) {
+            state = State::Normal;
+        }
+
+        let trimmed = code.trim_start();
+        let in_test_now = test_until.is_some() || pending_test;
+        if trimmed.starts_with("#[") && is_test_attr(trimmed) {
+            pending_test = true;
+        }
+        out.push(CodeLine {
+            number: idx + 1,
+            raw: raw_line.to_string(),
+            code,
+            in_test: in_test_now || test_until.is_some() || pending_test,
+        });
+    }
+    out
+}
+
+/// Whether an attribute line gates a test item: `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, not(loom)))]`, etc.
+fn is_test_attr(attr: &str) -> bool {
+    contains_word(attr, "test") || contains_word(attr, "tests")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let c = code_of("let x = 1; // Ordering::Relaxed\n/* std::sync */ let y = 2;");
+        assert!(!c[0].contains("Ordering"));
+        assert!(c[0].contains("let x = 1;"));
+        assert!(!c[1].contains("std::sync"));
+        assert!(c[1].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("/* a /* b */ still comment */ let z = 3;");
+        assert!(!c[0].contains('a'));
+        assert!(c[0].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn strips_string_literals_and_keeps_code() {
+        let c = code_of("let s = \".unwrap()\"; s.len();");
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("s.len();"));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_affect_depth() {
+        let src =
+            "#[cfg(test)]\nmod t {\n    let f = format!(\"{}{{\", 1);\n    bad();\n}\nafter();";
+        let lines = scan(src);
+        assert!(lines[3].in_test, "line inside test mod");
+        assert!(!lines[5].in_test, "line after test mod closed");
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let s = r#\"first .unwrap()\nsecond std::sync\"#;\nreal();";
+        let c = code_of(src);
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(!c[1].contains("std::sync"));
+        assert!(c[2].contains("real();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code_of("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(c[0].contains("fn f<'a>"));
+        assert!(c[0].contains("{ x }"));
+    }
+
+    #[test]
+    fn char_literal_with_brace_does_not_break_depth() {
+        let src = "#[cfg(test)]\nfn t() {\n    let c = '{';\n    inner();\n}\nouter();";
+        let lines = scan(src);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_is_recognized() {
+        let src = "#[cfg(all(test, not(loom)))]\nmod tests {\n    use std::sync::Arc;\n}\nlib();";
+        let lines = scan(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn attest_like_words_do_not_gate() {
+        let src = "#[cfg(feature = \"attestation\")]\nfn f() {\n    body();\n}";
+        let lines = scan(src);
+        assert!(!lines[2].in_test, "'attestation' must not count as 'test'");
+    }
+
+    #[test]
+    fn braceless_test_attr_clears_on_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() {\n    body();\n}";
+        let lines = scan(src);
+        assert!(!lines[3].in_test);
+    }
+
+    #[test]
+    fn contains_word_boundaries() {
+        assert!(contains_word("cfg(test)", "test"));
+        assert!(contains_word("all(test, not(loom))", "test"));
+        assert!(!contains_word("attestation", "test"));
+        assert!(!contains_word("latest", "test"));
+    }
+}

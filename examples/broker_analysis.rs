@@ -22,16 +22,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("social graph: {n} members, {} friendships", csr.num_edges());
 
     // Stripe each direction over four simulated SSDs.
-    let out_graph = Arc::new(DiskGraph::create(&csr, Arc::new(StripedStorage::in_memory(4)?))?);
-    let in_graph =
-        Arc::new(DiskGraph::create(&transpose, Arc::new(StripedStorage::in_memory(4)?))?);
+    let out_graph = Arc::new(DiskGraph::create(
+        &csr,
+        Arc::new(StripedStorage::in_memory(4)?),
+    )?);
+    let in_graph = Arc::new(DiskGraph::create(
+        &transpose,
+        Arc::new(StripedStorage::in_memory(4)?),
+    )?);
     let options = EngineOptions::default().with_compute_workers(4, 0.5);
     let out_engine = BlazeEngine::new(out_graph, options.clone())?;
     let in_engine = BlazeEngine::new(in_graph, options)?;
 
     // Hub = highest-degree member.
     let hub = (0..n as u32).max_by_key(|&v| csr.degree(v)).unwrap_or(0);
-    println!("analyzing shortest paths out of hub {hub} (degree {})", csr.degree(hub));
+    println!(
+        "analyzing shortest paths out of hub {hub} (degree {})",
+        csr.degree(hub)
+    );
 
     let scores = bc(&out_engine, &in_engine, hub, ExecMode::Binned)?;
 
@@ -40,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     order.sort_by(|&a, &b| scores.get(b).partial_cmp(&scores.get(a)).unwrap());
     println!("top 5 brokers (dependency score = shortest paths carried):");
     for &v in order.iter().take(5) {
-        println!("  member {v}: score {:.1}, degree {}", scores.get(v), csr.degree(v as u32));
+        println!(
+            "  member {v}: score {:.1}, degree {}",
+            scores.get(v),
+            csr.degree(v as u32)
+        );
     }
 
     // Cross-check reach with a plain BFS.

@@ -44,8 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
         }
         let stats = cluster.stats();
-        let per_machine: Vec<u64> =
-            cluster.machines().iter().map(|m| m.engine.stats().io_bytes).collect();
+        let per_machine: Vec<u64> = cluster
+            .machines()
+            .iter()
+            .map(|m| m.engine.stats().io_bytes)
+            .collect();
         println!(
             "{machines} machine(s): {} rounds, IO per machine {per_machine:?}, \
              frontier broadcast {} bytes total",

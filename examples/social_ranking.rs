@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.iterations,
             stats.edges_processed,
             stats.records_produced,
-            engine.take_traces().iter().map(|t| t.atomic_ops).sum::<u64>(),
+            engine
+                .take_traces()
+                .iter()
+                .map(|t| t.atomic_ops)
+                .sum::<u64>(),
         );
         results.push(ranks.to_vec());
     }
@@ -52,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     order.sort_by(|&a, &b| binned[b].partial_cmp(&binned[a]).unwrap());
     println!("top 5 users by rank:");
     for &v in order.iter().take(5) {
-        println!("  user {v}: rank {:.6}, out-degree {}", binned[v], csr.degree(v as u32));
+        println!(
+            "  user {v}: rank {:.6}, out-degree {}",
+            binned[v],
+            csr.degree(v as u32)
+        );
     }
     Ok(())
 }

@@ -17,7 +17,11 @@ use blaze::graph::{Dataset, DatasetScale, DiskGraph};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let csr = Dataset::Sk2005.generate(DatasetScale::Tiny);
     let transpose = csr.transpose();
-    println!("web graph: {} pages, {} hyperlinks", csr.num_vertices(), csr.num_edges());
+    println!(
+        "web graph: {} pages, {} hyperlinks",
+        csr.num_vertices(),
+        csr.num_edges()
+    );
 
     // Persist both directions as the artifact does: `sk.gr.*` for
     // out-links and `sk.tgr.*` for in-links, striped over two files.

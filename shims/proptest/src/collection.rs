@@ -1,0 +1,130 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Collection-size specification: an exact count or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            (self.lo..self.hi_exclusive).generate(rng)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec`s whose length is drawn from `len` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet`s with up to `size.end - 1` elements. As in
+/// upstream, duplicate draws merge, so small element domains can yield
+/// sets below the requested minimum size.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_and_element_ranges() {
+        let mut rng = TestRng::deterministic("vec");
+        let strat = vec(3u32..9, 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (3..9).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_set_bounded() {
+        let mut rng = TestRng::deterministic("set");
+        let strat = btree_set(0u64..1000, 0..50);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() < 50);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use: integer/float range strategies, tuples, `collection::vec`,
+//! `collection::btree_set`, `sample::select`, `any::<bool>()`, `prop_map`,
+//! and the `proptest!`/`prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, on purpose:
+//! * Cases are generated from a fixed-seed SplitMix64 PRNG, so every run
+//!   and every CI machine sees the same inputs.
+//! * No shrinking: a failing case reports its index; re-running
+//!   deterministically reproduces it.
+
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Prints a pointer to the failing case when a property panics, since the
+/// shim does not shrink.
+#[doc(hidden)]
+pub struct CaseReporter {
+    /// Zero-based index of the case being executed.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property failed on case index {} \
+                 (deterministic seed; re-run reproduces it)",
+                self.case
+            );
+        }
+    }
+}
+
+/// The test-runner macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::strategy::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::strategy::ProptestConfig = $cfg;
+            let mut rng = $crate::rng::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let _reporter = $crate::CaseReporter { case };
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` on the case loop, so it is only valid at the top
+/// level of a property body (which is how the workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,78 @@
+//! Minimal offline stand-in for the `tempfile` crate: uniquely named
+//! temporary directories with recursive cleanup on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: Option<PathBuf>,
+}
+
+impl TempDir {
+    /// Creates a fresh uniquely-named temporary directory.
+    pub fn new() -> std::io::Result<Self> {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        // sync-audit: process-wide unique suffix counter; ordering is
+        // irrelevant, only uniqueness of fetch_add results matters.
+        let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let name = format!("blaze-tmp-{}-{}-{}", std::process::id(), seq, nanos);
+        let path = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path: Some(path) })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        self.path
+            .as_deref()
+            .expect("TempDir path present until drop")
+    }
+
+    /// Disables cleanup and returns the path.
+    pub fn keep(mut self) -> PathBuf {
+        self.path.take().expect("TempDir path present until drop")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_dir_all(path);
+        }
+    }
+}
+
+/// Creates a [`TempDir`] (the upstream crate's free-function spelling).
+pub fn tempdir() -> std::io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let dir = tempdir().unwrap();
+        let p = dir.path().to_path_buf();
+        assert!(p.is_dir());
+        std::fs::write(p.join("f.txt"), b"x").unwrap();
+        drop(dir);
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

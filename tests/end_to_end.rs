@@ -23,7 +23,9 @@ fn bfs_agrees_with_reference_on_every_dataset() {
     for dataset in Dataset::main_six() {
         let csr = dataset.generate(DatasetScale::Tiny);
         let engine = engine_over(&csr, 2);
-        let root = (0..csr.num_vertices() as u32).max_by_key(|&v| csr.degree(v)).unwrap();
+        let root = (0..csr.num_vertices() as u32)
+            .max_by_key(|&v| csr.degree(v))
+            .unwrap();
         let parent = algo::bfs(&engine, root, ExecMode::Binned).unwrap();
         let levels = reference::bfs_levels(&csr, root);
         for v in 0..csr.num_vertices() {
@@ -70,10 +72,25 @@ fn binned_and_sync_modes_agree_on_all_queries() {
     let w2 = algo::wcc(&engine_over(&csr, 1), &engine_over(&t, 1), ExecMode::Sync).unwrap();
     assert_eq!(w1.to_vec(), w2.to_vec());
     // BC scores.
-    let b1 = algo::bc(&engine_over(&csr, 1), &engine_over(&t, 1), 0, ExecMode::Binned).unwrap();
-    let b2 = algo::bc(&engine_over(&csr, 1), &engine_over(&t, 1), 0, ExecMode::Sync).unwrap();
+    let b1 = algo::bc(
+        &engine_over(&csr, 1),
+        &engine_over(&t, 1),
+        0,
+        ExecMode::Binned,
+    )
+    .unwrap();
+    let b2 = algo::bc(
+        &engine_over(&csr, 1),
+        &engine_over(&t, 1),
+        0,
+        ExecMode::Sync,
+    )
+    .unwrap();
     for v in 0..csr.num_vertices() {
-        assert!((b1.get(v) - b2.get(v)).abs() < 1e-9 * b1.get(v).abs().max(1.0), "bc at {v}");
+        assert!(
+            (b1.get(v) - b2.get(v)).abs() < 1e-9 * b1.get(v).abs().max(1.0),
+            "bc at {v}"
+        );
     }
 }
 
@@ -145,7 +162,10 @@ fn traces_feed_the_performance_model() {
     use blaze::perfmodel::{MachineConfig, PerfModel};
     let csr = Dataset::Rmat30.generate(DatasetScale::Tiny);
     let engine = engine_over(&csr, 1);
-    let cfg = PageRankConfig { max_iters: 10, ..Default::default() };
+    let cfg = PageRankConfig {
+        max_iters: 10,
+        ..Default::default()
+    };
     algo::pagerank_delta(&engine, cfg, ExecMode::Binned).unwrap();
     let traces = engine.take_traces();
     assert!(traces.len() >= 2);

@@ -21,7 +21,8 @@ fn flaky_engine(g: &Csr, ok_reads: u64) -> BlazeEngine {
     let mut buf = vec![0u8; blaze::types::PAGE_SIZE];
     for p in 0..good.num_pages() {
         good.read_page(p, &mut buf).unwrap();
-        mem.write_at(p * blaze::types::PAGE_SIZE as u64, &buf).unwrap();
+        mem.write_at(p * blaze::types::PAGE_SIZE as u64, &buf)
+            .unwrap();
     }
     mem.stats().reset();
     let faulty: Arc<dyn BlockDevice> = Arc::new(FaultyDevice::fail_after(mem, ok_reads));
@@ -63,7 +64,10 @@ fn bfs_fails_cleanly_not_silently() {
     let g = gen::rmat(&gen::RmatConfig::new(9));
     let engine = flaky_engine(&g, 1);
     let err = algo::bfs(&engine, 0, ExecMode::Binned);
-    assert!(err.is_err(), "BFS over failing storage must report the failure");
+    assert!(
+        err.is_err(),
+        "BFS over failing storage must report the failure"
+    );
 }
 
 #[test]
@@ -78,8 +82,10 @@ fn error_in_one_stripe_of_many_is_still_reported() {
             let mut buf = vec![0u8; blaze::types::PAGE_SIZE];
             let src = good.device(d);
             for p in 0..src.num_pages() {
-                src.read_at(p * blaze::types::PAGE_SIZE as u64, &mut buf).unwrap();
-                mem.write_at(p * blaze::types::PAGE_SIZE as u64, &buf).unwrap();
+                src.read_at(p * blaze::types::PAGE_SIZE as u64, &mut buf)
+                    .unwrap();
+                mem.write_at(p * blaze::types::PAGE_SIZE as u64, &buf)
+                    .unwrap();
             }
             mem.stats().reset();
             if d == 1 {
@@ -107,7 +113,8 @@ fn engine_recovers_after_transient_failures() {
     let mut buf = vec![0u8; blaze::types::PAGE_SIZE];
     for p in 0..good.num_pages() {
         good.read_page(p, &mut buf).unwrap();
-        mem.write_at(p * blaze::types::PAGE_SIZE as u64, &buf).unwrap();
+        mem.write_at(p * blaze::types::PAGE_SIZE as u64, &buf)
+            .unwrap();
     }
     mem.stats().reset();
     let faulty: Arc<dyn BlockDevice> = Arc::new(FaultyDevice::fail_every(mem, 1000));
@@ -118,7 +125,9 @@ fn engine_recovers_after_transient_failures() {
     // The scan issues far fewer than 1000 requests: it must succeed, and a
     // repeat run on the same engine must succeed too (no poisoned state).
     for _ in 0..2 {
-        let out = engine.edge_map(&frontier, |s, _d| s, |_d, _v| true, |_| true, true).unwrap();
+        let out = engine
+            .edge_map(&frontier, |s, _d| s, |_d, _v| true, |_| true, true)
+            .unwrap();
         assert!(!out.is_empty());
     }
 }

@@ -19,16 +19,22 @@ use blaze::types::EDGES_PER_PAGE;
 
 /// Strategy: a random edge list over `n` vertices.
 fn arb_graph() -> impl Strategy<Value = Csr> {
-    (2usize..64, proptest::collection::vec((0u32..64, 0u32..64), 0..512)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..64,
+        proptest::collection::vec((0u32..64, 0u32..64), 0..512),
+    )
+        .prop_map(|(n, edges)| {
             let n = n.max(
-                edges.iter().map(|&(s, d)| s.max(d) as usize + 1).max().unwrap_or(0),
+                edges
+                    .iter()
+                    .map(|&(s, d)| s.max(d) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
             );
             let mut b = GraphBuilder::new(n).dedup(true);
             b.extend(edges);
             b.build()
-        },
-    )
+        })
 }
 
 proptest! {
