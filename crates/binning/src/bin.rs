@@ -125,6 +125,18 @@ impl<V: BinValue> Bin<V> {
     pub fn pending_records(&self) -> usize {
         self.inner.lock().active.len()
     }
+
+    /// Restores the bin to its freshly-constructed state so the buffer pair
+    /// can be reused by a later job: clears the active buffer and ensures
+    /// the spare is present. Must only be called while no scatter or gather
+    /// thread is touching the bin (the arena calls it between jobs).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.active.clear();
+        if inner.spare.is_none() {
+            inner.spare = Some(Vec::with_capacity(self.capacity));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,24 @@ impl<V: BinValue> BinSpace<V> {
             .collect()
     }
 
+    /// Restores the space to its freshly-constructed state so it can be
+    /// recycled into a later job's arena checkout: drains any leftover full
+    /// buffers back into their bins, resets every bin's pair, and zeroes
+    /// the per-bin record counters. Must only be called while no scatter or
+    /// gather thread is using the space.
+    pub fn reset(&self) {
+        while let Some(full) = self.full_bins.pop() {
+            self.bins[full.bin_id].return_buffer(full.records);
+        }
+        for bin in &self.bins {
+            bin.reset();
+        }
+        for counter in &self.records_per_bin {
+            // sync-audit: reset between jobs; the space is quiescent here.
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// The configuration this space was built with.
     pub fn config(&self) -> &BinningConfig {
         &self.config
@@ -185,6 +203,35 @@ mod tests {
         let counts = space.take_record_counts();
         assert_eq!(counts, vec![2, 1]);
         assert_eq!(space.total_records(), 0);
+    }
+
+    #[test]
+    fn reset_restores_a_dirty_space() {
+        let space: BinSpace<u32> = BinSpace::new(config(4, 4));
+        // Dirty it: fill buffers, leave partials and full-queue entries.
+        for dst in 0..30u32 {
+            let bin = space.bin_of(dst);
+            space.append_batch(bin, &[BinRecord::new(dst, dst)]);
+        }
+        space.flush_partials();
+        assert!(!space.full_queue_is_empty());
+        space.reset();
+        assert!(space.full_queue_is_empty());
+        assert_eq!(space.total_records(), 0);
+        // The reset space behaves like a fresh one. Stay within the two
+        // buffers per bin (2 x 4 records x 4 bins = 32) — with no gather
+        // thread returning buffers, more would block on back-pressure.
+        for dst in 0..32u32 {
+            let bin = space.bin_of(dst);
+            space.append_batch(bin, &[BinRecord::new(dst, dst * 2)]);
+        }
+        space.flush_partials();
+        let mut seen = Vec::new();
+        while space.process_one_full(|_, records| {
+            seen.extend(records.iter().map(|r| r.dst));
+        }) {}
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct CliArgs {
     pub device: String,
     /// Maximum PageRank iterations (`-maxIters`, default 100).
     pub max_iters: usize,
+    /// Concurrent queries submitted to one engine (`-jobs`, default 1).
+    /// Traversal binaries run this many copies of the query from separate
+    /// threads against the shared persistent runtime.
+    pub jobs: usize,
     /// The `.gr.index` file (first positional argument).
     pub index: PathBuf,
     /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
@@ -43,6 +47,7 @@ impl Default for CliArgs {
             bin_count: 1024,
             device: "optane".to_string(),
             max_iters: 100,
+            jobs: 1,
             index: PathBuf::new(),
             adj: Vec::new(),
             in_index: None,
@@ -100,6 +105,16 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
                     .ok_or_else(|| missing("-maxIters"))?
                     .parse()
                     .map_err(|e| BlazeError::Config(format!("-maxIters: {e}")))?;
+            }
+            "-jobs" => {
+                out.jobs = it
+                    .next()
+                    .ok_or_else(|| missing("-jobs"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-jobs: {e}")))?;
+                if out.jobs == 0 {
+                    return Err(BlazeError::Config("-jobs must be >= 1".into()));
+                }
             }
             "-device" => {
                 out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
@@ -175,6 +190,14 @@ mod tests {
         assert_eq!(a.bin_space_mib, 256);
         assert_eq!(a.bin_count, 1024);
         assert!((a.binning_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let a = parse(&args("-jobs 4 g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.jobs, 4);
+        assert_eq!(parse(&args("g.gr.index g.gr.adj.0")).unwrap().jobs, 1);
+        assert!(parse(&args("-jobs 0 g.gr.index g.gr.adj.0")).is_err());
     }
 
     #[test]

@@ -1,4 +1,14 @@
 //! The out-of-core `EdgeMap` engine (Section IV-C, Figure 5).
+//!
+//! Since the persistent-runtime refactor, `edge_map` no longer spawns a
+//! scoped thread pipeline per call. The engine owns a long-lived
+//! [`Runtime`] — one IO worker per device plus standing scatter/gather
+//! pools — and each `edge_map` is packaged as an [`EdgeMapJob`] and
+//! *submitted* to it, blocking on the job's completion handle. Bin spaces
+//! and IO buffer pools are checked out of an [`EngineArena`] per job and
+//! recycled after a clean finish, so a 20-iteration BFS reuses one set of
+//! buffers instead of allocating twenty, and independent jobs submitted
+//! from different threads interleave through the shared workers.
 
 use blaze_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use blaze_sync::Arc;
@@ -12,13 +22,15 @@ use blaze_frontier::{PageSubset, VertexSubset};
 use blaze_graph::DiskGraph;
 use blaze_storage::buffer::FilledBuffer;
 use blaze_storage::request::merge_pages_with_window;
-use blaze_storage::BufferPool;
-use blaze_types::{IterationTrace, Result, VertexId};
+use blaze_storage::{BufferPool, JobIoStats};
+use blaze_types::{BlazeError, IterationTrace, Result, VertexId};
 
+use crate::arena::EngineArena;
 use crate::options::EngineOptions;
-use crate::stats::{fill_io_trace, snapshot_devices, ExecStats};
+use crate::runtime::{PipelineJob, Runtime};
+use crate::stats::{fill_io_trace_from_job, ExecStats};
 
-/// Increments a counter when dropped — even if the owning thread panics in
+/// Increments a counter when dropped — even if the owning worker panics in
 /// user code, so peers waiting on the counter cannot spin forever.
 struct CompletionGuard<'a> {
     counter: &'a AtomicUsize,
@@ -26,17 +38,18 @@ struct CompletionGuard<'a> {
 
 impl Drop for CompletionGuard<'_> {
     fn drop(&mut self) {
-        self.counter.fetch_add(1, Ordering::Release); // sync-audit: trace counter; read only after the worker scope joins.
+        self.counter.fetch_add(1, Ordering::Release); // sync-audit: trace counter; read only after the job completes.
     }
 }
 
-/// The Blaze engine: binds a [`DiskGraph`] to thread-pool and binning
-/// configuration and executes `EdgeMap`s over it.
+/// The Blaze engine: binds a [`DiskGraph`] to its persistent pipeline
+/// runtime and binning configuration and executes `EdgeMap`s over it.
 pub struct BlazeEngine {
     graph: Arc<DiskGraph>,
     options: EngineOptions,
     binning: BinningConfig,
-    pool: BufferPool,
+    arena: EngineArena,
+    runtime: Runtime,
     cache: Option<crate::cache::PageCache>,
     traces: Mutex<Vec<IterationTrace>>,
     stats: Mutex<ExecStats>,
@@ -44,16 +57,25 @@ pub struct BlazeEngine {
 
 impl BlazeEngine {
     /// Creates an engine over `graph`. Binning defaults to the paper's
-    /// heuristics (5% of graph size, 1024 bins) unless overridden.
+    /// heuristics (5% of graph size, 1024 bins) unless overridden. The
+    /// persistent worker set (one IO worker per device, plus the scatter
+    /// and gather pools) is spawned here and lives until the engine drops.
     pub fn new(graph: Arc<DiskGraph>, options: EngineOptions) -> Result<Self> {
         options.validate()?;
         let binning = options
             .binning
             .clone()
             .unwrap_or_else(|| BinningConfig::for_graph(graph.storage_bytes()));
-        let pool = BufferPool::with_bytes_and_pages(
+        let arena = EngineArena::new(
+            binning.clone(),
             options.io_buffer_bytes,
             options.merge_window.max(blaze_types::MAX_MERGED_PAGES),
+            options.max_idle_arenas,
+        );
+        let runtime = Runtime::new(
+            graph.storage().num_devices(),
+            options.num_scatter,
+            options.num_gather,
         );
         let cache = (options.page_cache_pages > 0)
             .then(|| crate::cache::PageCache::new(options.page_cache_pages));
@@ -61,7 +83,8 @@ impl BlazeEngine {
             graph,
             options,
             binning,
-            pool,
+            arena,
+            runtime,
             cache,
             traces: Mutex::new(Vec::new()),
             stats: Mutex::new(ExecStats::default()),
@@ -87,6 +110,11 @@ impl BlazeEngine {
     /// The effective binning configuration.
     pub fn binning(&self) -> &BinningConfig {
         &self.binning
+    }
+
+    /// The persistent pipeline runtime serving this engine's jobs.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     /// Number of vertices of the underlying graph.
@@ -148,6 +176,10 @@ impl BlazeEngine {
     /// `gather` may update [`VertexArray`](crate::VertexArray)s with plain
     /// `get`/`set` — bin exclusivity guarantees a destination vertex is
     /// only touched by one gather thread at a time.
+    ///
+    /// The call is a *job submission*: it may be issued from any number of
+    /// threads concurrently against one engine, and blocks until the
+    /// persistent runtime has completed this job.
     pub fn edge_map<V, FS, FG, FC>(
         &self,
         frontier: &VertexSubset,
@@ -187,20 +219,182 @@ impl BlazeEngine {
         self.run_edge_map(frontier, &scatter, &gather, &cond, output, true)
     }
 
-    /// One IO thread's work: fetch the device's local page list into
+    fn run_edge_map<V, FS, FG, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: &FS,
+        gather: &FG,
+        cond: &FC,
+        output: bool,
+        sync_variant: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        let t0 = Instant::now();
+        let num_devices = self.graph.storage().num_devices();
+
+        let pages = self.build_page_subset(frontier);
+        let out = VertexSubset::new(self.graph.num_vertices());
+
+        // Check out this job's private arena: never shared with another
+        // in-flight job, which is what lets independent submissions
+        // interleave through the shared workers without entangling their
+        // buffer queues or bin back-pressure.
+        let pool = self.arena.checkout_pool();
+        let space: Option<BinSpace<V>> = (!sync_variant).then(|| self.arena.checkout_space());
+
+        let job = EdgeMapJob {
+            engine: self,
+            frontier,
+            pages: &pages,
+            out: &out,
+            pool: &pool,
+            space: space.as_ref(),
+            scatter,
+            gather,
+            cond,
+            output,
+            num_devices,
+            num_scatter: self.options.num_scatter,
+            io_done: AtomicUsize::new(0),
+            scatters_done: AtomicUsize::new(0),
+            all_scatter_done: AtomicBool::new(false),
+            cache_hits: AtomicU64::new(0),
+            edges_processed: AtomicU64::new(0),
+            records_sync: AtomicU64::new(0),
+            error: Mutex::new(None),
+            io_stats: JobIoStats::new(num_devices),
+        };
+
+        // Blocks until every participating worker finished its role; a
+        // panic in a user closure is re-raised here (unwinding drops the
+        // checked-out pool/space without recycling them).
+        self.runtime.submit(&job, !sync_variant);
+
+        let error = job.error.lock().take();
+        let cache_hits = job.cache_hits.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
+        let edges_processed = job.edges_processed.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
+        let records_sync = job.records_sync.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
+        let mut trace = IterationTrace::new(num_devices);
+        fill_io_trace_from_job(&mut trace, &job.io_stats);
+        drop(job);
+
+        if let Some(e) = error {
+            // A failed job may have buffers in flight on unwound paths;
+            // drop its arena instead of recycling.
+            return Err(e);
+        }
+
+        // Record the iteration's work trace.
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        trace.frontier_size = frontier.len() as u64;
+        trace.cache_hit_pages = cache_hits;
+        trace.edges_processed = edges_processed;
+        if sync_variant {
+            trace.records_produced = records_sync;
+            trace.atomic_ops = records_sync;
+        } else if let Some(space) = &space {
+            let counts = space.take_record_counts();
+            trace.records_produced = counts.iter().sum();
+            trace.records_per_bin = counts;
+            trace.bin_buffer_capacity = self
+                .binning
+                .buffer_capacity(std::mem::size_of::<blaze_binning::BinRecord<V>>())
+                as u64;
+        }
+        // Clean finish: return the arena for the next job.
+        if let Some(space) = space {
+            self.arena.recycle_space(space);
+        }
+        self.arena.recycle_pool(pool);
+
+        self.stats.lock().absorb(&trace, wall_ns);
+        if self.options.record_trace {
+            self.traces.lock().push(trace);
+        }
+
+        let mut out = out;
+        out.seal();
+        Ok(out)
+    }
+}
+
+/// One `edge_map` submission travelling through the persistent runtime:
+/// the user closures, the frontier, the job's private arena (buffer pool
+/// and bin space), and all per-job coordination state. The runtime's
+/// workers call the [`PipelineJob`] roles below; nothing here is shared
+/// with any other in-flight job, so per-job counters and the first-error
+/// slot cannot be polluted by concurrent submissions.
+struct EdgeMapJob<'a, V, FS, FG, FC>
+where
+    V: BinValue,
+{
+    engine: &'a BlazeEngine,
+    frontier: &'a VertexSubset,
+    pages: &'a PageSubset,
+    out: &'a VertexSubset,
+    pool: &'a BufferPool,
+    /// `None` in the synchronization-based variant (no bins).
+    space: Option<&'a BinSpace<V>>,
+    scatter: &'a FS,
+    gather: &'a FG,
+    cond: &'a FC,
+    output: bool,
+    num_devices: usize,
+    num_scatter: usize,
+    /// IO workers that have finished this job (panics included, via guard).
+    io_done: AtomicUsize,
+    /// Scatter workers that have finished this job.
+    scatters_done: AtomicUsize,
+    /// Set by the last departing scatter worker, releasing gather.
+    all_scatter_done: AtomicBool,
+    cache_hits: AtomicU64,
+    edges_processed: AtomicU64,
+    records_sync: AtomicU64,
+    /// First IO error of the job; later errors are dropped (the first one
+    /// is the cause, the rest are downstream noise).
+    error: Mutex<Option<BlazeError>>,
+    io_stats: JobIoStats,
+}
+
+impl<V, FS, FG, FC> EdgeMapJob<'_, V, FS, FG, FC>
+where
+    V: BinValue,
+    FS: Fn(VertexId, VertexId) -> V + Sync,
+    FG: Fn(VertexId, V) -> bool + Sync,
+    FC: Fn(VertexId) -> bool + Sync,
+{
+    /// Records `e` as the job's failure unless one is already recorded —
+    /// first error wins, so a root-cause device error is not clobbered by
+    /// the knock-on errors of other devices.
+    fn record_error(&self, e: BlazeError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// One IO worker's work: fetch the device's local page list into
     /// filled buffers. Without a page cache, contiguous local pages merge
     /// into requests of up to `merge_window` pages. With the cache
     /// (the paper's future-work extension), cached pages are served from
     /// memory and only uncached runs touch the device.
-    fn run_io_thread(&self, dev: usize, local_pages: &[u64], cache_hits: &AtomicU64) -> Result<()> {
-        let storage = self.graph.storage();
+    fn fetch_device(&self, dev: usize) -> Result<()> {
+        let storage = self.engine.graph.storage();
+        let merge_window = self.engine.options.merge_window;
+        let local_pages = self.pages.local_pages(dev);
         let read_run = |first: u64, n: usize| -> Result<()> {
             let mut buffer = self.pool.acquire_free();
             if let Err(e) = storage.read_local_run(dev, first, buffer.pages_mut(n)) {
                 self.pool.release(buffer);
                 return Err(e);
             }
-            if let Some(cache) = &self.cache {
+            self.io_stats.record_read(dev, first, n);
+            if let Some(cache) = &self.engine.cache {
                 for i in 0..n {
                     let global = storage.global_page(dev, first + i as u64);
                     let start = i * blaze_types::PAGE_SIZE;
@@ -219,15 +413,15 @@ impl BlazeEngine {
             });
             Ok(())
         };
-        let Some(cache) = &self.cache else {
-            for req in merge_pages_with_window(local_pages, self.options.merge_window) {
+        let Some(cache) = &self.engine.cache else {
+            for req in merge_pages_with_window(local_pages, merge_window) {
                 read_run(req.first_page, req.num_pages as usize)?;
             }
             return Ok(());
         };
         // Cached pages are delivered from memory; uncached pages still
         // merge into contiguous runs before hitting the device.
-        let mut run: Vec<u64> = Vec::with_capacity(self.options.merge_window);
+        let mut run: Vec<u64> = Vec::with_capacity(merge_window);
         let flush = |run: &mut Vec<u64>| -> Result<()> {
             if let Some(&first) = run.first() {
                 read_run(first, run.len())?;
@@ -239,7 +433,7 @@ impl BlazeEngine {
             let global = storage.global_page(dev, local);
             if let Some(data) = cache.get(global) {
                 flush(&mut run)?;
-                cache_hits.fetch_add(1, Ordering::Relaxed); // sync-audit: trace counter; read only after the worker scope joins.
+                self.cache_hits.fetch_add(1, Ordering::Relaxed); // sync-audit: trace counter; read only after the job completes.
                 let mut buffer = self.pool.acquire_free();
                 buffer.pages_mut(1).copy_from_slice(&data);
                 self.pool.push_filled(FilledBuffer {
@@ -248,8 +442,8 @@ impl BlazeEngine {
                 });
                 continue;
             }
-            let extends_run = run.last().is_some_and(|&last| local == last + 1)
-                && run.len() < self.options.merge_window;
+            let extends_run =
+                run.last().is_some_and(|&last| local == last + 1) && run.len() < merge_window;
             if !extends_run {
                 flush(&mut run)?;
             }
@@ -257,212 +451,134 @@ impl BlazeEngine {
         }
         flush(&mut run)
     }
+}
 
-    fn run_edge_map<V, FS, FG, FC>(
-        &self,
-        frontier: &VertexSubset,
-        scatter: &FS,
-        gather: &FG,
-        cond: &FC,
-        output: bool,
-        sync_variant: bool,
-    ) -> Result<VertexSubset>
-    where
-        V: BinValue,
-        FS: Fn(VertexId, VertexId) -> V + Sync,
-        FG: Fn(VertexId, V) -> bool + Sync,
-        FC: Fn(VertexId) -> bool + Sync,
-    {
-        let t0 = Instant::now();
-        let storage = self.graph.storage();
-        let num_devices = storage.num_devices();
-        let before = snapshot_devices(storage);
-
-        let pages = self.build_page_subset(frontier);
-        let out = VertexSubset::new(self.graph.num_vertices());
-        let space: BinSpace<V> = BinSpace::new(self.binning.clone());
-
-        let io_done = AtomicUsize::new(0);
-        let cache_hits = AtomicU64::new(0);
-        let scatters_done = AtomicUsize::new(0);
-        let all_scatter_done = AtomicBool::new(false);
-        let edges_processed = AtomicU64::new(0);
-        let records_sync = AtomicU64::new(0);
-        let io_error: Mutex<Option<blaze_types::BlazeError>> = Mutex::new(None);
-
-        let num_scatter = self.options.num_scatter;
-        let num_gather = if sync_variant {
-            0
-        } else {
-            self.options.num_gather
+impl<V, FS, FG, FC> PipelineJob for EdgeMapJob<'_, V, FS, FG, FC>
+where
+    V: BinValue,
+    FS: Fn(VertexId, VertexId) -> V + Sync,
+    FG: Fn(VertexId, V) -> bool + Sync,
+    FC: Fn(VertexId) -> bool + Sync,
+{
+    /// IO role (Figure 5, steps 2-4): one worker per device.
+    fn run_io(&self, device: usize) {
+        // Guard: even a panic inside the IO path must count the worker as
+        // done, or scatter workers would spin on `io_done` forever.
+        let _done = CompletionGuard {
+            counter: &self.io_done,
         };
+        if let Err(e) = self.fetch_device(device) {
+            self.record_error(e);
+        }
+    }
 
-        blaze_sync::thread::scope(|s| {
-            // --- IO threads: one per device (Figure 5, steps 2-4). ---
-            for dev in 0..num_devices {
-                let pages = &pages;
-                let io_done = &io_done;
-                let io_error = &io_error;
-                let cache_hits = &cache_hits;
-                s.spawn(move || {
-                    // Guard: even a panic inside the IO path (or user code
-                    // reachable from it) must count the thread as done, or
-                    // scatter threads would spin on `io_done` forever.
-                    let _done = CompletionGuard { counter: io_done };
-                    if let Err(e) = self.run_io_thread(dev, pages.local_pages(dev), cache_hits) {
-                        *io_error.lock() = Some(e);
+    /// Scatter role (steps 5-7).
+    fn run_scatter(&self, _worker: usize) {
+        // Guard: a panic in the user's scatter/cond closures still counts
+        // this worker as done; the last departing scatter (panicked or not)
+        // releases the gather side.
+        struct ScatterGuard<'a, V: BinValue> {
+            counter: &'a AtomicUsize,
+            total: usize,
+            space: Option<&'a BinSpace<V>>,
+            all_done: &'a AtomicBool,
+        }
+        impl<V: BinValue> Drop for ScatterGuard<'_, V> {
+            fn drop(&mut self) {
+                if self.counter.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                    if let Some(space) = self.space {
+                        space.flush_partials();
                     }
-                });
+                    self.all_done.store(true, Ordering::Release);
+                }
             }
-
-            // --- Scatter threads (steps 5-7). ---
-            for _ in 0..num_scatter {
-                let pool = &self.pool;
-                let space = &space;
-                let io_done = &io_done;
-                let scatters_done = &scatters_done;
-                let all_scatter_done = &all_scatter_done;
-                let edges_processed = &edges_processed;
-                let records_sync = &records_sync;
-                let graph = &self.graph;
-                let out = &out;
-                s.spawn(move || {
-                    // Guard: a panic in the user's scatter/cond closures
-                    // still counts this thread as done; the last departing
-                    // scatter (panicked or not) releases the gather side.
-                    struct ScatterGuard<'a, V: BinValue> {
-                        counter: &'a AtomicUsize,
-                        total: usize,
-                        space: &'a BinSpace<V>,
-                        all_done: &'a AtomicBool,
-                    }
-                    impl<V: BinValue> Drop for ScatterGuard<'_, V> {
-                        fn drop(&mut self) {
-                            if self.counter.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-                                // sync-audit: trace counter; read only after the worker scope joins.
-                                self.space.flush_partials();
-                                self.all_done.store(true, Ordering::Release);
-                            }
+        }
+        let _done = ScatterGuard {
+            counter: &self.scatters_done,
+            total: self.num_scatter,
+            space: self.space,
+            all_done: &self.all_scatter_done,
+        };
+        let mut staging = self.space.map(ScatterStaging::new);
+        let mut scratch = Vec::new();
+        let mut local_edges = 0u64;
+        let mut local_records = 0u64;
+        let backoff = Backoff::new();
+        loop {
+            let Some(filled) = self.pool.pop_filled() else {
+                if self.io_done.load(Ordering::Acquire) == self.num_devices // sync-audit: completion counter; guarded by the filled-queue recheck below.
+                    && self.pool.filled_len() == 0
+                {
+                    break;
+                }
+                backoff.snooze();
+                continue;
+            };
+            backoff.reset();
+            for (i, &page) in filled.pages.iter().enumerate() {
+                let data = filled.page_data(i);
+                self.engine
+                    .graph
+                    .for_each_vertex_in_page(page, data, &mut scratch, |src, dsts| {
+                        if !self.frontier.contains(src) {
+                            return;
                         }
-                    }
-                    let _done = ScatterGuard {
-                        counter: scatters_done,
-                        total: num_scatter,
-                        space,
-                        all_done: all_scatter_done,
-                    };
-                    let mut staging = ScatterStaging::new(space);
-                    let mut scratch = Vec::new();
-                    let mut local_edges = 0u64;
-                    let mut local_records = 0u64;
-                    let backoff = Backoff::new();
-                    loop {
-                        let Some(filled) = pool.pop_filled() else {
-                            if io_done.load(Ordering::Acquire) == num_devices // sync-audit: trace counter; workers joined by the enclosing scope.
-                                && pool.filled_len() == 0
-                            {
-                                break;
+                        for &dst in dsts {
+                            local_edges += 1;
+                            if !(self.cond)(dst) {
+                                continue;
                             }
-                            backoff.snooze();
-                            continue;
-                        };
-                        backoff.reset();
-                        for (i, &page) in filled.pages.iter().enumerate() {
-                            let data = filled.page_data(i);
-                            graph.for_each_vertex_in_page(page, data, &mut scratch, |src, dsts| {
-                                if !frontier.contains(src) {
-                                    return;
-                                }
-                                for &dst in dsts {
-                                    local_edges += 1;
-                                    if !cond(dst) {
-                                        continue;
-                                    }
-                                    let value = scatter(src, dst);
-                                    if sync_variant {
-                                        // Apply directly with the user's
-                                        // atomic gather — the CAS path.
-                                        local_records += 1;
-                                        if gather(dst, value) && output {
-                                            out.insert(dst);
-                                        }
-                                    } else {
-                                        staging.push(space, dst, value);
+                            let value = (self.scatter)(src, dst);
+                            match (&mut staging, self.space) {
+                                (Some(staging), Some(space)) => staging.push(space, dst, value),
+                                _ => {
+                                    // Sync variant: apply directly with the
+                                    // user's atomic gather — the CAS path.
+                                    local_records += 1;
+                                    if (self.gather)(dst, value) && self.output {
+                                        self.out.insert(dst);
                                     }
                                 }
-                            });
-                        }
-                        pool.release(filled.buffer);
-                    }
-                    staging.flush(space);
-                    edges_processed.fetch_add(local_edges, Ordering::Relaxed); // sync-audit: trace counter; read only after the worker scope joins.
-                    records_sync.fetch_add(local_records, Ordering::Relaxed); // sync-audit: trace counter; read only after the worker scope joins.
-                });
-            }
-
-            // --- Gather threads (steps 8-9); absent in the sync variant. ---
-            for _ in 0..num_gather {
-                let space = &space;
-                let all_scatter_done = &all_scatter_done;
-                let out = &out;
-                s.spawn(move || {
-                    let backoff = Backoff::new();
-                    loop {
-                        let progressed = space.process_one_full(|_, records| {
-                            for r in records {
-                                if gather(r.dst, r.value) && output {
-                                    out.insert(r.dst);
-                                }
                             }
-                        });
-                        if progressed {
-                            backoff.reset();
-                            continue;
                         }
-                        if all_scatter_done.load(Ordering::Acquire) // sync-audit: trace counter; workers joined by the enclosing scope.
-                            && space.full_queue_is_empty()
-                        {
-                            break;
-                        }
-                        backoff.snooze();
-                    }
-                });
+                    });
             }
-        });
-
-        if let Some(e) = io_error.into_inner() {
-            return Err(e);
+            self.pool.release(filled.buffer);
         }
-
-        // Record the iteration's work trace.
-        let wall_ns = t0.elapsed().as_nanos() as u64;
-        let mut trace = IterationTrace::new(num_devices);
-        let after = snapshot_devices(storage);
-        fill_io_trace(&mut trace, &before, &after);
-        trace.frontier_size = frontier.len() as u64;
-        trace.cache_hit_pages = cache_hits.load(Ordering::Relaxed); // sync-audit: trace counter; workers joined by the enclosing scope.
-        trace.edges_processed = edges_processed.load(Ordering::Relaxed); // sync-audit: trace counter; workers joined by the enclosing scope.
-        if sync_variant {
-            let records = records_sync.load(Ordering::Relaxed); // sync-audit: trace counter; workers joined by the enclosing scope.
-            trace.records_produced = records;
-            trace.atomic_ops = records;
-        } else {
-            let counts = space.take_record_counts();
-            trace.records_produced = counts.iter().sum();
-            trace.records_per_bin = counts;
-            trace.bin_buffer_capacity = self
-                .binning
-                .buffer_capacity(std::mem::size_of::<blaze_binning::BinRecord<V>>())
-                as u64;
+        if let (Some(staging), Some(space)) = (&mut staging, self.space) {
+            staging.flush(space);
         }
-        self.stats.lock().absorb(&trace, wall_ns);
-        if self.options.record_trace {
-            self.traces.lock().push(trace);
-        }
+        self.edges_processed
+            .fetch_add(local_edges, Ordering::Relaxed); // sync-audit: trace counter; read only after the job completes.
+        self.records_sync
+            .fetch_add(local_records, Ordering::Relaxed); // sync-audit: trace counter; read only after the job completes.
+    }
 
-        let mut out = out;
-        out.seal();
-        Ok(out)
+    /// Gather role (steps 8-9); not dispatched in the sync variant.
+    fn run_gather(&self, _worker: usize) {
+        let Some(space) = self.space else {
+            return;
+        };
+        let backoff = Backoff::new();
+        loop {
+            let progressed = space.process_one_full(|_, records| {
+                for r in records {
+                    if (self.gather)(r.dst, r.value) && self.output {
+                        self.out.insert(r.dst);
+                    }
+                }
+            });
+            if progressed {
+                backoff.reset();
+                continue;
+            }
+            if self.all_scatter_done.load(Ordering::Acquire) // sync-audit: completion flag; guarded by the full-queue recheck below.
+                && space.full_queue_is_empty()
+            {
+                break;
+            }
+            backoff.snooze();
+        }
     }
 }
 
@@ -757,5 +873,39 @@ mod tests {
             .unwrap();
         let t = e.take_traces().pop().unwrap();
         assert_eq!(t.atomic_ops, g.num_edges());
+    }
+
+    #[test]
+    fn arena_is_reused_across_iterations() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        // A clean job recycles its pool and bin space into the arena cache.
+        assert_eq!(e.arena.idle_len(), 2);
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        assert_eq!(e.arena.idle_len(), 2, "second job reused the cached arena");
+    }
+
+    #[test]
+    fn panicking_job_leaves_engine_usable() {
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.edge_map(
+                &frontier,
+                |_s, _d| -> u32 { panic!("user scatter exploded") },
+                |_d, _v| false,
+                |_| true,
+                false,
+            )
+        }));
+        assert!(caught.is_err(), "scatter panic must reach the submitter");
+        // The persistent workers survive a poisoned job; the same engine
+        // serves the next query correctly.
+        assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
     }
 }

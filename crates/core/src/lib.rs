@@ -3,22 +3,29 @@
 //!
 //! # Architecture (Figure 5)
 //!
-//! One `edge_map` call runs a pipeline of three thread groups over the
-//! page frontier:
+//! The engine owns a *persistent* pipeline [`Runtime`](runtime::Runtime) of
+//! three worker groups, spawned once at engine construction and reused for
+//! every call; each `edge_map` is a *job submission* that blocks until the
+//! runtime completes it:
 //!
-//! 1. **IO threads** (one per device) pop local page ids, merge up to four
-//!    contiguous pages per request, read them into buffers from the free
-//!    MPMC queue, and push filled buffers to the filled MPMC queue.
-//! 2. **Scatter threads** pop filled buffers, decode each page via the
+//! 1. **IO workers** (one per device) pop local page ids, merge up to four
+//!    contiguous pages per request, read them into buffers from the job's
+//!    free MPMC queue, and push filled buffers to the filled MPMC queue.
+//! 2. **Scatter workers** pop filled buffers, decode each page via the
 //!    page→vertex map, evaluate `cond`/`scatter` for every edge whose
 //!    source is in the frontier, and stage the resulting `(dst, value)`
 //!    records into bins through per-thread staging buffers.
-//! 3. **Gather threads** pop full bins and apply the user's `gather`
+//! 3. **Gather workers** pop full bins and apply the user's `gather`
 //!    function to vertex data — each bin exclusively, so updates need no
 //!    atomics — inserting activated vertices into the output frontier.
 //!
+//! Bin spaces and IO buffer pools are per-job, checked out of an
+//! [`EngineArena`](arena::EngineArena) and recycled across iterations, so
+//! independent jobs submitted from multiple threads interleave through the
+//! shared workers without contending on each other's buffers.
+//!
 //! A synchronization-based variant ([`BlazeEngine::edge_map_sync`]) applies
-//! updates directly from scatter threads with compare-and-swap, reproducing
+//! updates directly from scatter workers with compare-and-swap, reproducing
 //! the baseline of Figure 8(b).
 //!
 //! # Quickstart
@@ -60,18 +67,22 @@
 //! assert_eq!(parent.get(0), 0);
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod engine;
 pub mod memory;
 pub mod options;
+pub mod runtime;
 pub mod stats;
 pub mod vertex_array;
 pub mod vertex_map;
 
+pub use arena::EngineArena;
 pub use cache::PageCache;
 pub use engine::BlazeEngine;
 pub use memory::MemoryFootprint;
 pub use options::EngineOptions;
+pub use runtime::{PipelineJob, Runtime};
 pub use stats::ExecStats;
 pub use vertex_array::VertexArray;
 pub use vertex_map::vertex_map;

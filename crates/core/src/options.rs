@@ -30,6 +30,12 @@ pub struct EngineOptions {
     /// Whether to record per-iteration work traces for the performance
     /// model.
     pub record_trace: bool,
+    /// Maximum number of idle bin/buffer arenas the engine keeps cached
+    /// between jobs. One suffices for a sequential algorithm; concurrent
+    /// submitters each check out their own, and checkouts beyond the cache
+    /// simply allocate fresh arenas (returned ones beyond the cap are
+    /// dropped).
+    pub max_idle_arenas: usize,
 }
 
 impl Default for EngineOptions {
@@ -42,6 +48,7 @@ impl Default for EngineOptions {
             binning: None,
             page_cache_pages: 0,
             record_trace: true,
+            max_idle_arenas: 2,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Execution statistics and work-trace recording.
 
 use blaze_storage::stats::IoStatsSnapshot;
-use blaze_storage::StripedStorage;
+use blaze_storage::{JobIoStats, StripedStorage};
 use blaze_types::IterationTrace;
 
 /// Cumulative statistics of a query execution on the functional engine.
@@ -57,6 +57,16 @@ pub fn fill_io_trace(
         .zip(before)
         .map(|(a, b)| a.sequential_reads - b.sequential_reads)
         .collect();
+}
+
+/// Fills `trace`'s IO fields from one job's own counters. Traces must be
+/// scoped per job, not derived from device-counter deltas: once independent
+/// jobs interleave on the same engine, a before/after snapshot of the
+/// shared device stats would charge one job with another's IO.
+pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
+    let after = job.snapshots();
+    let before = vec![IoStatsSnapshot::default(); after.len()];
+    fill_io_trace(trace, &before, &after);
 }
 
 /// Snapshots every device's stats.

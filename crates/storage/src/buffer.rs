@@ -174,6 +174,25 @@ impl BufferPool {
     pub fn filled_len(&self) -> usize {
         self.filled.len()
     }
+
+    /// Restores the pool to its freshly-constructed state so it can be
+    /// recycled into a later job: any buffers stranded in the filled queue
+    /// (e.g. after an IO error aborted scatter early) move back to the free
+    /// queue. Must only be called while no IO or scatter thread is using
+    /// the pool.
+    pub fn recycle(&self) {
+        while let Some(filled) = self.filled.pop() {
+            self.release(filled.buffer);
+        }
+    }
+
+    /// Whether every buffer is back in the free queue — i.e. the pool is
+    /// safe to hand to the next job. A pool that lost buffers (a panicking
+    /// job dropped some on its stack) reports `false` and should be
+    /// discarded rather than reused.
+    pub fn is_intact(&self) -> bool {
+        self.free.len() == self.capacity
+    }
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -226,6 +245,27 @@ mod tests {
         assert_eq!(filled.page_data(0)[0], 0xAB);
         assert_eq!(filled.page_data(1)[0], 0xCD);
         pool.release(filled.buffer);
+    }
+
+    #[test]
+    fn recycle_drains_stranded_filled_buffers() {
+        let pool = BufferPool::new(2);
+        let buf = pool.try_acquire_free().unwrap();
+        pool.push_filled(FilledBuffer {
+            buffer: buf,
+            pages: vec![3],
+        });
+        assert!(!pool.is_intact());
+        pool.recycle();
+        assert!(pool.is_intact());
+        assert_eq!(pool.filled_len(), 0);
+        // A buffer lost outside the pool keeps it non-intact even after
+        // recycling.
+        let lost = pool.try_acquire_free().unwrap();
+        pool.recycle();
+        assert!(!pool.is_intact());
+        pool.release(lost);
+        assert!(pool.is_intact());
     }
 
     #[test]

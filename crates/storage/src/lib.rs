@@ -39,5 +39,5 @@ pub use mem::MemDevice;
 pub use profile::{AccessPattern, DeviceProfile};
 pub use request::{merge_pages, IoRequest};
 pub use sim::SimDevice;
-pub use stats::IoStats;
+pub use stats::{IoStats, JobIoStats};
 pub use stripe::StripedStorage;

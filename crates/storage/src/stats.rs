@@ -2,6 +2,8 @@
 
 use blaze_sync::atomic::{AtomicU64, Ordering};
 
+use blaze_types::{CachePadded, PAGE_SIZE};
+
 /// Thread-safe IO counters attached to every device.
 ///
 /// All counters use relaxed atomics: they are statistics, not
@@ -113,6 +115,75 @@ impl IoStats {
     }
 }
 
+/// Per-device counters of one job, cache-padded so the per-device IO
+/// workers never share a line.
+#[derive(Debug)]
+struct JobDeviceStats {
+    stats: IoStats,
+    /// Local page index where the next sequential read would start;
+    /// `u64::MAX` before the first read.
+    next_local: AtomicU64,
+}
+
+/// Per-*job* IO accounting, scoped to one pipeline submission.
+///
+/// The device-global [`IoStats`] keep accumulating across every job that
+/// touches a device, which is right for lifetime totals but wrong for
+/// per-iteration traces once independent jobs interleave on the same
+/// engine: a before/after snapshot of the device counters would charge one
+/// job with another job's IO. Each pipeline job therefore carries its own
+/// `JobIoStats`, fed by the job's IO role alongside the device counters,
+/// and the iteration trace is built from these instead of device deltas.
+#[derive(Debug)]
+pub struct JobIoStats {
+    devices: Vec<CachePadded<JobDeviceStats>>,
+}
+
+impl JobIoStats {
+    /// Zeroed counters for `num_devices` devices.
+    pub fn new(num_devices: usize) -> Self {
+        Self {
+            devices: (0..num_devices)
+                .map(|_| {
+                    CachePadded::new(JobDeviceStats {
+                        stats: IoStats::new(),
+                        next_local: AtomicU64::new(u64::MAX),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of devices tracked.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Records one merged read of `pages` local pages starting at
+    /// `first_local_page` on `device`, tracking sequentiality per device.
+    pub fn record_read(&self, device: usize, first_local_page: u64, pages: usize) {
+        let dev = &self.devices[device];
+        let end = first_local_page + pages as u64;
+        // sync-audit: Relaxed — one IO worker per device is the only writer,
+        // so the swap is just a cheap sequentiality cursor; readers are
+        // post-completion.
+        let prev = dev.next_local.swap(end, Ordering::Relaxed);
+        dev.stats
+            .record_read((pages * PAGE_SIZE) as u64, prev == first_local_page);
+    }
+
+    /// Adds modeled device busy time for `device`.
+    pub fn add_busy_ns(&self, device: usize, ns: u64) {
+        self.devices[device].stats.add_busy_ns(ns);
+    }
+
+    /// Per-device snapshots, for building an iteration trace. Only
+    /// authoritative once the job's IO roles have finished.
+    pub fn snapshots(&self) -> Vec<IoStatsSnapshot> {
+        self.devices.iter().map(|d| d.stats.snapshot()).collect()
+    }
+}
+
 /// A plain-data copy of [`IoStats`] at one instant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStatsSnapshot {
@@ -186,6 +257,23 @@ mod tests {
         assert_eq!(d.read_ops, 2);
         assert_eq!(d.read_bytes, 8192);
         assert_eq!(d.sequential_reads, 2);
+    }
+
+    #[test]
+    fn job_stats_track_sequential_runs_per_device() {
+        let j = JobIoStats::new(2);
+        // Device 0: two back-to-back runs, then a seek.
+        j.record_read(0, 0, 4);
+        j.record_read(0, 4, 2);
+        j.record_read(0, 100, 1);
+        // Device 1: first read is never sequential.
+        j.record_read(1, 0, 8);
+        let snaps = j.snapshots();
+        assert_eq!(snaps[0].read_ops, 3);
+        assert_eq!(snaps[0].read_bytes, 7 * PAGE_SIZE as u64);
+        assert_eq!(snaps[0].sequential_reads, 1);
+        assert_eq!(snaps[1].read_ops, 1);
+        assert_eq!(snaps[1].sequential_reads, 0);
     }
 
     #[test]

@@ -77,6 +77,37 @@ pub use model::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLoc
 /// execution, so `Arc`'s internal counters cannot race and need no modeling.
 pub use std::sync::Arc;
 
+/// Panic capture that cooperates with the model checker.
+pub mod panic {
+    use std::any::Any;
+
+    pub use std::panic::resume_unwind;
+
+    /// Catches a panic from `f`, like [`std::panic::catch_unwind`] with
+    /// `AssertUnwindSafe` applied (callers isolate panics across an
+    /// explicit protocol boundary, e.g. a worker containing a job's panic,
+    /// so unwind-safety is their responsibility).
+    ///
+    /// Under `--cfg loom` there is one crucial difference: the model
+    /// scheduler unwinds the threads of an aborted execution with an
+    /// internal sentinel payload, and capturing that payload would swallow
+    /// the checker's control flow. Such payloads are re-thrown here instead
+    /// of returned. Long-lived model threads that catch panics MUST use
+    /// this function rather than `std::panic::catch_unwind`.
+    pub fn catch_unwind<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send + 'static>> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(value) => Ok(value),
+            Err(payload) => {
+                #[cfg(loom)]
+                if crate::model::is_abort_payload(payload.as_ref()) {
+                    std::panic::resume_unwind(payload);
+                }
+                Err(payload)
+            }
+        }
+    }
+}
+
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;

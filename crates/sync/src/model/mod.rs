@@ -82,6 +82,16 @@ pub struct Report {
     pub max_branches: usize,
 }
 
+/// Whether a caught panic payload is the scheduler's internal abort token
+/// (used to unwind the model threads of an aborted execution). Code that
+/// catches panics inside a model thread — e.g. a worker isolating a
+/// panicking job — must re-throw such payloads instead of treating them as
+/// application panics, or it would swallow the checker's own control flow.
+/// Prefer [`crate::panic::catch_unwind`], which handles this automatically.
+pub fn is_abort_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<scheduler::AbortToken>()
+}
+
 /// Model-checks `f` under the default [`Config`]; panics if any explored
 /// schedule panics, fails an assertion, or deadlocks.
 pub fn check<F>(f: F) -> Report

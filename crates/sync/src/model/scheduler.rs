@@ -65,7 +65,7 @@ struct State {
 
 /// Sentinel panic payload used to unwind model threads of an aborted
 /// execution without reporting them as failures themselves.
-struct AbortToken;
+pub(crate) struct AbortToken;
 
 /// Result of one complete execution.
 pub(crate) struct Outcome {
