@@ -1,5 +1,7 @@
-//! FlashGraph-like engine: message passing keyed by vertex id, plus an LRU
-//! page cache (Sections II-D, III-A).
+//! FlashGraph-like engine: message passing keyed by vertex id, plus a
+//! page cache (Sections II-D, III-A). The cache is the shared
+//! [`PageCache`] (clock replacement, which approximates SAFS's LRU
+//! behavior for the access patterns modeled here).
 
 use blaze_sync::Arc;
 
@@ -19,7 +21,7 @@ pub struct FlashGraphOptions {
     /// Computation threads; messages route to `dst % num_threads`, which is
     /// what skews the end-of-iteration processing on power-law graphs.
     pub num_threads: usize,
-    /// LRU page-cache capacity in pages.
+    /// Page-cache capacity in pages.
     pub cache_pages: usize,
 }
 
@@ -36,7 +38,7 @@ impl Default for FlashGraphOptions {
 pub struct FlashGraphEngine {
     graph: Arc<DiskGraph>,
     options: FlashGraphOptions,
-    /// FlashGraph's SAFS-style LRU page cache — the reason it beats the
+    /// FlashGraph's SAFS-style page cache — the reason it beats the
     /// published Blaze on the high-locality sk2005 graph: repeated BFS
     /// iterations re-touch the same pages and skip storage entirely.
     cache: PageCache,
@@ -46,7 +48,7 @@ pub struct FlashGraphEngine {
 impl FlashGraphEngine {
     /// Creates the engine over a disk graph.
     pub fn new(graph: Arc<DiskGraph>, options: FlashGraphOptions) -> Self {
-        let cache = PageCache::new(options.cache_pages);
+        let cache = PageCache::with_capacity_pages(options.cache_pages);
         Self {
             graph,
             options,
@@ -109,7 +111,7 @@ impl OocEngine for FlashGraphEngine {
         let mut trace = IterationTrace::new(storage.num_devices());
         trace.frontier_size = frontier.len() as u64;
 
-        // Phase 1+2: fetch pages (through the LRU cache) and process edges,
+        // Phase 1+2: fetch pages (through the page cache) and process edges,
         // queueing messages per computation thread (thread = dst % T).
         let mut queues: Vec<Vec<(VertexId, V)>> = (0..threads).map(|_| Vec::new()).collect();
         let members = frontier.members();

@@ -6,7 +6,7 @@
 //!   queues keyed by `dst % nthreads`, and a separate end-of-iteration
 //!   phase drains them. On power-law graphs the queue sizes skew badly
 //!   (*skewed computation*), stalling IO at each iteration tail
-//!   (Figure 2). Includes the LRU page cache that lets FlashGraph win on
+//!   (Figure 2). Includes the page cache that lets FlashGraph win on
 //!   high-locality graphs like sk2005 (Section V-B).
 //! * [`GrapheneEngine`] — **2-D topology-aware partitioning**: the edge
 //!   grid is split into equal-edge blocks distributed over the disk array.

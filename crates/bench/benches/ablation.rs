@@ -2,8 +2,8 @@
 //! own figures:
 //!
 //! 1. **Page cache (the paper's future work)** — Blaze loses to FlashGraph
-//!    on sk2005 because FlashGraph's LRU page cache exploits the crawl's
-//!    locality (Section V-B). Enabling the engine's optional LRU cache
+//!    on sk2005 because FlashGraph's page cache exploits the crawl's
+//!    locality (Section V-B). Enabling the engine's optional clock cache
 //!    should recover that loss.
 //! 2. **Merge window** — modeled IO time of a full scan with 1/2/4/8-page
 //!    merging: the 4-page window captures most of the win (Section IV-C).
@@ -63,14 +63,14 @@ fn main() {
             format!("{:.2}x", t_fg / t_plain),
         ],
         vec![
-            format!("blaze + LRU cache ({cache_pages} pages)"),
+            format!("blaze + clock cache ({cache_pages} pages)"),
             format!("{t_cache:.5}"),
             io_cache.to_string(),
             hits_cache.to_string(),
             format!("{:.2}x", t_fg / t_cache),
         ],
         vec![
-            "flashgraph (LRU cache)".to_string(),
+            "flashgraph (page cache)".to_string(),
             format!("{t_fg:.5}"),
             io_fg.to_string(),
             hits_fg.to_string(),
@@ -78,7 +78,7 @@ fn main() {
         ],
     ];
     print_table(
-        "Ablation 1: LRU page cache on sk2005 BFS (modeled time, speedup vs FlashGraph)",
+        "Ablation 1: page cache on sk2005 BFS (modeled time, speedup vs FlashGraph)",
         &["system", "time s", "io bytes", "cache hits", "vs FG"],
         &rows,
     );

@@ -24,7 +24,7 @@ pub struct BenchQueryOptions {
     pub blaze_threads: usize,
     /// FlashGraph computation threads (affects the message-skew trace).
     pub flashgraph_threads: usize,
-    /// FlashGraph LRU cache capacity in pages; 0 = auto (1/8 of the
+    /// FlashGraph page-cache capacity in pages; 0 = auto (1/8 of the
     /// graph's pages, min 64) — proportional to the paper's multi-GB SAFS
     /// cache against multi-GB graphs.
     pub flashgraph_cache_pages: usize,

@@ -27,6 +27,9 @@ pub struct CliArgs {
     /// Traversal binaries run this many copies of the query from separate
     /// threads against the shared persistent runtime.
     pub jobs: usize,
+    /// Clock page-cache budget in MiB (`-cache-mb`, default 0 = no cache,
+    /// matching the published system).
+    pub cache_mb: usize,
     /// The `.gr.index` file (first positional argument).
     pub index: PathBuf,
     /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
@@ -48,6 +51,7 @@ impl Default for CliArgs {
             device: "optane".to_string(),
             max_iters: 100,
             jobs: 1,
+            cache_mb: 0,
             index: PathBuf::new(),
             adj: Vec::new(),
             in_index: None,
@@ -115,6 +119,13 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
                 if out.jobs == 0 {
                     return Err(BlazeError::Config("-jobs must be >= 1".into()));
                 }
+            }
+            "-cache-mb" => {
+                out.cache_mb = it
+                    .next()
+                    .ok_or_else(|| missing("-cache-mb"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-cache-mb: {e}")))?;
             }
             "-device" => {
                 out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
@@ -198,6 +209,15 @@ mod tests {
         assert_eq!(a.jobs, 4);
         assert_eq!(parse(&args("g.gr.index g.gr.adj.0")).unwrap().jobs, 1);
         assert!(parse(&args("-jobs 0 g.gr.index g.gr.adj.0")).is_err());
+    }
+
+    #[test]
+    fn parses_cache_flag() {
+        let a = parse(&args("-cache-mb 64 g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.cache_mb, 64);
+        assert_eq!(parse(&args("g.gr.index g.gr.adj.0")).unwrap().cache_mb, 0);
+        assert!(parse(&args("-cache-mb x g.gr.index g.gr.adj.0")).is_err());
+        assert!(parse(&args("-cache-mb")).is_err());
     }
 
     #[test]

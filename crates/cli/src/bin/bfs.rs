@@ -7,6 +7,9 @@
 //! With `-jobs N` (default 1), N copies of the query are submitted from
 //! separate threads against the one engine; the persistent runtime
 //! interleaves them on its shared IO/scatter/gather workers.
+//!
+//! `-cache-mb N` gives the IO workers a clock page cache of N MiB
+//! (default 0, i.e. no cache — matching the published system).
 
 use std::thread;
 

@@ -1,4 +1,8 @@
 //! Artifact-style PageRank (delta variant) binary.
+//!
+//! `-cache-mb N` gives the IO workers a clock page cache of N MiB
+//! (default 0 = no cache); PageRank's repeated near-full scans are where
+//! a warm cache saves the most device bytes.
 
 use blaze_algorithms::{pagerank_delta, ExecMode, PageRankConfig};
 

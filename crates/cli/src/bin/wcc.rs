@@ -1,5 +1,6 @@
 //! Artifact-style WCC binary. Requires the transpose via
-//! `-inIndexFilename` / `-inAdjFilenames`.
+//! `-inIndexFilename` / `-inAdjFilenames`. `-cache-mb N` gives each
+//! direction's IO workers a clock page cache of N MiB (default 0).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -57,7 +57,8 @@ pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<Blaz
         )));
     }
     let mut options = EngineOptions::default()
-        .with_compute_workers(args.compute_workers.max(2), args.binning_ratio);
+        .with_compute_workers(args.compute_workers.max(2), args.binning_ratio)
+        .with_cache_bytes(args.cache_mb << 20);
     if args.bin_space_mib > 0 {
         options = options.with_binning(BinningConfig::new(
             args.bin_count,
@@ -89,6 +90,15 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
         "io: {} bytes in {} requests",
         stats.io_bytes, stats.io_requests
     );
+    if let Some(cache) = engine.page_cache() {
+        println!(
+            "page cache: {} MiB budget, {} hits, {} misses, {} evictions",
+            cache.capacity_bytes() >> 20,
+            stats.cache_hit_pages,
+            stats.cache_miss_pages,
+            stats.cache_evictions
+        );
+    }
     let busy_ns: u64 = graph
         .storage()
         .devices()
@@ -139,6 +149,22 @@ mod tests {
         let engine = open_engine(&args, &index, &adj).unwrap();
         assert_eq!(engine.binning().bin_count, 64);
         assert_eq!(engine.binning().bin_space_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn cache_flag_enables_engine_cache() {
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
+        let args = CliArgs {
+            cache_mb: 8,
+            ..Default::default()
+        };
+        let engine = open_engine(&args, &index, &adj).unwrap();
+        let cache = engine.page_cache().expect("-cache-mb 8 enables the cache");
+        assert_eq!(cache.capacity_bytes(), 8 << 20);
+        let no_cache = open_engine(&CliArgs::default(), &index, &adj).unwrap();
+        assert!(no_cache.page_cache().is_none(), "default stays uncached");
     }
 
     #[test]

@@ -22,8 +22,8 @@ use blaze_frontier::{PageSubset, VertexSubset};
 use blaze_graph::DiskGraph;
 use blaze_storage::buffer::FilledBuffer;
 use blaze_storage::request::merge_pages_with_window;
-use blaze_storage::{BufferPool, JobIoStats};
-use blaze_types::{BlazeError, IterationTrace, Result, VertexId};
+use blaze_storage::{BufferPool, JobIoStats, PageCache};
+use blaze_types::{BlazeError, IterationTrace, LocalPageId, Result, VertexId};
 
 use crate::arena::EngineArena;
 use crate::options::EngineOptions;
@@ -50,7 +50,7 @@ pub struct BlazeEngine {
     binning: BinningConfig,
     arena: EngineArena,
     runtime: Runtime,
-    cache: Option<crate::cache::PageCache>,
+    cache: Option<PageCache>,
     traces: Mutex<Vec<IterationTrace>>,
     stats: Mutex<ExecStats>,
 }
@@ -77,8 +77,9 @@ impl BlazeEngine {
             options.num_scatter,
             options.num_gather,
         );
-        let cache = (options.page_cache_pages > 0)
-            .then(|| crate::cache::PageCache::new(options.page_cache_pages));
+        // A budget below one page yields zero frames; skip the cache
+        // entirely so the IO path stays identical to the uncached engine.
+        let cache = Some(PageCache::new(options.cache_bytes)).filter(|c| c.capacity_pages() > 0);
         Ok(Self {
             graph,
             options,
@@ -91,9 +92,9 @@ impl BlazeEngine {
         })
     }
 
-    /// The LRU page cache, when enabled via
-    /// [`EngineOptions::page_cache_pages`].
-    pub fn page_cache(&self) -> Option<&crate::cache::PageCache> {
+    /// The clock page cache, when enabled via
+    /// [`EngineOptions::cache_bytes`].
+    pub fn page_cache(&self) -> Option<&PageCache> {
         self.cache.as_ref()
     }
 
@@ -263,7 +264,6 @@ impl BlazeEngine {
             io_done: AtomicUsize::new(0),
             scatters_done: AtomicUsize::new(0),
             all_scatter_done: AtomicBool::new(false),
-            cache_hits: AtomicU64::new(0),
             edges_processed: AtomicU64::new(0),
             records_sync: AtomicU64::new(0),
             error: Mutex::new(None),
@@ -276,7 +276,6 @@ impl BlazeEngine {
         self.runtime.submit(&job, !sync_variant);
 
         let error = job.error.lock().take();
-        let cache_hits = job.cache_hits.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
         let edges_processed = job.edges_processed.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
         let records_sync = job.records_sync.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
         let mut trace = IterationTrace::new(num_devices);
@@ -292,7 +291,6 @@ impl BlazeEngine {
         // Record the iteration's work trace.
         let wall_ns = t0.elapsed().as_nanos() as u64;
         trace.frontier_size = frontier.len() as u64;
-        trace.cache_hit_pages = cache_hits;
         trace.edges_processed = edges_processed;
         if sync_variant {
             trace.records_produced = records_sync;
@@ -352,7 +350,6 @@ where
     scatters_done: AtomicUsize,
     /// Set by the last departing scatter worker, releasing gather.
     all_scatter_done: AtomicBool,
-    cache_hits: AtomicU64,
     edges_processed: AtomicU64,
     records_sync: AtomicU64,
     /// First IO error of the job; later errors are dropped (the first one
@@ -380,14 +377,17 @@ where
 
     /// One IO worker's work: fetch the device's local page list into
     /// filled buffers. Without a page cache, contiguous local pages merge
-    /// into requests of up to `merge_window` pages. With the cache
-    /// (the paper's future-work extension), cached pages are served from
-    /// memory and only uncached runs touch the device.
+    /// into requests of up to `merge_window` pages — the published IO path,
+    /// byte-for-byte. With the cache (the paper's future-work extension),
+    /// the worker first consults the cache page by page: hits are served
+    /// straight from frames, and only the *misses* are re-merged into
+    /// contiguous runs, so a hit in the middle of what would have been one
+    /// request splits it into two shorter device reads.
     fn fetch_device(&self, dev: usize) -> Result<()> {
         let storage = self.engine.graph.storage();
         let merge_window = self.engine.options.merge_window;
         let local_pages = self.pages.local_pages(dev);
-        let read_run = |first: u64, n: usize| -> Result<()> {
+        let read_run = |first: LocalPageId, n: usize| -> Result<()> {
             let mut buffer = self.pool.acquire_free();
             if let Err(e) = storage.read_local_run(dev, first, buffer.pages_mut(n)) {
                 self.pool.release(buffer);
@@ -395,13 +395,19 @@ where
             }
             self.io_stats.record_read(dev, first, n);
             if let Some(cache) = &self.engine.cache {
+                self.io_stats.record_cache_misses(dev, n as u64);
+                let mut evictions = 0;
                 for i in 0..n {
                     let global = storage.global_page(dev, first + i as u64);
                     let start = i * blaze_types::PAGE_SIZE;
-                    cache.insert(
+                    let evicted = cache.insert(
                         global,
                         buffer.pages(n)[start..start + blaze_types::PAGE_SIZE].into(),
                     );
+                    evictions += u64::from(evicted);
+                }
+                if evictions > 0 {
+                    self.io_stats.record_cache_evictions(dev, evictions);
                 }
             }
             let globals = (0..n as u64)
@@ -419,37 +425,32 @@ where
             }
             return Ok(());
         };
-        // Cached pages are delivered from memory; uncached pages still
-        // merge into contiguous runs before hitting the device.
-        let mut run: Vec<u64> = Vec::with_capacity(merge_window);
-        let flush = |run: &mut Vec<u64>| -> Result<()> {
-            if let Some(&first) = run.first() {
-                read_run(first, run.len())?;
-                run.clear();
-            }
-            Ok(())
-        };
+        // Cache pass: serve hits from frames, collect misses.
+        let mut misses: Vec<LocalPageId> = Vec::new();
+        let mut hits = 0u64;
         for &local in local_pages {
             let global = storage.global_page(dev, local);
-            if let Some(data) = cache.get(global) {
-                flush(&mut run)?;
-                self.cache_hits.fetch_add(1, Ordering::Relaxed); // sync-audit: trace counter; read only after the job completes.
-                let mut buffer = self.pool.acquire_free();
-                buffer.pages_mut(1).copy_from_slice(&data);
-                self.pool.push_filled(FilledBuffer {
-                    buffer,
-                    pages: vec![global],
-                });
+            let Some(data) = cache.get(global) else {
+                misses.push(local);
                 continue;
-            }
-            let extends_run =
-                run.last().is_some_and(|&last| local == last + 1) && run.len() < merge_window;
-            if !extends_run {
-                flush(&mut run)?;
-            }
-            run.push(local);
+            };
+            hits += 1;
+            let mut buffer = self.pool.acquire_free();
+            buffer.pages_mut(1).copy_from_slice(&data);
+            self.pool.push_filled(FilledBuffer {
+                buffer,
+                pages: vec![global],
+            });
         }
-        flush(&mut run)
+        if hits > 0 {
+            self.io_stats.record_cache_hits(dev, hits);
+        }
+        // Miss pass: hits punched holes into the page list, so re-merging
+        // naturally splits runs around them before touching the device.
+        for req in merge_pages_with_window(&misses, merge_window) {
+            read_run(req.first_page, req.num_pages as usize)?;
+        }
+        Ok(())
     }
 }
 
@@ -829,8 +830,85 @@ mod tests {
         let traces = e.take_traces();
         assert_eq!(traces[0].cache_hit_pages, 0, "cold cache");
         let pages = traces[0].total_io_bytes() / 4096;
+        assert_eq!(traces[0].cache_miss_pages, pages, "cold pass all misses");
         assert_eq!(traces[1].cache_hit_pages, pages, "second pass fully cached");
+        assert_eq!(traces[1].cache_miss_pages, 0);
         assert_eq!(traces[1].total_io_bytes(), 0, "no device reads when cached");
+        let stats = e.stats();
+        assert_eq!(stats.cache_hit_pages, pages);
+        assert_eq!(stats.cache_miss_pages, pages);
+    }
+
+    #[test]
+    fn zero_budget_bypasses_cache_entirely() {
+        let g = rmat(&RmatConfig::new(9));
+        let uncached = engine(&g, 2, EngineOptions::default());
+        let bypassed = engine(&g, 2, EngineOptions::default().with_cache_bytes(0));
+        assert!(bypassed.page_cache().is_none(), "0 bytes means no cache");
+        // Sub-page budgets round down to zero frames and are also bypassed.
+        let tiny = engine(&g, 2, EngineOptions::default().with_cache_bytes(100));
+        assert!(tiny.page_cache().is_none());
+        let frontier = VertexSubset::full(g.num_vertices());
+        for e in [&uncached, &bypassed] {
+            for _ in 0..2 {
+                e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+                    .unwrap();
+            }
+        }
+        let a = uncached.take_traces();
+        let b = bypassed.take_traces();
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.io_bytes_per_device, tb.io_bytes_per_device);
+            assert_eq!(ta.io_requests_per_device, tb.io_requests_per_device);
+            assert_eq!(
+                ta.io_sequential_requests_per_device,
+                tb.io_sequential_requests_per_device
+            );
+            assert_eq!(tb.cache_hit_pages, 0);
+            assert_eq!(tb.cache_miss_pages, 0);
+            assert_eq!(tb.cache_evictions, 0);
+        }
+    }
+
+    #[test]
+    fn cache_hit_splits_merged_runs() {
+        // Prime only the middle page of a contiguous three-page run: the
+        // next scan must serve it from the cache and read the two
+        // neighbors as two separate single-page requests.
+        let g = rmat(&RmatConfig::new(10));
+        let e = engine(&g, 1, EngineOptions::default().with_page_cache(1));
+        let n = g.num_vertices();
+        // A vertex whose single page sits strictly inside the page range of
+        // a full scan.
+        let v = (0..n as u32)
+            .find(|&v| {
+                e.graph()
+                    .pages_of_vertex(v)
+                    .is_some_and(|r| r.start() == r.end() && *r.start() > 0)
+            })
+            .unwrap();
+        e.edge_map(
+            &VertexSubset::single(n, v),
+            |s, _d| s,
+            |_d, _v| false,
+            |_| true,
+            false,
+        )
+        .unwrap();
+        let frontier = VertexSubset::full(n);
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        let traces = e.take_traces();
+        let t = &traces[1];
+        assert!(t.cache_hit_pages >= 1, "primed page must hit");
+        // The hole forces at least one extra request versus unbroken
+        // merging of the same page count.
+        let pages = (t.total_io_bytes() / 4096) as usize;
+        let window = e.options().merge_window as u64;
+        assert!(
+            t.total_io_requests() > (pages as u64).div_ceil(window),
+            "a mid-run hit must split a merged request"
+        );
     }
 
     #[test]

@@ -68,7 +68,6 @@
 //! ```
 
 pub mod arena;
-pub mod cache;
 pub mod engine;
 pub mod memory;
 pub mod options;
@@ -78,7 +77,7 @@ pub mod vertex_array;
 pub mod vertex_map;
 
 pub use arena::EngineArena;
-pub use cache::PageCache;
+pub use blaze_storage::PageCache;
 pub use engine::BlazeEngine;
 pub use memory::MemoryFootprint;
 pub use options::EngineOptions;

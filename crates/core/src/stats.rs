@@ -20,6 +20,14 @@ pub struct ExecStats {
     /// Wall time spent inside `edge_map`, nanoseconds (real, machine-local —
     /// shape comparisons use the performance model instead).
     pub wall_ns: u64,
+    /// Pages served from the clock page cache (no device IO).
+    pub cache_hit_pages: u64,
+    /// Pages that missed the cache and were read from the devices. Zero
+    /// when the cache is disabled (misses are only counted on the cached
+    /// IO path).
+    pub cache_miss_pages: u64,
+    /// Resident pages evicted from the cache to make room for fills.
+    pub cache_evictions: u64,
 }
 
 impl ExecStats {
@@ -31,6 +39,9 @@ impl ExecStats {
         self.io_bytes += it.total_io_bytes();
         self.io_requests += it.total_io_requests();
         self.wall_ns += wall_ns;
+        self.cache_hit_pages += it.cache_hit_pages;
+        self.cache_miss_pages += it.cache_miss_pages;
+        self.cache_evictions += it.cache_evictions;
     }
 }
 
@@ -67,6 +78,10 @@ pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
     let after = job.snapshots();
     let before = vec![IoStatsSnapshot::default(); after.len()];
     fill_io_trace(trace, &before, &after);
+    let (hits, misses, evictions) = job.cache_totals();
+    trace.cache_hit_pages = hits;
+    trace.cache_miss_pages = misses;
+    trace.cache_evictions = evictions;
 }
 
 /// Snapshots every device's stats.
@@ -90,6 +105,9 @@ mod tests {
         it.io_requests_per_device = vec![1, 2];
         it.edges_processed = 100;
         it.records_produced = 60;
+        it.cache_hit_pages = 3;
+        it.cache_miss_pages = 4;
+        it.cache_evictions = 1;
         s.absorb(&it, 5000);
         s.absorb(&it, 5000);
         assert_eq!(s.iterations, 2);
@@ -97,6 +115,24 @@ mod tests {
         assert_eq!(s.io_requests, 6);
         assert_eq!(s.edges_processed, 200);
         assert_eq!(s.wall_ns, 10_000);
+        assert_eq!(s.cache_hit_pages, 6);
+        assert_eq!(s.cache_miss_pages, 8);
+        assert_eq!(s.cache_evictions, 2);
+    }
+
+    #[test]
+    fn job_trace_carries_cache_totals() {
+        let j = JobIoStats::new(2);
+        j.record_read(0, 0, 2);
+        j.record_cache_hits(1, 5);
+        j.record_cache_misses(0, 2);
+        j.record_cache_evictions(0, 1);
+        let mut t = IterationTrace::new(2);
+        fill_io_trace_from_job(&mut t, &j);
+        assert_eq!(t.cache_hit_pages, 5);
+        assert_eq!(t.cache_miss_pages, 2);
+        assert_eq!(t.cache_evictions, 1);
+        assert_eq!(t.total_io_bytes(), 2 * 4096);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property-based tests of the page → vertex map (Section IV-F): for any
+//! degree sequence — zero-degree prefixes, a super-vertex spanning many
+//! pages, generated RMAT graphs — every in-range page must report a span,
+//! and the span must be exactly what `GraphIndex::edge_offset` implies.
+
+use proptest::prelude::*;
+
+use blaze_graph::gen::{rmat, RmatConfig};
+use blaze_graph::{GraphIndex, PageVertexMap};
+use blaze_types::{VertexId, EDGES_PER_PAGE};
+
+/// Brute-force reference: the inclusive vertex span of page `p` is the set
+/// of vertices whose edge range `[edge_offset(v), edge_offset(v)+deg(v))`
+/// intersects the page's edge range.
+fn reference_span(index: &GraphIndex, p: u64) -> Option<(VertexId, VertexId)> {
+    let page_start = p * EDGES_PER_PAGE as u64;
+    let page_end = page_start + EDGES_PER_PAGE as u64;
+    let mut span: Option<(VertexId, VertexId)> = None;
+    for v in 0..index.num_vertices() as VertexId {
+        let deg = index.degree(v) as u64;
+        if deg == 0 {
+            continue;
+        }
+        let off = index.edge_offset(v);
+        if off < page_end && off + deg > page_start {
+            span = Some(match span {
+                None => (v, v),
+                Some((b, _)) => (b, v),
+            });
+        }
+    }
+    span
+}
+
+fn check_map(index: &GraphIndex) {
+    let map = PageVertexMap::build(index);
+    let expected_pages = (index.num_edges() as usize).div_ceil(EDGES_PER_PAGE) as u64;
+    assert_eq!(map.num_pages(), expected_pages);
+    for p in 0..expected_pages {
+        let span = map.vertices_in_page(p);
+        assert!(
+            span.is_some(),
+            "in-range page {p} of {expected_pages} has no span"
+        );
+        assert_eq!(span, reference_span(index, p), "span of page {p}");
+        let (b, e) = span.unwrap();
+        assert!(b <= e);
+        // Span endpoints own edges; the begin vertex's edges reach into
+        // the page and the end vertex's edges start before it ends.
+        assert!(index.degree(b) > 0 && index.degree(e) > 0);
+        let page_start = p * EDGES_PER_PAGE as u64;
+        let page_end = page_start + EDGES_PER_PAGE as u64;
+        assert!(index.edge_offset(b) + index.degree(b) as u64 > page_start);
+        assert!(index.edge_offset(e) < page_end);
+    }
+    // One past the stream: never a span.
+    assert_eq!(map.vertices_in_page(expected_pages), None);
+    assert_eq!(map.vertices_in_page(expected_pages + 7), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary degree sequences, zero-heavy by construction (~40% of the
+    /// sampled degrees are forced to zero), agree with the edge_offset
+    /// reference.
+    #[test]
+    fn spans_match_reference_for_arbitrary_degrees(
+        raw in proptest::collection::vec((0u32..10, 1u32..4000), 0..200),
+    ) {
+        let degrees: Vec<u32> = raw
+            .into_iter()
+            .map(|(zero_die, d)| if zero_die < 4 { 0 } else { d })
+            .collect();
+        check_map(&GraphIndex::from_degrees(degrees));
+    }
+
+    /// A zero-degree prefix followed by a super-vertex spanning many pages:
+    /// the worst case for page decoding (one vertex owning every edge of
+    /// dozens of pages) plus leading vertices that own nothing.
+    #[test]
+    fn zero_prefix_and_super_vertex(
+        zeros in 0usize..50,
+        super_degree in (4 * EDGES_PER_PAGE as u32)..(40 * EDGES_PER_PAGE as u32),
+        tail in proptest::collection::vec(0u32..100, 0..50),
+    ) {
+        let mut degrees = vec![0u32; zeros];
+        degrees.push(super_degree);
+        degrees.extend(tail);
+        let index = GraphIndex::from_degrees(degrees);
+        check_map(&index);
+        // Every fully-interior page of the super-vertex spans only it.
+        let map = PageVertexMap::build(&index);
+        let sv = zeros as VertexId;
+        let off = index.edge_offset(sv);
+        let first_full = off.div_ceil(EDGES_PER_PAGE as u64);
+        let last_full = (off + super_degree as u64) / EDGES_PER_PAGE as u64;
+        assert!(last_full - first_full >= 3, "super-vertex spans many pages");
+        for p in first_full..last_full {
+            assert_eq!(map.vertices_in_page(p), Some((sv, sv)));
+        }
+    }
+
+    /// Generated RMAT graphs (power-law degrees, zero-degree vertices all
+    /// over): every in-range page has a span consistent with edge_offset.
+    #[test]
+    fn rmat_graphs_have_consistent_spans(scale in 6u32..9, seed in 0u64..64) {
+        let g = rmat(&RmatConfig::new(scale).seed(seed));
+        check_map(&GraphIndex::from_csr(&g));
+    }
+}

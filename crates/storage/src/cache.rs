@@ -1,0 +1,444 @@
+//! Sharded clock (second-chance) page cache for the IO path.
+//!
+//! The published Blaze re-fetches every frontier page from the SSD array on
+//! every iteration; the paper names smarter reuse as future work after
+//! losing to FlashGraph's SAFS page cache on the high-locality sk2005 graph
+//! (Section V-B). This module implements that future work as a cache of
+//! 4 KiB *frames* keyed by global [`PageId`], sitting between the engine's
+//! per-device IO workers and [`StripedStorage`](crate::StripedStorage):
+//!
+//! * **Clock eviction.** Each frame carries a reference bit; [`get`] sets
+//!   it, [`insert`] sweeps a clock hand that clears set bits and evicts the
+//!   first frame found unreferenced. Pages touched since the last sweep get
+//!   a second chance; one-shot scan pages are evicted after a single lap.
+//!   Unlike an LRU list, a hit mutates only its own frame's bit — there is
+//!   no recency list to maintain.
+//! * **Sharding.** Frames are split over up to 16 independently-locked
+//!   shards selected by a Fibonacci hash of the page id, so the per-device
+//!   IO workers rarely contend on one mutex. Each shard runs its own clock
+//!   hand over its own frames; the clock hand and the frames it sweeps are
+//!   all state *under the shard mutex*, which is what keeps the algorithm
+//!   model-checkable (`tests/loom_cache.rs`) without any ordering-sensitive
+//!   atomics on the hot path.
+//! * **Byte budget.** Capacity is configured in bytes
+//!   (`EngineOptions::cache_bytes`); a budget of zero bypasses the cache
+//!   entirely — every lookup misses and nothing is retained, leaving the IO
+//!   path byte-for-byte identical to the uncached engine.
+//!
+//! Frame data is handed out as `Arc<[u8]>` clones taken under the shard
+//! lock: eviction merely drops the shard's reference, so a reader holding a
+//! frame keeps valid data even if the page is evicted the next instant —
+//! the frame refcount (the `Arc` strong count) is what guarantees no reader
+//! ever observes a recycled frame.
+//!
+//! [`get`]: PageCache::get
+//! [`insert`]: PageCache::insert
+
+use std::collections::HashMap;
+
+use blaze_sync::atomic::{AtomicU64, Ordering};
+use blaze_sync::{Arc, Mutex};
+
+use blaze_types::{PageId, PAGE_SIZE};
+
+/// Most shards the cache will split into; bounded so tiny caches keep
+/// meaningfully sized shards.
+const MAX_SHARDS: usize = 16;
+
+/// Frames below which a shard is not worth splitting off.
+const MIN_FRAMES_PER_SHARD: usize = 64;
+
+/// One resident page: its id, its clock reference bit, and the frame data.
+#[derive(Debug)]
+struct Frame {
+    page: PageId,
+    /// Second-chance bit: set by [`PageCache::get`], cleared (and acted on)
+    /// by the clock sweep in [`PageCache::insert`]. Plain `bool` — every
+    /// access happens under the owning shard's mutex.
+    referenced: bool,
+    data: Arc<[u8]>,
+}
+
+/// The state of one shard, entirely under its mutex: the resident map, the
+/// frame table, and this shard's clock hand.
+#[derive(Debug, Default)]
+struct ShardState {
+    /// Resident pages → index into `frames`. Checked on every insert, so a
+    /// page can never occupy two frames.
+    map: HashMap<PageId, usize>,
+    frames: Vec<Frame>,
+    /// Clock hand: index of the next frame the eviction sweep examines.
+    /// Only meaningful once `frames` is full. Protected by the shard mutex,
+    /// so sweeps from different inserters serialize and the hand needs no
+    /// atomic ordering argument.
+    hand: usize,
+}
+
+#[derive(Debug)]
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Frame budget of this shard (fixed at construction).
+    capacity: usize,
+}
+
+/// A sharded clock (second-chance) cache of 4 KiB pages.
+///
+/// All methods are safe to call concurrently from any number of threads;
+/// see the module docs for the locking discipline.
+#[derive(Debug)]
+pub struct PageCache {
+    shards: Vec<Shard>,
+    capacity_pages: usize,
+    // sync-audit: Relaxed — the three counters below are monotonic
+    // statistics, never used for synchronization; readers either run after
+    // the job completed (trace assembly) or tolerate a stale snapshot
+    // (progress reporting). Every load/fetch_add on them inherits this
+    // argument.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PageCache {
+    /// Creates a cache with a byte budget of `cache_bytes`, i.e.
+    /// `cache_bytes / PAGE_SIZE` frames. A budget below one page (including
+    /// zero) disables storage entirely: every lookup misses and inserts are
+    /// dropped, so the IO path behaves exactly as if no cache existed.
+    pub fn new(cache_bytes: usize) -> Self {
+        Self::with_capacity_pages(cache_bytes / PAGE_SIZE)
+    }
+
+    /// Creates a cache holding at most `pages` frames.
+    pub fn with_capacity_pages(pages: usize) -> Self {
+        let num_shards = match pages {
+            0 => 1,
+            p => (p / MIN_FRAMES_PER_SHARD)
+                .clamp(1, MAX_SHARDS)
+                .next_power_of_two(),
+        };
+        let base = pages / num_shards;
+        let remainder = pages % num_shards;
+        let shards = (0..num_shards)
+            .map(|i| Shard {
+                state: Mutex::new(ShardState::default()),
+                capacity: base + usize::from(i < remainder),
+            })
+            .collect();
+        Self {
+            shards,
+            capacity_pages: pages,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total frame budget in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Byte budget (`capacity_pages * PAGE_SIZE`).
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_pages * PAGE_SIZE
+    }
+
+    /// Number of independently locked shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fibonacci-hash shard selection: striped global pages (strided by the
+    /// device count) must not alias into one shard, so the raw id is mixed
+    /// before taking the high bits.
+    fn shard_of(&self, page: PageId) -> &Shard {
+        let mixed = page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (mixed >> 32) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Looks `page` up. On a hit the frame's reference bit is set (granting
+    /// it a second chance against the clock sweep) and a clone of the frame
+    /// data is returned; the clone stays valid even if the page is evicted
+    /// immediately afterwards.
+    pub fn get(&self, page: PageId) -> Option<Arc<[u8]>> {
+        let shard = self.shard_of(page);
+        let mut state = shard.state.lock();
+        let Some(&slot) = state.map.get(&page) else {
+            drop(state);
+            self.misses.fetch_add(1, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+            return None;
+        };
+        let frame = &mut state.frames[slot];
+        frame.referenced = true;
+        let data = frame.data.clone();
+        drop(state);
+        self.hits.fetch_add(1, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+        Some(data)
+    }
+
+    /// Inserts `page`, evicting one resident page via the clock sweep if
+    /// the shard is full. Returns `true` iff a resident page was evicted.
+    ///
+    /// Inserting a page that is already resident refreshes its data and
+    /// reference bit in place — a page never occupies two frames, no matter
+    /// how many IO workers race to fill it.
+    pub fn insert(&self, page: PageId, data: Arc<[u8]>) -> bool {
+        let shard = self.shard_of(page);
+        if shard.capacity == 0 {
+            return false;
+        }
+        let mut state = shard.state.lock();
+        if let Some(&slot) = state.map.get(&page) {
+            let frame = &mut state.frames[slot];
+            frame.data = data;
+            frame.referenced = true;
+            return false;
+        }
+        if state.frames.len() < shard.capacity {
+            let slot = state.frames.len();
+            state.frames.push(Frame {
+                page,
+                // Fresh fills start unreferenced: a page only earns its
+                // second chance by being *re*-used, so one-shot scan pages
+                // drain out after a single lap of the hand.
+                referenced: false,
+                data,
+            });
+            state.map.insert(page, slot);
+            return false;
+        }
+        // Clock sweep: clear reference bits until an unreferenced frame
+        // turns up. Terminates within two laps — the first lap clears every
+        // bit it passes.
+        let victim = loop {
+            let hand = state.hand;
+            state.hand = (hand + 1) % shard.capacity;
+            let frame = &mut state.frames[hand];
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                break hand;
+            }
+        };
+        let old_page = state.frames[victim].page;
+        state.map.remove(&old_page);
+        state.map.insert(page, victim);
+        state.frames[victim] = Frame {
+            page,
+            referenced: false,
+            data,
+        };
+        drop(state);
+        self.evictions.fetch_add(1, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+        true
+    }
+
+    /// Current number of resident pages across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.state.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.state.lock().map.is_empty())
+    }
+
+    /// `(hits, misses)` since construction or the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: Self::reset_stats
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
+            self.misses.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
+        )
+    }
+
+    /// Pages evicted since construction or the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: Self::reset_stats
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed) // sync-audit: stats counter; see struct field comment.
+    }
+
+    /// Clears the hit/miss/eviction counters (resident pages stay).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+        self.misses.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+        self.evictions.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+    }
+
+    /// Bytes held by resident page data (excludes bookkeeping).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.len() * PAGE_SIZE) as u64
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn page(byte: u8) -> Arc<[u8]> {
+        vec![byte; 8].into()
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = PageCache::with_capacity_pages(4);
+        assert!(c.get(1).is_none());
+        assert!(!c.insert(1, page(1)));
+        assert_eq!(c.get(1).unwrap()[0], 1);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn byte_budget_rounds_down_to_whole_frames() {
+        assert_eq!(PageCache::new(0).capacity_pages(), 0);
+        assert_eq!(PageCache::new(PAGE_SIZE - 1).capacity_pages(), 0);
+        assert_eq!(PageCache::new(10 * PAGE_SIZE + 17).capacity_pages(), 10);
+        assert_eq!(PageCache::new(1 << 20).capacity_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn clock_gives_referenced_pages_a_second_chance() {
+        let c = PageCache::with_capacity_pages(2);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        assert!(c.get(1).is_some()); // reference bit set on 1
+        assert!(c.insert(3, page(3))); // sweep skips 1, evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn unreferenced_pages_drain_in_insertion_order() {
+        let c = PageCache::with_capacity_pages(2);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        // Nothing referenced: the hand starts at frame 0, so 1 goes first.
+        assert!(c.insert(3, page(3)));
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_page_does_not_evict_others() {
+        let c = PageCache::with_capacity_pages(2);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        assert!(!c.insert(2, page(22))); // update in place, no eviction
+        assert!(c.get(1).is_some());
+        assert_eq!(c.get(2).unwrap()[0], 22);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let c = PageCache::new(0);
+        assert!(!c.insert(9, page(9)));
+        assert!(c.get(9).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn heavy_reuse_stays_bounded() {
+        let c = PageCache::with_capacity_pages(8);
+        for round in 0..100u64 {
+            for p in 0..16u64 {
+                if c.get(p).is_none() {
+                    c.insert(p, page(p as u8));
+                }
+            }
+            assert!(c.len() <= 8, "round {round}: len {}", c.len());
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(hits + misses, 1600);
+        assert_eq!(c.evictions() + 8, misses, "every miss fills a frame");
+    }
+
+    #[test]
+    fn evicted_data_stays_valid_for_holders() {
+        let c = PageCache::with_capacity_pages(1);
+        c.insert(1, page(1));
+        let held = c.get(1).unwrap();
+        for p in 2..10u64 {
+            c.insert(p, page(p as u8));
+        }
+        assert!(c.get(1).is_none(), "page 1 evicted");
+        assert!(held.iter().all(|&b| b == 1), "holder's frame data intact");
+    }
+
+    #[test]
+    fn sharding_scales_with_capacity_and_spreads_pages() {
+        assert_eq!(PageCache::with_capacity_pages(4).num_shards(), 1);
+        let big = PageCache::with_capacity_pages(4096);
+        assert!(big.num_shards() > 1);
+        assert!(big.num_shards() <= MAX_SHARDS);
+        // Shard budgets sum to the total budget.
+        assert_eq!(
+            big.shards.iter().map(|s| s.capacity).sum::<usize>(),
+            big.capacity_pages()
+        );
+        // Device-strided pages (the global ids one IO worker sees on an
+        // 8-device array) must spread over shards, not alias into one.
+        let mut counts = vec![0usize; big.num_shards()];
+        for i in 0..1024u64 {
+            let mixed = (i * 8).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            counts[(mixed >> 32) as usize & (big.num_shards() - 1)] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        assert!(max < 2 * min.max(1), "strided pages alias: {counts:?}");
+    }
+
+    #[test]
+    fn full_cache_holds_exactly_capacity() {
+        let c = PageCache::with_capacity_pages(256);
+        for p in 0..1000u64 {
+            c.insert(p, page(p as u8));
+        }
+        assert_eq!(c.len(), 256);
+        assert_eq!(c.memory_bytes(), 256 * PAGE_SIZE as u64);
+        assert_eq!(c.evictions(), 1000 - 256);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_bounded() {
+        let c = Arc::new(PageCache::with_capacity_pages(32));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let p = (t * 13 + i) % 64;
+                    if c.get(p).is_none() {
+                        c.insert(p, vec![p as u8; 4].into());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 32);
+        let (hits, misses) = c.stats();
+        assert_eq!(hits + misses, 4000);
+    }
+
+    #[test]
+    fn reset_stats_keeps_residents() {
+        let c = PageCache::with_capacity_pages(4);
+        c.insert(1, page(1));
+        c.get(1);
+        c.get(2);
+        c.reset_stats();
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.evictions(), 0);
+        assert!(c.get(1).is_some(), "resident pages survive a stats reset");
+    }
+}

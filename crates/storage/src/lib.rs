@@ -17,10 +17,14 @@
 //!   per request and never merges across gaps (Section IV-C).
 //! * [`BufferPool`] — fixed set of IO buffers recycled through MPMC
 //!   free/filled queues (Figure 5, steps 3–7).
+//! * [`PageCache`] — sharded clock (second-chance) cache of 4 KiB frames
+//!   consulted by the IO workers before requests are merged; a departure
+//!   from the paper, which re-reads every frontier page (Section V-B).
 //!
 //! [`MAX_MERGED_PAGES`]: blaze_types::MAX_MERGED_PAGES
 
 pub mod buffer;
+pub mod cache;
 pub mod device;
 pub mod faulty;
 pub mod file;
@@ -32,6 +36,7 @@ pub mod stats;
 pub mod stripe;
 
 pub use buffer::{BufferPool, FilledBuffer, IoBuffer};
+pub use cache::PageCache;
 pub use device::BlockDevice;
 pub use faulty::FaultyDevice;
 pub use file::FileDevice;

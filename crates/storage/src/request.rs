@@ -5,19 +5,27 @@
 //! cheap enough that fetching non-target pages to enlarge a request is a net
 //! loss, and large requests inflate async submission time (Section IV-C).
 
-use blaze_types::{PageId, MAX_MERGED_PAGES};
+use blaze_types::{LocalPageId, MAX_MERGED_PAGES};
 
 /// One read request: `num_pages` contiguous pages starting at `first_page`.
+///
+/// Page ids here are **device-local** ([`LocalPageId`]): the engine first
+/// splits the global page frontier into per-device local lists
+/// (`StripedStorage::partition_pages`) and only then merges each device's
+/// list, so a request addresses one device and `offset()` is a byte offset
+/// *on that device*. Contiguous local pages are strided global pages
+/// (neighbors on an `n`-device array differ by `n` globally), which is why
+/// merging must happen after partitioning, never on global ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoRequest {
-    /// First page of the run.
-    pub first_page: PageId,
+    /// First device-local page of the run.
+    pub first_page: LocalPageId,
     /// Number of contiguous pages (1..=[`MAX_MERGED_PAGES`]).
     pub num_pages: u32,
 }
 
 impl IoRequest {
-    /// Byte offset of the request on the device.
+    /// Byte offset of the request on its device.
     pub fn offset(&self) -> u64 {
         self.first_page * blaze_types::PAGE_SIZE as u64
     }
@@ -27,22 +35,24 @@ impl IoRequest {
         self.num_pages as usize * blaze_types::PAGE_SIZE
     }
 
-    /// One past the last page covered.
-    pub fn end_page(&self) -> PageId {
+    /// One past the last local page covered.
+    pub fn end_page(&self) -> LocalPageId {
         self.first_page + self.num_pages as u64
     }
 }
 
-/// Merges a **sorted, deduplicated** slice of page ids into IO requests,
-/// combining runs of contiguous pages up to `max_merge` pages per request.
+/// Merges a **sorted, deduplicated** slice of device-local page ids into IO
+/// requests, combining runs of contiguous pages up to `max_merge` pages per
+/// request. A `max_merge` of zero is clamped to 1 (merging disabled) rather
+/// than silently producing one request per run of unbounded length.
 ///
 /// Panics in debug builds if `pages` is not strictly increasing.
-pub fn merge_pages_with_window(pages: &[PageId], max_merge: usize) -> Vec<IoRequest> {
+pub fn merge_pages_with_window(pages: &[LocalPageId], max_merge: usize) -> Vec<IoRequest> {
     debug_assert!(
         pages.windows(2).all(|w| w[0] < w[1]),
         "pages must be sorted unique"
     );
-    debug_assert!(max_merge >= 1);
+    let max_merge = max_merge.max(1);
     let mut requests = Vec::new();
     let mut iter = pages.iter().copied();
     let Some(first) = iter.next() else {
@@ -71,7 +81,7 @@ pub fn merge_pages_with_window(pages: &[PageId], max_merge: usize) -> Vec<IoRequ
 
 /// [`merge_pages_with_window`] with the paper's window of
 /// [`MAX_MERGED_PAGES`] pages.
-pub fn merge_pages(pages: &[PageId]) -> Vec<IoRequest> {
+pub fn merge_pages(pages: &[LocalPageId]) -> Vec<IoRequest> {
     merge_pages_with_window(pages, MAX_MERGED_PAGES)
 }
 
@@ -123,6 +133,19 @@ mod tests {
             merge_pages_with_window(&[0, 1, 2], 1),
             vec![req(0, 1), req(1, 1), req(2, 1)]
         );
+    }
+
+    #[test]
+    fn window_of_zero_clamps_to_one() {
+        // A zero window used to be a debug_assert (aborting debug builds)
+        // and undefined-ish in release; it must now behave exactly like a
+        // window of 1 in both build profiles.
+        assert_eq!(
+            merge_pages_with_window(&[0, 1, 2], 0),
+            merge_pages_with_window(&[0, 1, 2], 1)
+        );
+        assert_eq!(merge_pages_with_window(&[5], 0), vec![req(5, 1)]);
+        assert!(merge_pages_with_window(&[], 0).is_empty());
     }
 
     #[test]

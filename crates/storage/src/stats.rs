@@ -123,6 +123,12 @@ struct JobDeviceStats {
     /// Local page index where the next sequential read would start;
     /// `u64::MAX` before the first read.
     next_local: AtomicU64,
+    /// Pages this job's IO role served from the page cache (no device IO).
+    cache_hit_pages: AtomicU64,
+    /// Pages that missed the cache and were fetched from the device.
+    cache_miss_pages: AtomicU64,
+    /// Resident pages the cache evicted while absorbing this job's fills.
+    cache_evictions: AtomicU64,
 }
 
 /// Per-*job* IO accounting, scoped to one pipeline submission.
@@ -148,6 +154,9 @@ impl JobIoStats {
                     CachePadded::new(JobDeviceStats {
                         stats: IoStats::new(),
                         next_local: AtomicU64::new(u64::MAX),
+                        cache_hit_pages: AtomicU64::new(0),
+                        cache_miss_pages: AtomicU64::new(0),
+                        cache_evictions: AtomicU64::new(0),
                     })
                 })
                 .collect(),
@@ -175,6 +184,43 @@ impl JobIoStats {
     /// Adds modeled device busy time for `device`.
     pub fn add_busy_ns(&self, device: usize, ns: u64) {
         self.devices[device].stats.add_busy_ns(ns);
+    }
+
+    /// Records `pages` page-cache hits attributed to `device`'s IO role.
+    pub fn record_cache_hits(&self, device: usize, pages: u64) {
+        // sync-audit: Relaxed — the three cache counters are monotonic
+        // per-job statistics written by one IO worker per device and read
+        // only after the job's roles have finished; no ordering with other
+        // memory is required (the methods below inherit this argument).
+        self.devices[device]
+            .cache_hit_pages
+            .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// Records `pages` page-cache misses attributed to `device`'s IO role.
+    pub fn record_cache_misses(&self, device: usize, pages: u64) {
+        self.devices[device]
+            .cache_miss_pages
+            .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// Records `pages` cache evictions caused by `device`'s fills.
+    pub fn record_cache_evictions(&self, device: usize, pages: u64) {
+        self.devices[device]
+            .cache_evictions
+            .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// `(hits, misses, evictions)` page totals across all devices. Only
+    /// authoritative once the job's IO roles have finished.
+    pub fn cache_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (0, 0, 0);
+        for dev in &self.devices {
+            totals.0 += dev.cache_hit_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+            totals.1 += dev.cache_miss_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+            totals.2 += dev.cache_evictions.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+        }
+        totals
     }
 
     /// Per-device snapshots, for building an iteration trace. Only
@@ -274,6 +320,17 @@ mod tests {
         assert_eq!(snaps[0].sequential_reads, 1);
         assert_eq!(snaps[1].read_ops, 1);
         assert_eq!(snaps[1].sequential_reads, 0);
+    }
+
+    #[test]
+    fn job_cache_counters_total_across_devices() {
+        let j = JobIoStats::new(3);
+        j.record_cache_hits(0, 5);
+        j.record_cache_hits(2, 7);
+        j.record_cache_misses(1, 11);
+        j.record_cache_evictions(1, 2);
+        j.record_cache_evictions(2, 3);
+        assert_eq!(j.cache_totals(), (12, 11, 5));
     }
 
     #[test]

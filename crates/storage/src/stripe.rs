@@ -8,7 +8,7 @@
 
 use blaze_sync::Arc;
 
-use blaze_types::{BlazeError, DeviceId, PageId, Result, PAGE_SIZE};
+use blaze_types::{BlazeError, DeviceId, LocalPageId, PageId, Result, PAGE_SIZE};
 
 use crate::device::BlockDevice;
 
@@ -77,16 +77,47 @@ impl StripedStorage {
     }
 
     /// Reads `buf.len() / PAGE_SIZE` *locally contiguous* pages from one
-    /// device, starting at `local_first`. This is the request shape the
-    /// engine's per-device IO threads issue after merging.
-    pub fn read_local_run(&self, device: DeviceId, local_first: u64, buf: &mut [u8]) -> Result<()> {
+    /// device, starting at local page `local_first` ([`LocalPageId`] space —
+    /// not global page ids). This is the request shape the engine's
+    /// per-device IO threads issue after merging.
+    ///
+    /// The run is bounds-checked against the device before any read: a run
+    /// extending past the device's last whole page returns
+    /// [`BlazeError::Io`] instead of panicking or handing back a partially
+    /// valid buffer.
+    ///
+    /// [`LocalPageId`]: blaze_types::LocalPageId
+    pub fn read_local_run(
+        &self,
+        device: DeviceId,
+        local_first: LocalPageId,
+        buf: &mut [u8],
+    ) -> Result<()> {
         debug_assert_eq!(buf.len() % PAGE_SIZE, 0);
-        self.devices[device].read_at(local_first * PAGE_SIZE as u64, buf)
+        let dev = &self.devices[device];
+        let pages = (buf.len() / PAGE_SIZE) as u64;
+        let avail = dev.num_pages();
+        match local_first.checked_add(pages) {
+            Some(end) if end <= avail => {}
+            _ => {
+                return Err(BlazeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "local run [{local_first}, {local_first}+{pages}) exceeds the \
+                         {avail} pages of device {device}"
+                    ),
+                )))
+            }
+        }
+        dev.read_at(local_first * PAGE_SIZE as u64, buf)
     }
 
     /// Splits a sorted list of global pages into per-device sorted lists of
-    /// *local* page ids — the per-SSD page frontiers of Figure 5.
-    pub fn partition_pages(&self, pages: &[PageId]) -> Vec<Vec<u64>> {
+    /// *local* page ids ([`LocalPageId`] space) — the per-SSD page frontiers
+    /// of Figure 5. These lists are what feeds request merging; merged
+    /// requests address the owning device directly via
+    /// [`read_local_run`](Self::read_local_run).
+    pub fn partition_pages(&self, pages: &[PageId]) -> Vec<Vec<LocalPageId>> {
         let mut per_device = vec![Vec::new(); self.devices.len()];
         for &p in pages {
             let (dev, local) = self.locate(p);
@@ -215,5 +246,94 @@ mod tests {
     #[test]
     fn empty_array_is_rejected() {
         assert!(StripedStorage::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_local_run_errors_on_mem_device() {
+        let s = StripedStorage::in_memory(2).unwrap();
+        for p in 0..8u64 {
+            s.write_page(p, &page_of(p as u8)).unwrap();
+        }
+        // Each device holds 4 local pages. A run ending exactly at the edge
+        // is fine; anything past it must be an Io error, not zeros.
+        let mut buf = vec![0u8; 2 * PAGE_SIZE];
+        s.read_local_run(0, 2, &mut buf).unwrap();
+        assert!(matches!(
+            s.read_local_run(0, 3, &mut buf),
+            Err(BlazeError::Io(_))
+        ));
+        assert!(matches!(
+            s.read_local_run(1, 4, &mut buf),
+            Err(BlazeError::Io(_))
+        ));
+        // Offset arithmetic that would overflow u64 is caught, not wrapped.
+        assert!(matches!(
+            s.read_local_run(0, u64::MAX - 1, &mut buf),
+            Err(BlazeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_local_run_errors_on_file_device() {
+        let dir = tempfile::tempdir().unwrap();
+        let devices: Vec<Arc<dyn BlockDevice>> = (0..2)
+            .map(|i| {
+                Arc::new(crate::FileDevice::create(dir.path().join(format!("d{i}"))).unwrap())
+                    as Arc<dyn BlockDevice>
+            })
+            .collect();
+        let s = StripedStorage::new(devices).unwrap();
+        for p in 0..4u64 {
+            s.write_page(p, &page_of(p as u8)).unwrap();
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        s.read_local_run(0, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2));
+        let mut big = vec![0u8; 2 * PAGE_SIZE];
+        assert!(matches!(
+            s.read_local_run(0, 1, &mut big),
+            Err(BlazeError::Io(_))
+        ));
+        assert!(matches!(
+            s.read_local_run(1, 2, &mut buf),
+            Err(BlazeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn strided_globals_round_trip_through_partition_merge_and_read() {
+        // The satellite-bug regression: IoRequest.first_page is
+        // device-local. Global pages strided across 3 devices must come
+        // back with the right contents when fed through
+        // partition_pages -> merge_pages_with_window -> read_local_run.
+        // Mixing up global and local spaces would read the wrong device
+        // offsets for every device but 0.
+        let s = StripedStorage::in_memory(3).unwrap();
+        for p in 0..30u64 {
+            s.write_page(p, &page_of(p as u8)).unwrap();
+        }
+        // A frontier with gaps: globals 1,2,4,5,7,10,13,14,22,25,28.
+        let frontier: Vec<u64> = vec![1, 2, 4, 5, 7, 10, 13, 14, 22, 25, 28];
+        let parts = s.partition_pages(&frontier);
+        let mut seen = Vec::new();
+        for (dev, locals) in parts.iter().enumerate() {
+            for req in crate::request::merge_pages_with_window(locals, 4) {
+                let n = req.num_pages as usize;
+                let mut buf = vec![0u8; n * PAGE_SIZE];
+                s.read_local_run(dev, req.first_page, &mut buf).unwrap();
+                for k in 0..n {
+                    let global = s.global_page(dev, req.first_page + k as u64);
+                    let chunk = &buf[k * PAGE_SIZE..(k + 1) * PAGE_SIZE];
+                    assert!(
+                        chunk.iter().all(|&b| b == global as u8),
+                        "device {dev} local {} returned wrong page",
+                        req.first_page + k as u64
+                    );
+                    seen.push(global);
+                }
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, frontier, "every frontier page read exactly once");
     }
 }

@@ -11,6 +11,14 @@ pub type VertexId = u32;
 /// A global page number within the striped adjacency file.
 pub type PageId = u64;
 
+/// A *device-local* page number: the index of a page within one device of a
+/// striped array. Global page `p` on an `n`-device array lives on device
+/// `p % n` at local page `p / n`, so local ids are meaningless without the
+/// device they belong to. APIs that take or return local pages (request
+/// merging after `partition_pages`, `read_local_run`) use this alias to keep
+/// the two spaces from being confused.
+pub type LocalPageId = u64;
+
 /// Index of a device within a [`StripedStorage`] array.
 ///
 /// [`StripedStorage`]: https://docs.rs/blaze-storage

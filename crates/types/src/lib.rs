@@ -14,7 +14,7 @@ pub mod util;
 
 pub use constants::*;
 pub use error::{BlazeError, Result};
-pub use ids::{DeviceId, EdgeOffset, PageId, VertexId};
+pub use ids::{DeviceId, EdgeOffset, LocalPageId, PageId, VertexId};
 pub use rng::SplitMix64;
 pub use trace::{EnginePhase, IterationTrace, QueryTrace};
 pub use util::CachePadded;

@@ -56,9 +56,15 @@ pub struct IterationTrace {
     /// Number of atomic read-modify-write operations issued (sync variant
     /// and FlashGraph-style engines; zero for online binning).
     pub atomic_ops: u64,
-    /// Number of page-cache hits (FlashGraph's LRU cache); these pages cost
-    /// no IO.
+    /// Number of page-cache hits (the engine's clock cache or FlashGraph's
+    /// LRU cache); these pages cost no IO.
     pub cache_hit_pages: u64,
+    /// Number of page-cache lookups that missed and went to the device.
+    /// Zero when no cache is configured.
+    pub cache_miss_pages: u64,
+    /// Number of resident pages the cache evicted while absorbing this
+    /// iteration's fills.
+    pub cache_evictions: u64,
     /// Records per bin buffer in the binning configuration that produced
     /// this trace (0 when binning was not used). Drives the bin-handoff
     /// cost of the performance model.
