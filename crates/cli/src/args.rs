@@ -30,6 +30,10 @@ pub struct CliArgs {
     /// Clock page-cache budget in MiB (`-cache-mb`, default 0 = no cache,
     /// matching the published system).
     pub cache_mb: usize,
+    /// Per-device IO queue depth (`-qd`, default 1 = synchronous backend,
+    /// matching the published engine; deeper windows use the threaded
+    /// backend with out-of-order completions).
+    pub queue_depth: usize,
     /// The `.gr.index` file (first positional argument).
     pub index: PathBuf,
     /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
@@ -52,6 +56,7 @@ impl Default for CliArgs {
             max_iters: 100,
             jobs: 1,
             cache_mb: 0,
+            queue_depth: 1,
             index: PathBuf::new(),
             adj: Vec::new(),
             in_index: None,
@@ -126,6 +131,16 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
                     .ok_or_else(|| missing("-cache-mb"))?
                     .parse()
                     .map_err(|e| BlazeError::Config(format!("-cache-mb: {e}")))?;
+            }
+            "-qd" => {
+                out.queue_depth = it
+                    .next()
+                    .ok_or_else(|| missing("-qd"))?
+                    .parse()
+                    .map_err(|e| BlazeError::Config(format!("-qd: {e}")))?;
+                if out.queue_depth == 0 {
+                    return Err(BlazeError::Config("-qd must be >= 1".into()));
+                }
             }
             "-device" => {
                 out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
@@ -218,6 +233,19 @@ mod tests {
         assert_eq!(parse(&args("g.gr.index g.gr.adj.0")).unwrap().cache_mb, 0);
         assert!(parse(&args("-cache-mb x g.gr.index g.gr.adj.0")).is_err());
         assert!(parse(&args("-cache-mb")).is_err());
+    }
+
+    #[test]
+    fn parses_queue_depth_flag() {
+        let a = parse(&args("-qd 32 g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.queue_depth, 32);
+        assert_eq!(
+            parse(&args("g.gr.index g.gr.adj.0")).unwrap().queue_depth,
+            1
+        );
+        assert!(parse(&args("-qd 0 g.gr.index g.gr.adj.0")).is_err());
+        assert!(parse(&args("-qd x g.gr.index g.gr.adj.0")).is_err());
+        assert!(parse(&args("-qd")).is_err());
     }
 
     #[test]

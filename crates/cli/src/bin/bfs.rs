@@ -10,6 +10,10 @@
 //!
 //! `-cache-mb N` gives the IO workers a clock page cache of N MiB
 //! (default 0, i.e. no cache — matching the published system).
+//!
+//! `-qd N` sets the per-device IO queue depth (default 1, the published
+//! engine's synchronous backend; deeper windows switch to the threaded
+//! backend and keep up to N requests in flight per device).
 
 use std::thread;
 

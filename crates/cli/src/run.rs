@@ -58,7 +58,8 @@ pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<Blaz
     }
     let mut options = EngineOptions::default()
         .with_compute_workers(args.compute_workers.max(2), args.binning_ratio)
-        .with_cache_bytes(args.cache_mb << 20);
+        .with_cache_bytes(args.cache_mb << 20)
+        .with_queue_depth(args.queue_depth);
     if args.bin_space_mib > 0 {
         options = options.with_binning(BinningConfig::new(
             args.bin_count,
@@ -90,6 +91,13 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
         "io: {} bytes in {} requests",
         stats.io_bytes, stats.io_requests
     );
+    if engine.options().queue_depth > 1 {
+        println!(
+            "io queue: depth {} requested, {} max in flight",
+            engine.options().queue_depth,
+            stats.io_max_in_flight
+        );
+    }
     if let Some(cache) = engine.page_cache() {
         println!(
             "page cache: {} MiB budget, {} hits, {} misses, {} evictions",
@@ -165,6 +173,25 @@ mod tests {
         assert_eq!(cache.capacity_bytes(), 8 << 20);
         let no_cache = open_engine(&CliArgs::default(), &index, &adj).unwrap();
         assert!(no_cache.page_cache().is_none(), "default stays uncached");
+    }
+
+    #[test]
+    fn queue_depth_flag_selects_threaded_backend() {
+        use blaze_storage::IoBackendKind;
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 2).unwrap();
+        let args = CliArgs {
+            queue_depth: 16,
+            ..Default::default()
+        };
+        let engine = open_engine(&args, &index, &adj).unwrap();
+        assert_eq!(engine.options().queue_depth, 16);
+        assert_eq!(engine.options().io_backend, IoBackendKind::Threaded);
+        assert_eq!(engine.io_backend().queue_depth(), 16);
+        let default = open_engine(&CliArgs::default(), &index, &adj).unwrap();
+        assert_eq!(default.options().io_backend, IoBackendKind::Sync);
+        assert_eq!(default.io_backend().queue_depth(), 1);
     }
 
     #[test]

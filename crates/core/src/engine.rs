@@ -20,10 +20,10 @@ use blaze_sync::Mutex;
 use blaze_binning::{BinSpace, BinValue, BinningConfig, ScatterStaging};
 use blaze_frontier::{PageSubset, VertexSubset};
 use blaze_graph::DiskGraph;
-use blaze_storage::buffer::FilledBuffer;
+use blaze_storage::buffer::{FilledBuffer, IoBuffer};
 use blaze_storage::request::merge_pages_with_window;
-use blaze_storage::{BufferPool, JobIoStats, PageCache};
-use blaze_types::{BlazeError, IterationTrace, LocalPageId, Result, VertexId};
+use blaze_storage::{BufferPool, IoBackend, IoRequest, JobIoStats, PageCache};
+use blaze_types::{BlazeError, IterationTrace, LocalPageId, Result, VertexId, PAGE_SIZE};
 
 use crate::arena::EngineArena;
 use crate::options::EngineOptions;
@@ -51,6 +51,8 @@ pub struct BlazeEngine {
     arena: EngineArena,
     runtime: Runtime,
     cache: Option<PageCache>,
+    /// The submission/completion IO engine the per-device IO workers pump.
+    backend: Arc<dyn IoBackend>,
     traces: Mutex<Vec<IterationTrace>>,
     stats: Mutex<ExecStats>,
 }
@@ -80,6 +82,9 @@ impl BlazeEngine {
         // A budget below one page yields zero frames; skip the cache
         // entirely so the IO path stays identical to the uncached engine.
         let cache = Some(PageCache::new(options.cache_bytes)).filter(|c| c.capacity_pages() > 0);
+        let backend = options
+            .io_backend
+            .build(graph.storage().clone(), options.queue_depth);
         Ok(Self {
             graph,
             options,
@@ -87,9 +92,15 @@ impl BlazeEngine {
             arena,
             runtime,
             cache,
+            backend,
             traces: Mutex::new(Vec::new()),
             stats: Mutex::new(ExecStats::default()),
         })
+    }
+
+    /// The IO backend serving this engine's device reads.
+    pub fn io_backend(&self) -> &Arc<dyn IoBackend> {
+        &self.backend
     }
 
     /// The clock page cache, when enabled via
@@ -283,8 +294,16 @@ impl BlazeEngine {
         drop(job);
 
         if let Some(e) = error {
-            // A failed job may have buffers in flight on unwound paths;
-            // drop its arena instead of recycling.
+            // A job that failed cleanly (IO error, not a panic) has drained
+            // its submission and completion queues and returned every
+            // buffer, so its arena is reusable. `recycle_pool` re-verifies
+            // with `is_intact` and drops any pool that lost buffers;
+            // `recycle_space` resets bins. Panics never reach here — they
+            // re-raise out of `submit` above and drop the arena unrecycled.
+            if let Some(space) = space {
+                self.arena.recycle_space(space);
+            }
+            self.arena.recycle_pool(pool);
             return Err(e);
         }
 
@@ -378,79 +397,143 @@ where
     /// One IO worker's work: fetch the device's local page list into
     /// filled buffers. Without a page cache, contiguous local pages merge
     /// into requests of up to `merge_window` pages — the published IO path,
-    /// byte-for-byte. With the cache (the paper's future-work extension),
-    /// the worker first consults the cache page by page: hits are served
-    /// straight from frames, and only the *misses* are re-merged into
-    /// contiguous runs, so a hit in the middle of what would have been one
-    /// request splits it into two shorter device reads.
+    /// byte-for-byte under the synchronous backend. With the cache (the
+    /// paper's future-work extension), the worker first consults the cache
+    /// page by page: hits are packed into shared buffers straight from
+    /// frames, and only the *misses* are re-merged into contiguous runs, so
+    /// a hit in the middle of what would have been one request splits it
+    /// into two shorter device reads. Either way the merged requests are
+    /// then pumped through the engine's [`IoBackend`] with up to
+    /// `queue_depth` in flight.
     fn fetch_device(&self, dev: usize) -> Result<()> {
         let storage = self.engine.graph.storage();
         let merge_window = self.engine.options.merge_window;
         let local_pages = self.pages.local_pages(dev);
-        let read_run = |first: LocalPageId, n: usize| -> Result<()> {
-            let mut buffer = self.pool.acquire_free();
-            if let Err(e) = storage.read_local_run(dev, first, buffer.pages_mut(n)) {
-                self.pool.release(buffer);
-                return Err(e);
-            }
-            self.io_stats.record_read(dev, first, n);
-            if let Some(cache) = &self.engine.cache {
-                self.io_stats.record_cache_misses(dev, n as u64);
-                let mut evictions = 0;
-                for i in 0..n {
-                    let global = storage.global_page(dev, first + i as u64);
-                    let start = i * blaze_types::PAGE_SIZE;
-                    let evicted = cache.insert(
-                        global,
-                        buffer.pages(n)[start..start + blaze_types::PAGE_SIZE].into(),
-                    );
-                    evictions += u64::from(evicted);
-                }
-                if evictions > 0 {
-                    self.io_stats.record_cache_evictions(dev, evictions);
-                }
-            }
-            let globals = (0..n as u64)
-                .map(|i| storage.global_page(dev, first + i))
-                .collect();
-            self.pool.push_filled(FilledBuffer {
-                buffer,
-                pages: globals,
-            });
-            Ok(())
-        };
         let Some(cache) = &self.engine.cache else {
-            for req in merge_pages_with_window(local_pages, merge_window) {
-                read_run(req.first_page, req.num_pages as usize)?;
-            }
-            return Ok(());
+            return self.pump_requests(dev, merge_pages_with_window(local_pages, merge_window));
         };
-        // Cache pass: serve hits from frames, collect misses.
+        // Cache pass: serve hits from frames, collect misses. Consecutive
+        // hits pack into one buffer (frame `i` ↔ `pages[i]`, no contiguity
+        // promised) instead of costing a pool buffer per page.
+        let capacity = self.pool.pages_per_buffer();
+        let mut pending: Option<(IoBuffer, Vec<u64>)> = None;
+        let flush = |packed: (IoBuffer, Vec<u64>)| {
+            self.pool.push_filled(FilledBuffer {
+                buffer: packed.0,
+                pages: packed.1,
+            });
+        };
         let mut misses: Vec<LocalPageId> = Vec::new();
         let mut hits = 0u64;
         for &local in local_pages {
             let global = storage.global_page(dev, local);
             let Some(data) = cache.get(global) else {
+                // A miss ends the current hit run; flush it so scatter can
+                // start on the hits while the device read is in flight.
+                if let Some(packed) = pending.take() {
+                    flush(packed);
+                }
                 misses.push(local);
                 continue;
             };
             hits += 1;
-            let mut buffer = self.pool.acquire_free();
-            buffer.pages_mut(1).copy_from_slice(&data);
-            self.pool.push_filled(FilledBuffer {
-                buffer,
-                pages: vec![global],
-            });
+            let mut packed = pending
+                .take()
+                .unwrap_or_else(|| (self.pool.acquire_free(), Vec::new()));
+            let slot = packed.1.len();
+            packed.0.pages_mut(slot + 1)[slot * PAGE_SIZE..].copy_from_slice(&data);
+            packed.1.push(global);
+            if packed.1.len() == capacity {
+                flush(packed);
+            } else {
+                pending = Some(packed);
+            }
+        }
+        if let Some(packed) = pending.take() {
+            flush(packed);
         }
         if hits > 0 {
             self.io_stats.record_cache_hits(dev, hits);
         }
         // Miss pass: hits punched holes into the page list, so re-merging
         // naturally splits runs around them before touching the device.
-        for req in merge_pages_with_window(&misses, merge_window) {
-            read_run(req.first_page, req.num_pages as usize)?;
+        self.pump_requests(dev, merge_pages_with_window(&misses, merge_window))
+    }
+
+    /// Pumps `requests` through the engine's IO backend: keeps up to
+    /// `queue_depth` submissions in flight, reaps completions (possibly out
+    /// of order), and hands successful buffers to scatter. On an error the
+    /// pump stops submitting but keeps reaping until the queue drains, so
+    /// no buffer is lost and the pool stays intact — first error wins.
+    fn pump_requests(&self, dev: usize, requests: Vec<IoRequest>) -> Result<()> {
+        if requests.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let storage = self.engine.graph.storage();
+        let backend = &self.engine.backend;
+        let window = backend.queue_depth().max(1);
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+        let mut first_error: Option<BlazeError> = None;
+        while next < requests.len() || in_flight > 0 {
+            while first_error.is_none() && in_flight < window && next < requests.len() {
+                let buffer = self.pool.acquire_free();
+                backend.submit(dev, requests[next], buffer, next as u64);
+                next += 1;
+                in_flight += 1;
+                self.io_stats.record_submit(dev, in_flight as u64);
+            }
+            if in_flight == 0 {
+                break;
+            }
+            let completion = backend.reap(dev);
+            in_flight -= 1;
+            self.io_stats.record_latency(dev, completion.service_ns);
+            let buffer = completion.buffer;
+            match completion.result {
+                Err(e) => {
+                    self.pool.release(buffer);
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Ok(()) if first_error.is_some() => {
+                    // Draining after an error: data is good but the job is
+                    // failing; just return the buffer.
+                    self.pool.release(buffer);
+                }
+                Ok(()) => {
+                    let first = completion.request.first_page;
+                    let n = completion.request.num_pages as usize;
+                    self.io_stats.record_read(dev, first, n);
+                    if let Some(cache) = &self.engine.cache {
+                        self.io_stats.record_cache_misses(dev, n as u64);
+                        let mut evictions = 0;
+                        for i in 0..n {
+                            let global = storage.global_page(dev, first + i as u64);
+                            let start = i * PAGE_SIZE;
+                            let evicted = cache
+                                .insert(global, buffer.pages(n)[start..start + PAGE_SIZE].into());
+                            evictions += u64::from(evicted);
+                        }
+                        if evictions > 0 {
+                            self.io_stats.record_cache_evictions(dev, evictions);
+                        }
+                    }
+                    let globals = (0..n as u64)
+                        .map(|i| storage.global_page(dev, first + i))
+                        .collect();
+                    self.pool.push_filled(FilledBuffer {
+                        buffer,
+                        pages: globals,
+                    });
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -965,6 +1048,133 @@ mod tests {
         e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
             .unwrap();
         assert_eq!(e.arena.idle_len(), 2, "second job reused the cached arena");
+    }
+
+    #[test]
+    fn threaded_backend_bfs_matches_reference() {
+        let g = uniform(9, 8, 7);
+        for devices in [1, 4] {
+            let e = engine(&g, devices, EngineOptions::default().with_queue_depth(8));
+            assert_eq!(bfs_levels_engine(&e, 1, false), bfs_levels_ref(&g, 1));
+            // And with the cache in the loop (packed hit buffers + deep
+            // queue on the miss path).
+            let e = engine(
+                &g,
+                devices,
+                EngineOptions::default()
+                    .with_queue_depth(8)
+                    .with_page_cache(64),
+            );
+            assert_eq!(bfs_levels_engine(&e, 1, false), bfs_levels_ref(&g, 1));
+        }
+    }
+
+    #[test]
+    fn traces_record_in_flight_depth() {
+        // Big enough that one device sees well over `queue_depth` merged
+        // requests (4096 vertices × 16 edges ≈ 64 pages ≈ 16 requests).
+        let g = uniform(12, 16, 3);
+        let frontier = VertexSubset::full(g.num_vertices());
+        // Synchronous backend: exactly one request in flight, ever.
+        let e = engine(&g, 2, EngineOptions::default());
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert_eq!(t.io_max_in_flight, 1);
+        assert!((t.io_mean_in_flight - 1.0).abs() < 1e-9);
+        assert_eq!(
+            t.io_latency_buckets.iter().sum::<u64>(),
+            t.total_io_requests(),
+            "every request lands in one latency bucket"
+        );
+        assert_eq!(e.stats().io_max_in_flight, 1);
+        // Threaded backend: the pump fills the window before reaping, so a
+        // scan with enough requests per device must reach the full depth.
+        let e = engine(&g, 1, EngineOptions::default().with_queue_depth(8));
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert!(t.total_io_requests() >= 8, "scan too small for the window");
+        assert_eq!(t.io_max_in_flight, 8);
+        assert!(t.io_mean_in_flight > 1.0);
+        assert!(t.io_mean_in_flight <= 8.0);
+        assert_eq!(
+            t.io_latency_buckets.iter().sum::<u64>(),
+            t.total_io_requests()
+        );
+        assert_eq!(e.stats().io_max_in_flight, 8);
+    }
+
+    #[test]
+    fn packed_cache_hits_deliver_every_edge() {
+        // A fully-cached second scan serves hits from *packed* buffers
+        // (many frames per buffer); every edge must still be delivered
+        // exactly once through the frame ↔ pages[i] mapping.
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 2, EngineOptions::default().with_page_cache(1 << 16));
+        let frontier = VertexSubset::full(g.num_vertices());
+        for pass in 0..2 {
+            let sum = VertexArray::<u64>::new(g.num_vertices(), 0);
+            e.edge_map(
+                &frontier,
+                |_s, _d| 1u32,
+                |dst, v| {
+                    sum.set(dst as usize, sum.get(dst as usize) + v as u64);
+                    true
+                },
+                |_| true,
+                false,
+            )
+            .unwrap();
+            let total: u64 = (0..g.num_vertices()).map(|i| sum.get(i)).sum();
+            assert_eq!(total, g.num_edges(), "pass {pass} delivered every edge");
+        }
+        let traces = e.take_traces();
+        let pages = traces[0].total_io_bytes() / 4096;
+        assert_eq!(traces[1].cache_hit_pages, pages, "second pass fully cached");
+        assert_eq!(traces[1].total_io_bytes(), 0);
+    }
+
+    #[test]
+    fn io_error_fails_job_and_recycles_arena() {
+        use blaze_storage::{FaultyDevice, MemDevice, StripedStorage};
+        let g = rmat(&RmatConfig::new(8));
+        let storage = Arc::new(
+            StripedStorage::new(vec![Arc::new(FaultyDevice::fail_every(
+                MemDevice::new(),
+                1,
+            ))])
+            .unwrap(),
+        );
+        let graph = Arc::new(DiskGraph::create(&g, storage).unwrap());
+        let e = BlazeEngine::new(graph, EngineOptions::default()).unwrap();
+        let frontier = VertexSubset::full(g.num_vertices());
+        let r = e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false);
+        assert!(matches!(r, Err(BlazeError::Io(_))), "got {r:?}");
+        // The job drained cleanly: its pool returned every buffer and both
+        // arena pieces were recycled for the next job.
+        assert_eq!(e.arena.idle_len(), 2, "failed job must recycle its arena");
+    }
+
+    #[test]
+    fn io_error_under_threaded_backend_drains_and_fails() {
+        use blaze_storage::{FaultyDevice, MemDevice, StripedStorage};
+        let g = uniform(12, 16, 3);
+        // Every third read fails: successes and failures interleave in the
+        // completion stream at depth 8, exercising the drain path.
+        let storage = Arc::new(
+            StripedStorage::new(vec![Arc::new(FaultyDevice::fail_every(
+                MemDevice::new(),
+                3,
+            ))])
+            .unwrap(),
+        );
+        let graph = Arc::new(DiskGraph::create(&g, storage).unwrap());
+        let e = BlazeEngine::new(graph, EngineOptions::default().with_queue_depth(8)).unwrap();
+        let frontier = VertexSubset::full(g.num_vertices());
+        let r = e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false);
+        assert!(matches!(r, Err(BlazeError::Io(_))), "got {r:?}");
+        assert_eq!(e.arena.idle_len(), 2, "drained job must recycle its arena");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use blaze_binning::BinningConfig;
+use blaze_storage::IoBackendKind;
 use blaze_types::{BlazeError, Result, DEFAULT_IO_BUFFER_BYTES, MAX_MERGED_PAGES};
 
 /// Configuration of one [`BlazeEngine`](crate::BlazeEngine).
@@ -38,6 +39,17 @@ pub struct EngineOptions {
     /// simply allocate fresh arenas (returned ones beyond the cap are
     /// dropped).
     pub max_idle_arenas: usize,
+    /// Which IO backend the engine constructs. The default
+    /// [`IoBackendKind::Sync`] issues depth-1 blocking reads whose device
+    /// traffic is byte-for-byte the published engine's;
+    /// [`IoBackendKind::Threaded`] keeps up to [`queue_depth`] requests in
+    /// flight per device with out-of-order completions.
+    ///
+    /// [`queue_depth`]: Self::queue_depth
+    pub io_backend: IoBackendKind,
+    /// Per-device in-flight request window of the IO backend (the CLI's
+    /// `-qd`). Must be 1 for the synchronous backend.
+    pub queue_depth: usize,
 }
 
 impl Default for EngineOptions {
@@ -51,6 +63,8 @@ impl Default for EngineOptions {
             cache_bytes: 0,
             record_trace: true,
             max_idle_arenas: 2,
+            io_backend: IoBackendKind::Sync,
+            queue_depth: 1,
         }
     }
 }
@@ -90,12 +104,31 @@ impl EngineOptions {
         self.with_cache_bytes(pages * blaze_types::PAGE_SIZE)
     }
 
+    /// Sets the per-device IO queue depth (the CLI's `-qd N`). A depth of
+    /// 1 keeps the default synchronous backend; any deeper window switches
+    /// to the threaded backend, which is the only one that can hold
+    /// multiple requests in flight.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        if self.queue_depth > 1 {
+            self.io_backend = IoBackendKind::Threaded;
+        }
+        self
+    }
+
+    /// Overrides the IO backend kind explicitly (e.g. the threaded backend
+    /// at queue depth 1, for backend-equivalence tests and QD sweeps).
+    pub fn with_io_backend(mut self, kind: IoBackendKind) -> Self {
+        self.io_backend = kind;
+        self
+    }
+
     /// Total compute threads.
     pub fn compute_workers(&self) -> usize {
         self.num_scatter + self.num_gather
     }
 
-    /// Validates thread counts.
+    /// Validates thread counts and the IO backend configuration.
     pub fn validate(&self) -> Result<()> {
         if self.num_scatter == 0 || self.num_gather == 0 {
             return Err(BlazeError::Config(
@@ -104,6 +137,16 @@ impl EngineOptions {
         }
         if self.merge_window == 0 {
             return Err(BlazeError::Config("merge_window must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(BlazeError::Config("queue_depth must be >= 1".into()));
+        }
+        if self.io_backend == IoBackendKind::Sync && self.queue_depth > 1 {
+            return Err(BlazeError::Config(format!(
+                "the synchronous IO backend is depth-1; use the threaded \
+                 backend for queue_depth {} (-qd > 1)",
+                self.queue_depth
+            )));
         }
         Ok(())
     }
@@ -143,6 +186,36 @@ mod tests {
         let o = EngineOptions::default().with_cache_bytes(1 << 20);
         assert_eq!(o.cache_bytes, 1 << 20);
         assert_eq!(EngineOptions::default().cache_bytes, 0);
+    }
+
+    #[test]
+    fn queue_depth_selects_backend() {
+        let o = EngineOptions::default();
+        assert_eq!(o.io_backend, IoBackendKind::Sync);
+        assert_eq!(o.queue_depth, 1);
+        let o = EngineOptions::default().with_queue_depth(1);
+        assert_eq!(o.io_backend, IoBackendKind::Sync, "qd 1 stays sync");
+        let o = EngineOptions::default().with_queue_depth(16);
+        assert_eq!(o.io_backend, IoBackendKind::Threaded);
+        assert_eq!(o.queue_depth, 16);
+        assert!(o.validate().is_ok());
+        // Explicit threaded backend at depth 1 is allowed (QD sweeps).
+        let o = EngineOptions::default().with_io_backend(IoBackendKind::Threaded);
+        assert_eq!(o.queue_depth, 1);
+        assert!(o.validate().is_ok());
+        // Zero clamps rather than erroring through the builder...
+        assert_eq!(EngineOptions::default().with_queue_depth(0).queue_depth, 1);
+        // ...but a hand-built invalid combination is rejected.
+        let o = EngineOptions {
+            queue_depth: 0,
+            ..Default::default()
+        };
+        assert!(o.validate().is_err());
+        let o = EngineOptions {
+            queue_depth: 4,
+            ..Default::default()
+        };
+        assert!(o.validate().is_err(), "sync backend cannot hold qd 4");
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct ExecStats {
     pub cache_miss_pages: u64,
     /// Resident pages evicted from the cache to make room for fills.
     pub cache_evictions: u64,
+    /// Maximum per-device in-flight IO depth observed across all
+    /// iterations (1 under the synchronous backend; 0 when no IO was
+    /// issued).
+    pub io_max_in_flight: u64,
 }
 
 impl ExecStats {
@@ -42,6 +46,7 @@ impl ExecStats {
         self.cache_hit_pages += it.cache_hit_pages;
         self.cache_miss_pages += it.cache_miss_pages;
         self.cache_evictions += it.cache_evictions;
+        self.io_max_in_flight = self.io_max_in_flight.max(it.io_max_in_flight);
     }
 }
 
@@ -82,6 +87,10 @@ pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
     trace.cache_hit_pages = hits;
     trace.cache_miss_pages = misses;
     trace.cache_evictions = evictions;
+    let (depth_max, depth_mean) = job.depth_stats();
+    trace.io_max_in_flight = depth_max;
+    trace.io_mean_in_flight = depth_mean;
+    trace.io_latency_buckets = job.latency_histogram();
 }
 
 /// Snapshots every device's stats.

@@ -63,9 +63,11 @@ impl Default for IoBuffer {
 pub struct FilledBuffer {
     /// The buffer holding the page data.
     pub buffer: IoBuffer,
-    /// Global page ids of the pages in `buffer`, in storage order. These are
-    /// consecutive *local* pages on one device, so globally they are strided
-    /// by the device count.
+    /// Global page ids of the pages in `buffer`, in frame order. Device
+    /// reads produce consecutive *local* pages of one device (globally
+    /// strided by the device count); buffers packed from page-cache hits
+    /// may hold any ascending set of that device's pages. Consumers must
+    /// only rely on `pages[i]` describing frame `i` — never on contiguity.
     pub pages: Vec<PageId>,
 }
 

@@ -1,6 +1,6 @@
 //! The [`BlockDevice`] trait: the only storage interface the engine sees.
 
-use blaze_types::{Result, PAGE_SIZE};
+use blaze_types::{BlazeError, Result, PAGE_SIZE};
 
 use crate::stats::IoStats;
 
@@ -34,9 +34,34 @@ pub trait BlockDevice: Send + Sync {
     fn stats(&self) -> &IoStats;
 
     /// Reads `count` pages starting at `first_page` into `buf`.
+    ///
+    /// A `buf` that is not a whole number of pages is an [`BlazeError::Io`]
+    /// in every build profile: a misaligned read would silently return a
+    /// torn page, so release builds must fail loudly too.
     fn read_pages(&self, first_page: u64, buf: &mut [u8]) -> Result<()> {
-        debug_assert_eq!(buf.len() % PAGE_SIZE, 0);
+        if !buf.len().is_multiple_of(PAGE_SIZE) {
+            return Err(BlazeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "page read of {} bytes is not a multiple of the {PAGE_SIZE}-byte page",
+                    buf.len()
+                ),
+            )));
+        }
         self.read_at(first_page * PAGE_SIZE as u64, buf)
+    }
+
+    /// Reads pages like [`read_pages`](Self::read_pages), with a hint of how
+    /// many requests were in flight on this device when the read was issued
+    /// (including this one).
+    ///
+    /// Functional devices ignore the hint — bytes are bytes. Modeled devices
+    /// ([`SimDevice`](crate::SimDevice)) use it to overlap the fixed
+    /// per-request latency across the in-flight window, which is what turns
+    /// queue depth into bandwidth on real SSDs.
+    fn read_pages_at_depth(&self, first_page: u64, buf: &mut [u8], depth: u32) -> Result<()> {
+        let _ = depth;
+        self.read_pages(first_page, buf)
     }
 
     /// Number of whole pages on the device.

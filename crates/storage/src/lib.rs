@@ -15,6 +15,10 @@
 //!   Blaze's topology-agnostic partitioning (Section IV-E).
 //! * [`merge_pages`] — merges at most [`MAX_MERGED_PAGES`] contiguous pages
 //!   per request and never merges across gaps (Section IV-C).
+//! * [`IoBackend`] — submission-queue / completion-queue IO engines
+//!   ([`SyncBackend`] depth-1 blocking, [`ThreadedBackend`] deep-queue with
+//!   out-of-order completions), the reproduction's stand-in for the paper's
+//!   per-SSD libaio thread (Section IV-C).
 //! * [`BufferPool`] — fixed set of IO buffers recycled through MPMC
 //!   free/filled queues (Figure 5, steps 3–7).
 //! * [`PageCache`] — sharded clock (second-chance) cache of 4 KiB frames
@@ -23,6 +27,7 @@
 //!
 //! [`MAX_MERGED_PAGES`]: blaze_types::MAX_MERGED_PAGES
 
+pub mod backend;
 pub mod buffer;
 pub mod cache;
 pub mod device;
@@ -30,11 +35,15 @@ pub mod faulty;
 pub mod file;
 pub mod mem;
 pub mod profile;
+pub mod recorder;
 pub mod request;
 pub mod sim;
 pub mod stats;
 pub mod stripe;
+#[cfg(feature = "io-uring")]
+pub mod uring;
 
+pub use backend::{Completion, IoBackend, IoBackendKind, SyncBackend, ThreadedBackend};
 pub use buffer::{BufferPool, FilledBuffer, IoBuffer};
 pub use cache::PageCache;
 pub use device::BlockDevice;
@@ -42,7 +51,10 @@ pub use faulty::FaultyDevice;
 pub use file::FileDevice;
 pub use mem::MemDevice;
 pub use profile::{AccessPattern, DeviceProfile};
+pub use recorder::RecordingDevice;
 pub use request::{merge_pages, IoRequest};
 pub use sim::SimDevice;
 pub use stats::{IoStats, JobIoStats};
 pub use stripe::StripedStorage;
+#[cfg(feature = "io-uring")]
+pub use uring::UringBackend;

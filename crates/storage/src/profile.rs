@@ -111,6 +111,24 @@ impl DeviceProfile {
         (latency_share + transfer) as u64
     }
 
+    /// Modeled service time of one read request issued while `depth`
+    /// requests (including this one) were in flight on the device.
+    ///
+    /// The fixed latency overlaps across the *actual* in-flight window, up
+    /// to the device's own `queue_depth`, so deeper host queues shrink the
+    /// per-request latency share until the device queue saturates. The
+    /// transfer term is always charged at the random-read bandwidth:
+    /// requests racing down a deep queue complete out of order, which
+    /// defeats the readahead that makes shallow sequential streams faster —
+    /// and pricing the deep path pessimistically also keeps the modeled
+    /// time independent of completion order, so benches are reproducible.
+    pub fn read_service_ns_at_depth(&self, bytes: u64, depth: u32) -> u64 {
+        let overlapped = depth.clamp(1, self.queue_depth) as f64;
+        let latency_share = self.latency_ns as f64 / overlapped;
+        let transfer = bytes as f64 / self.rand_read_bw * 1e9;
+        (latency_share + transfer) as u64
+    }
+
     /// Effective throughput (bytes/second) for back-to-back requests of
     /// `bytes` with the given pattern — what a microbenchmark measures.
     pub fn effective_bandwidth(&self, bytes: u64, pattern: AccessPattern) -> f64 {
@@ -187,5 +205,30 @@ mod tests {
     #[test]
     fn table1_has_four_rows() {
         assert_eq!(DeviceProfile::table1().len(), 4);
+    }
+
+    #[test]
+    fn deeper_queues_shrink_service_time_until_saturation() {
+        let p = DeviceProfile::optane_p4800x();
+        let depths = [1u32, 4, 16, 32, 128];
+        let times: Vec<u64> = depths
+            .iter()
+            .map(|&d| p.read_service_ns_at_depth(4 * 4096, d))
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[1] <= w[0]),
+            "service time must be non-increasing in depth: {times:?}"
+        );
+        assert!(times[0] > times[4], "QD1 pays the full latency");
+        // Beyond the device's own queue depth, nothing more overlaps.
+        assert_eq!(
+            p.read_service_ns_at_depth(4096, p.queue_depth),
+            p.read_service_ns_at_depth(4096, p.queue_depth * 4)
+        );
+        // Depth 0 is treated as 1, not a division blow-up.
+        assert_eq!(
+            p.read_service_ns_at_depth(4096, 0),
+            p.read_service_ns_at_depth(4096, 1)
+        );
     }
 }

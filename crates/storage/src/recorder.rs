@@ -1,0 +1,114 @@
+//! A [`BlockDevice`] wrapper that records every read request, for tests
+//! asserting the exact device request stream an engine produces.
+
+use blaze_sync::Mutex;
+
+use blaze_types::Result;
+
+use crate::device::BlockDevice;
+use crate::stats::IoStats;
+
+/// One recorded read: `(byte_offset, len_bytes, depth_hint)`. The depth
+/// hint is 1 for reads issued through the plain [`BlockDevice::read_at`]
+/// path and the submitted in-flight depth for
+/// [`read_pages_at_depth`](BlockDevice::read_pages_at_depth) traffic.
+pub type RecordedRead = (u64, usize, u32);
+
+/// Wraps a device and logs each read's offset, length, and depth hint in
+/// arrival order. Writes pass through unrecorded.
+///
+/// Used by the IO-backend equivalence tests: the default engine
+/// configuration must produce byte-for-byte the request stream of the
+/// published blocking IO path, and deep-queue configurations must produce
+/// the same request *multiset*.
+pub struct RecordingDevice<D> {
+    inner: D,
+    log: Mutex<Vec<RecordedRead>>,
+}
+
+impl<D: BlockDevice> RecordingDevice<D> {
+    /// Wraps `inner` with an empty log.
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The reads recorded so far, in arrival order.
+    pub fn read_log(&self) -> Vec<RecordedRead> {
+        self.log.lock().clone()
+    }
+
+    /// Clears the log.
+    pub fn clear_log(&self) {
+        self.log.lock().clear();
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for RecordingDevice<D> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.log.lock().push((offset, buf.len(), 1));
+        self.inner.read_at(offset, buf)
+    }
+
+    fn read_pages_at_depth(&self, first_page: u64, buf: &mut [u8], depth: u32) -> Result<()> {
+        self.log
+            .lock()
+            .push((first_page * blaze_types::PAGE_SIZE as u64, buf.len(), depth));
+        self.inner.read_pages_at_depth(first_page, buf, depth)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.inner.write_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for RecordingDevice<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingDevice")
+            .field("inner", &self.inner)
+            .field("recorded_reads", &self.log.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+    use blaze_types::PAGE_SIZE;
+
+    #[test]
+    fn logs_reads_in_order_with_depth_hints() {
+        let dev = RecordingDevice::new(MemDevice::with_len(8 * PAGE_SIZE));
+        let mut buf = vec![0u8; PAGE_SIZE];
+        dev.write_at(0, &[1u8; PAGE_SIZE]).unwrap();
+        dev.read_at(0, &mut buf).unwrap();
+        dev.read_pages(2, &mut buf).unwrap();
+        dev.read_pages_at_depth(5, &mut buf, 9).unwrap();
+        assert_eq!(
+            dev.read_log(),
+            vec![
+                (0, PAGE_SIZE, 1),
+                (2 * PAGE_SIZE as u64, PAGE_SIZE, 1),
+                (5 * PAGE_SIZE as u64, PAGE_SIZE, 9),
+            ]
+        );
+        dev.clear_log();
+        assert!(dev.read_log().is_empty());
+    }
+}

@@ -115,6 +115,23 @@ impl IoStats {
     }
 }
 
+/// Number of log-scale per-request latency buckets tracked per job.
+/// Bucket `i` counts requests with service time in `[4^i, 4^(i+1))`
+/// microseconds (bucket 0 additionally absorbs sub-microsecond requests,
+/// the last bucket absorbs everything ≥ ~4.3 s).
+pub const LATENCY_BUCKETS: usize = 8;
+
+/// Bucket index for a request that took `ns` nanoseconds.
+fn latency_bucket(ns: u64) -> usize {
+    let mut bucket = 0;
+    let mut upper = 4_000u64; // 4 µs: upper bound of bucket 0.
+    while bucket + 1 < LATENCY_BUCKETS && ns >= upper {
+        bucket += 1;
+        upper = upper.saturating_mul(4);
+    }
+    bucket
+}
+
 /// Per-device counters of one job, cache-padded so the per-device IO
 /// workers never share a line.
 #[derive(Debug)]
@@ -129,6 +146,15 @@ struct JobDeviceStats {
     cache_miss_pages: AtomicU64,
     /// Resident pages the cache evicted while absorbing this job's fills.
     cache_evictions: AtomicU64,
+    /// Requests submitted to the IO backend by this job.
+    submits: AtomicU64,
+    /// Sum over submits of the in-flight depth at submission time, for the
+    /// mean in-flight depth of the trace.
+    depth_sum: AtomicU64,
+    /// Maximum in-flight depth observed at any submission.
+    depth_max: AtomicU64,
+    /// Per-request service-time histogram (log-scale, [`LATENCY_BUCKETS`]).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
 }
 
 /// Per-*job* IO accounting, scoped to one pipeline submission.
@@ -157,6 +183,10 @@ impl JobIoStats {
                         cache_hit_pages: AtomicU64::new(0),
                         cache_miss_pages: AtomicU64::new(0),
                         cache_evictions: AtomicU64::new(0),
+                        submits: AtomicU64::new(0),
+                        depth_sum: AtomicU64::new(0),
+                        depth_max: AtomicU64::new(0),
+                        latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
                     })
                 })
                 .collect(),
@@ -184,6 +214,55 @@ impl JobIoStats {
     /// Adds modeled device busy time for `device`.
     pub fn add_busy_ns(&self, device: usize, ns: u64) {
         self.devices[device].stats.add_busy_ns(ns);
+    }
+
+    /// Records one request submission to the IO backend with `in_flight`
+    /// requests outstanding on `device` (including this one).
+    pub fn record_submit(&self, device: usize, in_flight: u64) {
+        // sync-audit: Relaxed — per-job depth statistics written by the one
+        // IO worker pumping this device and read only after the job's roles
+        // have finished; no cross-thread ordering is needed (record_latency
+        // and the readers below inherit this argument).
+        let dev = &self.devices[device];
+        dev.submits.fetch_add(1, Ordering::Relaxed); // sync-audit: see record_submit.
+        dev.depth_sum.fetch_add(in_flight, Ordering::Relaxed); // sync-audit: see record_submit.
+        dev.depth_max.fetch_max(in_flight, Ordering::Relaxed); // sync-audit: see record_submit.
+    }
+
+    /// Records the service time of one reaped completion on `device`.
+    pub fn record_latency(&self, device: usize, service_ns: u64) {
+        self.devices[device].latency_buckets[latency_bucket(service_ns)]
+            .fetch_add(1, Ordering::Relaxed); // sync-audit: see record_submit.
+    }
+
+    /// `(max, mean)` in-flight depth across all devices' submissions. The
+    /// mean is over submissions, not time. `(0, 0.0)` before any submit.
+    pub fn depth_stats(&self) -> (u64, f64) {
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut submits = 0u64;
+        for dev in &self.devices {
+            max = max.max(dev.depth_max.load(Ordering::Relaxed)); // sync-audit: see record_submit.
+            sum += dev.depth_sum.load(Ordering::Relaxed); // sync-audit: see record_submit.
+            submits += dev.submits.load(Ordering::Relaxed); // sync-audit: see record_submit.
+        }
+        if submits == 0 {
+            (0, 0.0)
+        } else {
+            (max, sum as f64 / submits as f64)
+        }
+    }
+
+    /// Per-request latency histogram summed across devices
+    /// ([`LATENCY_BUCKETS`] log-scale buckets).
+    pub fn latency_histogram(&self) -> Vec<u64> {
+        let mut out = vec![0u64; LATENCY_BUCKETS];
+        for dev in &self.devices {
+            for (slot, bucket) in out.iter_mut().zip(dev.latency_buckets.iter()) {
+                *slot += bucket.load(Ordering::Relaxed); // sync-audit: see record_submit.
+            }
+        }
+        out
     }
 
     /// Records `pages` page-cache hits attributed to `device`'s IO role.
@@ -331,6 +410,40 @@ mod tests {
         j.record_cache_evictions(1, 2);
         j.record_cache_evictions(2, 3);
         assert_eq!(j.cache_totals(), (12, 11, 5));
+    }
+
+    #[test]
+    fn depth_stats_track_max_and_mean_across_devices() {
+        let j = JobIoStats::new(2);
+        assert_eq!(j.depth_stats(), (0, 0.0));
+        j.record_submit(0, 1);
+        j.record_submit(0, 2);
+        j.record_submit(0, 3);
+        j.record_submit(1, 2);
+        let (max, mean) = j.depth_stats();
+        assert_eq!(max, 3);
+        assert!((mean - 2.0).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn latency_buckets_are_log_scale() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(3_999), 0);
+        assert_eq!(latency_bucket(4_000), 1);
+        assert_eq!(latency_bucket(15_999), 1);
+        assert_eq!(latency_bucket(16_000), 2);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        let j = JobIoStats::new(2);
+        j.record_latency(0, 100); // bucket 0
+        j.record_latency(0, 10_000); // bucket 1
+        j.record_latency(1, 10_000); // bucket 1
+        j.record_latency(1, 100_000); // bucket 3
+        let hist = j.latency_histogram();
+        assert_eq!(hist.len(), LATENCY_BUCKETS);
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 2);
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 4);
     }
 
     #[test]

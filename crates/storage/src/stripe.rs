@@ -94,22 +94,48 @@ impl StripedStorage {
         buf: &mut [u8],
     ) -> Result<()> {
         debug_assert_eq!(buf.len() % PAGE_SIZE, 0);
+        self.check_local_run(device, local_first, buf.len())?;
+        self.devices[device].read_at(local_first * PAGE_SIZE as u64, buf)
+    }
+
+    /// [`read_local_run`](Self::read_local_run) with an in-flight-depth hint
+    /// for the device's service-time model — the request shape the async IO
+    /// backends issue. Same bounds checking; additionally rejects a `buf`
+    /// that is not a whole number of pages with a real error (this path is
+    /// fed by untrusted queue traffic, not a debug assertion away from the
+    /// caller).
+    pub fn read_local_run_at_depth(
+        &self,
+        device: DeviceId,
+        local_first: LocalPageId,
+        buf: &mut [u8],
+        depth: u32,
+    ) -> Result<()> {
+        self.check_local_run(device, local_first, buf.len())?;
+        self.devices[device].read_pages_at_depth(local_first, buf, depth)
+    }
+
+    /// Bounds-checks a run of `buf_len / PAGE_SIZE` pages at `local_first`
+    /// against the device's current length.
+    fn check_local_run(
+        &self,
+        device: DeviceId,
+        local_first: LocalPageId,
+        buf_len: usize,
+    ) -> Result<()> {
         let dev = &self.devices[device];
-        let pages = (buf.len() / PAGE_SIZE) as u64;
+        let pages = (buf_len / PAGE_SIZE) as u64;
         let avail = dev.num_pages();
         match local_first.checked_add(pages) {
-            Some(end) if end <= avail => {}
-            _ => {
-                return Err(BlazeError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    format!(
-                        "local run [{local_first}, {local_first}+{pages}) exceeds the \
-                         {avail} pages of device {device}"
-                    ),
-                )))
-            }
+            Some(end) if end <= avail => Ok(()),
+            _ => Err(BlazeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "local run [{local_first}, {local_first}+{pages}) exceeds the \
+                     {avail} pages of device {device}"
+                ),
+            ))),
         }
-        dev.read_at(local_first * PAGE_SIZE as u64, buf)
     }
 
     /// Splits a sorted list of global pages into per-device sorted lists of
@@ -296,6 +322,30 @@ mod tests {
         ));
         assert!(matches!(
             s.read_local_run(1, 2, &mut buf),
+            Err(BlazeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn depth_aware_run_matches_plain_run() {
+        let s = StripedStorage::in_memory(2).unwrap();
+        for p in 0..8u64 {
+            s.write_page(p, &page_of(p as u8)).unwrap();
+        }
+        let mut plain = vec![0u8; 2 * PAGE_SIZE];
+        let mut deep = vec![0u8; 2 * PAGE_SIZE];
+        s.read_local_run(1, 1, &mut plain).unwrap();
+        s.read_local_run_at_depth(1, 1, &mut deep, 16).unwrap();
+        assert_eq!(plain, deep);
+        // Same bounds checking as the plain path.
+        assert!(matches!(
+            s.read_local_run_at_depth(1, 3, &mut deep, 16),
+            Err(BlazeError::Io(_))
+        ));
+        // Misaligned buffers are a real error on this path.
+        let mut ragged = vec![0u8; PAGE_SIZE + 7];
+        assert!(matches!(
+            s.read_local_run_at_depth(0, 0, &mut ragged, 1),
             Err(BlazeError::Io(_))
         ));
     }

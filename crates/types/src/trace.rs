@@ -69,6 +69,17 @@ pub struct IterationTrace {
     /// this trace (0 when binning was not used). Drives the bin-handoff
     /// cost of the performance model.
     pub bin_buffer_capacity: u64,
+    /// Maximum in-flight IO depth observed on any device at submission
+    /// time (1 for the synchronous backend; 0 when no requests were
+    /// issued).
+    pub io_max_in_flight: u64,
+    /// Mean in-flight IO depth over submissions (0.0 when no requests
+    /// were issued).
+    pub io_mean_in_flight: f64,
+    /// Per-request service-time histogram across devices, log-scale:
+    /// bucket `i` counts requests that took `[4^i, 4^(i+1))` µs. Empty
+    /// when no requests were issued.
+    pub io_latency_buckets: Vec<u64>,
 }
 
 impl IterationTrace {
