@@ -24,7 +24,7 @@ pub mod wcc;
 pub use bc::bc;
 pub use bfs::bfs;
 pub use mode::ExecMode;
-pub use pagerank::{pagerank_delta, PageRankConfig};
+pub use pagerank::{pagerank_delta, pagerank_delta_combined, PageRankConfig};
 pub use spmv::spmv;
 pub use wcc::wcc;
 

@@ -1,4 +1,10 @@
-//! The bin space: all bins plus the MPMC `full_bins` queue.
+//! The bin space: all bins plus the MPMC full-buffer queues.
+//!
+//! Full buffers are routed to one of `gather_queues` queues by
+//! `bin_id % gather_queues`, mirroring how the engine assigns gather
+//! workers. Each gather worker drains its own queue first and steals from
+//! the others only when it is empty, so a bin's buffers (and its gather
+//! lock) tend to stay on one thread instead of bouncing between them.
 
 use blaze_sync::atomic::{AtomicU64, Ordering};
 
@@ -22,7 +28,9 @@ pub struct FullBin<V> {
 /// The complete online-binning state for one `EdgeMap` execution.
 pub struct BinSpace<V> {
     bins: Vec<Bin<V>>,
-    full_bins: SegQueue<FullBin<V>>,
+    /// One full-buffer queue per gather worker; bin `b` routes to queue
+    /// `b % full_queues.len()`.
+    full_queues: Vec<SegQueue<FullBin<V>>>,
     /// Per-bin record counters for work-trace instrumentation.
     records_per_bin: Vec<CachePadded<AtomicU64>>,
     config: BinningConfig,
@@ -30,21 +38,38 @@ pub struct BinSpace<V> {
 }
 
 impl<V: BinValue> BinSpace<V> {
-    /// Allocates bins per `config` for records of type `V`.
+    /// Allocates bins per `config` with a single full-buffer queue.
     pub fn new(config: BinningConfig) -> Self {
+        Self::with_gather_queues(config, 1)
+    }
+
+    /// Allocates bins per `config` with one full-buffer queue per gather
+    /// worker (`gather_queues` is clamped to at least 1).
+    pub fn with_gather_queues(config: BinningConfig, gather_queues: usize) -> Self {
         let record_bytes = BinRecord::<V>::size_bytes();
         let capacity = config.buffer_capacity(record_bytes);
         let bins = (0..config.bin_count).map(|_| Bin::new(capacity)).collect();
         let records_per_bin = (0..config.bin_count)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect();
+        let full_queues = (0..gather_queues.max(1)).map(|_| SegQueue::new()).collect();
         Self {
             bins,
-            full_bins: SegQueue::new(),
+            full_queues,
             records_per_bin,
             config,
             record_bytes,
         }
+    }
+
+    /// Number of gather-affinity queues.
+    pub fn gather_queue_count(&self) -> usize {
+        self.full_queues.len()
+    }
+
+    /// Routes a full buffer to its bin's affinity queue.
+    fn push_full(&self, full: FullBin<V>) {
+        self.full_queues[full.bin_id % self.full_queues.len()].push(full);
     }
 
     /// Number of bins.
@@ -63,18 +88,35 @@ impl<V: BinValue> BinSpace<V> {
     pub fn append_batch(&self, bin_id: usize, batch: &[BinRecord<V>]) {
         self.records_per_bin[bin_id].fetch_add(batch.len() as u64, Ordering::Relaxed); // sync-audit: per-bin work counter; read post-join or for heuristics.
         self.bins[bin_id].append_batch(batch, |records| {
-            self.full_bins.push(FullBin { bin_id, records });
+            self.push_full(FullBin { bin_id, records });
         });
     }
 
     /// Pops one full bin and processes it under the bin's gather lock,
-    /// calling `f(bin_id, records)`. Returns `false` when the queue was
+    /// calling `f(bin_id, records)`. Returns `false` when every queue was
     /// empty. The buffer is recycled afterwards.
-    pub fn process_one_full<F>(&self, mut f: F) -> bool
+    ///
+    /// Equivalent to [`process_one_full_for`](Self::process_one_full_for)
+    /// with worker 0 — single-consumer callers need no affinity.
+    pub fn process_one_full<F>(&self, f: F) -> bool
     where
         F: FnMut(usize, &[BinRecord<V>]),
     {
-        let Some(full) = self.full_bins.pop() else {
+        self.process_one_full_for(0, f)
+    }
+
+    /// Affinity-aware variant of [`process_one_full`](Self::process_one_full)
+    /// for gather worker `worker`: pops from the worker's own queue
+    /// (`worker % gather_queue_count`) first and steals from the other
+    /// queues only when it is empty.
+    pub fn process_one_full_for<F>(&self, worker: usize, mut f: F) -> bool
+    where
+        F: FnMut(usize, &[BinRecord<V>]),
+    {
+        let queues = self.full_queues.len();
+        let home = worker % queues;
+        let Some(full) = (0..queues).find_map(|i| self.full_queues[(home + i) % queues].pop())
+        else {
             return false;
         };
         let bin = &self.bins[full.bin_id];
@@ -87,18 +129,18 @@ impl<V: BinValue> BinSpace<V> {
     }
 
     /// Flushes every bin's partially-filled active buffer into the full
-    /// queue. Called once scatter is done so gather can drain everything.
+    /// queues. Called once scatter is done so gather can drain everything.
     pub fn flush_partials(&self) {
         for (bin_id, bin) in self.bins.iter().enumerate() {
             if let Some(records) = bin.drain_partial() {
-                self.full_bins.push(FullBin { bin_id, records });
+                self.push_full(FullBin { bin_id, records });
             }
         }
     }
 
-    /// Whether the full queue is currently empty.
+    /// Whether every full-buffer queue is currently empty.
     pub fn full_queue_is_empty(&self) -> bool {
-        self.full_bins.is_empty()
+        self.full_queues.iter().all(SegQueue::is_empty)
     }
 
     /// Total records appended since the last
@@ -127,8 +169,10 @@ impl<V: BinValue> BinSpace<V> {
     /// the per-bin record counters. Must only be called while no scatter or
     /// gather thread is using the space.
     pub fn reset(&self) {
-        while let Some(full) = self.full_bins.pop() {
-            self.bins[full.bin_id].return_buffer(full.records);
+        for queue in &self.full_queues {
+            while let Some(full) = queue.pop() {
+                self.bins[full.bin_id].return_buffer(full.records);
+            }
         }
         for bin in &self.bins {
             bin.reset();
@@ -154,7 +198,11 @@ impl<V> std::fmt::Debug for BinSpace<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BinSpace")
             .field("bin_count", &self.bins.len())
-            .field("full_queue", &self.full_bins.len())
+            .field("gather_queues", &self.full_queues.len())
+            .field(
+                "full_queue",
+                &self.full_queues.iter().map(SegQueue::len).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -232,6 +280,47 @@ mod tests {
         }) {}
         seen.sort_unstable();
         assert_eq!(seen, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn affinity_routes_bins_to_home_queues() {
+        // 4 bins over 2 queues: bins {0, 2} home to queue 0, {1, 3} to
+        // queue 1. With work in every queue, a worker drains its own
+        // queue's bins before touching the other's.
+        let space: BinSpace<u32> = BinSpace::with_gather_queues(config(4, 16), 2);
+        assert_eq!(space.gather_queue_count(), 2);
+        for dst in 0..4u32 {
+            space.append_batch(space.bin_of(dst), &[BinRecord::new(dst, dst)]);
+        }
+        space.flush_partials();
+        let mut worker0_bins = Vec::new();
+        space.process_one_full_for(0, |bin, _| worker0_bins.push(bin));
+        space.process_one_full_for(0, |bin, _| worker0_bins.push(bin));
+        assert_eq!(
+            worker0_bins,
+            vec![0, 2],
+            "worker 0 drains its home queue first"
+        );
+        let mut worker1_bins = Vec::new();
+        space.process_one_full_for(1, |bin, _| worker1_bins.push(bin));
+        space.process_one_full_for(1, |bin, _| worker1_bins.push(bin));
+        assert_eq!(worker1_bins, vec![1, 3]);
+        assert!(space.full_queue_is_empty());
+    }
+
+    #[test]
+    fn idle_workers_steal_from_other_queues() {
+        let space: BinSpace<u32> = BinSpace::with_gather_queues(config(4, 16), 2);
+        // Only bin 0 has work — it homes to queue 0.
+        space.append_batch(0, &[BinRecord::new(0, 7)]);
+        space.flush_partials();
+        let mut got = Vec::new();
+        assert!(space.process_one_full_for(1, |bin, records| {
+            got.extend(records.iter().map(|r| (bin, r.value)));
+        }));
+        assert_eq!(got, vec![(0, 7)], "worker 1 steals queue 0's buffer");
+        assert!(!space.process_one_full_for(1, |_, _| {}));
+        assert!(space.full_queue_is_empty());
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct CliArgs {
     /// matching the published engine; deeper windows use the threaded
     /// backend with out-of-order completions).
     pub queue_depth: usize,
+    /// Enable scatter-side record combining (`-combine`; PageRank only —
+    /// same-destination delta records merge in the staging window before
+    /// reaching the bins).
+    pub combine: bool,
     /// The `.gr.index` file (first positional argument).
     pub index: PathBuf,
     /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
@@ -57,6 +61,7 @@ impl Default for CliArgs {
             jobs: 1,
             cache_mb: 0,
             queue_depth: 1,
+            combine: false,
             index: PathBuf::new(),
             adj: Vec::new(),
             in_index: None,
@@ -141,6 +146,9 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
                 if out.queue_depth == 0 {
                     return Err(BlazeError::Config("-qd must be >= 1".into()));
                 }
+            }
+            "-combine" => {
+                out.combine = true;
             }
             "-device" => {
                 out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
@@ -246,6 +254,13 @@ mod tests {
         assert!(parse(&args("-qd 0 g.gr.index g.gr.adj.0")).is_err());
         assert!(parse(&args("-qd x g.gr.index g.gr.adj.0")).is_err());
         assert!(parse(&args("-qd")).is_err());
+    }
+
+    #[test]
+    fn parses_combine_flag() {
+        let a = parse(&args("-combine g.gr.index g.gr.adj.0")).unwrap();
+        assert!(a.combine);
+        assert!(!parse(&args("g.gr.index g.gr.adj.0")).unwrap().combine);
     }
 
     #[test]

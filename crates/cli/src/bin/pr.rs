@@ -2,9 +2,11 @@
 //!
 //! `-cache-mb N` gives the IO workers a clock page cache of N MiB
 //! (default 0 = no cache); PageRank's repeated near-full scans are where
-//! a warm cache saves the most device bytes.
+//! a warm cache saves the most device bytes. `-combine` merges
+//! same-destination delta records in the scatter staging windows before
+//! they reach the bins (the summary's "records combined" count).
 
-use blaze_algorithms::{pagerank_delta, ExecMode, PageRankConfig};
+use blaze_algorithms::{pagerank_delta, pagerank_delta_combined, ExecMode, PageRankConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +29,12 @@ fn main() {
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
-    let ranks = pagerank_delta(&engine, config, ExecMode::Binned).unwrap_or_else(|e| {
+    let result = if cli.combine {
+        pagerank_delta_combined(&engine, config)
+    } else {
+        pagerank_delta(&engine, config, ExecMode::Binned)
+    };
+    let ranks = result.unwrap_or_else(|e| {
         eprintln!("pr: {e}");
         std::process::exit(1);
     });

@@ -107,6 +107,17 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
             stats.cache_evictions
         );
     }
+    if stats.scatter_ns > 0 || stats.gather_ns > 0 {
+        // Per-stage compute profile: worker-summed busy time, so totals can
+        // exceed wall time when several workers overlap.
+        println!(
+            "compute: scatter {:.3} s, gather {:.3} s, io wait {:.3} s, {} records combined",
+            stats.scatter_ns as f64 / 1e9,
+            stats.gather_ns as f64 / 1e9,
+            stats.io_wait_ns as f64 / 1e9,
+            stats.records_combined
+        );
+    }
     let busy_ns: u64 = graph
         .storage()
         .devices()
@@ -192,6 +203,23 @@ mod tests {
         let default = open_engine(&CliArgs::default(), &index, &adj).unwrap();
         assert_eq!(default.options().io_backend, IoBackendKind::Sync);
         assert_eq!(default.io_backend().queue_depth(), 1);
+    }
+
+    #[test]
+    fn stats_carry_per_stage_compute_timings() {
+        use blaze_frontier::VertexSubset;
+        let g = rmat(&RmatConfig::new(8));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
+        let engine = open_engine(&CliArgs::default(), &index, &adj).unwrap();
+        let frontier = VertexSubset::full(engine.num_vertices());
+        engine
+            .edge_map(&frontier, |s, _d| s, |_d, _v: u32| false, |_| true, false)
+            .unwrap();
+        let stats = engine.stats();
+        assert!(stats.scatter_ns > 0, "scatter time must be recorded");
+        assert!(stats.gather_ns > 0, "gather time must be recorded");
+        assert_eq!(stats.records_combined, 0, "uncombined run combines nothing");
     }
 
     #[test]

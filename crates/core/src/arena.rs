@@ -38,6 +38,9 @@ pub struct EngineArena {
     binning: BinningConfig,
     io_buffer_bytes: usize,
     pages_per_buffer: usize,
+    /// Gather-affinity queue count for fresh bin spaces (the engine's
+    /// `num_gather`).
+    gather_queues: usize,
     max_idle: usize,
     pools: Mutex<Vec<BufferPool>>,
     spaces: Mutex<Vec<Box<dyn Any + Send>>>,
@@ -50,12 +53,14 @@ impl EngineArena {
         binning: BinningConfig,
         io_buffer_bytes: usize,
         pages_per_buffer: usize,
+        gather_queues: usize,
         max_idle: usize,
     ) -> Self {
         Self {
             binning,
             io_buffer_bytes,
             pages_per_buffer,
+            gather_queues: gather_queues.max(1),
             max_idle,
             pools: Mutex::new(Vec::new()),
             spaces: Mutex::new(Vec::new()),
@@ -103,7 +108,7 @@ impl EngineArena {
                 }
             }
         }
-        BinSpace::new(self.binning.clone())
+        BinSpace::with_gather_queues(self.binning.clone(), self.gather_queues)
     }
 
     /// Returns a bin space after a *successful* job, reset to pristine and
@@ -138,7 +143,14 @@ mod tests {
 
     fn arena(max_idle: usize) -> EngineArena {
         let binning = BinningConfig::new(4, 1 << 16, 4).unwrap();
-        EngineArena::new(binning, 1 << 20, 4, max_idle)
+        EngineArena::new(binning, 1 << 20, 4, 2, max_idle)
+    }
+
+    #[test]
+    fn fresh_spaces_get_the_arena_gather_queue_count() {
+        let a = arena(2);
+        let s: BinSpace<u32> = a.checkout_space();
+        assert_eq!(s.gather_queue_count(), 2);
     }
 
     #[test]

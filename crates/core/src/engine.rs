@@ -72,6 +72,7 @@ impl BlazeEngine {
             binning.clone(),
             options.io_buffer_bytes,
             options.merge_window.max(blaze_types::MAX_MERGED_PAGES),
+            options.num_gather,
             options.max_idle_arenas,
         );
         let runtime = Runtime::new(
@@ -206,7 +207,59 @@ impl BlazeEngine {
         FG: Fn(VertexId, V) -> bool + Sync,
         FC: Fn(VertexId) -> bool + Sync,
     {
-        self.run_edge_map(frontier, &scatter, &gather, &cond, output, false)
+        self.run_edge_map(
+            frontier,
+            &scatter,
+            &gather,
+            None::<&fn(V, V) -> V>,
+            &cond,
+            output,
+            false,
+        )
+    }
+
+    /// [`edge_map`](Self::edge_map) with scatter-side record combining:
+    /// when two staged records in one scatter worker's staging window share
+    /// a destination, `combine` merges their values into one record instead
+    /// of shipping both through the bins. `combine` must be associative and
+    /// agree with `gather`'s accumulation (e.g. addition for PageRank
+    /// deltas, `min` for label propagation) — then the gather side observes
+    /// the same reduction it would have computed itself, record by record,
+    /// and results are identical to the uncombined path.
+    ///
+    /// The payoff mirrors propagation-blocking update-log reduction: on
+    /// power-law graphs many records in a window target the same hub
+    /// vertex, and each merged record saves a bin-buffer slot, a flush, and
+    /// a gather application. The merged count is reported per iteration as
+    /// [`IterationTrace::records_combined`] (`records_produced` counts the
+    /// post-combine stream).
+    ///
+    /// [`IterationTrace::records_combined`]: blaze_types::IterationTrace::records_combined
+    pub fn edge_map_combined<V, FS, FG, FM, FC>(
+        &self,
+        frontier: &VertexSubset,
+        scatter: FS,
+        gather: FG,
+        combine: FM,
+        cond: FC,
+        output: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FM: Fn(V, V) -> V + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        self.run_edge_map(
+            frontier,
+            &scatter,
+            &gather,
+            Some(&combine),
+            &cond,
+            output,
+            false,
+        )
     }
 
     /// The synchronization-based variant (Figure 8b): no bins — scatter
@@ -228,14 +281,24 @@ impl BlazeEngine {
         FG: Fn(VertexId, V) -> bool + Sync,
         FC: Fn(VertexId) -> bool + Sync,
     {
-        self.run_edge_map(frontier, &scatter, &gather, &cond, output, true)
+        self.run_edge_map(
+            frontier,
+            &scatter,
+            &gather,
+            None::<&fn(V, V) -> V>,
+            &cond,
+            output,
+            true,
+        )
     }
 
-    fn run_edge_map<V, FS, FG, FC>(
+    #[allow(clippy::too_many_arguments)]
+    fn run_edge_map<V, FS, FG, FM, FC>(
         &self,
         frontier: &VertexSubset,
         scatter: &FS,
         gather: &FG,
+        combine: Option<&FM>,
         cond: &FC,
         output: bool,
         sync_variant: bool,
@@ -244,6 +307,7 @@ impl BlazeEngine {
         V: BinValue,
         FS: Fn(VertexId, VertexId) -> V + Sync,
         FG: Fn(VertexId, V) -> bool + Sync,
+        FM: Fn(V, V) -> V + Sync,
         FC: Fn(VertexId) -> bool + Sync,
     {
         let t0 = Instant::now();
@@ -268,6 +332,7 @@ impl BlazeEngine {
             space: space.as_ref(),
             scatter,
             gather,
+            combine,
             cond,
             output,
             num_devices,
@@ -346,7 +411,7 @@ impl BlazeEngine {
 /// workers call the [`PipelineJob`] roles below; nothing here is shared
 /// with any other in-flight job, so per-job counters and the first-error
 /// slot cannot be polluted by concurrent submissions.
-struct EdgeMapJob<'a, V, FS, FG, FC>
+struct EdgeMapJob<'a, V, FS, FG, FM, FC>
 where
     V: BinValue,
 {
@@ -359,6 +424,9 @@ where
     space: Option<&'a BinSpace<V>>,
     scatter: &'a FS,
     gather: &'a FG,
+    /// Associative merge for same-destination records inside one staging
+    /// window; `None` disables combining (the default path).
+    combine: Option<&'a FM>,
     cond: &'a FC,
     output: bool,
     num_devices: usize,
@@ -377,11 +445,12 @@ where
     io_stats: JobIoStats,
 }
 
-impl<V, FS, FG, FC> EdgeMapJob<'_, V, FS, FG, FC>
+impl<V, FS, FG, FM, FC> EdgeMapJob<'_, V, FS, FG, FM, FC>
 where
     V: BinValue,
     FS: Fn(VertexId, VertexId) -> V + Sync,
     FG: Fn(VertexId, V) -> bool + Sync,
+    FM: Fn(V, V) -> V + Sync,
     FC: Fn(VertexId) -> bool + Sync,
 {
     /// Records `e` as the job's failure unless one is already recorded —
@@ -537,11 +606,12 @@ where
     }
 }
 
-impl<V, FS, FG, FC> PipelineJob for EdgeMapJob<'_, V, FS, FG, FC>
+impl<V, FS, FG, FM, FC> PipelineJob for EdgeMapJob<'_, V, FS, FG, FM, FC>
 where
     V: BinValue,
     FS: Fn(VertexId, VertexId) -> V + Sync,
     FG: Fn(VertexId, V) -> bool + Sync,
+    FM: Fn(V, V) -> V + Sync,
     FC: Fn(VertexId) -> bool + Sync,
 {
     /// IO role (Figure 5, steps 2-4): one worker per device.
@@ -587,6 +657,13 @@ where
         let mut scratch = Vec::new();
         let mut local_edges = 0u64;
         let mut local_records = 0u64;
+        let mut busy_ns = 0u64;
+        let mut wait_ns = 0u64;
+        // A frontier built by `VertexSubset::full` contains every vertex by
+        // construction, so the per-source membership probe is pure overhead
+        // in dense iterations (PageRank, WCC) — hoist it out of the loop.
+        let all_active = self.frontier.is_complete();
+        let bytewise = self.engine.options.bytewise_decode;
         let backoff = Backoff::new();
         loop {
             let Some(filled) = self.pool.pop_filled() else {
@@ -595,57 +672,85 @@ where
                 {
                     break;
                 }
+                let t = Instant::now();
                 backoff.snooze();
+                wait_ns += t.elapsed().as_nanos() as u64;
                 continue;
             };
             backoff.reset();
+            let t = Instant::now();
             for (i, &page) in filled.pages.iter().enumerate() {
                 let data = filled.page_data(i);
-                self.engine
-                    .graph
-                    .for_each_vertex_in_page(page, data, &mut scratch, |src, dsts| {
-                        if !self.frontier.contains(src) {
-                            return;
+                let mut body = |src: VertexId, dsts: &[VertexId]| {
+                    if !all_active && !self.frontier.contains(src) {
+                        return;
+                    }
+                    for &dst in dsts {
+                        local_edges += 1;
+                        if !(self.cond)(dst) {
+                            continue;
                         }
-                        for &dst in dsts {
-                            local_edges += 1;
-                            if !(self.cond)(dst) {
-                                continue;
-                            }
-                            let value = (self.scatter)(src, dst);
-                            match (&mut staging, self.space) {
-                                (Some(staging), Some(space)) => staging.push(space, dst, value),
-                                _ => {
-                                    // Sync variant: apply directly with the
-                                    // user's atomic gather — the CAS path.
-                                    local_records += 1;
-                                    if (self.gather)(dst, value) && self.output {
-                                        self.out.insert(dst);
-                                    }
+                        let value = (self.scatter)(src, dst);
+                        match (&mut staging, self.space) {
+                            (Some(staging), Some(space)) => match self.combine {
+                                Some(combine) => staging.push_combined(space, dst, value, combine),
+                                None => staging.push(space, dst, value),
+                            },
+                            _ => {
+                                // Sync variant: apply directly with the
+                                // user's atomic gather — the CAS path.
+                                local_records += 1;
+                                if (self.gather)(dst, value) && self.output {
+                                    self.out.insert(dst);
                                 }
                             }
                         }
-                    });
+                    }
+                };
+                if bytewise {
+                    self.engine.graph.for_each_vertex_in_page_bytewise(
+                        page,
+                        data,
+                        &mut scratch,
+                        &mut body,
+                    );
+                } else {
+                    self.engine
+                        .graph
+                        .for_each_vertex_in_page(page, data, &mut scratch, &mut body);
+                }
             }
             self.pool.release(filled.buffer);
+            busy_ns += t.elapsed().as_nanos() as u64;
         }
         if let (Some(staging), Some(space)) = (&mut staging, self.space) {
+            let t = Instant::now();
             staging.flush(space);
+            busy_ns += t.elapsed().as_nanos() as u64;
+            self.io_stats
+                .add_records_combined(staging.records_combined());
         }
+        self.io_stats.add_scatter_ns(busy_ns);
+        self.io_stats.add_io_wait_ns(wait_ns);
         self.edges_processed
             .fetch_add(local_edges, Ordering::Relaxed); // sync-audit: trace counter; read only after the job completes.
         self.records_sync
             .fetch_add(local_records, Ordering::Relaxed); // sync-audit: trace counter; read only after the job completes.
     }
 
-    /// Gather role (steps 8-9); not dispatched in the sync variant.
-    fn run_gather(&self, _worker: usize) {
+    /// Gather role (steps 8-9); not dispatched in the sync variant. Each
+    /// worker drains its *home* full-bin queue (`bin_id % num_gather`)
+    /// before stealing from peers, so repeated fills of one bin keep
+    /// landing on the same worker's cache-warm vertex range.
+    fn run_gather(&self, worker: usize) {
         let Some(space) = self.space else {
             return;
         };
+        let mut busy_ns = 0u64;
         let backoff = Backoff::new();
         loop {
-            let progressed = space.process_one_full(|_, records| {
+            let t = Instant::now();
+            let progressed = space.process_one_full_for(worker, |_, records| {
                 for r in records {
                     if (self.gather)(r.dst, r.value) && self.output {
                         self.out.insert(r.dst);
@@ -653,6 +758,7 @@ where
                 }
             });
             if progressed {
+                busy_ns += t.elapsed().as_nanos() as u64;
                 backoff.reset();
                 continue;
             }
@@ -663,6 +769,7 @@ where
             }
             backoff.snooze();
         }
+        self.io_stats.add_gather_ns(busy_ns);
     }
 }
 
@@ -1175,6 +1282,105 @@ mod tests {
         let r = e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false);
         assert!(matches!(r, Err(BlazeError::Io(_))), "got {r:?}");
         assert_eq!(e.arena.idle_len(), 2, "drained job must recycle its arena");
+    }
+
+    /// A star graph: every vertex points at vertex 0, so every staged
+    /// record shares one destination and scatter-side combining is
+    /// guaranteed to merge within every staging window.
+    fn star(n: usize) -> Csr {
+        let offsets = (0..=n as u64).collect();
+        let neighbors = vec![0u32; n];
+        Csr::from_parts(offsets, neighbors)
+    }
+
+    #[test]
+    fn combined_edge_map_matches_uncombined() {
+        for g in [rmat(&RmatConfig::new(9)), star(3000)] {
+            let e = engine(&g, 2, EngineOptions::default());
+            let frontier = VertexSubset::full(g.num_vertices());
+            let run = |combined: bool| {
+                let sum = VertexArray::<u64>::new(g.num_vertices(), 0);
+                let scatter = |_s: u32, _d: u32| 1u64;
+                let gather = |dst: u32, v: u64| {
+                    sum.set(dst as usize, sum.get(dst as usize) + v);
+                    true
+                };
+                if combined {
+                    e.edge_map_combined(&frontier, scatter, gather, |a, b| a + b, |_| true, false)
+                        .unwrap();
+                } else {
+                    e.edge_map(&frontier, scatter, gather, |_| true, false)
+                        .unwrap();
+                }
+                (0..g.num_vertices())
+                    .map(|i| sum.get(i))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(run(false), run(true), "combining must not change sums");
+        }
+    }
+
+    #[test]
+    fn combining_reduces_records_on_a_star_graph() {
+        let g = star(3000);
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        e.edge_map_combined(
+            &frontier,
+            |_s, _d| 1u64,
+            |_d, _v| false,
+            |a, b| a + b,
+            |_| true,
+            false,
+        )
+        .unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert_eq!(
+            t.records_combined + t.records_produced,
+            g.num_edges(),
+            "pre-combine stream is edges passing cond"
+        );
+        assert!(
+            t.records_combined > t.records_produced,
+            "a single-hub graph must combine most records \
+             ({} combined, {} produced)",
+            t.records_combined,
+            t.records_produced
+        );
+        // The uncombined path reports zero.
+        e.edge_map(&frontier, |_s, _d| 1u64, |_d, _v| false, |_| true, false)
+            .unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert_eq!(t.records_combined, 0);
+        assert_eq!(t.records_produced, g.num_edges());
+    }
+
+    #[test]
+    fn bytewise_decode_matches_zero_copy() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 2, EngineOptions::default().with_bytewise_decode(true));
+        assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
+    }
+
+    #[test]
+    fn traces_record_compute_stage_timings() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 1, EngineOptions::default());
+        let frontier = VertexSubset::full(g.num_vertices());
+        e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert!(t.scatter_ns > 0, "scatter walked every page");
+        assert!(t.gather_ns > 0, "gather applied full bins");
+        let s = e.stats();
+        assert_eq!(s.scatter_ns, t.scatter_ns);
+        assert_eq!(s.gather_ns, t.gather_ns);
+        // The sync variant never runs gather workers.
+        e.edge_map_sync(&frontier, |s, _d| s, |_d, _v| false, |_| true, false)
+            .unwrap();
+        let t = e.take_traces().pop().unwrap();
+        assert!(t.scatter_ns > 0);
+        assert_eq!(t.gather_ns, 0);
     }
 
     #[test]

@@ -84,4 +84,4 @@ pub use options::EngineOptions;
 pub use runtime::{PipelineJob, Runtime};
 pub use stats::ExecStats;
 pub use vertex_array::VertexArray;
-pub use vertex_map::vertex_map;
+pub use vertex_map::{vertex_map, vertex_map_with_grain};

@@ -2,7 +2,9 @@
 
 use blaze_binning::BinningConfig;
 use blaze_storage::IoBackendKind;
-use blaze_types::{BlazeError, Result, DEFAULT_IO_BUFFER_BYTES, MAX_MERGED_PAGES};
+use blaze_types::{
+    BlazeError, Result, DEFAULT_IO_BUFFER_BYTES, DEFAULT_VERTEX_MAP_GRAIN, MAX_MERGED_PAGES,
+};
 
 /// Configuration of one [`BlazeEngine`](crate::BlazeEngine).
 ///
@@ -50,6 +52,17 @@ pub struct EngineOptions {
     /// Per-device in-flight request window of the IO backend (the CLI's
     /// `-qd`). Must be 1 for the synchronous backend.
     pub queue_depth: usize,
+    /// Per-thread grain of the in-memory vertex-map phase: a frontier with
+    /// fewer than `vertex_map_grain * compute_workers` members runs
+    /// serially instead of forking scoped threads. Lower it to force the
+    /// parallel path on tiny graphs (loom and smoke builds), raise it to
+    /// pin small maps to one thread.
+    pub vertex_map_grain: usize,
+    /// Decode adjacency pages with the pre-optimization byte-copy path
+    /// instead of the aligned zero-copy reinterpret. Only useful for A/B
+    /// measurement (the `compute_path` bench) and as a hard fallback; the
+    /// two paths are semantically identical.
+    pub bytewise_decode: bool,
 }
 
 impl Default for EngineOptions {
@@ -65,6 +78,8 @@ impl Default for EngineOptions {
             max_idle_arenas: 2,
             io_backend: IoBackendKind::Sync,
             queue_depth: 1,
+            vertex_map_grain: DEFAULT_VERTEX_MAP_GRAIN,
+            bytewise_decode: false,
         }
     }
 }
@@ -123,6 +138,19 @@ impl EngineOptions {
         self
     }
 
+    /// Overrides the per-thread vertex-map serial grain (clamped to ≥ 1).
+    pub fn with_vertex_map_grain(mut self, grain: usize) -> Self {
+        self.vertex_map_grain = grain.max(1);
+        self
+    }
+
+    /// Selects the byte-copy adjacency decode (the `compute_path` bench's
+    /// "before" arm).
+    pub fn with_bytewise_decode(mut self, bytewise: bool) -> Self {
+        self.bytewise_decode = bytewise;
+        self
+    }
+
     /// Total compute threads.
     pub fn compute_workers(&self) -> usize {
         self.num_scatter + self.num_gather
@@ -140,6 +168,9 @@ impl EngineOptions {
         }
         if self.queue_depth == 0 {
             return Err(BlazeError::Config("queue_depth must be >= 1".into()));
+        }
+        if self.vertex_map_grain == 0 {
+            return Err(BlazeError::Config("vertex_map_grain must be >= 1".into()));
         }
         if self.io_backend == IoBackendKind::Sync && self.queue_depth > 1 {
             return Err(BlazeError::Config(format!(
@@ -216,6 +247,36 @@ mod tests {
             ..Default::default()
         };
         assert!(o.validate().is_err(), "sync backend cannot hold qd 4");
+    }
+
+    #[test]
+    fn vertex_map_grain_defaults_and_clamps() {
+        let o = EngineOptions::default();
+        assert_eq!(o.vertex_map_grain, DEFAULT_VERTEX_MAP_GRAIN);
+        // Default workers (2) × default grain reproduce the historical
+        // serial threshold of 2048.
+        assert_eq!(o.vertex_map_grain * o.compute_workers(), 2048);
+        assert_eq!(
+            EngineOptions::default()
+                .with_vertex_map_grain(0)
+                .vertex_map_grain,
+            1
+        );
+        let o = EngineOptions {
+            vertex_map_grain: 0,
+            ..Default::default()
+        };
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn bytewise_decode_is_off_by_default() {
+        assert!(!EngineOptions::default().bytewise_decode);
+        assert!(
+            EngineOptions::default()
+                .with_bytewise_decode(true)
+                .bytewise_decode
+        );
     }
 
     #[test]

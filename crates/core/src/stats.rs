@@ -32,6 +32,17 @@ pub struct ExecStats {
     /// iterations (1 under the synchronous backend; 0 when no IO was
     /// issued).
     pub io_max_in_flight: u64,
+    /// Nanoseconds scatter workers spent decoding pages and staging
+    /// records, summed across workers and iterations.
+    pub scatter_ns: u64,
+    /// Nanoseconds gather workers spent applying full bins, summed across
+    /// workers and iterations (zero for the sync variant).
+    pub gather_ns: u64,
+    /// Nanoseconds scatter workers spent idle waiting for filled buffers.
+    pub io_wait_ns: u64,
+    /// Records merged away by scatter-side combining across all iterations
+    /// (`records_produced` counts the post-combine stream).
+    pub records_combined: u64,
 }
 
 impl ExecStats {
@@ -47,6 +58,10 @@ impl ExecStats {
         self.cache_miss_pages += it.cache_miss_pages;
         self.cache_evictions += it.cache_evictions;
         self.io_max_in_flight = self.io_max_in_flight.max(it.io_max_in_flight);
+        self.scatter_ns += it.scatter_ns;
+        self.gather_ns += it.gather_ns;
+        self.io_wait_ns += it.io_wait_ns;
+        self.records_combined += it.records_combined;
     }
 }
 
@@ -91,6 +106,11 @@ pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
     trace.io_max_in_flight = depth_max;
     trace.io_mean_in_flight = depth_mean;
     trace.io_latency_buckets = job.latency_histogram();
+    let (scatter_ns, gather_ns, io_wait_ns, records_combined) = job.compute_totals();
+    trace.scatter_ns = scatter_ns;
+    trace.gather_ns = gather_ns;
+    trace.io_wait_ns = io_wait_ns;
+    trace.records_combined = records_combined;
 }
 
 /// Snapshots every device's stats.
@@ -142,6 +162,28 @@ mod tests {
         assert_eq!(t.cache_miss_pages, 2);
         assert_eq!(t.cache_evictions, 1);
         assert_eq!(t.total_io_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn job_trace_carries_compute_stage_totals() {
+        let j = JobIoStats::new(1);
+        j.add_scatter_ns(100);
+        j.add_gather_ns(50);
+        j.add_io_wait_ns(25);
+        j.add_records_combined(9);
+        let mut t = IterationTrace::new(1);
+        fill_io_trace_from_job(&mut t, &j);
+        assert_eq!(t.scatter_ns, 100);
+        assert_eq!(t.gather_ns, 50);
+        assert_eq!(t.io_wait_ns, 25);
+        assert_eq!(t.records_combined, 9);
+        let mut s = ExecStats::default();
+        s.absorb(&t, 0);
+        s.absorb(&t, 0);
+        assert_eq!(s.scatter_ns, 200);
+        assert_eq!(s.gather_ns, 100);
+        assert_eq!(s.io_wait_ns, 50);
+        assert_eq!(s.records_combined, 18);
     }
 
     #[test]

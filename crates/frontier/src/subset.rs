@@ -31,6 +31,9 @@ pub struct VertexSubset {
     dense: AtomicBool,
     /// Sorted member list, built by [`seal`](Self::seal) for sparse sets.
     sealed: Option<Vec<VertexId>>,
+    /// Set only by [`full`](Self::full): every vertex is a member, so
+    /// membership probes can be skipped wholesale.
+    complete: bool,
 }
 
 impl VertexSubset {
@@ -42,6 +45,7 @@ impl VertexSubset {
             count: AtomicUsize::new(0),
             dense: AtomicBool::new(false),
             sealed: None,
+            complete: false,
         }
     }
 
@@ -59,6 +63,7 @@ impl VertexSubset {
         s.bitmap.set_all();
         s.count.store(capacity, Ordering::Relaxed); // sync-audit: constructor/exclusive path; no concurrent readers yet.
         s.dense.store(true, Ordering::Relaxed); // sync-audit: monotonic one-way flag; late observers just buffer a little longer.
+        s.complete = true;
         s
     }
 
@@ -110,6 +115,18 @@ impl VertexSubset {
     /// algorithm.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether this frontier is known to contain *every* vertex.
+    ///
+    /// Only [`full`](Self::full) sets this; a frontier that happens to grow
+    /// to capacity through inserts is deliberately not detected (the flag is
+    /// a constructor-time fact, not a racy counter comparison). The scatter
+    /// loop uses it to skip the per-source bitmap probe on dense
+    /// PageRank/WCC-style iterations.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.complete
     }
 
     /// Whether the dense representation is active.
@@ -194,7 +211,22 @@ mod tests {
         let f = VertexSubset::full(50);
         assert_eq!(f.len(), 50);
         assert!(f.is_dense());
+        assert!(f.is_complete());
         assert_eq!(f.members().len(), 50);
+    }
+
+    #[test]
+    fn complete_is_a_constructor_fact() {
+        // Growing to capacity through inserts does not set the flag…
+        let s = VertexSubset::new(4);
+        for v in 0..4 {
+            s.insert(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_complete());
+        // …and neither do the other constructors.
+        assert!(!VertexSubset::single(4, 0).is_complete());
+        assert!(!VertexSubset::from_members(4, 0..4).is_complete());
     }
 
     #[test]

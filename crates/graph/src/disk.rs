@@ -14,6 +14,7 @@ use blaze_storage::{BlockDevice, FileDevice, StripedStorage};
 use blaze_types::{BlazeError, PageId, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZE};
 
 use crate::csr::Csr;
+use crate::fallback;
 use crate::index::GraphIndex;
 use crate::pagemap::PageVertexMap;
 
@@ -222,10 +223,67 @@ impl DiskGraph {
 
     /// Decodes one fetched page: calls `f(src, dsts)` for every vertex whose
     /// edges intersect page `page`, with `dsts` the *portion of its
-    /// adjacency list stored in this page* decoded into `scratch`.
+    /// adjacency list stored in this page*.
+    ///
+    /// On little-endian targets with a 4-byte-aligned `data` buffer, `dsts`
+    /// borrows the page bytes directly (the neighbor stream is stored as
+    /// little-endian `u32` words, so an aligned reinterpret is the decoded
+    /// list) and `scratch` is untouched. Otherwise each run is byte-decoded
+    /// into `scratch` via the [`fallback`] module. Vertex metadata comes
+    /// from a sequential [`IndexCursor`](crate::IndexCursor) instead of
+    /// per-vertex `edge_offset` lookups.
     ///
     /// `data` must be the `PAGE_SIZE` bytes of page `page`.
     pub fn for_each_vertex_in_page<F>(
+        &self,
+        page: PageId,
+        data: &[u8],
+        scratch: &mut Vec<VertexId>,
+        mut f: F,
+    ) where
+        F: FnMut(VertexId, &[VertexId]),
+    {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        let Some((begin, end)) = self.pagemap.vertices_in_page(page) else {
+            return;
+        };
+        let page_first_edge = page * EDGES_PER_PAGE as u64;
+        let page_last_edge = page_first_edge + EDGES_PER_PAGE as u64;
+        let words = page_as_words(data);
+        let mut cursor = self.index.cursor(begin);
+        for v in begin..=end {
+            let (deg, off) = cursor.advance();
+            let deg = deg as u64;
+            if deg == 0 {
+                continue;
+            }
+            let lo = off.max(page_first_edge);
+            let hi = (off + deg).min(page_last_edge);
+            if lo >= hi {
+                continue;
+            }
+            let word_lo = (lo - page_first_edge) as usize;
+            let word_hi = (hi - page_first_edge) as usize;
+            match words {
+                Some(words) => f(v, &words[word_lo..word_hi]),
+                None => {
+                    fallback::decode_run(scratch, &data[word_lo * 4..word_hi * 4]);
+                    f(v, scratch);
+                }
+            }
+        }
+    }
+
+    /// The pre-optimization page decode: per-vertex `degree`/`edge_offset`
+    /// index lookups and a byte-copy of every neighbor run into `scratch`.
+    ///
+    /// Semantically identical to [`for_each_vertex_in_page`]; kept as the
+    /// "before" arm of the `compute_path` bench
+    /// (`EngineOptions::bytewise_decode`) and as a behavior reference for
+    /// the zero-copy path.
+    ///
+    /// [`for_each_vertex_in_page`]: Self::for_each_vertex_in_page
+    pub fn for_each_vertex_in_page_bytewise<F>(
         &self,
         page: PageId,
         data: &[u8],
@@ -253,12 +311,7 @@ impl DiskGraph {
             }
             let byte_lo = ((lo - page_first_edge) * 4) as usize;
             let byte_hi = ((hi - page_first_edge) * 4) as usize;
-            scratch.clear();
-            scratch.extend(
-                data[byte_lo..byte_hi]
-                    .chunks_exact(4)
-                    .map(|c| VertexId::from_le_bytes([c[0], c[1], c[2], c[3]])),
-            );
+            fallback::decode_run(scratch, &data[byte_lo..byte_hi]);
             f(v, scratch);
         }
     }
@@ -282,6 +335,24 @@ impl DiskGraph {
         }
         Ok(out)
     }
+}
+
+/// Reinterprets a page buffer as its little-endian `u32` neighbor words.
+///
+/// Returns `None` when the buffer is not 4-byte aligned or the target is
+/// big-endian (the on-disk words are little-endian, so a plain reinterpret
+/// would byte-swap them); callers then decode through [`fallback`].
+#[inline]
+fn page_as_words(data: &[u8]) -> Option<&[u32]> {
+    if cfg!(not(target_endian = "little"))
+        || data.as_ptr().align_offset(std::mem::align_of::<u32>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: the pointer is 4-byte aligned (checked above), the length is
+    // rounded down to whole `u32` words, `u32` has no invalid bit patterns,
+    // and the returned slice's lifetime is tied to `data`'s borrow.
+    Some(unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u32, data.len() / 4) })
 }
 
 impl std::fmt::Debug for DiskGraph {
@@ -341,6 +412,60 @@ mod tests {
             });
         }
         assert_eq!(total, g.num_edges());
+    }
+
+    /// Collects `(src, dsts)` pairs from one page decode.
+    fn decode_page(
+        dg: &DiskGraph,
+        page: u64,
+        data: &[u8],
+        bytewise: bool,
+    ) -> Vec<(VertexId, Vec<VertexId>)> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let collect = |src: VertexId, dsts: &[VertexId]| (src, dsts.to_vec());
+        if bytewise {
+            dg.for_each_vertex_in_page_bytewise(page, data, &mut scratch, |s, d| {
+                out.push(collect(s, d))
+            });
+        } else {
+            dg.for_each_vertex_in_page(page, data, &mut scratch, |s, d| out.push(collect(s, d)));
+        }
+        out
+    }
+
+    #[test]
+    fn zero_copy_matches_bytewise_decode() {
+        let g = rmat(&RmatConfig::new(8));
+        let dg = disk_graph(&g, 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for p in 0..dg.num_pages() {
+            dg.storage().read_page(p, &mut buf).unwrap();
+            assert_eq!(
+                decode_page(&dg, p, &buf, false),
+                decode_page(&dg, p, &buf, true),
+                "page {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_buffer_decodes_correctly() {
+        let g = rmat(&RmatConfig::new(7));
+        let dg = disk_graph(&g, 1);
+        let mut aligned = vec![0u8; PAGE_SIZE];
+        // Stage the page at an odd offset so the aligned reinterpret cannot
+        // apply and the byte-wise fallback must carry the decode.
+        let mut shifted = vec![0u8; PAGE_SIZE + 1];
+        for p in 0..dg.num_pages() {
+            dg.storage().read_page(p, &mut aligned).unwrap();
+            shifted[1..].copy_from_slice(&aligned);
+            assert_eq!(
+                decode_page(&dg, p, &shifted[1..], false),
+                decode_page(&dg, p, &aligned, true),
+                "page {p}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Byte-copy adjacency decode — the endian/alignment fallback.
+//!
+//! The scatter hot path reinterprets page bytes as an aligned `&[u32]` and
+//! hands sub-slices straight to the per-vertex callback (see
+//! [`DiskGraph::for_each_vertex_in_page`]). That reinterpret is only valid
+//! on little-endian targets when the page buffer is 4-byte aligned; every
+//! other combination decodes through this module instead, copying each
+//! neighbor run into the caller's scratch vector one `u32::from_le_bytes`
+//! at a time.
+//!
+//! This is the only module allowed to contain the `scratch.extend`
+//! byte-copy pattern — `cargo xtask lint` rejects it anywhere else so the
+//! slow path cannot quietly leak back into the hot loop.
+//!
+//! [`DiskGraph::for_each_vertex_in_page`]: crate::disk::DiskGraph::for_each_vertex_in_page
+
+use blaze_types::VertexId;
+
+/// Decodes `bytes` (a 4-byte-multiple neighbor run in little-endian page
+/// layout) into `scratch`, replacing its previous contents.
+#[inline]
+pub(crate) fn decode_run(scratch: &mut Vec<VertexId>, bytes: &[u8]) {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    scratch.clear();
+    scratch.extend(
+        bytes
+            .chunks_exact(4)
+            .map(|c| VertexId::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_little_endian_runs() {
+        let mut bytes = Vec::new();
+        for v in [0u32, 1, 7, u32::MAX] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut scratch = vec![99; 2];
+        decode_run(&mut scratch, &bytes);
+        assert_eq!(scratch, vec![0, 1, 7, u32::MAX]);
+    }
+
+    #[test]
+    fn empty_run_clears_scratch() {
+        let mut scratch = vec![5, 6];
+        decode_run(&mut scratch, &[]);
+        assert!(scratch.is_empty());
+    }
+}

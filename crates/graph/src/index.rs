@@ -82,6 +82,60 @@ impl GraphIndex {
     pub fn memory_bytes(&self) -> u64 {
         (self.degrees.len() * 4 + self.line_offsets.len() * 8) as u64
     }
+
+    /// Starts a sequential cursor at `begin`.
+    ///
+    /// [`edge_offset`](Self::edge_offset) re-sums up to fifteen preceding
+    /// degrees on every call. The scatter hot loop visits the vertices of a
+    /// page in order, so a cursor pays that cost once when seeded and then
+    /// advances by plain accumulation, touching each packed-degree cache
+    /// line once per [`DEGREES_PER_LINE`] vertices.
+    #[inline]
+    pub fn cursor(&self, begin: VertexId) -> IndexCursor<'_> {
+        IndexCursor {
+            index: self,
+            next: begin as usize,
+            offset: if (begin as usize) < self.degrees.len() {
+                self.edge_offset(begin)
+            } else {
+                self.num_edges
+            },
+        }
+    }
+}
+
+/// Sequential `(degree, edge_offset)` reader over a [`GraphIndex`].
+///
+/// Produced by [`GraphIndex::cursor`]; each [`advance`](IndexCursor::advance)
+/// call yields the degree and edge offset of the next vertex in id order.
+#[derive(Debug)]
+pub struct IndexCursor<'a> {
+    index: &'a GraphIndex,
+    /// Vertex the next `advance()` call describes.
+    next: usize,
+    /// Edge offset of `self.next`, maintained by accumulation.
+    offset: EdgeOffset,
+}
+
+impl IndexCursor<'_> {
+    /// Degree and edge offset of the current vertex; advances the cursor.
+    #[inline]
+    pub fn advance(&mut self) -> (u32, EdgeOffset) {
+        let deg = self.index.degrees[self.next];
+        let off = self.offset;
+        self.next += 1;
+        self.offset += deg as u64;
+        // Cross-check the running sum against the per-line offsets each time
+        // the cursor enters a new packed-degree line.
+        debug_assert!(
+            !self.next.is_multiple_of(DEGREES_PER_LINE)
+                || self.next / DEGREES_PER_LINE >= self.index.line_offsets.len()
+                || self.offset == self.index.line_offsets[self.next / DEGREES_PER_LINE],
+            "cursor offset diverged at vertex {}",
+            self.next
+        );
+        (deg, off)
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +162,29 @@ mod tests {
         assert_eq!(idx.num_edges(), 63);
         assert_eq!(idx.edge_offset(16), 48);
         assert_eq!(idx.edge_offset(20), 60);
+    }
+
+    #[test]
+    fn cursor_matches_edge_offset() {
+        let g = rmat(&RmatConfig::new(9));
+        let idx = GraphIndex::from_csr(&g);
+        for start in [0u32, 1, 15, 16, 17, 100] {
+            let mut cur = idx.cursor(start);
+            for v in start..idx.num_vertices() as VertexId {
+                let (deg, off) = cur.advance();
+                assert_eq!(deg, idx.degree(v), "degree of {v} from {start}");
+                assert_eq!(off, idx.edge_offset(v), "offset of {v} from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_handles_non_multiple_of_sixteen() {
+        let idx = GraphIndex::from_degrees(vec![3u32; 21]);
+        let mut cur = idx.cursor(0);
+        for v in 0..21 {
+            assert_eq!(cur.advance(), (3, v * 3));
+        }
     }
 
     #[test]

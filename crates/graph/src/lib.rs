@@ -19,6 +19,7 @@ pub mod builder;
 pub mod csr;
 pub mod datasets;
 pub mod disk;
+mod fallback;
 pub mod gen;
 pub mod index;
 pub mod io;
@@ -29,6 +30,6 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetScale};
 pub use disk::{write_to_storage, DiskGraph};
-pub use index::GraphIndex;
+pub use index::{GraphIndex, IndexCursor};
 pub use pagemap::PageVertexMap;
 pub use stats::{DegreeDistribution, GraphStats};

@@ -169,12 +169,29 @@ struct JobDeviceStats {
 #[derive(Debug)]
 pub struct JobIoStats {
     devices: Vec<CachePadded<JobDeviceStats>>,
+    /// Compute-side per-stage totals, padded away from the device counters.
+    compute: CachePadded<JobComputeStats>,
+}
+
+/// Job-wide compute-stage counters, accumulated by the scatter and gather
+/// workers of one pipeline submission.
+#[derive(Debug, Default)]
+struct JobComputeStats {
+    /// Nanoseconds scatter workers spent decoding pages and staging records.
+    scatter_ns: AtomicU64,
+    /// Nanoseconds gather workers spent applying full bins.
+    gather_ns: AtomicU64,
+    /// Nanoseconds scatter workers spent idle waiting for filled buffers.
+    io_wait_ns: AtomicU64,
+    /// Records merged away by scatter-side combining.
+    records_combined: AtomicU64,
 }
 
 impl JobIoStats {
     /// Zeroed counters for `num_devices` devices.
     pub fn new(num_devices: usize) -> Self {
         Self {
+            compute: CachePadded::new(JobComputeStats::default()),
             devices: (0..num_devices)
                 .map(|_| {
                     CachePadded::new(JobDeviceStats {
@@ -306,6 +323,43 @@ impl JobIoStats {
     /// authoritative once the job's IO roles have finished.
     pub fn snapshots(&self) -> Vec<IoStatsSnapshot> {
         self.devices.iter().map(|d| d.stats.snapshot()).collect()
+    }
+
+    /// Adds time one scatter worker spent decoding pages and staging.
+    pub fn add_scatter_ns(&self, ns: u64) {
+        // sync-audit: Relaxed — per-stage compute totals are monotonic
+        // statistics written by the job's compute workers and read only
+        // after the job completes; no cross-thread ordering is needed (the
+        // other compute-stage methods inherit this argument).
+        self.compute.scatter_ns.fetch_add(ns, Ordering::Relaxed); // sync-audit: see add_scatter_ns.
+    }
+
+    /// Adds time one gather worker spent applying full bins.
+    pub fn add_gather_ns(&self, ns: u64) {
+        self.compute.gather_ns.fetch_add(ns, Ordering::Relaxed); // sync-audit: see add_scatter_ns.
+    }
+
+    /// Adds time one scatter worker spent idle waiting for filled buffers.
+    pub fn add_io_wait_ns(&self, ns: u64) {
+        self.compute.io_wait_ns.fetch_add(ns, Ordering::Relaxed); // sync-audit: see add_scatter_ns.
+    }
+
+    /// Adds records merged away by one scatter worker's combine window.
+    pub fn add_records_combined(&self, records: u64) {
+        self.compute
+            .records_combined
+            .fetch_add(records, Ordering::Relaxed); // sync-audit: see add_scatter_ns.
+    }
+
+    /// `(scatter_ns, gather_ns, io_wait_ns, records_combined)` totals. Only
+    /// authoritative once the job's compute roles have finished.
+    pub fn compute_totals(&self) -> (u64, u64, u64, u64) {
+        (
+            self.compute.scatter_ns.load(Ordering::Relaxed), // sync-audit: see add_scatter_ns.
+            self.compute.gather_ns.load(Ordering::Relaxed),  // sync-audit: see add_scatter_ns.
+            self.compute.io_wait_ns.load(Ordering::Relaxed), // sync-audit: see add_scatter_ns.
+            self.compute.records_combined.load(Ordering::Relaxed), // sync-audit: see add_scatter_ns.
+        )
     }
 }
 
@@ -444,6 +498,18 @@ mod tests {
         assert_eq!(hist[1], 2);
         assert_eq!(hist[3], 1);
         assert_eq!(hist.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn compute_stage_totals_accumulate() {
+        let j = JobIoStats::new(1);
+        assert_eq!(j.compute_totals(), (0, 0, 0, 0));
+        j.add_scatter_ns(10);
+        j.add_scatter_ns(5);
+        j.add_gather_ns(7);
+        j.add_io_wait_ns(3);
+        j.add_records_combined(42);
+        assert_eq!(j.compute_totals(), (15, 7, 3, 42));
     }
 
     #[test]

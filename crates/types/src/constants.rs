@@ -41,6 +41,13 @@ pub const DEFAULT_STAGING_RECORDS: usize = 64;
 /// 64 MiB for all workloads; we scale with the 1/1024-scale datasets).
 pub const DEFAULT_IO_BUFFER_BYTES: usize = 4 << 20;
 
+/// Default per-thread grain of the in-memory vertex-map phase: a frontier
+/// smaller than `grain * threads` members runs serially, since forking
+/// scoped threads costs more than the map itself at that size. With the
+/// default four compute workers (two scatter + two gather) this reproduces
+/// the engine's historical fixed serial threshold of 2048.
+pub const DEFAULT_VERTEX_MAP_GRAIN: usize = 512;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,19 @@ pub struct IterationTrace {
     /// bucket `i` counts requests that took `[4^i, 4^(i+1))` µs. Empty
     /// when no requests were issued.
     pub io_latency_buckets: Vec<u64>,
+    /// Nanoseconds scatter workers spent decoding pages and staging
+    /// records, summed across workers (so it can exceed wall time).
+    pub scatter_ns: u64,
+    /// Nanoseconds gather workers spent applying full bins, summed across
+    /// workers (zero for the sync variant, which gathers inline).
+    pub gather_ns: u64,
+    /// Nanoseconds scatter workers spent idle waiting for filled buffers —
+    /// the compute-side view of an IO-bound iteration.
+    pub io_wait_ns: u64,
+    /// Records merged away by scatter-side combining before they reached a
+    /// bin; `records_produced` counts the post-combine stream, so the
+    /// pre-combine count is the sum of the two.
+    pub records_combined: u64,
 }
 
 impl IterationTrace {

@@ -1,6 +1,6 @@
 //! The workspace analysis gate (`cargo xtask lint`).
 //!
-//! Three rules, all operating on comment/string-stripped code text:
+//! Four rules, all operating on comment/string-stripped code text:
 //!
 //! 1. `sync-ordering` — every `Ordering::Relaxed` / `Ordering::SeqCst` in
 //!    library code must carry a `// sync-audit:` justification on the same
@@ -14,6 +14,12 @@
 //! 3. `sync-facade` — no direct `std::sync`, `parking_lot`, or `crossbeam`
 //!    references outside the `blaze-sync` facade crate, so every piece of
 //!    concurrent state stays model-checkable under `--cfg loom`.
+//! 4. `scratch-copy` — no `scratch.extend` outside the endian-fallback
+//!    module (`crates/graph/src/fallback.rs`). The scatter hot loop hands
+//!    out zero-copy `&[u32]` adjacency slices; copying neighbor runs into a
+//!    scratch vector anywhere else silently reintroduces the per-page copy
+//!    the zero-copy decode removed. There is no waiver comment — new decode
+//!    paths belong in the fallback module.
 //!
 //! Scope: `src/` trees of `crates/*` and the workspace root. Binary targets
 //! (`src/bin/`) are exempt from the `panic` rule (a CLI aborting loudly is
@@ -35,6 +41,10 @@ const PANIC_EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
 
 /// The facade crate allowed to touch std sync machinery directly.
 const FACADE_CRATE: &str = "sync";
+
+/// The only module allowed to copy adjacency bytes into a scratch vector
+/// (the big-endian / misalignment fallback of the zero-copy decode).
+const FALLBACK_MODULE: &str = "crates/graph/src/fallback.rs";
 
 /// One rule violation.
 #[derive(Debug, PartialEq, Eq)]
@@ -154,6 +164,19 @@ pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Viola
                     );
                 }
             }
+        }
+
+        // Rule 4: adjacency bytes are only copied in the fallback module.
+        if code.contains("scratch.extend") && rel != Path::new(FALLBACK_MODULE) {
+            push(
+                &mut out,
+                line.number,
+                "scratch-copy",
+                "`scratch.extend` outside the endian-fallback module; the \
+                 scatter path is zero-copy — put byte-wise decodes in \
+                 crates/graph/src/fallback.rs"
+                    .to_string(),
+            );
         }
 
         // Rule 3: all synchronization goes through the blaze-sync facade.
@@ -351,6 +374,32 @@ mod tests {
         );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "sync-facade");
+    }
+
+    #[test]
+    fn scratch_extend_is_flagged_outside_the_fallback_module() {
+        let v = check("scratch.extend(chunk.iter());");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "scratch-copy");
+        // The fallback module itself is the one sanctioned home.
+        let class = FileClass {
+            crate_name: "graph",
+            is_shim: false,
+            is_bin: false,
+        };
+        let v = check_source(
+            Path::new("crates/graph/src/fallback.rs"),
+            class,
+            "scratch.extend(chunk.iter());",
+        );
+        assert!(v.is_empty());
+        // Other graph-crate files get no exemption.
+        let v = check_source(
+            Path::new("crates/graph/src/disk.rs"),
+            class,
+            "scratch.extend(chunk.iter());",
+        );
+        assert_eq!(v.len(), 1);
     }
 
     #[test]
