@@ -13,6 +13,11 @@
 //! and has an in-memory reference implementation in [`reference`](mod@reference) used by
 //! the test suite to validate the out-of-core results.
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod bc;
 pub mod bfs;
 pub mod mode;

@@ -19,6 +19,11 @@
 //! work traces ([`blaze_types::IterationTrace`]) that the performance
 //! model turns into the paper's timing figures.
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod flashgraph;
 pub mod graphene;

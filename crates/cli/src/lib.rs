@@ -7,6 +7,11 @@
 //! (single-dash long flags included) over the Rust engine, plus a
 //! `gengraph` tool that generates the scaled datasets to disk.
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod run;
 

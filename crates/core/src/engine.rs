@@ -3,7 +3,7 @@
 //! Since the persistent-runtime refactor, `edge_map` no longer spawns a
 //! scoped thread pipeline per call. The engine owns a long-lived
 //! [`Runtime`] — one IO worker per device plus standing scatter/gather
-//! pools — and each `edge_map` is packaged as an [`EdgeMapJob`] and
+//! pools — and each `edge_map` is packaged as an `EdgeMapJob` and
 //! *submitted* to it, blocking on the job's completion handle. Bin spaces
 //! and IO buffer pools are checked out of an [`EngineArena`] per job and
 //! recycled after a clean finish, so a 20-iteration BFS reuses one set of

@@ -3,7 +3,7 @@
 //!
 //! # Architecture (Figure 5)
 //!
-//! The engine owns a *persistent* pipeline [`Runtime`](runtime::Runtime) of
+//! The engine owns a *persistent* pipeline [`Runtime`] of
 //! three worker groups, spawned once at engine construction and reused for
 //! every call; each `edge_map` is a *job submission* that blocks until the
 //! runtime completes it:
@@ -20,7 +20,7 @@
 //!    atomics — inserting activated vertices into the output frontier.
 //!
 //! Bin spaces and IO buffer pools are per-job, checked out of an
-//! [`EngineArena`](arena::EngineArena) and recycled across iterations, so
+//! [`EngineArena`] and recycled across iterations, so
 //! independent jobs submitted from multiple threads interleave through the
 //! shared workers without contending on each other's buffers.
 //!

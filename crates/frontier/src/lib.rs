@@ -10,6 +10,11 @@
 //! holding the edges of the active vertices, partitioned per device. It is
 //! internal to the engine and never exposed to algorithm code.
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod bitmap;
 pub mod pagesubset;
 pub mod subset;

@@ -229,7 +229,7 @@ impl DiskGraph {
     /// borrows the page bytes directly (the neighbor stream is stored as
     /// little-endian `u32` words, so an aligned reinterpret is the decoded
     /// list) and `scratch` is untouched. Otherwise each run is byte-decoded
-    /// into `scratch` via the [`fallback`] module. Vertex metadata comes
+    /// into `scratch` via the `fallback` module. Vertex metadata comes
     /// from a sequential [`IndexCursor`](crate::IndexCursor) instead of
     /// per-vertex `edge_offset` lookups.
     ///

@@ -1,7 +1,7 @@
 //! Live calibration: measure this host's per-operation costs instead of
 //! using the paper-machine defaults.
 //!
-//! The default [`CostModel`](crate::CostModel) constants describe the
+//! The default [`CostModel`] constants describe the
 //! paper's 2.1 GHz Xeon. When modeling "what would Blaze do on *this*
 //! machine with an Optane attached", [`calibrated_cost_model`] replaces
 //! the CPU-side constants with measured values from short single-threaded

@@ -28,6 +28,11 @@
 //!   pipeline is throttled by its slower side, and the iteration ends when
 //!   the most-loaded disk finishes (skewed IO).
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod costs;
 pub mod machine;

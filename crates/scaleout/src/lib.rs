@@ -18,6 +18,11 @@
 //! [`ClusterStats`] accounts so the network cost of the design can be
 //! modeled.
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod partition;
 

@@ -19,7 +19,7 @@
 //!   [`read_local_run_at_depth`](StripedStorage::read_local_run_at_depth)
 //!   path so modeled devices overlap request latency across the in-flight
 //!   window. A real io_uring backend slots in behind the same trait (see
-//!   [`uring`](crate::uring), feature `io-uring`).
+//!   `uring`, feature `io-uring`).
 //!
 //! Back-pressure is structural: `submit` blocks once `queue_depth` requests
 //! are in flight on a device, so a backend can never be buried, and every
@@ -298,7 +298,7 @@ impl ThreadedShared {
 /// semantics (deep queue, out-of-order completion, structural
 /// back-pressure) match, while the kernel-level mechanism is a thread pool
 /// instead of an async syscall interface — see `DESIGN.md` §9 and the
-/// feature-gated [`uring`](crate::uring) slot-in.
+/// feature-gated `uring` slot-in.
 pub struct ThreadedBackend {
     shared: Arc<ThreadedShared>,
     queue_depth: usize,

@@ -14,9 +14,9 @@
 //!   `parking_lot`-flavoured API (`lock()` returns a guard directly; a
 //!   poisoned lock propagates the original panic instead of layering a
 //!   `PoisonError` on top).
-//! * **Under `--cfg loom`** the same names resolve to the [`model`]
+//! * **Under `--cfg loom`** the same names resolve to the `model`
 //!   module's cooperatively-scheduled implementations, and
-//!   [`model::check`] explores thread interleavings of a test body
+//!   `model::check` explores thread interleavings of a test body
 //!   exhaustively (up to a preemption bound, in the style of CHESS /
 //!   loom). This is what the `loom_*` integration tests of `blaze-binning`
 //!   and `blaze-core` run under:
@@ -26,7 +26,7 @@
 //!   ```
 //!
 //! The model checker is vendored here (the build environment is offline and
-//! cannot fetch the real `loom` crate); see [`model`] for its semantics and
+//! cannot fetch the real `loom` crate); see `model` for its semantics and
 //! the fidelity caveats — in particular, modeled atomics are sequentially
 //! consistent, so `Ordering` *choice* bugs are covered by the
 //! `// sync-audit:` lint discipline rather than by exploration.

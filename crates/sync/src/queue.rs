@@ -1,7 +1,7 @@
 //! MPMC queues for the IO→scatter→gather pipeline.
 //!
 //! These replace `crossbeam::queue::{SegQueue, ArrayQueue}`. They are built
-//! on the facade's own [`Mutex`](crate::Mutex), which has two consequences:
+//! on the facade's own [`Mutex`], which has two consequences:
 //! the hand-off of a popped element is synchronized by the lock (no relaxed
 //! publication to audit), and under `--cfg loom` the queues are model-checked
 //! for free, because the model's mutex is what serializes them.

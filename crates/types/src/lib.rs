@@ -5,6 +5,11 @@
 //! storage, graph, engine, baseline, and performance-model crates can all
 //! exchange data without depending on each other.
 
+// The unsafe-audit rule (cargo xtask lint) keys off this: crates that
+// need no unsafe code forbid it outright, so the audit scope cannot
+// silently grow.
+#![forbid(unsafe_code)]
+
 pub mod constants;
 pub mod error;
 pub mod ids;

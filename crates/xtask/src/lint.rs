@@ -1,6 +1,8 @@
 //! The workspace analysis gate (`cargo xtask lint`).
 //!
-//! Four rules, all operating on comment/string-stripped code text:
+//! Six rules. The first four operate on comment/string-stripped code text
+//! (see [`scan`]); the last two are structural, built on the
+//! token scanner in [`tokens`]:
 //!
 //! 1. `sync-ordering` — every `Ordering::Relaxed` / `Ordering::SeqCst` in
 //!    library code must carry a `// sync-audit:` justification on the same
@@ -20,20 +22,47 @@
 //!    scratch vector anywhere else silently reintroduces the per-page copy
 //!    the zero-copy decode removed. There is no waiver comment — new decode
 //!    paths belong in the fallback module.
+//! 5. `unsafe-audit` — every `unsafe` block/fn/impl/trait in library code
+//!    carries a `// safety:` justification (see
+//!    [`unsafe_audit`]); a per-crate census is printed
+//!    by `cargo xtask lint --report`.
+//! 6. `lock-order` — the workspace lock-acquisition graph extracted from
+//!    guard-held regions must be cycle-free and consistent with the
+//!    canonical hierarchy in DESIGN.md §11 (see
+//!    [`lockgraph`]).
+//!
+//! All waiver comments share one window rule: the justification sits on the
+//! flagged line or within [`WAIVER_WINDOW`] lines above, where blank lines,
+//! attribute-only lines (`#[inline]`, `#![allow]`, …), and `//` comment
+//! lines are transparent — they don't consume the window, so a multi-line
+//! justification or an attribute stack never pushes the waiver out of
+//! reach.
 //!
 //! Scope: `src/` trees of `crates/*` and the workspace root. Binary targets
-//! (`src/bin/`) are exempt from the `panic` rule (a CLI aborting loudly is
-//! fine), `shims/*` mimic third-party crates and are exempt from `panic`
-//! and `sync-facade` (they exist precisely to wrap std machinery), and the
-//! `blaze-bench` harness is exempt from `panic` (setup failures should
-//! abort the run).
+//! (`src/bin/<name>.rs` or `src/main.rs`) are exempt from the `panic` rule
+//! (a CLI aborting loudly is fine), `shims/*` mimic third-party crates and
+//! are exempt from `panic` and `sync-facade` (they exist precisely to wrap
+//! std machinery), and the `blaze-bench` harness is exempt from `panic`
+//! (setup failures should abort the run).
+//!
+//! Output: human-readable by default; `--format json` emits a
+//! machine-readable report (spans, rules, messages, unsafe census). A
+//! committed [`Baseline`] (`lint-baseline.json`) suppresses a fixed number
+//! of violations per (rule, file) so a newly introduced rule can ratchet
+//! down instead of blocking on day one.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::scan::{contains_word, scan, CodeLine};
+use crate::json;
+use crate::lockgraph;
+use crate::scan::{contains_word, scan};
+use crate::tokens;
+use crate::unsafe_audit::{self, UnsafeCensus};
 
-/// How many lines above a match a waiver comment may sit.
+/// How many lines above a match a waiver comment may sit (blank,
+/// attribute-only, and comment lines are not counted).
 const WAIVER_WINDOW: usize = 3;
 
 /// Crates (by directory name under `crates/`) exempt from the `panic` rule.
@@ -47,7 +76,7 @@ const FACADE_CRATE: &str = "sync";
 const FALLBACK_MODULE: &str = "crates/graph/src/fallback.rs";
 
 /// One rule violation.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     pub path: PathBuf,
     pub line: usize,
@@ -75,7 +104,7 @@ pub struct FileClass<'a> {
     pub crate_name: &'a str,
     /// Under `shims/` (third-party stand-ins).
     pub is_shim: bool,
-    /// Binary target (`src/bin/...` or `src/main.rs`).
+    /// Binary target (`src/bin/<path>` or `src/main.rs`).
     pub is_bin: bool,
 }
 
@@ -86,21 +115,20 @@ pub fn classify(rel: &Path) -> Option<FileClass<'_>> {
         return None;
     }
     let comps: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    // Only library/binary sources are in scope (the `src` tree directly
+    // under the crate root); integration tests, benches, and examples may
+    // use whatever they like.
     let (crate_name, is_shim, rest) = match comps.as_slice() {
-        ["crates", name, rest @ ..] => (*name, false, rest),
-        ["shims", name, rest @ ..] => (*name, true, rest),
-        ["src", ..] => ("(root)", false, &comps[1..]),
+        ["crates", name, "src", rest @ ..] => (*name, false, rest),
+        ["shims", name, "src", rest @ ..] => (*name, true, rest),
+        ["src", rest @ ..] => ("(root)", false, rest),
         _ => return None,
     };
-    // Only library/binary sources are in scope; integration tests, benches,
-    // and examples may use whatever they like.
-    let in_src = comps.contains(&"src");
-    if !in_src {
-        return None;
-    }
-    let is_bin = rest.first() == Some(&"bin")
-        || comps.contains(&"bin")
-        || rel.file_name().and_then(|f| f.to_str()) == Some("main.rs");
+    // A binary target is a file under the `bin` directory component
+    // directly below `src/`, or `src/main.rs` itself. Nothing else — a
+    // crate named "binning" or a module dir containing "bin" in its name
+    // must not be exempted from the panic rule.
+    let is_bin = matches!(rest, ["bin", _, ..] | ["main.rs"]);
     Some(FileClass {
         crate_name,
         is_shim,
@@ -108,15 +136,48 @@ pub fn classify(rel: &Path) -> Option<FileClass<'_>> {
     })
 }
 
-/// Whether a waiver token appears on the line or within the window above.
-fn waived(lines: &[CodeLine], idx: usize, token: &str) -> bool {
-    let lo = idx.saturating_sub(WAIVER_WINDOW);
-    lines[lo..=idx].iter().any(|l| l.raw.contains(token))
+/// The candidate lines a waiver comment for `line` (1-based) may sit on:
+/// the line itself plus up to [`WAIVER_WINDOW`] lines above, where blank
+/// lines, attribute-only lines, and `//` comment lines are yielded but do
+/// not consume the window. Attributes keep a justification above
+/// `#[inline]`/`#[cold]` alive; comment transparency means the *whole*
+/// comment block attached to a statement is searched, so a multi-line
+/// `// SAFETY: …` argument waives no matter how long it runs.
+pub(crate) fn window_lines<'a>(
+    raw_lines: &'a [&'a str],
+    line: usize,
+) -> impl Iterator<Item = &'a str> {
+    let mut out: Vec<&str> = Vec::new();
+    if line >= 1 && line <= raw_lines.len() {
+        out.push(raw_lines[line - 1]);
+        let mut counted = 0;
+        let mut i = line - 1;
+        while counted < WAIVER_WINDOW && i > 0 {
+            i -= 1;
+            let l = raw_lines[i];
+            let t = l.trim();
+            out.push(l);
+            let transparent =
+                t.is_empty() || t.starts_with("#[") || t.starts_with("#![") || t.starts_with("//");
+            if !transparent {
+                counted += 1;
+            }
+        }
+    }
+    out.into_iter()
 }
 
-/// Runs all rules over one file's source text.
+/// Whether a waiver token appears (case-insensitively) on the line or
+/// within the window above.
+pub(crate) fn waiver_near(raw_lines: &[&str], line: usize, token: &str) -> bool {
+    let token = token.to_ascii_lowercase();
+    window_lines(raw_lines, line).any(|l| l.to_ascii_lowercase().contains(&token))
+}
+
+/// Runs the line-textual rules (1–4) over one file's source text.
 pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Violation> {
     let lines = scan(source);
+    let raw_lines: Vec<&str> = lines.iter().map(|l| l.raw.as_str()).collect();
     let mut out = Vec::new();
     let push = |out: &mut Vec<Violation>, line: usize, rule: &'static str, message: String| {
         out.push(Violation {
@@ -127,7 +188,7 @@ pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Viola
         });
     };
 
-    for (idx, line) in lines.iter().enumerate() {
+    for line in &lines {
         if line.in_test {
             continue;
         }
@@ -135,7 +196,7 @@ pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Viola
 
         // Rule 1: relaxed/SeqCst orderings need a sync-audit justification.
         for ordering in ["Ordering::Relaxed", "Ordering::SeqCst"] {
-            if code.contains(ordering) && !waived(&lines, idx, "sync-audit:") {
+            if code.contains(ordering) && !waiver_near(&raw_lines, line.number, "sync-audit:") {
                 push(
                     &mut out,
                     line.number,
@@ -152,7 +213,7 @@ pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Viola
         // Rule 2: no unwrap/expect in non-test library code.
         if !class.is_bin && !class.is_shim && !PANIC_EXEMPT_CRATES.contains(&class.crate_name) {
             for pat in [".unwrap()", ".expect("] {
-                if code.contains(pat) && !waived(&lines, idx, "panic-audit:") {
+                if code.contains(pat) && !waiver_near(&raw_lines, line.number, "panic-audit:") {
                     push(
                         &mut out,
                         line.number,
@@ -200,6 +261,18 @@ pub fn check_source(rel: &Path, class: FileClass<'_>, source: &str) -> Vec<Viola
     out
 }
 
+/// Everything one gate run produced: the full (unfiltered) violation list
+/// plus the per-crate unsafe census.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files in scope that were scanned.
+    pub scanned: usize,
+    /// All violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Unsafe census per crate (crates with zero sites are omitted).
+    pub census: BTreeMap<String, UnsafeCensus>,
+}
+
 /// Recursively collects `.rs` files under `root`, skipping `target/`.
 fn collect_rs(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(root)? {
@@ -219,9 +292,8 @@ fn collect_rs(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Runs the gate over the workspace rooted at `root`. Returns the number of
-/// files scanned plus all violations.
-pub fn run(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
+/// Runs the gate over the workspace rooted at `root`.
+pub fn run(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for top in ["crates", "shims", "src"] {
         let dir = root.join(top);
@@ -231,18 +303,239 @@ pub fn run(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
     }
     files.sort();
 
-    let mut scanned = 0;
-    let mut violations = Vec::new();
+    let hierarchy = match std::fs::read_to_string(root.join("DESIGN.md")) {
+        Ok(text) => lockgraph::Hierarchy::parse_design(&text),
+        Err(_) => lockgraph::Hierarchy::default(),
+    };
+
+    let mut report = Report::default();
+    let mut edges = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let Some(class) = classify(&rel) else {
             continue;
         };
         let source = std::fs::read_to_string(&path)?;
-        scanned += 1;
-        violations.extend(check_source(&rel, class, &source));
+        report.scanned += 1;
+        report.violations.extend(check_source(&rel, class, &source));
+
+        // Structural rules share one token pass per file.
+        let structure = tokens::analyze(&source);
+        let raw_lines: Vec<&str> = source.lines().collect();
+        let (unsafe_violations, census) = unsafe_audit::check(&rel, class, &structure, &raw_lines);
+        report.violations.extend(unsafe_violations);
+        if census.total() > 0 {
+            report
+                .census
+                .entry(class.crate_name.to_string())
+                .or_default()
+                .absorb(&census);
+        }
+        edges.extend(lockgraph::extract(&rel, class, &structure, &raw_lines));
     }
-    Ok((scanned, violations))
+    report
+        .violations
+        .extend(lockgraph::check(&edges, &hierarchy));
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Renders the machine-readable report (`--format json`).
+pub fn render_json(
+    scanned: usize,
+    active: &[Violation],
+    suppressed: usize,
+    census: &BTreeMap<String, UnsafeCensus>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {scanned},\n"));
+    out.push_str(&format!("  \"suppressed_by_baseline\": {suppressed},\n"));
+    out.push_str("  \"violations\": [");
+    for (i, v) in active.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": ");
+        out.push_str(&json::quote(&v.path.display().to_string()));
+        out.push_str(&format!(", \"line\": {}, \"rule\": ", v.line));
+        out.push_str(&json::quote(v.rule));
+        out.push_str(", \"message\": ");
+        out.push_str(&json::quote(&v.message));
+        out.push('}');
+    }
+    if !active.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"unsafe_census\": {");
+    for (i, (crate_name, c)) in census.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json::quote(crate_name));
+        out.push_str(&format!(
+            ": {{\"blocks\": {}, \"fns\": {}, \"impls\": {}, \"traits\": {}, \
+             \"externs\": {}, \"total\": {}}}",
+            c.blocks,
+            c.fns,
+            c.impls,
+            c.traits,
+            c.externs,
+            c.total()
+        ));
+    }
+    if !census.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Parses a rendered report back into (scanned, violations, suppressed) —
+/// the round-trip proof that the JSON artifact is losslessly consumable.
+#[cfg(test)]
+pub fn parse_report(text: &str) -> Result<(usize, Vec<Violation>, usize), String> {
+    let doc = json::parse(text)?;
+    let scanned = doc
+        .get("files_scanned")
+        .and_then(json::Value::as_u64)
+        .ok_or("missing files_scanned")? as usize;
+    let suppressed = doc
+        .get("suppressed_by_baseline")
+        .and_then(json::Value::as_u64)
+        .unwrap_or(0) as usize;
+    let mut violations = Vec::new();
+    for v in doc
+        .get("violations")
+        .and_then(json::Value::as_arr)
+        .ok_or("missing violations")?
+    {
+        let path = v.get("path").and_then(json::Value::as_str).ok_or("path")?;
+        let line = v.get("line").and_then(json::Value::as_u64).ok_or("line")? as usize;
+        let rule = v.get("rule").and_then(json::Value::as_str).ok_or("rule")?;
+        let message = v
+            .get("message")
+            .and_then(json::Value::as_str)
+            .ok_or("message")?;
+        violations.push(Violation {
+            path: PathBuf::from(path),
+            line,
+            // Rules are a closed set; map back to the static name so the
+            // parsed report compares equal to the original.
+            rule: RULES
+                .iter()
+                .find(|r| **r == rule)
+                .copied()
+                .ok_or_else(|| format!("unknown rule `{rule}`"))?,
+            message: message.to_string(),
+        });
+    }
+    Ok((scanned, violations, suppressed))
+}
+
+/// Every rule name the gate can emit.
+#[cfg(test)]
+pub const RULES: &[&str] = &[
+    "sync-ordering",
+    "panic",
+    "sync-facade",
+    "scratch-copy",
+    "unsafe-audit",
+    "lock-order",
+];
+
+/// The committed ratchet: how many violations per (rule, file) are
+/// tolerated. New rules land with their existing debt recorded here and the
+/// counts only go down — the gate fails on any *new* violation and the
+/// baseline is rewritten (smaller) with `--write-baseline` as debt is paid.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    allowed: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Builds a baseline that tolerates exactly the given violations.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut allowed = BTreeMap::new();
+        for v in violations {
+            *allowed
+                .entry((v.rule.to_string(), v.path.display().to_string()))
+                .or_insert(0) += 1;
+        }
+        Self { allowed }
+    }
+
+    /// Parses the committed baseline file.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let mut allowed = BTreeMap::new();
+        for entry in doc
+            .get("allowed")
+            .and_then(json::Value::as_arr)
+            .ok_or("baseline: missing `allowed` array")?
+        {
+            let rule = entry
+                .get("rule")
+                .and_then(json::Value::as_str)
+                .ok_or("baseline entry: missing rule")?;
+            let path = entry
+                .get("path")
+                .and_then(json::Value::as_str)
+                .ok_or("baseline entry: missing path")?;
+            let count = entry
+                .get("count")
+                .and_then(json::Value::as_u64)
+                .ok_or("baseline entry: missing count")? as usize;
+            allowed.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Self { allowed })
+    }
+
+    /// Renders the baseline for committing.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"allowed\": [");
+        for (i, ((rule, path), count)) in self.allowed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rule\": ");
+            out.push_str(&json::quote(rule));
+            out.push_str(", \"path\": ");
+            out.push_str(&json::quote(path));
+            out.push_str(&format!(", \"count\": {count}}}"));
+        }
+        if !self.allowed.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Splits violations into (active, suppressed-count): per (rule, file),
+    /// the first `count` violations (in line order) are tolerated.
+    pub fn filter(&self, violations: Vec<Violation>) -> (Vec<Violation>, usize) {
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut active = Vec::new();
+        let mut suppressed = 0;
+        for v in violations {
+            let key = (v.rule.to_string(), v.path.display().to_string());
+            let cap = self.allowed.get(&key).copied().unwrap_or(0);
+            let u = used.entry(key).or_insert(0);
+            if *u < cap {
+                *u += 1;
+                suppressed += 1;
+            } else {
+                active.push(v);
+            }
+        }
+        (active, suppressed)
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +578,42 @@ mod tests {
     }
 
     #[test]
+    fn classify_bin_requires_bin_component_under_src() {
+        // src/main.rs and src/bin/<file> are binary targets…
+        assert_eq!(
+            classify(Path::new("crates/cli/src/main.rs")).map(|c| c.is_bin),
+            Some(true)
+        );
+        assert_eq!(
+            classify(Path::new("crates/cli/src/bin/serve/main.rs")).map(|c| c.is_bin),
+            Some(true)
+        );
+        assert_eq!(
+            classify(Path::new("src/main.rs")).map(|c| c.is_bin),
+            Some(true)
+        );
+        // …but name lookalikes are not: a module directory containing
+        // "bin" elsewhere in the tree, or a nested main.rs.
+        assert_eq!(
+            classify(Path::new("crates/binning/src/bin.rs")).map(|c| c.is_bin),
+            Some(false)
+        );
+        assert_eq!(
+            classify(Path::new("crates/core/src/cabin/bin.rs")).map(|c| c.is_bin),
+            Some(false)
+        );
+        assert_eq!(
+            classify(Path::new("crates/core/src/robin/main.rs")).map(|c| c.is_bin),
+            Some(false)
+        );
+        // A `bin` directory not directly under src/ is not a target dir.
+        assert_eq!(
+            classify(Path::new("crates/core/src/io/bin/helper.rs")).map(|c| c.is_bin),
+            Some(false)
+        );
+    }
+
+    #[test]
     fn seeded_unjustified_ordering_is_flagged() {
         let v = check("let x = a.load(Ordering::Relaxed);");
         assert_eq!(v.len(), 1);
@@ -303,9 +632,29 @@ mod tests {
 
     #[test]
     fn waiver_window_is_bounded() {
-        let src = "// sync-audit: too far away.\n\n\n\n\nlet x = a.load(Ordering::SeqCst);";
+        // Four real code lines between the comment and the match: the
+        // window (3 counted lines) expires.
+        let src = "// sync-audit: too far away.\n\
+                   let a = 1;\n\
+                   let b = 2;\n\
+                   let c = 3;\n\
+                   let d = 4;\n\
+                   let x = a.load(Ordering::SeqCst);";
         let v = check(src);
         assert_eq!(v.len(), 1, "waiver beyond the window must not apply");
+    }
+
+    #[test]
+    fn waiver_window_skips_blank_and_attribute_lines() {
+        // Blank lines and attributes are transparent: the justification
+        // still applies even though it sits 5 physical lines up.
+        let src = "// sync-audit: counter, ordering-free.\n\
+                   #[inline]\n\
+                   \n\
+                   #[cold]\n\
+                   #![allow(dead_code)]\n\
+                   let x = a.load(Ordering::SeqCst);";
+        assert!(check(src).is_empty());
     }
 
     #[test]
@@ -407,5 +756,91 @@ mod tests {
         let src = "// std::sync is forbidden — this comment is fine\n\
                    let s = \"Ordering::Relaxed .unwrap() std::sync\";";
         assert!(check(src).is_empty());
+    }
+
+    fn sample_violations() -> Vec<Violation> {
+        vec![
+            Violation {
+                path: PathBuf::from("crates/core/src/a.rs"),
+                line: 3,
+                rule: "panic",
+                message: "msg with \"quotes\" and\nnewline".to_string(),
+            },
+            Violation {
+                path: PathBuf::from("crates/core/src/a.rs"),
+                line: 9,
+                rule: "panic",
+                message: "second".to_string(),
+            },
+            Violation {
+                path: PathBuf::from("crates/graph/src/b.rs"),
+                line: 1,
+                rule: "unsafe-audit",
+                message: "third".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let violations = sample_violations();
+        let mut census = BTreeMap::new();
+        census.insert(
+            "core".to_string(),
+            UnsafeCensus {
+                blocks: 2,
+                fns: 1,
+                impls: 0,
+                traits: 0,
+                externs: 0,
+            },
+        );
+        let text = render_json(42, &violations, 7, &census);
+        let (scanned, parsed, suppressed) = parse_report(&text).expect("report parses");
+        assert_eq!(scanned, 42);
+        assert_eq!(suppressed, 7);
+        assert_eq!(parsed, violations);
+        // Census survives as JSON too.
+        let doc = crate::json::parse(&text).unwrap();
+        let core = doc
+            .get("unsafe_census")
+            .and_then(|c| c.get("core"))
+            .unwrap();
+        assert_eq!(
+            core.get("total").and_then(crate::json::Value::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips_and_ratchets() {
+        let violations = sample_violations();
+        let baseline = Baseline::from_violations(&violations);
+        let reparsed = Baseline::parse(&baseline.to_json()).expect("baseline parses");
+
+        // The recorded debt is fully suppressed…
+        let (active, suppressed) = reparsed.filter(violations.clone());
+        assert!(active.is_empty());
+        assert_eq!(suppressed, 3);
+
+        // …but a new violation in the same file is not (counts ratchet).
+        let mut more = violations.clone();
+        more.push(Violation {
+            path: PathBuf::from("crates/core/src/a.rs"),
+            line: 20,
+            rule: "panic",
+            message: "fresh debt".to_string(),
+        });
+        let (active, suppressed) = reparsed.filter(more);
+        assert_eq!(suppressed, 3);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].line, 20);
+    }
+
+    #[test]
+    fn empty_baseline_suppresses_nothing() {
+        let (active, suppressed) = Baseline::default().filter(sample_violations());
+        assert_eq!(active.len(), 3);
+        assert_eq!(suppressed, 0);
     }
 }

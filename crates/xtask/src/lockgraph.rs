@@ -1,0 +1,723 @@
+//! The `lock-order` rule: static detection of lock-ordering deadlocks.
+//!
+//! The loom suites prove the interleavings the model tests *exercise*, but
+//! the persistent runtime now has enough lock diversity (mailbox state,
+//! completion handles, doorbells, cache shards, arena pools, bin pairs)
+//! that an untested acquisition order could deadlock in production without
+//! any model test failing. Because the `sync-facade` rule forces every
+//! Mutex/RwLock/Condvar through `blaze-sync`, the workspace's entire
+//! blocking-acquisition surface is textually recognizable — which makes a
+//! *precise* static pass feasible:
+//!
+//! 1. **Guard-held regions.** Within each function body (token structure
+//!    from [`tokens`](crate::tokens)), every zero-argument `.lock()` /
+//!    `.read()` / `.write()` call is an acquisition. A `let`-bound guard
+//!    lives until its scope closes or an explicit `drop(name)`; an unbound
+//!    (temporary) guard lives until the end of the enclosing statement —
+//!    mirroring Rust 2021 temporary-lifetime rules, including the
+//!    `if m.lock().check() { … }` footgun where the guard outlives the
+//!    condition.
+//! 2. **Lock identity.** An acquisition is keyed by `crate/field` — the
+//!    crate the file belongs to plus the final field name of the receiver
+//!    chain (`self.shared.state.lock()` → `core/state`). Index expressions
+//!    are skipped (`self.done[device].lock()` → `storage/done`), so every
+//!    element of a shard array is one identity, which is exactly the
+//!    granularity a lock *hierarchy* is written at.
+//! 3. **The graph.** Acquiring `B` while a guard of `A` is live adds the
+//!    edge `A → B`. The workspace-wide multigraph must be consistent with
+//!    the canonical hierarchy declared in `DESIGN.md` §11 (a fenced
+//!    ` ```lock-order ` block listing identities outermost-first): every
+//!    edge's locks must appear in the list, in list order. Deliberate
+//!    exceptions (e.g. two instances of one lock field ordered by index)
+//!    carry a `// lock-order: A -> B` annotation at the inner acquisition.
+//! 4. **Cycles.** Independent of the list, any cycle among non-annotated
+//!    edges is reported with its path — this is the deadlock detector
+//!    proper, and it fires even when no hierarchy has been declared yet.
+//!
+//! Known approximations (all conservative or order-preserving): closure
+//! bodies are analyzed at their definition site (a closure defined under a
+//! guard is assumed to run under it); condvar waits count as continuous
+//! holds; guards returned from helper functions (`lock_for_gather`) are
+//! not tracked across the call boundary.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use crate::lint::{window_lines, FileClass, Violation};
+use crate::tokens::{Delim, Structure, Token, TokenKind};
+
+/// One nested acquisition: `inner` acquired while a guard of `outer` lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    pub path: PathBuf,
+    pub fn_name: String,
+    /// Lock identity held (`crate/field`).
+    pub outer: String,
+    /// Line the outer guard was acquired on.
+    pub outer_line: usize,
+    /// Lock identity acquired under the outer guard.
+    pub inner: String,
+    /// Line of the inner acquisition (the edge's reporting site).
+    pub line: usize,
+    /// A `// lock-order: outer -> inner` annotation covers this edge.
+    pub waived: bool,
+}
+
+/// A live guard during the intra-function walk.
+struct Guard {
+    /// `let` binding name, when there is one (enables `drop(name)`).
+    name: Option<String>,
+    /// Statement temporary: dies at the enclosing statement's `;`.
+    temporary: bool,
+    lock: String,
+    line: usize,
+}
+
+/// Methods that acquire a blocking guard through the `blaze-sync` facade.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Resolves the receiver field of the acquisition whose `.` sits at `dot`:
+/// the nearest identifier, skipping one or more trailing index/call groups
+/// (`self.done[device]` → `done`, `self.shard(p).state` → `state`).
+fn receiver_field(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        match tokens[k].kind {
+            TokenKind::Close(delim @ (Delim::Bracket | Delim::Paren)) => {
+                // Walk back over the balanced group.
+                let mut depth = 0i64;
+                loop {
+                    match tokens[k].kind {
+                        TokenKind::Close(d) if d == delim => depth += 1,
+                        TokenKind::Open(d) if d == delim => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return None;
+                    }
+                    k -= 1;
+                }
+            }
+            TokenKind::Ident => return Some(tokens[k].text.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// Whether a `// lock-order: outer -> inner` annotation sits on the edge's
+/// line or within the waiver window above (blank/attribute lines skipped).
+fn annotated(raw_lines: &[&str], line: usize, outer: &str, inner: &str) -> bool {
+    let want: String = format!("{outer}->{inner}");
+    window_lines(raw_lines, line).any(|l| {
+        let Some(at) = l.find("lock-order:") else {
+            return false;
+        };
+        let normalized: String = l[at..].chars().filter(|c| !c.is_whitespace()).collect();
+        normalized.contains(&want)
+    })
+}
+
+/// Extracts the nested-acquisition edges of one file. Test-gated functions
+/// are skipped; edges are deduplicated by (outer, inner, line).
+pub fn extract(
+    rel: &Path,
+    class: FileClass<'_>,
+    structure: &Structure,
+    raw_lines: &[&str],
+) -> Vec<Edge> {
+    let tokens = &structure.tokens;
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen: HashSet<(String, String, usize)> = HashSet::new();
+
+    for f in &structure.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        // Scope stack; index 0 is the fn body itself.
+        let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
+        // `Some(binding)` while walking a `let` statement.
+        let mut stmt_let: Option<Option<String>> = None;
+        let mut at_stmt_start = true;
+        let mut j = open + 1;
+        while j < close {
+            let t = &tokens[j];
+            match t.kind {
+                TokenKind::Open(Delim::Brace) => {
+                    scopes.push(Vec::new());
+                    at_stmt_start = true;
+                    j += 1;
+                    continue;
+                }
+                TokenKind::Close(Delim::Brace) => {
+                    scopes.pop();
+                    // A block that ends a statement (`match g { … }`,
+                    // `if m.lock().x { … }`) ends its temporaries' lives —
+                    // unless an `else` continues the same statement.
+                    let continues = tokens.get(j + 1).is_some_and(|n| n.is_ident("else"));
+                    if !continues {
+                        if let Some(s) = scopes.last_mut() {
+                            s.retain(|g| !g.temporary);
+                        }
+                        stmt_let = None;
+                    }
+                    at_stmt_start = true;
+                    j += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if t.is_punct(';') {
+                if let Some(s) = scopes.last_mut() {
+                    s.retain(|g| !g.temporary);
+                }
+                stmt_let = None;
+                at_stmt_start = true;
+                j += 1;
+                continue;
+            }
+            if at_stmt_start && t.is_ident("let") {
+                let mut k = j + 1;
+                if tokens.get(k).is_some_and(|n| n.is_ident("mut")) {
+                    k += 1;
+                }
+                let name = tokens
+                    .get(k)
+                    .filter(|n| n.kind == TokenKind::Ident)
+                    .map(|n| n.text.clone());
+                stmt_let = Some(name);
+                at_stmt_start = false;
+                j += 1;
+                continue;
+            }
+            // `drop(name)` releases a named guard early.
+            if t.is_ident("drop")
+                && tokens
+                    .get(j + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Open(Delim::Paren))
+                && tokens
+                    .get(j + 3)
+                    .is_some_and(|n| n.kind == TokenKind::Close(Delim::Paren))
+            {
+                if let Some(name) = tokens.get(j + 2).filter(|n| n.kind == TokenKind::Ident) {
+                    for scope in scopes.iter_mut() {
+                        scope.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+                    }
+                    j += 4;
+                    at_stmt_start = false;
+                    continue;
+                }
+            }
+            // Acquisition: `.lock()` / `.read()` / `.write()` with no args.
+            let is_acquire = t.is_punct('.')
+                && tokens.get(j + 1).is_some_and(|n| {
+                    n.kind == TokenKind::Ident && ACQUIRE_METHODS.contains(&n.text.as_str())
+                })
+                && tokens
+                    .get(j + 2)
+                    .is_some_and(|n| n.kind == TokenKind::Open(Delim::Paren))
+                && tokens
+                    .get(j + 3)
+                    .is_some_and(|n| n.kind == TokenKind::Close(Delim::Paren));
+            if is_acquire {
+                if let Some(field) = receiver_field(tokens, j) {
+                    let lock = format!("{}/{}", class.crate_name, field);
+                    let line = tokens[j + 1].line;
+                    for g in scopes.iter().flatten() {
+                        if seen.insert((g.lock.clone(), lock.clone(), line)) {
+                            edges.push(Edge {
+                                path: rel.to_path_buf(),
+                                fn_name: f.name.clone(),
+                                outer: g.lock.clone(),
+                                outer_line: g.line,
+                                inner: lock.clone(),
+                                line,
+                                waived: annotated(raw_lines, line, &g.lock, &lock),
+                            });
+                        }
+                    }
+                    // The `let` binds the *guard* only when the acquisition
+                    // is the whole initializer (`let g = m.lock();`); in
+                    // `let n = m.lock().len()` the guard is a statement
+                    // temporary like any other.
+                    let binds_guard = tokens.get(j + 4).is_some_and(|n| n.is_punct(';'));
+                    let guard = match &stmt_let {
+                        // `let _ = m.lock()` drops the guard immediately.
+                        Some(Some(n)) if n == "_" && binds_guard => None,
+                        Some(name) if binds_guard => Some(Guard {
+                            name: name.clone(),
+                            temporary: false,
+                            lock,
+                            line,
+                        }),
+                        _ => Some(Guard {
+                            name: None,
+                            temporary: true,
+                            lock,
+                            line,
+                        }),
+                    };
+                    if let Some(g) = guard {
+                        if let Some(s) = scopes.last_mut() {
+                            s.push(g);
+                        }
+                    }
+                    j += 4;
+                    at_stmt_start = false;
+                    continue;
+                }
+            }
+            at_stmt_start = false;
+            j += 1;
+        }
+    }
+    edges
+}
+
+/// The canonical lock hierarchy: identities in acquisition order,
+/// outermost first.
+#[derive(Debug, Default, Clone)]
+pub struct Hierarchy {
+    order: Vec<String>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from an explicit list (outermost first).
+    #[cfg(test)]
+    pub fn from_list(names: &[&str]) -> Self {
+        Self {
+            order: names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Parses the canonical hierarchy out of `DESIGN.md`: the first fenced
+    /// ` ```lock-order ` block, one identity per line (blank lines and
+    /// `#`-comments allowed). Returns an empty hierarchy when the block is
+    /// absent — every nested acquisition is then undeclared, which is the
+    /// intended failure mode for a workspace that has not written its
+    /// hierarchy down yet.
+    pub fn parse_design(text: &str) -> Self {
+        let mut order = Vec::new();
+        let mut in_block = false;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if in_block {
+                if trimmed.starts_with("```") {
+                    break;
+                }
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                if let Some(first) = trimmed.split_whitespace().next() {
+                    order.push(first.to_string());
+                }
+            } else if trimmed == "```lock-order" {
+                in_block = true;
+            }
+        }
+        Self { order }
+    }
+
+    /// Number of declared identities.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no hierarchy is declared.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn pos(&self, lock: &str) -> Option<usize> {
+        self.order.iter().position(|l| l == lock)
+    }
+}
+
+/// Checks the workspace edge set against the declared hierarchy and
+/// reports cycles. `edges` is the concatenation of every file's
+/// [`extract`] output.
+pub fn check(edges: &[Edge], hierarchy: &Hierarchy) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let live: Vec<&Edge> = edges.iter().filter(|e| !e.waived).collect();
+
+    for e in &live {
+        match (hierarchy.pos(&e.outer), hierarchy.pos(&e.inner)) {
+            (Some(a), Some(b)) if a < b => {}
+            (Some(_), Some(_)) => out.push(Violation {
+                path: e.path.clone(),
+                line: e.line,
+                rule: "lock-order",
+                message: format!(
+                    "lock-order inversion in `{}`: `{}` acquired while holding \
+                     `{}` (line {}), but the declared hierarchy orders `{}` \
+                     first; re-order the acquisitions or annotate \
+                     `// lock-order: {} -> {}` if the inversion is deliberate \
+                     (e.g. distinct instances with their own ordering)",
+                    e.fn_name, e.inner, e.outer, e.outer_line, e.inner, e.outer, e.inner
+                ),
+            }),
+            (a, b) => {
+                let mut missing = Vec::new();
+                if a.is_none() {
+                    missing.push(e.outer.as_str());
+                }
+                if b.is_none() {
+                    missing.push(e.inner.as_str());
+                }
+                out.push(Violation {
+                    path: e.path.clone(),
+                    line: e.line,
+                    rule: "lock-order",
+                    message: format!(
+                        "nested acquisition in `{}` (`{}` under `{}`) uses \
+                         lock(s) not in the declared hierarchy: {}; add them \
+                         to the ```lock-order``` table in DESIGN.md §11",
+                        e.fn_name,
+                        e.inner,
+                        e.outer,
+                        missing.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cycle detection over the non-waived edge graph, independent of the
+    // declared list: this is the deadlock detector proper.
+    out.extend(find_cycles(&live));
+    out
+}
+
+/// Reports one violation per elementary cycle class (per strongly
+/// connected component with a cycle, plus self-loops).
+fn find_cycles(edges: &[&Edge]) -> Vec<Violation> {
+    // Adjacency over lock identities; remember one representative edge per
+    // (from, to) pair for reporting.
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    let mut repr: HashMap<(&str, &str), &Edge> = HashMap::new();
+    let mut nodes: Vec<&str> = Vec::new();
+    for e in edges {
+        adj.entry(e.outer.as_str())
+            .or_default()
+            .push(e.inner.as_str());
+        repr.entry((e.outer.as_str(), e.inner.as_str()))
+            .or_insert(e);
+        for n in [e.outer.as_str(), e.inner.as_str()] {
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+    }
+
+    // Tarjan's SCC, iterative-enough for this graph's size (recursion depth
+    // is bounded by the number of distinct lock identities).
+    struct Tarjan<'a> {
+        adj: &'a HashMap<&'a str, Vec<&'a str>>,
+        index: HashMap<&'a str, usize>,
+        low: HashMap<&'a str, usize>,
+        on_stack: HashSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        sccs: Vec<Vec<&'a str>>,
+    }
+    impl<'a> Tarjan<'a> {
+        fn visit(&mut self, v: &'a str) {
+            self.index.insert(v, self.next);
+            self.low.insert(v, self.next);
+            self.next += 1;
+            self.stack.push(v);
+            self.on_stack.insert(v);
+            if let Some(ws) = self.adj.get(v) {
+                for &w in ws {
+                    if !self.index.contains_key(w) {
+                        self.visit(w);
+                        let lw = self.low[w];
+                        let lv = self.low.get_mut(v).expect("visited");
+                        *lv = (*lv).min(lw);
+                    } else if self.on_stack.contains(w) {
+                        let iw = self.index[w];
+                        let lv = self.low.get_mut(v).expect("visited");
+                        *lv = (*lv).min(iw);
+                    }
+                }
+            }
+            if self.low[v] == self.index[v] {
+                let mut scc = Vec::new();
+                while let Some(w) = self.stack.pop() {
+                    self.on_stack.remove(w);
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.sccs.push(scc);
+            }
+        }
+    }
+    let mut t = Tarjan {
+        adj: &adj,
+        index: HashMap::new(),
+        low: HashMap::new(),
+        on_stack: HashSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+    for &n in &nodes {
+        if !t.index.contains_key(n) {
+            t.visit(n);
+        }
+    }
+
+    let mut out = Vec::new();
+    for scc in &t.sccs {
+        let cyclic = scc.len() > 1
+            || adj
+                .get(scc[0])
+                .is_some_and(|ws| ws.iter().any(|&w| w == scc[0]));
+        if !cyclic {
+            continue;
+        }
+        // Describe the cycle with member identities and one site per edge
+        // inside the component.
+        let members: HashSet<&str> = scc.iter().copied().collect();
+        let mut sites: Vec<String> = Vec::new();
+        let mut first: Option<&Edge> = None;
+        for (&(from, to), &e) in repr.iter() {
+            if members.contains(from) && members.contains(to) {
+                sites.push(format!(
+                    "{} -> {} at {}:{}",
+                    from,
+                    to,
+                    e.path.display(),
+                    e.line
+                ));
+                if first.is_none() || e.line < first.map(|f| f.line).unwrap_or(usize::MAX) {
+                    first = Some(e);
+                }
+            }
+        }
+        sites.sort();
+        let e = first.expect("cyclic SCC has at least one internal edge");
+        let mut names: Vec<&str> = scc.to_vec();
+        names.sort_unstable();
+        out.push(Violation {
+            path: e.path.clone(),
+            line: e.line,
+            rule: "lock-order",
+            message: format!(
+                "lock-acquisition cycle among {{{}}}: {}; a thread in each \
+                 arc can block the other forever — break the cycle or \
+                 annotate every deliberate edge with `// lock-order: A -> B`",
+                names.join(", "),
+                sites.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::analyze;
+
+    fn edges_of(src: &str) -> Vec<Edge> {
+        let structure = analyze(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let class = FileClass {
+            crate_name: "core",
+            is_shim: false,
+            is_bin: false,
+        };
+        extract(Path::new("crates/core/src/x.rs"), class, &structure, &raw)
+    }
+
+    fn pairs(edges: &[Edge]) -> Vec<(String, String)> {
+        edges
+            .iter()
+            .map(|e| (e.outer.clone(), e.inner.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn let_bound_guard_creates_edge() {
+        let e = edges_of("fn f(&self) { let g = self.a.lock(); self.b.lock().push(1); }");
+        assert_eq!(pairs(&e), [("core/a".to_string(), "core/b".to_string())]);
+        assert_eq!(e[0].fn_name, "f");
+    }
+
+    #[test]
+    fn temporary_guard_spans_one_statement() {
+        let src = "fn f(&self) {\n    let n = self.pools.lock().len() + self.spaces.lock().len();\n    self.other.lock().touch();\n}";
+        let e = edges_of(src);
+        // pools is live when spaces is taken (same statement), but neither
+        // survives into the next statement.
+        assert_eq!(
+            pairs(&e),
+            [("core/pools".to_string(), "core/spaces".to_string())]
+        );
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let e = edges_of("fn f(&self) { let g = self.a.lock(); drop(g); self.b.lock().push(1); }");
+        assert!(e.is_empty(), "dropped guard must not create an edge: {e:?}");
+    }
+
+    #[test]
+    fn scope_close_releases_guard() {
+        let e = edges_of("fn f(&self) { { let g = self.a.lock(); } self.b.lock().push(1); }");
+        assert!(e.is_empty(), "scoped guard must not leak: {e:?}");
+    }
+
+    #[test]
+    fn underscore_binding_drops_immediately() {
+        let e = edges_of("fn f(&self) { let _ = self.a.lock(); self.b.lock().push(1); }");
+        assert!(e.is_empty(), "`let _` guard dies at once: {e:?}");
+    }
+
+    #[test]
+    fn named_underscore_guard_lives() {
+        let e = edges_of("fn f(&self) { let _g = self.a.lock(); self.b.lock().push(1); }");
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn if_condition_temporary_covers_the_block() {
+        // Rust 2021 temporary lifetimes: the condition's guard lives for
+        // the whole `if` statement.
+        let e = edges_of(
+            "fn f(&self) { if self.a.lock().ready { self.b.lock().go(); } self.c.lock().done(); }",
+        );
+        assert_eq!(
+            pairs(&e),
+            [("core/a".to_string(), "core/b".to_string())],
+            "a covers b inside the if, but dies before c"
+        );
+    }
+
+    #[test]
+    fn index_expressions_resolve_to_the_field() {
+        let e = edges_of(
+            "fn f(&self) { let g = self.shards[i % N].lock(); self.stats[k].lock().bump(); }",
+        );
+        assert_eq!(
+            pairs(&e),
+            [("core/shards".to_string(), "core/stats".to_string())]
+        );
+    }
+
+    #[test]
+    fn rwlock_read_write_count_as_acquisitions() {
+        let e = edges_of("fn f(&self) { let g = self.map.read(); self.data.write().clear(); }");
+        assert_eq!(
+            pairs(&e),
+            [("core/map".to_string(), "core/data".to_string())]
+        );
+    }
+
+    #[test]
+    fn test_gated_fns_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(&self) { let g = self.a.lock(); self.b.lock().x(); }\n}";
+        assert!(edges_of(src).is_empty());
+    }
+
+    #[test]
+    fn annotation_waives_edge() {
+        let src = "fn f(&self) {\n    let g = self.a.lock();\n    // lock-order: core/a -> core/b (address-ordered pair)\n    self.b.lock().push(1);\n}";
+        let e = edges_of(src);
+        assert_eq!(e.len(), 1);
+        assert!(e[0].waived, "annotated edge must be waived");
+    }
+
+    #[test]
+    fn seeded_inversion_is_caught_and_hierarchy_order_passes() {
+        let hierarchy = Hierarchy::from_list(&["core/a", "core/b"]);
+        let ok = edges_of("fn f(&self) { let g = self.a.lock(); self.b.lock().x(); }");
+        assert!(check(&ok, &hierarchy).is_empty(), "declared order is clean");
+        let inverted = edges_of("fn g(&self) { let g = self.b.lock(); self.a.lock().x(); }");
+        let v = check(&inverted, &hierarchy);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0].message.contains("inversion"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn seeded_cycle_is_flagged() {
+        let mut edges = edges_of("fn f(&self) { let g = self.a.lock(); self.b.lock().x(); }");
+        edges.extend(edges_of(
+            "fn g(&self) { let g = self.b.lock(); self.a.lock().x(); }",
+        ));
+        let v = check(&edges, &Hierarchy::from_list(&["core/a", "core/b"]));
+        assert!(
+            v.iter().any(|x| x.message.contains("cycle")),
+            "cycle must be reported: {v:?}"
+        );
+    }
+
+    #[test]
+    fn declared_exception_waives_the_cycle() {
+        let hierarchy = Hierarchy::from_list(&["core/a", "core/b"]);
+        let mut edges = edges_of("fn f(&self) { let g = self.a.lock(); self.b.lock().x(); }");
+        edges.extend(edges_of(
+            "fn g(&self) {\n    let g = self.b.lock();\n    // lock-order: core/b -> core/a (disjoint instance sets)\n    self.a.lock().x();\n}",
+        ));
+        let v = check(&edges, &hierarchy);
+        assert!(v.is_empty(), "annotated back-edge must waive: {v:?}");
+    }
+
+    #[test]
+    fn undeclared_locks_in_edges_are_flagged() {
+        let edges = edges_of("fn f(&self) { let g = self.a.lock(); self.b.lock().x(); }");
+        let v = check(&edges, &Hierarchy::default());
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].message.contains("not in the declared hierarchy"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn self_deadlock_is_a_cycle() {
+        let edges = edges_of("fn f(&self) { let g = self.a.lock(); self.a.lock().x(); }");
+        let v = check(&edges, &Hierarchy::from_list(&["core/a"]));
+        assert!(
+            v.iter().any(|x| x.message.contains("cycle")),
+            "self-edge is a re-entrant deadlock: {v:?}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_parses_from_design_fence() {
+        let md = "## 11. Static analysis\n\nblah\n\n```lock-order\n# outermost first\ncore/state\n\ncore/pools  (arena)\ncore/spaces\n```\n\nafter\n";
+        let h = Hierarchy::parse_design(md);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pos("core/state"), Some(0));
+        assert_eq!(h.pos("core/pools"), Some(1));
+        assert_eq!(h.pos("core/spaces"), Some(2));
+        assert!(Hierarchy::parse_design("no fence here").is_empty());
+    }
+
+    #[test]
+    fn guards_returned_from_functions_are_not_tracked() {
+        // `lock_for_gather()` is not a raw acquisition; documented
+        // approximation.
+        let e = edges_of("fn f(&self) { let g = self.bin.lock_for_gather(); self.b.lock().x(); }");
+        assert!(e.is_empty());
+    }
+}

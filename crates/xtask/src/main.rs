@@ -2,9 +2,22 @@
 //!
 //! Commands:
 //! * `lint` — run the static analysis gate (see the `lint` module docs).
+//!
+//! `lint` options:
+//! * `--format json` — emit the machine-readable report instead of text.
+//! * `--out <path>` — write the report to a file instead of stdout.
+//! * `--report` — print the per-crate unsafe census (text mode).
+//! * `--baseline <path>` — baseline file (default `lint-baseline.json`
+//!   at the workspace root; missing file = empty baseline).
+//! * `--write-baseline` — record the current violations as the new
+//!   baseline and exit successfully.
 
+mod json;
 mod lint;
+mod lockgraph;
 mod scan;
+mod tokens;
+mod unsafe_audit;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,7 +42,7 @@ fn workspace_root() -> Option<PathBuf> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`\n");
             usage();
@@ -44,33 +57,160 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint    run the workspace analysis gate"
+        "usage: cargo xtask <command>\n\ncommands:\n  \
+         lint [--format json] [--out PATH] [--report] [--baseline PATH] \
+         [--write-baseline]\n          run the workspace analysis gate"
     );
 }
 
-fn run_lint() -> ExitCode {
+/// Parsed `lint` options.
+struct LintOptions {
+    format_json: bool,
+    report_census: bool,
+    write_baseline: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_lint_options(args: &[String]) -> Result<LintOptions, String> {
+    let mut opts = LintOptions {
+        format_json: false,
+        report_census: false,
+        write_baseline: false,
+        out: None,
+        baseline: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.format_json = true,
+                Some("text") => opts.format_json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `json` or `text`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--format=json" => opts.format_json = true,
+            "--format=text" => opts.format_json = false,
+            "--report" => opts.report_census = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--out" => {
+                let path = it.next().ok_or("--out expects a path")?;
+                opts.out = Some(PathBuf::from(path));
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline expects a path")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let opts = match parse_lint_options(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("xtask lint: {e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(root) = workspace_root() else {
         eprintln!("xtask: could not locate the workspace root");
         return ExitCode::FAILURE;
     };
-    match lint::run(&root) {
-        Ok((scanned, violations)) if violations.is_empty() => {
-            println!("xtask lint: {scanned} files scanned, 0 violations");
-            ExitCode::SUCCESS
-        }
-        Ok((scanned, violations)) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!(
-                "\nxtask lint: {scanned} files scanned, {} violation(s)",
-                violations.len()
-            );
-            ExitCode::FAILURE
-        }
+    let report = match lint::run(&root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("xtask lint: io error: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    if opts.write_baseline {
+        let baseline = lint::Baseline::from_violations(&report.violations);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: recorded {} violation(s) into {}",
+            report.violations.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match lint::Baseline::parse(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("xtask lint: bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => lint::Baseline::default(),
+    };
+    let (active, suppressed) = baseline.filter(report.violations);
+
+    if opts.format_json {
+        let text = lint::render_json(report.scanned, &active, suppressed, &report.census);
+        if let Some(out) = &opts.out {
+            if let Err(e) = std::fs::write(out, &text) {
+                eprintln!("xtask lint: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+        } else {
+            print!("{text}");
+        }
+    } else {
+        for v in &active {
+            println!("{v}");
+        }
+        if opts.report_census {
+            println!("\nunsafe census (per crate, non-test sites):");
+            let mut sum = crate::unsafe_audit::UnsafeCensus::default();
+            for (crate_name, c) in &report.census {
+                sum.absorb(c);
+                println!(
+                    "  {crate_name:<10} blocks={} fns={} impls={} traits={} externs={} total={}",
+                    c.blocks,
+                    c.fns,
+                    c.impls,
+                    c.traits,
+                    c.externs,
+                    c.total()
+                );
+            }
+            println!("  {:<10} total={}", "(all)", sum.total());
+        }
+        let mut summary = format!(
+            "xtask lint: {} files scanned, {} violation(s)",
+            report.scanned,
+            active.len()
+        );
+        if suppressed > 0 {
+            summary.push_str(&format!(" ({suppressed} suppressed by baseline)"));
+        }
+        if active.is_empty() {
+            println!("{summary}");
+        } else {
+            println!("\n{summary}");
+        }
+    }
+
+    if active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

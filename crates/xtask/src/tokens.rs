@@ -1,0 +1,782 @@
+//! A token-level scanner for the analyzer rules.
+//!
+//! The line-oriented scanner in [`scan`](crate::scan) is enough for rules
+//! that pattern-match a single line, but the unsafe-audit and lock-order
+//! rules need *structure*: which `unsafe` keyword opens a block versus an
+//! `impl`, where a function body starts and ends, whether a mutex guard
+//! bound three statements ago is still live. This module produces a proper
+//! token stream with spans and a structural index on top of it:
+//!
+//! * [`tokenize`] — lexes Rust source into [`Token`]s with 1-based
+//!   line/column spans. String literals of every flavour (`"…"`, `r"…"`,
+//!   `r#"…"#`, `b"…"`, `br#"…"#`), char and byte literals (including
+//!   `'\u{…}'` escapes), lifetimes, raw identifiers, and nested block
+//!   comments are handled, so brace tokens are *real* braces — a `{` inside
+//!   a string or comment never reaches the structural pass.
+//! * [`analyze`] — walks the token stream once and extracts
+//!   [`FnItem`] boundaries and [`UnsafeSite`]s (block / `fn` / `impl` /
+//!   `trait` / `extern`), each flagged `in_test` when it sits in a
+//!   `#[cfg(test)]`/`#[test]`-gated region.
+//!
+//! The lexer is deliberately lossy where the rules do not care: literal
+//! *content* is elided (kind + span only), numeric suffixes are not
+//! validated, and `<`/`>` are plain puncts (generics carry no structural
+//! weight here). It must never be lossy about delimiters or identifiers.
+
+/// A delimiter class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Brace,
+    Paren,
+    Bracket,
+}
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`text` holds it; raw identifiers keep their
+    /// `r#` prefix stripped).
+    Ident,
+    /// A lifetime tick-identifier (`text` holds the name without the tick).
+    Lifetime,
+    /// Numeric literal (`text` holds the digits as written).
+    Number,
+    /// Any string / char / byte-string literal; content elided.
+    Literal,
+    /// A single punctuation character (`text` holds it).
+    Punct,
+    Open(Delim),
+    Close(Delim),
+}
+
+/// One token with its span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Source characters with precomputed positions.
+struct Cursor {
+    chars: Vec<char>,
+    lines: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        let mut chars = Vec::with_capacity(source.len());
+        let mut lines = Vec::with_capacity(source.len());
+        let mut cols = Vec::with_capacity(source.len());
+        let (mut line, mut col) = (1usize, 1usize);
+        for c in source.chars() {
+            chars.push(c);
+            lines.push(line);
+            cols.push(col);
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Self { chars, lines, cols }
+    }
+
+    fn get(&self, i: usize) -> Option<char> {
+        self.chars.get(i).copied()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream. Never fails: malformed input
+/// degrades to best-effort tokens (an unterminated literal runs to end of
+/// file), because the analyzer must not panic on code rustc has not
+/// blessed yet.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let cur = Cursor::new(source);
+    let n = cur.chars.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+
+    let push = |out: &mut Vec<Token>, kind: TokenKind, text: String, at: usize| {
+        out.push(Token {
+            kind,
+            text,
+            line: cur.lines[at],
+            col: cur.cols[at],
+        });
+    };
+
+    while i < n {
+        let c = cur.chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.get(i + 1) == Some('/') {
+            while i < n && cur.chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && cur.get(i + 1) == Some('*') {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if cur.chars[i] == '/' && cur.get(i + 1) == Some('*') {
+                    depth += 1;
+                    i += 2;
+                } else if cur.chars[i] == '*' && cur.get(i + 1) == Some('/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String-ish literals, longest prefix first: br#"…"#, br"…", b"…",
+        // b'…', r#"…"#, r"…", then plain "…" and '…'-or-lifetime.
+        if c == 'b' || c == 'r' {
+            // Where the hashes/quote may start: after `br`, or after `b`/`r`.
+            let raw_at = if c == 'b' && cur.get(i + 1) == Some('r') {
+                i + 2
+            } else {
+                i + 1
+            };
+            // b'…' byte char literal.
+            if c == 'b' && cur.get(i + 1) == Some('\'') {
+                let end = consume_char_literal(&cur, i + 1);
+                push(&mut out, TokenKind::Literal, String::new(), i);
+                i = end;
+                continue;
+            }
+            // Raw (byte) string: count hashes, require a quote.
+            let mut hashes = 0usize;
+            let mut j = raw_at;
+            if c == 'r' || (c == 'b' && cur.get(i + 1) == Some('r')) {
+                while cur.get(j) == Some('#') {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            // Any of the b/r/br prefixes followed by (hashes and) a quote
+            // is a string literal.
+            if cur.get(j) == Some('"') {
+                // For plain b"…" hashes is 0 and j == i + 1.
+                let mut k = j + 1;
+                'raw: while k < n {
+                    if cur.chars[k] == '\\' && hashes == 0 {
+                        // Non-raw byte strings still process escapes.
+                        if c == 'b' && cur.get(i + 1) != Some('r') {
+                            k += 2;
+                            continue;
+                        }
+                    }
+                    if cur.chars[k] == '"' {
+                        let mut seen = 0usize;
+                        while seen < hashes && cur.get(k + 1 + seen) == Some('#') {
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            k += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                push(&mut out, TokenKind::Literal, String::new(), i);
+                i = k;
+                continue;
+            }
+            // `r#ident` raw identifier.
+            if c == 'r' && cur.get(i + 1) == Some('#') && cur.get(i + 2).is_some_and(is_ident_start)
+            {
+                let mut k = i + 2;
+                let mut text = String::new();
+                while k < n && is_ident_continue(cur.chars[k]) {
+                    text.push(cur.chars[k]);
+                    k += 1;
+                }
+                push(&mut out, TokenKind::Ident, text, i);
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with b/r.
+        }
+        if c == '"' {
+            let mut k = i + 1;
+            while k < n {
+                match cur.chars[k] {
+                    '\\' => k += 2,
+                    '"' => {
+                        k += 1;
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            push(&mut out, TokenKind::Literal, String::new(), i);
+            i = k;
+            continue;
+        }
+        if c == '\'' {
+            // Escape → char literal ('\n', '\u{1F600}', '\\', '\'').
+            if cur.get(i + 1) == Some('\\') {
+                let end = consume_char_literal(&cur, i);
+                push(&mut out, TokenKind::Literal, String::new(), i);
+                i = end;
+                continue;
+            }
+            // Simple one-char literal 'x' — including digits and
+            // punctuation like '{' that must not disturb brace depth.
+            if cur.get(i + 2) == Some('\'') && cur.get(i + 1) != Some('\'') {
+                push(&mut out, TokenKind::Literal, String::new(), i);
+                i += 3;
+                continue;
+            }
+            // Lifetime: tick + identifier run with no closing tick.
+            if cur.get(i + 1).is_some_and(is_ident_start) {
+                let mut k = i + 1;
+                let mut text = String::new();
+                while k < n && is_ident_continue(cur.chars[k]) {
+                    text.push(cur.chars[k]);
+                    k += 1;
+                }
+                push(&mut out, TokenKind::Lifetime, text, i);
+                i = k;
+                continue;
+            }
+            // Stray tick; treat as punct and move on.
+            push(&mut out, TokenKind::Punct, "'".to_string(), i);
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut k = i;
+            let mut text = String::new();
+            while k < n && is_ident_continue(cur.chars[k]) {
+                text.push(cur.chars[k]);
+                k += 1;
+            }
+            push(&mut out, TokenKind::Ident, text, i);
+            i = k;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut k = i;
+            let mut text = String::new();
+            while k < n {
+                let d = cur.chars[k];
+                if is_ident_continue(d) {
+                    text.push(d);
+                    k += 1;
+                } else if d == '.'
+                    && cur.get(k + 1).is_some_and(|e| e.is_ascii_digit())
+                    && !text.contains('.')
+                {
+                    // `1.5` is one number; `0..10` is number-punct-punct.
+                    text.push(d);
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            push(&mut out, TokenKind::Number, text, i);
+            i = k;
+            continue;
+        }
+        let kind = match c {
+            '{' => TokenKind::Open(Delim::Brace),
+            '}' => TokenKind::Close(Delim::Brace),
+            '(' => TokenKind::Open(Delim::Paren),
+            ')' => TokenKind::Close(Delim::Paren),
+            '[' => TokenKind::Open(Delim::Bracket),
+            ']' => TokenKind::Close(Delim::Bracket),
+            _ => TokenKind::Punct,
+        };
+        push(&mut out, kind, c.to_string(), i);
+        i += 1;
+    }
+    out
+}
+
+/// Consumes a (byte) char literal starting at the opening tick `at`,
+/// returning the index just past the closing tick. Handles `'\u{…}'`,
+/// single-char escapes, and runs to end of line on malformed input.
+fn consume_char_literal(cur: &Cursor, at: usize) -> usize {
+    let n = cur.chars.len();
+    let mut k = at + 1;
+    if cur.get(k) == Some('\\') {
+        k += 1;
+        if cur.get(k) == Some('u') {
+            // \u{…}
+            k += 1;
+            while k < n && cur.chars[k] != '}' && cur.chars[k] != '\n' {
+                k += 1;
+            }
+            k += 1; // past '}'
+        } else {
+            k += 1; // the escaped char
+        }
+    } else if k < n {
+        k += 1;
+    }
+    // Closing tick (tolerate its absence at EOL).
+    if cur.get(k) == Some('\'') {
+        k += 1;
+    }
+    k
+}
+
+/// Kind of an `unsafe` occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }`.
+    Block,
+    /// `unsafe fn …`.
+    Fn,
+    /// `unsafe impl …`.
+    Impl,
+    /// `unsafe trait …`.
+    Trait,
+    /// `unsafe extern { … }`.
+    Extern,
+}
+
+impl UnsafeKind {
+    /// Human-readable site description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+            UnsafeKind::Trait => "unsafe trait",
+            UnsafeKind::Extern => "unsafe extern block",
+        }
+    }
+}
+
+/// One `unsafe` keyword with its classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub kind: UnsafeKind,
+    pub line: usize,
+    pub col: usize,
+    /// Inside a `#[cfg(test)]`/`#[test]`-gated region.
+    pub in_test: bool,
+}
+
+/// One `fn` item with its body's token extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    pub line: usize,
+    /// Token indices of the body's `{` and matching `}`; `None` for
+    /// bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]`/`#[test]`-gated region.
+    pub in_test: bool,
+}
+
+/// Token stream plus the structural index the analyzer rules consume.
+#[derive(Debug)]
+pub struct Structure {
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnItem>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Finds the index of the delimiter matching the `Open` at `open`.
+pub fn matching(tokens: &[Token], open: usize) -> Option<usize> {
+    let TokenKind::Open(want) = tokens[open].kind else {
+        return None;
+    };
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Open(d) if d == want => depth += 1,
+            TokenKind::Close(d) if d == want => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the attribute tokens in `tokens[lo..hi]` gate a test item.
+fn attr_is_test(tokens: &[Token], lo: usize, hi: usize) -> bool {
+    tokens[lo..hi]
+        .iter()
+        .any(|t| t.is_ident("test") || t.is_ident("tests"))
+}
+
+/// Tokenizes and structurally indexes `source`.
+pub fn analyze(source: &str) -> Structure {
+    let tokens = tokenize(source);
+    let n = tokens.len();
+    let mut in_test = vec![false; n];
+
+    // Pass 1: test-gated regions. A `#[…test…]` (or `#![…]`) attribute
+    // marks everything from itself to the end of the attributed item — the
+    // matching `}` of the item's first body brace, or the terminating `;`
+    // for braceless items (`mod tests;`).
+    let mut i = 0usize;
+    while i < n {
+        if tokens[i].is_punct('#') {
+            let mut open = i + 1;
+            if open < n && tokens[open].is_punct('!') {
+                open += 1;
+            }
+            if open < n && tokens[open].kind == TokenKind::Open(Delim::Bracket) {
+                if let Some(close) = matching(&tokens, open) {
+                    if attr_is_test(&tokens, open + 1, close) {
+                        // Walk to the attributed item's end. Any nested
+                        // delimiter groups on the way (generics don't
+                        // count, but `fn f(x: T)` parens do) are skipped
+                        // via depth counting.
+                        let mut depth = 0i64;
+                        let mut j = close + 1;
+                        let mut end = n.saturating_sub(1);
+                        while j < n {
+                            match tokens[j].kind {
+                                TokenKind::Open(Delim::Brace) if depth == 0 => {
+                                    end = matching(&tokens, j).unwrap_or(n - 1);
+                                    break;
+                                }
+                                TokenKind::Open(_) => depth += 1,
+                                TokenKind::Close(_) => depth -= 1,
+                                TokenKind::Punct if tokens[j].is_punct(';') && depth == 0 => {
+                                    end = j;
+                                    break;
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                            *flag = true;
+                        }
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: fn items and unsafe sites.
+    let mut fns = Vec::new();
+    let mut unsafe_sites = Vec::new();
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.is_ident("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            // Find the body: first `{` before a `;` at delimiter depth 0
+            // (parens of the signature and brackets of slice types are
+            // skipped by depth).
+            let mut depth = 0i64;
+            let mut body = None;
+            let mut j = i + 2;
+            while j < n {
+                match tokens[j].kind {
+                    TokenKind::Open(Delim::Brace) if depth == 0 => {
+                        body = matching(&tokens, j).map(|c| (j, c));
+                        break;
+                    }
+                    TokenKind::Open(_) => depth += 1,
+                    TokenKind::Close(_) => depth -= 1,
+                    TokenKind::Punct if tokens[j].is_punct(';') && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            fns.push(FnItem {
+                name: name_tok.text.clone(),
+                line: t.line,
+                body,
+                in_test: in_test[i],
+            });
+        }
+        if t.is_ident("unsafe") {
+            let kind = match tokens.get(i + 1) {
+                Some(next) if next.is_ident("fn") => UnsafeKind::Fn,
+                Some(next) if next.is_ident("impl") => UnsafeKind::Impl,
+                Some(next) if next.is_ident("trait") => UnsafeKind::Trait,
+                Some(next) if next.is_ident("extern") => UnsafeKind::Extern,
+                Some(next) if next.kind == TokenKind::Open(Delim::Brace) => UnsafeKind::Block,
+                // `unsafe(no_mangle)` in attributes, `unsafe` ahead of an
+                // ABI string, or malformed input: treat as a block so the
+                // audit errs toward flagging.
+                _ => UnsafeKind::Block,
+            };
+            unsafe_sites.push(UnsafeSite {
+                kind,
+                line: t.line,
+                col: t.col,
+                in_test: in_test[i],
+            });
+        }
+    }
+
+    Structure {
+        tokens,
+        fns,
+        unsafe_sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders a token as `kind:text` for compact oracle comparison.
+    fn brief(t: &Token) -> String {
+        match t.kind {
+            TokenKind::Ident => format!("i:{}", t.text),
+            TokenKind::Lifetime => format!("l:{}", t.text),
+            TokenKind::Number => format!("n:{}", t.text),
+            TokenKind::Literal => "str".to_string(),
+            TokenKind::Punct => format!("p:{}", t.text),
+            TokenKind::Open(Delim::Brace) => "{".to_string(),
+            TokenKind::Close(Delim::Brace) => "}".to_string(),
+            TokenKind::Open(Delim::Paren) => "(".to_string(),
+            TokenKind::Close(Delim::Paren) => ")".to_string(),
+            TokenKind::Open(Delim::Bracket) => "[".to_string(),
+            TokenKind::Close(Delim::Bracket) => "]".to_string(),
+        }
+    }
+
+    fn briefs(src: &str) -> Vec<String> {
+        tokenize(src).iter().map(brief).collect()
+    }
+
+    #[test]
+    fn oracle_byte_strings() {
+        // Braces and rule patterns inside byte strings must vanish.
+        let got = briefs(r#"let b = b"unsafe { } .lock()";"#);
+        assert_eq!(got, ["i:let", "i:b", "p:=", "str", "p:;"]);
+    }
+
+    #[test]
+    fn oracle_raw_byte_strings_span_lines() {
+        let src = "let x = br#\"line one {\nline two }\"#;\ndone();";
+        let got = briefs(src);
+        assert_eq!(
+            got,
+            ["i:let", "i:x", "p:=", "str", "p:;", "i:done", "(", ")", "p:;"]
+        );
+        // The token after the literal is on line 2 (the literal spans
+        // lines) and `done` is on line 3.
+        let toks = tokenize(src);
+        assert_eq!(toks[3].line, 1, "literal starts on line 1");
+        assert_eq!(toks[5].text, "done");
+        assert_eq!(toks[5].line, 3);
+    }
+
+    #[test]
+    fn oracle_nested_generics_with_lifetimes() {
+        let got = briefs("fn f<'a, T: Iter<Item = &'a str>>(x: &'a [u8]) -> Map<'a, T> { x }");
+        assert_eq!(
+            got,
+            [
+                "i:fn", "i:f", "p:<", "l:a", "p:,", "i:T", "p::", "i:Iter", "p:<", "i:Item", "p:=",
+                "p:&", "l:a", "i:str", "p:>", "p:>", "(", "i:x", "p::", "p:&", "l:a", "[", "i:u8",
+                "]", ")", "p:-", "p:>", "i:Map", "p:<", "l:a", "p:,", "i:T", "p:>", "{", "i:x",
+                "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn oracle_unicode_escape_char_literal() {
+        // '\u{1F600}' must be one literal; its inner braces must not
+        // perturb brace structure.
+        let got = briefs("let c = '\\u{1F600}'; { x }");
+        assert_eq!(got, ["i:let", "i:c", "p:=", "str", "p:;", "{", "i:x", "}"]);
+    }
+
+    #[test]
+    fn oracle_char_literals_vs_lifetimes() {
+        let got = briefs("let a: (char, &'static str) = ('{', \"y\");");
+        assert_eq!(
+            got,
+            [
+                "i:let", "i:a", "p::", "(", "i:char", "p:,", "p:&", "l:static", "i:str", ")",
+                "p:=", "(", "str", "p:,", "str", ")", "p:;"
+            ]
+        );
+    }
+
+    #[test]
+    fn oracle_macro_with_unbalanced_braces_in_strings() {
+        // The string contains what looks like an unbalanced close brace;
+        // real structure stays balanced.
+        let src = "macro_rules! m { () => { println!(\"} } }{\") } }";
+        let toks = tokenize(src);
+        let depth: i64 = toks
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::Open(Delim::Brace) => 1,
+                TokenKind::Close(Delim::Brace) => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(depth, 0, "brace depth must balance: {toks:?}");
+    }
+
+    #[test]
+    fn oracle_raw_identifiers_and_escaped_quotes() {
+        let got = briefs("let r#fn = \"a \\\" b\"; let r2 = r\"no \\ escapes\";");
+        assert_eq!(
+            got,
+            ["i:let", "i:fn", "p:=", "str", "p:;", "i:let", "i:r2", "p:=", "str", "p:;"]
+        );
+    }
+
+    #[test]
+    fn oracle_numbers() {
+        let got = briefs("for i in 0..10 { let f = 1.5e3; let h = 0xFFu32; }");
+        assert_eq!(
+            got,
+            [
+                "i:for",
+                "i:i",
+                "i:in",
+                "n:0",
+                "p:.",
+                "p:.",
+                "n:10",
+                "{",
+                "i:let",
+                "i:f",
+                "p:=",
+                "n:1.5e3",
+                "p:;",
+                "i:let",
+                "i:h",
+                "p:=",
+                "n:0xFFu32",
+                "p:;",
+                "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_line_and_col() {
+        let toks = tokenize("ab cd\n  ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+    }
+
+    #[test]
+    fn structure_finds_fn_bodies() {
+        let s = analyze("fn a(x: u32) -> u32 { x }\nfn decl();\nfn b() { { nested(); } }");
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].name, "a");
+        assert!(s.fns[0].body.is_some());
+        assert_eq!(s.fns[1].name, "decl");
+        assert!(s.fns[1].body.is_none(), "bodyless decl has no body");
+        let (open, close) = s.fns[2].body.unwrap();
+        assert_eq!(s.tokens[open].kind, TokenKind::Open(Delim::Brace));
+        assert_eq!(s.tokens[close].kind, TokenKind::Close(Delim::Brace));
+        assert_eq!(matching(&s.tokens, open), Some(close));
+    }
+
+    #[test]
+    fn structure_classifies_unsafe_sites() {
+        let src = "unsafe fn f() {}\nunsafe impl Send for X {}\nunsafe trait T {}\n\
+                   fn g() { unsafe { std::hint::unreachable_unchecked() } }";
+        let s = analyze(src);
+        let kinds: Vec<UnsafeKind> = s.unsafe_sites.iter().map(|u| u.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                UnsafeKind::Fn,
+                UnsafeKind::Impl,
+                UnsafeKind::Trait,
+                UnsafeKind::Block
+            ]
+        );
+        assert_eq!(s.unsafe_sites[3].line, 4);
+    }
+
+    #[test]
+    fn structure_marks_test_regions() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n\
+                   fn lib2() { unsafe { y() } }";
+        let s = analyze(src);
+        assert_eq!(s.unsafe_sites.len(), 2);
+        assert!(s.unsafe_sites[0].in_test, "unsafe inside #[cfg(test)] mod");
+        assert!(!s.unsafe_sites[1].in_test, "library unsafe after the mod");
+        let t = s.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.in_test);
+        let lib2 = s.fns.iter().find(|f| f.name == "lib2").unwrap();
+        assert!(!lib2.in_test);
+    }
+
+    #[test]
+    fn test_attr_with_braces_in_string_does_not_leak() {
+        // An attribute containing a string with a brace must not confuse
+        // the item-extent walk.
+        let src = "#[cfg(all(test, feature = \"x{\"))]\nfn t() { a(); }\nfn lib() { b(); }";
+        let s = analyze(src);
+        let t = s.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.in_test);
+        let lib = s.fns.iter().find(|f| f.name == "lib").unwrap();
+        assert!(!lib.in_test);
+    }
+
+    #[test]
+    fn braceless_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { unsafe { x() } }";
+        let s = analyze(src);
+        assert_eq!(s.unsafe_sites.len(), 1);
+        assert!(!s.unsafe_sites[0].in_test);
+    }
+
+    #[test]
+    fn attest_like_identifiers_do_not_gate() {
+        let src = "#[cfg(feature = \"attestation\")]\nfn f() { unsafe { x() } }";
+        let s = analyze(src);
+        assert!(!s.unsafe_sites[0].in_test);
+    }
+}

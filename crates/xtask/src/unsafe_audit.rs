@@ -1,0 +1,202 @@
+//! The `unsafe-audit` rule: every `unsafe` site carries a written
+//! justification.
+//!
+//! The workspace's `unsafe` surface is tiny and deliberate — lifetime
+//! erasure in the runtime's scoped-job submission, the zero-copy page
+//! reinterpretation in the graph decoder, and the `UnsafeCell` plumbing of
+//! the vendored model checker. Each of those sites is sound only because of
+//! an *argument* that lives outside the type system, so the argument must
+//! be written down where the `unsafe` keyword is: a `// safety:` (or
+//! `// SAFETY:`) comment on the same line or within the waiver window
+//! above, or — for `unsafe fn`/`unsafe trait` — a `# Safety` rustdoc
+//! section in the doc block.
+//!
+//! The rule runs on the token structure from [`tokens`](crate::tokens), so
+//! an `unsafe` inside a string literal or a `#[cfg(test)]` module never
+//! fires, and the audit distinguishes blocks from `unsafe fn` / `unsafe
+//! impl` / `unsafe trait` / `unsafe extern` for the census printed by
+//! `cargo xtask lint --report`.
+
+use std::path::Path;
+
+use crate::lint::{waiver_near, FileClass, Violation};
+use crate::tokens::Structure;
+
+/// Per-file (aggregated per-crate by the driver) unsafe-site counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UnsafeCensus {
+    pub blocks: usize,
+    pub fns: usize,
+    pub impls: usize,
+    pub traits: usize,
+    pub externs: usize,
+}
+
+impl UnsafeCensus {
+    /// Total unsafe sites.
+    pub fn total(&self) -> usize {
+        self.blocks + self.fns + self.impls + self.traits + self.externs
+    }
+
+    /// Adds another census into this one.
+    pub fn absorb(&mut self, other: &UnsafeCensus) {
+        self.blocks += other.blocks;
+        self.fns += other.fns;
+        self.impls += other.impls;
+        self.traits += other.traits;
+        self.externs += other.externs;
+    }
+}
+
+/// Tokens that count as a safety justification. `waiver_near` matches
+/// case-insensitively, so `// SAFETY:` (the clippy convention this
+/// workspace already follows) and `// safety:` are one token; `# Safety`
+/// accepts the rustdoc section heading for `unsafe fn`/`unsafe trait`.
+const SAFETY_TOKENS: &[&str] = &["safety:", "# safety"];
+
+/// Runs the unsafe-audit over one file's structure. Returns violations and
+/// the file's census (test-gated sites are excluded from both).
+pub fn check(
+    rel: &Path,
+    _class: FileClass<'_>,
+    structure: &Structure,
+    raw_lines: &[&str],
+) -> (Vec<Violation>, UnsafeCensus) {
+    let mut census = UnsafeCensus::default();
+    let mut out = Vec::new();
+    for site in &structure.unsafe_sites {
+        if site.in_test {
+            continue;
+        }
+        match site.kind {
+            crate::tokens::UnsafeKind::Block => census.blocks += 1,
+            crate::tokens::UnsafeKind::Fn => census.fns += 1,
+            crate::tokens::UnsafeKind::Impl => census.impls += 1,
+            crate::tokens::UnsafeKind::Trait => census.traits += 1,
+            crate::tokens::UnsafeKind::Extern => census.externs += 1,
+        }
+        let justified = SAFETY_TOKENS
+            .iter()
+            .any(|token| waiver_near(raw_lines, site.line, token));
+        if !justified {
+            out.push(Violation {
+                path: rel.to_path_buf(),
+                line: site.line,
+                rule: "unsafe-audit",
+                message: format!(
+                    "{} without a `// safety:` justification; write down the \
+                     soundness argument next to the keyword (or a `# Safety` \
+                     doc section for fns/traits)",
+                    site.kind.describe()
+                ),
+            });
+        }
+    }
+    (out, census)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::analyze;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let structure = analyze(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let class = FileClass {
+            crate_name: "core",
+            is_shim: false,
+            is_bin: false,
+        };
+        check(Path::new("crates/core/src/x.rs"), class, &structure, &raw).0
+    }
+
+    #[test]
+    fn seeded_unjustified_unsafe_block_is_flagged() {
+        let v = run("fn f() { unsafe { danger() } }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-audit");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].message.contains("unsafe block"));
+    }
+
+    #[test]
+    fn safety_comment_waives_block() {
+        let src =
+            "fn f() {\n    // safety: the pointer is checked above.\n    unsafe { danger() }\n}";
+        assert!(run(src).is_empty());
+        let upper = "fn f() {\n    // SAFETY: clippy-convention casing also counts.\n    unsafe { danger() }\n}";
+        assert!(run(upper).is_empty());
+    }
+
+    #[test]
+    fn long_safety_comment_block_waives() {
+        // A thorough soundness argument can run many lines; comment lines
+        // are transparent in the window, so the header still applies.
+        let src = "fn f(job: &dyn Job) {\n\
+                   // SAFETY: lifetime erasure only. The borrow strictly\n\
+                   // outlives every use because submit() blocks until the\n\
+                   // last participant returns, which is the same argument\n\
+                   // std::thread::scope relies on; workers never stash the\n\
+                   // reference beyond their role call.\n\
+                   let job = unsafe { erase(job) };\n\
+                   run(job);\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_survives_attributes_between() {
+        // The waiver window skips attribute-only lines, so a justification
+        // above #[inline] still applies.
+        let src =
+            "// safety: len checked by the caller.\n#[inline]\n#[cold]\nunsafe fn f() { body() }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_waives_unsafe_fn() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n/// Caller must hold the lock.\nunsafe fn f() { body() }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_justification() {
+        let v = run("unsafe impl Send for X {}");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unsafe impl"));
+        let ok =
+            "// safety: all fields are Send; the raw pointer is owned.\nunsafe impl Send for X {}";
+        assert!(run(ok).is_empty());
+    }
+
+    #[test]
+    fn test_gated_unsafe_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { poke() } }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_a_site() {
+        let src = "fn f() { let s = \"unsafe { }\"; s.len(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn census_counts_kinds() {
+        let src = "// safety: a.\nunsafe fn f() {}\n// safety: b.\nunsafe impl Send for X {}\n\
+                   fn g() {\n    // safety: c.\n    unsafe { x() }\n}";
+        let structure = analyze(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let class = FileClass {
+            crate_name: "core",
+            is_shim: false,
+            is_bin: false,
+        };
+        let (v, census) = check(Path::new("crates/core/src/x.rs"), class, &structure, &raw);
+        assert!(v.is_empty());
+        assert_eq!(census.fns, 1);
+        assert_eq!(census.impls, 1);
+        assert_eq!(census.blocks, 1);
+        assert_eq!(census.total(), 3);
+    }
+}
