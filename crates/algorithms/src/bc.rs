@@ -10,10 +10,12 @@ use blaze_frontier::VertexSubset;
 use blaze_types::{Result, VertexId};
 
 use crate::mode::ExecMode;
+use crate::translate::to_original_order;
 
 /// Out-of-core single-source Brandes. `out_engine` runs over the graph,
 /// `in_engine` over its transpose. Returns the dependency scores
-/// `delta[v]` for shortest paths out of `root`.
+/// `delta[v]` for shortest paths out of `root`; both `root` and the score
+/// indices are original vertex ids regardless of physical layout.
 pub fn bc(
     out_engine: &BlazeEngine,
     in_engine: &BlazeEngine,
@@ -26,6 +28,13 @@ pub fn bc(
         in_engine.num_vertices(),
         "transpose must match the graph"
     );
+    let layout = out_engine.graph().layout();
+    assert_eq!(
+        layout,
+        in_engine.graph().layout(),
+        "graph and transpose must share one vertex layout"
+    );
+    let root = layout.to_physical(root);
     let depth = VertexArray::<i64>::new(n, -1);
     let sigma = VertexArray::<f64>::new(n, 0.0);
     depth.set(root as usize, 0);
@@ -143,7 +152,9 @@ pub fn bc(
             threads,
         );
     }
-    Ok(delta)
+    // Boundary translation: scores computed in physical order come back
+    // indexed by original vertex id (no-op on identity layouts).
+    Ok(to_original_order(layout, delta, 0.0))
 }
 
 /// Helper: frontiers are consumed by value in loops; rebuild a frontier

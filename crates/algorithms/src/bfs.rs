@@ -10,8 +10,12 @@ use crate::mode::ExecMode;
 ///
 /// Returns the parent array: `parent[v]` is the BFS-tree parent of `v`, the
 /// root's parent is itself, and unreachable vertices hold `-1` — exactly
-/// the state of Algorithm 1.
+/// the state of Algorithm 1. Both `root` and the returned parents are
+/// original vertex ids regardless of the graph's physical layout; the
+/// traversal itself runs in physical space.
 pub fn bfs(engine: &BlazeEngine, root: VertexId, mode: ExecMode) -> Result<VertexArray<i64>> {
+    let layout = engine.graph().layout();
+    let root = layout.to_physical(root);
     let n = engine.num_vertices();
     let parent = VertexArray::<i64>::new(n, -1);
     parent.set(root as usize, root as i64);
@@ -49,6 +53,18 @@ pub fn bfs(engine: &BlazeEngine, root: VertexId, mode: ExecMode) -> Result<Verte
                 true,
             )?,
         };
+    }
+    // Boundary translation: parents are vertex-valued, so both the index
+    // and the stored id must come back to original space.
+    if let Some(map) = layout.phys_to_orig() {
+        let out = VertexArray::<i64>::new(n, -1);
+        for (p, &orig) in map.iter().enumerate() {
+            let pv = parent.get(p);
+            if pv >= 0 {
+                out.set(orig as usize, i64::from(map[pv as usize]));
+            }
+        }
+        return Ok(out);
     }
     Ok(parent)
 }

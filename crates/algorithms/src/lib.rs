@@ -12,6 +12,12 @@
 //! binning, or [`ExecMode::Sync`] compare-and-swap — the Figure 8 baseline)
 //! and has an in-memory reference implementation in [`reference`](mod@reference) used by
 //! the test suite to validate the out-of-core results.
+//!
+//! All queries speak *original* vertex ids at the API boundary. Graphs
+//! written with a degree-aware physical layout run internally in physical
+//! id space; inputs (roots, vectors) and outputs (parents, ranks, labels,
+//! scores) are translated at entry/exit so results are identical to the
+//! unreordered run.
 
 // The unsafe-audit rule (cargo xtask lint) keys off this: crates that
 // need no unsafe code forbid it outright, so the audit scope cannot
@@ -24,6 +30,7 @@ pub mod mode;
 pub mod pagerank;
 pub mod reference;
 pub mod spmv;
+mod translate;
 pub mod wcc;
 
 pub use bc::bc;

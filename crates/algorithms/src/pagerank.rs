@@ -9,6 +9,7 @@ use blaze_frontier::VertexSubset;
 use blaze_types::{Result, VertexId};
 
 use crate::mode::ExecMode;
+use crate::translate::to_original_order;
 
 /// PageRank-delta parameters.
 #[derive(Debug, Clone, Copy)]
@@ -119,7 +120,9 @@ fn run_pagerank(
             threads,
         );
     }
-    Ok(p)
+    // Boundary translation: ranks computed in physical order come back
+    // indexed by original vertex id (no-op on identity layouts).
+    Ok(to_original_order(engine.graph().layout(), p, 0.0))
 }
 
 #[cfg(test)]

@@ -10,12 +10,22 @@ use blaze_frontier::VertexSubset;
 use blaze_types::{Result, VertexId};
 
 use crate::mode::ExecMode;
+use crate::translate::to_original_order;
 
 /// Out-of-core SpMV: returns `y = Aᵀ·x` (accumulating along out-edges into
-/// destinations).
+/// destinations). `x` is indexed by original vertex id and so is the
+/// returned `y`; on layouted graphs the vector is permuted into physical
+/// order for the edge map and the result permuted back.
 pub fn spmv(engine: &BlazeEngine, x: &[f64], mode: ExecMode) -> Result<VertexArray<f64>> {
     let n = engine.num_vertices();
     assert_eq!(x.len(), n, "input vector must have one entry per vertex");
+    let layout = engine.graph().layout();
+    // Boundary translation in: physical slot p reads x[orig(p)].
+    let px: std::borrow::Cow<'_, [f64]> = match layout.phys_to_orig() {
+        Some(map) => map.iter().map(|&orig| x[orig as usize]).collect(),
+        None => std::borrow::Cow::Borrowed(x),
+    };
+    let x = px.as_ref();
     let y = VertexArray::<f64>::new(n, 0.0);
     let frontier = VertexSubset::full(n);
     let scatter = |s: VertexId, _d: VertexId| x[s as usize];
@@ -42,7 +52,8 @@ pub fn spmv(engine: &BlazeEngine, x: &[f64], mode: ExecMode) -> Result<VertexArr
             false,
         )?,
     };
-    Ok(y)
+    // Boundary translation out: y[orig(p)] = y_phys[p].
+    Ok(to_original_order(layout, y, 0.0))
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@ use crate::mode::ExecMode;
 
 /// Out-of-core WCC. `out_engine` runs over the graph, `in_engine` over its
 /// transpose (the `.tgr` files of the artifact). Returns per-vertex labels:
-/// the minimum vertex id of each weakly connected component.
+/// the minimum *original* vertex id of each weakly connected component,
+/// independent of the physical layout the graph was written with.
 pub fn wcc(
     out_engine: &BlazeEngine,
     in_engine: &BlazeEngine,
@@ -23,6 +24,11 @@ pub fn wcc(
         n,
         in_engine.num_vertices(),
         "transpose must match the graph"
+    );
+    assert_eq!(
+        out_engine.graph().layout(),
+        in_engine.graph().layout(),
+        "graph and transpose must share one vertex layout"
     );
     let ids = Arc::new(VertexArray::<u32>::new(n, 0));
     let prev_ids = VertexArray::<u32>::new(n, 0);
@@ -64,14 +70,40 @@ pub fn wcc(
             threads,
         );
     }
-    Ok(Arc::try_unwrap(ids).unwrap_or_else(|arc| {
+    let ids = Arc::try_unwrap(ids).unwrap_or_else(|arc| {
         // Another Arc alive would be a bug; copy out defensively.
         let copy = VertexArray::<u32>::new(arc.len(), 0);
         for i in 0..arc.len() {
             copy.set(i, arc.get(i));
         }
         copy
-    }))
+    });
+    Ok(canonicalize_labels(out_engine, ids))
+}
+
+/// Boundary translation for WCC. Propagation converges to the minimum
+/// *physical* id per component, and labels are used as array indices along
+/// the way — so the run itself must stay physical. Afterwards each
+/// component is relabeled to the minimum *original* id of its members and
+/// the array re-indexed to original order, matching the unreordered run
+/// exactly. Identity layouts skip the pass: physical == original there.
+fn canonicalize_labels(engine: &BlazeEngine, ids: VertexArray<u32>) -> VertexArray<u32> {
+    let Some(map) = engine.graph().layout().phys_to_orig() else {
+        return ids;
+    };
+    let n = map.len();
+    // Pass 1: minimum original id per component representative.
+    let mut comp_min = vec![VertexId::MAX; n];
+    for (p, &orig) in map.iter().enumerate() {
+        let rep = ids.get(p) as usize;
+        comp_min[rep] = comp_min[rep].min(orig);
+    }
+    // Pass 2: re-index to original order with the canonical label.
+    let out = VertexArray::<u32>::new(n, 0);
+    for (p, &orig) in map.iter().enumerate() {
+        out.set(orig as usize, comp_min[ids.get(p) as usize]);
+    }
+    out
 }
 
 /// One EDGEMAP over one direction: scatter the source's label, gather the

@@ -1,0 +1,239 @@
+//! Property tests pinning the degree-aware physical layouts to the
+//! unreordered semantics: every query must return the *same answer* on a
+//! graph written with `--layout degree` or `--layout hub` as on the
+//! original vertex order — BFS levels and WCC labels exactly, SpMV on
+//! integer vectors exactly, PageRank within 1e-6 (floating-point
+//! summation order legitimately shifts low bits), BC within 1e-9.
+//!
+//! Graph shapes: random edge sets, a zero-degree prefix, a super-vertex
+//! hub absorbing most edges, and generated R-MAT graphs — the degree
+//! sequences the layouts were designed around.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+
+use blaze_algorithms::{bc, bfs, pagerank_delta, reference, spmv, wcc, ExecMode, PageRankConfig};
+use blaze_core::{BlazeEngine, EngineOptions};
+use blaze_graph::disk::{save_files_with_layout, LayoutMeta};
+use blaze_graph::gen::{rmat, RmatConfig};
+use blaze_graph::{Csr, DiskGraph, GraphBuilder, VertexLayout};
+use blaze_storage::StripedStorage;
+use blaze_sync::Arc;
+
+const N: u32 = 64;
+const LAYOUTS: [VertexLayout; 2] = [VertexLayout::Degree, VertexLayout::Hub];
+
+fn build(edges: Vec<(u32, u32)>) -> Csr {
+    let mut b = GraphBuilder::new(N as usize);
+    b.extend(edges);
+    b.build()
+}
+
+/// Random edges, a hub-heavy super-vertex shape, or a zero-degree prefix
+/// (vertices 0..16 own no out-edges) — chosen per case.
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (
+        proptest::sample::select(vec![0usize, 1, 2]),
+        proptest::collection::vec((0..N, 0..N), 1..400),
+        0..N,
+        proptest::collection::vec(0..N, 50..300),
+    )
+        .prop_map(|(kind, edges, hub, sources)| match kind {
+            0 => build(edges),
+            1 => build(
+                sources
+                    .into_iter()
+                    .map(|s| (s, hub))
+                    .chain(edges.into_iter().take(50))
+                    .collect(),
+            ),
+            _ => build(
+                edges
+                    .into_iter()
+                    .map(|(s, d)| (s % (N - 16) + 16, d))
+                    .collect(),
+            ),
+        })
+}
+
+/// Engine options with a small page cache, so layouted runs also exercise
+/// the heat-informed admission path end to end.
+fn opts() -> EngineOptions {
+    EngineOptions::default().with_cache_bytes(1 << 20)
+}
+
+/// One engine over `g` written under `layout` (in-memory storage).
+fn engine_with_layout(g: &Csr, layout: VertexLayout) -> BlazeEngine {
+    let storage = Arc::new(StripedStorage::in_memory(2).unwrap());
+    BlazeEngine::new(
+        Arc::new(DiskGraph::create_with_layout(g, storage, layout).unwrap()),
+        opts(),
+    )
+    .unwrap()
+}
+
+/// Out + transpose engines sharing ONE permutation, via the on-disk file
+/// path — exactly what the convert/gengraph tools produce.
+fn engine_pair_with_layout(
+    g: &Csr,
+    layout: VertexLayout,
+    dir: &Path,
+) -> (BlazeEngine, BlazeEngine) {
+    let (perm, hot_vertices) = layout.plan(g);
+    let phys = perm.permute_csr(g);
+    let phys_t = phys.transpose();
+    let meta = LayoutMeta {
+        kind: layout,
+        hot_vertices,
+        perm,
+    };
+    let (gi, ga) = save_files_with_layout(&phys, dir, "g.gr", 2, Some(&meta)).unwrap();
+    let (ti, ta) = save_files_with_layout(&phys_t, dir, "g.tgr", 2, Some(&meta)).unwrap();
+    let oe = BlazeEngine::new(Arc::new(DiskGraph::open_files(&gi, &ga).unwrap()), opts()).unwrap();
+    let ie = BlazeEngine::new(Arc::new(DiskGraph::open_files(&ti, &ta).unwrap()), opts()).unwrap();
+    (oe, ie)
+}
+
+/// BFS levels derived from a parent array: tree choice may differ between
+/// layouts, but the level of every vertex may not.
+fn levels_from_parents(parent: &[i64], root: u32) -> Vec<i64> {
+    parent
+        .iter()
+        .enumerate()
+        .map(|(v, &p)| {
+            if p < 0 {
+                return -1;
+            }
+            let mut cur = v as u32;
+            let mut depth = 0i64;
+            while cur != root {
+                cur = parent[cur as usize] as u32;
+                depth += 1;
+                assert!(depth <= parent.len() as i64, "parent cycle at {v}");
+            }
+            depth
+        })
+        .collect()
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let scale = x.abs().max(y.abs()).max(1e-12);
+        assert!((x - y).abs() / scale < tol, "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// BFS levels are identical across identity, degree, and hub layouts,
+    /// and each layout's parent array is a valid tree over original ids.
+    #[test]
+    fn bfs_levels_are_layout_invariant(g in arb_graph(), root in 0..N) {
+        let want = reference::bfs_levels(&g, root);
+        for layout in LAYOUTS {
+            let e = engine_with_layout(&g, layout);
+            let parent = bfs(&e, root, ExecMode::Binned).unwrap().to_vec();
+            prop_assert_eq!(
+                &levels_from_parents(&parent, root), &want,
+                "levels under {} layout", layout.name()
+            );
+            // Every parent edge must exist in the ORIGINAL graph: proof
+            // the boundary translation returned original ids.
+            for (v, &p) in parent.iter().enumerate() {
+                if p >= 0 && v as u32 != root {
+                    prop_assert!(
+                        g.neighbors(p as u32).contains(&(v as u32)),
+                        "{} layout: parent {p} lacks edge to {v}", layout.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// WCC labels (minimum original id per component) are bit-identical
+    /// across layouts, in both execution modes.
+    #[test]
+    fn wcc_labels_are_layout_invariant(g in arb_graph()) {
+        let want = reference::wcc_labels(&g);
+        for layout in LAYOUTS {
+            let dir = tempfile::tempdir().unwrap();
+            let (oe, ie) = engine_pair_with_layout(&g, layout, dir.path());
+            let ids = wcc(&oe, &ie, ExecMode::Binned).unwrap().to_vec();
+            prop_assert_eq!(&ids, &want, "labels under {} layout", layout.name());
+            let ids = wcc(&oe, &ie, ExecMode::Sync).unwrap().to_vec();
+            prop_assert_eq!(&ids, &want, "sync labels under {} layout", layout.name());
+        }
+    }
+
+    /// PageRank ranks agree with the unreordered reference to 1e-6 under
+    /// every layout.
+    #[test]
+    fn pagerank_is_layout_invariant_to_1e6(g in arb_graph()) {
+        let cfg = PageRankConfig::default();
+        let want = reference::pagerank_delta(&g, cfg.damping, cfg.epsilon, cfg.max_iters);
+        for layout in LAYOUTS {
+            let e = engine_with_layout(&g, layout);
+            let p = pagerank_delta(&e, cfg, ExecMode::Binned).unwrap().to_vec();
+            assert_close(&p, &want, 1e-6, layout.name());
+        }
+    }
+
+    /// SpMV on an integer-valued vector is EXACT across layouts: sums of
+    /// small integers are order-independent in f64.
+    #[test]
+    fn integer_spmv_is_layout_invariant_exactly(g in arb_graph(), seed in 0u64..1000) {
+        let x: Vec<f64> = (0..g.num_vertices())
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 17) as f64)
+            .collect();
+        let want = reference::spmv(&g, &x);
+        for layout in LAYOUTS {
+            let e = engine_with_layout(&g, layout);
+            let y = spmv(&e, &x, ExecMode::Binned).unwrap().to_vec();
+            prop_assert_eq!(&y, &want, "spmv under {} layout", layout.name());
+        }
+    }
+
+    /// BC dependency scores agree to 1e-9 under every layout.
+    #[test]
+    fn bc_scores_are_layout_invariant(g in arb_graph(), root in 0..N) {
+        let want = reference::bc_scores(&g, root);
+        for layout in LAYOUTS {
+            let dir = tempfile::tempdir().unwrap();
+            let (oe, ie) = engine_pair_with_layout(&g, layout, dir.path());
+            let scores = bc(&oe, &ie, root, ExecMode::Binned).unwrap().to_vec();
+            assert_close(&scores, &want, 1e-9, layout.name());
+        }
+    }
+}
+
+/// R-MAT graphs (power-law, the shape the layouts target): BFS levels,
+/// WCC labels, and PageRank all layout-invariant at scale 8.
+#[test]
+fn rmat_queries_are_layout_invariant() {
+    let g = rmat(&RmatConfig::new(8));
+    let bfs_want = reference::bfs_levels(&g, 0);
+    let pr_cfg = PageRankConfig::default();
+    let pr_want = reference::pagerank_delta(&g, pr_cfg.damping, pr_cfg.epsilon, pr_cfg.max_iters);
+    let wcc_want = reference::wcc_labels(&g);
+    for layout in LAYOUTS {
+        let e = engine_with_layout(&g, layout);
+        assert!(
+            !e.graph().layout().is_identity(),
+            "an R-MAT graph must actually reorder under {}",
+            layout.name()
+        );
+        let parent = bfs(&e, 0, ExecMode::Binned).unwrap().to_vec();
+        assert_eq!(levels_from_parents(&parent, 0), bfs_want);
+        let p = pagerank_delta(&e, pr_cfg, ExecMode::Binned)
+            .unwrap()
+            .to_vec();
+        assert_close(&p, &pr_want, 1e-6, layout.name());
+        let dir = tempfile::tempdir().unwrap();
+        let (oe, ie) = engine_pair_with_layout(&g, layout, dir.path());
+        let ids = wcc(&oe, &ie, ExecMode::Binned).unwrap().to_vec();
+        assert_eq!(ids, wcc_want, "wcc labels under {} layout", layout.name());
+    }
+}

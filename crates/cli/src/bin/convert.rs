@@ -2,42 +2,32 @@
 //! (`.gr.index` + striped `.gr.adj.<i>`, plus the `.tgr.*` transpose).
 //!
 //! ```sh
-//! convert edges.txt /data/mygraph --stripes 2 --dedup
+//! convert edges.txt /data/mygraph --stripes 2 --dedup --layout degree
 //! ```
+//!
+//! `--layout degree|hub` relabels vertices into a degree-aware physical
+//! order before writing; queries still speak original ids.
 
-use blaze_graph::disk::save_files;
+use blaze_cli::toolargs::{parse_tool_args, write_graph_pair, COMMON_USAGE};
 use blaze_graph::io::{read_edge_list_binary, read_edge_list_file};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional = Vec::new();
-    let mut stripes = 1usize;
-    let mut dedup = false;
-    let mut binary = false;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--stripes" => {
-                stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-                if stripes == 0 {
-                    eprintln!("convert: bad --stripes");
-                    std::process::exit(2);
-                }
-            }
-            "--dedup" => dedup = true,
-            "--binary" => binary = true,
-            other => positional.push(other.to_string()),
-        }
-    }
-    if positional.len() != 2 {
+    let args = parse_tool_args(
+        "convert",
+        std::env::args().skip(1),
+        &["--dedup", "--binary"],
+        &[],
+    );
+    if args.positional.len() != 2 {
         eprintln!(
-            "usage: convert <edge-list-file> <output-base> [--stripes N] [--dedup] [--binary]"
+            "usage: convert <edge-list-file> <output-base> {COMMON_USAGE} [--dedup] [--binary]"
         );
         eprintln!("  output-base like /data/mygraph produces mygraph.gr.* and mygraph.tgr.*");
         std::process::exit(2);
     }
-    let input = &positional[0];
-    let out_base = std::path::PathBuf::from(&positional[1]);
+    let dedup = args.has_flag("--dedup");
+    let input = &args.positional[0];
+    let out_base = std::path::PathBuf::from(&args.positional[1]);
     let dir = out_base.parent().unwrap_or(std::path::Path::new("."));
     let name = out_base
         .file_name()
@@ -45,7 +35,7 @@ fn main() {
         .unwrap_or("graph");
     std::fs::create_dir_all(dir).expect("create output dir");
 
-    let csr = if binary {
+    let csr = if args.has_flag("--binary") {
         let f = std::fs::File::open(input).unwrap_or_else(|e| {
             eprintln!("convert: cannot open {input}: {e}");
             std::process::exit(1);
@@ -59,15 +49,16 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "parsed {} vertices, {} edges",
+        "parsed {} vertices, {} edges ({} layout)",
         csr.num_vertices(),
-        csr.num_edges()
+        csr.num_edges(),
+        args.layout.name()
     );
-    let transpose = csr.transpose();
-    let (gi, ga) = save_files(&csr, dir, &format!("{name}.gr"), stripes).expect("write out-edges");
-    let (ti, ta) =
-        save_files(&transpose, dir, &format!("{name}.tgr"), stripes).expect("write transpose");
-    for p in [gi, ti].iter().chain(ga.iter()).chain(ta.iter()) {
+    let paths = write_graph_pair(&csr, dir, name, args.stripes, args.layout).unwrap_or_else(|e| {
+        eprintln!("convert: {e}");
+        std::process::exit(1);
+    });
+    for p in &paths {
         println!("wrote {}", p.display());
     }
 }

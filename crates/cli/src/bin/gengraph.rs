@@ -1,76 +1,58 @@
 //! Generates the paper's datasets to artifact-style files.
 //!
 //! ```sh
-//! gengraph rmat27 /data --scale tiny --stripes 1
+//! gengraph rmat27 /data --scale tiny --stripes 1 --layout degree
 //! ```
 //!
 //! Produces `<name>.gr.index`, `<name>.gr.adj.<i>` (out-edges) and the
 //! `.tgr.*` transpose set, exactly the files the query binaries take.
+//! `--layout degree|hub` relabels vertices into a degree-aware physical
+//! order before writing; queries still speak original ids.
 
-use blaze_graph::disk::save_files;
+use blaze_cli::toolargs::{parse_tool_args, write_graph_pair, COMMON_USAGE};
 use blaze_graph::{Dataset, DatasetScale};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional = Vec::new();
-    let mut scale = DatasetScale::Tiny;
-    let mut stripes = 1usize;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                scale = match it.next().map(String::as_str) {
-                    Some("tiny") => DatasetScale::Tiny,
-                    Some("small") => DatasetScale::Small,
-                    Some("medium") => DatasetScale::Medium,
-                    other => {
-                        eprintln!("gengraph: bad --scale {other:?}");
-                        std::process::exit(2);
-                    }
-                };
-            }
-            "--stripes" => {
-                stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-                if stripes == 0 {
-                    eprintln!("gengraph: bad --stripes");
-                    std::process::exit(2);
-                }
-            }
-            other => positional.push(other.to_string()),
+    let args = parse_tool_args("gengraph", std::env::args().skip(1), &[], &["--scale"]);
+    let scale = match args.value_of("--scale") {
+        None | Some("tiny") => DatasetScale::Tiny,
+        Some("small") => DatasetScale::Small,
+        Some("medium") => DatasetScale::Medium,
+        Some(other) => {
+            eprintln!("gengraph: bad --scale {other:?}");
+            std::process::exit(2);
         }
-    }
-    if positional.len() != 2 {
+    };
+    if args.positional.len() != 2 {
         eprintln!(
-            "usage: gengraph <dataset> <output-dir> [--scale tiny|small|medium] [--stripes N]"
+            "usage: gengraph <dataset> <output-dir> [--scale tiny|small|medium] {COMMON_USAGE}"
         );
         eprintln!("datasets: {}", Dataset::all().map(|d| d.name()).join(", "));
         std::process::exit(2);
     }
-    let Some(dataset) = Dataset::from_name(&positional[0]) else {
-        eprintln!("gengraph: unknown dataset {}", positional[0]);
+    let Some(dataset) = Dataset::from_name(&args.positional[0]) else {
+        eprintln!("gengraph: unknown dataset {}", args.positional[0]);
         std::process::exit(2);
     };
-    let dir = std::path::PathBuf::from(&positional[1]);
+    let dir = std::path::PathBuf::from(&args.positional[1]);
     std::fs::create_dir_all(&dir).expect("create output dir");
 
-    println!("generating {dataset} at {scale:?} scale...");
+    println!(
+        "generating {dataset} at {scale:?} scale ({} layout)...",
+        args.layout.name()
+    );
     let csr = dataset.generate(scale);
-    let transpose = csr.transpose();
     println!(
         "  {} vertices, {} edges",
         csr.num_vertices(),
         csr.num_edges()
     );
-    let (gi, ga) = save_files(&csr, &dir, &format!("{}.gr", dataset.name()), stripes)
-        .expect("write out-edges");
-    let (ti, ta) = save_files(
-        &transpose,
-        &dir,
-        &format!("{}.tgr", dataset.name()),
-        stripes,
-    )
-    .expect("write transpose");
-    for p in [gi, ti].iter().chain(ga.iter()).chain(ta.iter()) {
+    let paths = write_graph_pair(&csr, &dir, dataset.name(), args.stripes, args.layout)
+        .unwrap_or_else(|e| {
+            eprintln!("gengraph: {e}");
+            std::process::exit(1);
+        });
+    for p in &paths {
         let len = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
         println!("  wrote {} ({} bytes)", p.display(), len);
     }

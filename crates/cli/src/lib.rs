@@ -14,6 +14,8 @@
 
 pub mod args;
 pub mod run;
+pub mod toolargs;
 
 pub use args::{parse, CliArgs};
 pub use run::{open_engine, print_run_summary};
+pub use toolargs::{parse_tool_args, write_graph_pair, ToolArgs};

@@ -106,6 +106,14 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
             stats.cache_miss_pages,
             stats.cache_evictions
         );
+        if cache.hot_pages() > 0 {
+            println!(
+                "hot region: {} pages, {} hot hits, {} hot admits",
+                cache.hot_pages(),
+                stats.cache_hot_hit_pages,
+                stats.cache_hot_admits
+            );
+        }
     }
     if stats.scatter_ns > 0 || stats.gather_ns > 0 {
         // Per-stage compute profile: worker-summed busy time, so totals can

@@ -1,0 +1,137 @@
+//! Shared command-line plumbing for the dataset tools (`convert` and
+//! `gengraph`): one flag parser so both speak the same dialect —
+//! `--stripes N` and `--layout degree|hub|none` with identical error
+//! messages and exit codes — plus one writer that lays a graph and its
+//! transpose out under a single vertex permutation.
+
+use std::path::{Path, PathBuf};
+
+use blaze_graph::disk::{save_files_with_layout, LayoutMeta};
+use blaze_graph::{Csr, VertexLayout};
+use blaze_types::Result;
+
+/// Common flags plus whatever tool-specific flags the caller declared.
+pub struct ToolArgs {
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+    /// `--stripes N` (default 1).
+    pub stripes: usize,
+    /// `--layout degree|hub|none` (default `none`).
+    pub layout: VertexLayout,
+    /// Tool-specific boolean switches that were present (from `switches`).
+    pub flags: Vec<String>,
+    /// Tool-specific `--flag value` pairs, in order (from `value_flags`).
+    pub values: Vec<(String, String)>,
+}
+
+impl ToolArgs {
+    /// Whether the boolean switch `name` was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The last value passed for `name`, if any.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses `args` for `tool`. `switches` lists the tool's boolean flags
+/// (e.g. `--dedup`), `value_flags` its flags taking one value (e.g.
+/// `--scale`). Malformed common flags and unknown `--` flags print a
+/// `tool: ...` diagnostic and exit 2 — the usage-error convention both
+/// tools share.
+pub fn parse_tool_args(
+    tool: &str,
+    args: impl IntoIterator<Item = String>,
+    switches: &[&str],
+    value_flags: &[&str],
+) -> ToolArgs {
+    let mut out = ToolArgs {
+        positional: Vec::new(),
+        stripes: 1,
+        layout: VertexLayout::None,
+        flags: Vec::new(),
+        values: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stripes" => {
+                out.stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                if out.stripes == 0 {
+                    die(tool, "bad --stripes (want a positive integer)");
+                }
+            }
+            "--layout" => {
+                let v = it.next();
+                out.layout = match v.as_deref().and_then(VertexLayout::parse) {
+                    Some(l) => l,
+                    None => die(
+                        tool,
+                        &format!(
+                            "bad --layout {:?} (want degree|hub|none)",
+                            v.as_deref().unwrap_or("")
+                        ),
+                    ),
+                };
+            }
+            s if switches.contains(&s) => out.flags.push(s.to_string()),
+            s if value_flags.contains(&s) => match it.next() {
+                Some(v) => out.values.push((s.to_string(), v)),
+                None => die(tool, &format!("{s} needs a value")),
+            },
+            s if s.starts_with("--") => die(tool, &format!("unknown flag {s}")),
+            other => out.positional.push(other.to_string()),
+        }
+    }
+    out
+}
+
+/// The usage line fragment for the flags [`parse_tool_args`] handles
+/// itself, so both tools advertise them identically.
+pub const COMMON_USAGE: &str = "[--stripes N] [--layout degree|hub|none]";
+
+fn die(tool: &str, msg: &str) -> ! {
+    eprintln!("{tool}: {msg}");
+    std::process::exit(2);
+}
+
+/// Plans `layout` on the out-edge CSR, relabels the graph *and* its
+/// transpose under that one permutation, and writes both artifact file
+/// sets (`<name>.gr.*`, `<name>.tgr.*`). Returns the written paths,
+/// index files first. `--layout none` produces byte-identical output to
+/// the pre-layout tools.
+pub fn write_graph_pair(
+    csr: &Csr,
+    dir: &Path,
+    name: &str,
+    stripes: usize,
+    layout: VertexLayout,
+) -> Result<Vec<PathBuf>> {
+    let (perm, hot_vertices) = layout.plan(csr);
+    let physical = perm.permute_csr(csr);
+    let transpose = physical.transpose();
+    let meta = LayoutMeta {
+        kind: layout,
+        hot_vertices,
+        perm,
+    };
+    let (gi, ga) =
+        save_files_with_layout(&physical, dir, &format!("{name}.gr"), stripes, Some(&meta))?;
+    let (ti, ta) = save_files_with_layout(
+        &transpose,
+        dir,
+        &format!("{name}.tgr"),
+        stripes,
+        Some(&meta),
+    )?;
+    let mut paths = vec![gi, ti];
+    paths.extend(ga);
+    paths.extend(ta);
+    Ok(paths)
+}

@@ -169,6 +169,162 @@ fn bad_flags_exit_nonzero() {
     assert!(!ok);
 }
 
+/// The result line each query binary prints, for cross-layout comparison.
+fn result_line(text: &str, key: &str) -> String {
+    text.lines()
+        .find(|l| l.contains(key))
+        .unwrap_or_else(|| panic!("no line containing {key:?} in: {text}"))
+        .to_string()
+}
+
+/// Convert the same edge list under `--layout none` and `--layout degree`,
+/// run every query binary against both file sets, and demand identical
+/// result lines: the physical reordering must be invisible at the API.
+#[test]
+fn degree_layout_matches_unordered_results_for_every_binary() {
+    let dir = tempfile::tempdir().unwrap();
+    // Hub-heavy digraph: vertex 7 fans out to everything (so a degree
+    // layout genuinely moves it), a chain adds depth, 9->7 closes the
+    // weak component.
+    let edges = "7 0\n7 1\n7 2\n7 3\n7 4\n7 5\n7 6\n7 8\n7 9\n\
+                 0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n8 9\n9 7\n";
+    let input = dir.path().join("edges.txt");
+    std::fs::write(&input, edges).unwrap();
+    let mut outputs: Vec<Vec<String>> = Vec::new();
+    for layout in ["none", "degree"] {
+        let base = dir.path().join(layout).join("g");
+        let (ok, text) = run(
+            env!("CARGO_BIN_EXE_convert"),
+            &[
+                input.to_str().unwrap(),
+                base.to_str().unwrap(),
+                "--stripes",
+                "2",
+                "--layout",
+                layout,
+            ],
+        );
+        assert!(ok, "convert --layout {layout} failed: {text}");
+        let p = |s: &str| {
+            dir.path()
+                .join(layout)
+                .join(s)
+                .to_str()
+                .unwrap()
+                .to_string()
+        };
+        let index = p("g.gr.index");
+        let adj0 = p("g.gr.adj.0");
+        let adj1 = p("g.gr.adj.1");
+        let tindex = p("g.tgr.index");
+        let tadj = format!("{},{}", p("g.tgr.adj.0"), p("g.tgr.adj.1"));
+        let mut lines = Vec::new();
+        let (ok, text) = run(
+            env!("CARGO_BIN_EXE_bfs"),
+            &["-startNode", "0", &index, &adj0, &adj1],
+        );
+        assert!(ok, "bfs ({layout}) failed: {text}");
+        lines.push(result_line(&text, "reached"));
+        let (ok, text) = run(env!("CARGO_BIN_EXE_pr"), &[&index, &adj0, &adj1]);
+        assert!(ok, "pr ({layout}) failed: {text}");
+        lines.push(result_line(&text, "top-ranked vertex"));
+        let (ok, text) = run(
+            env!("CARGO_BIN_EXE_wcc"),
+            &[
+                &index,
+                &adj0,
+                &adj1,
+                "-inIndexFilename",
+                &tindex,
+                "-inAdjFilenames",
+                &tadj,
+            ],
+        );
+        assert!(ok, "wcc ({layout}) failed: {text}");
+        lines.push(result_line(&text, "weakly connected components"));
+        let (ok, text) = run(env!("CARGO_BIN_EXE_spmv"), &[&index, &adj0, &adj1]);
+        assert!(ok, "spmv ({layout}) failed: {text}");
+        lines.push(result_line(&text, "|y|_2"));
+        let (ok, text) = run(
+            env!("CARGO_BIN_EXE_bc"),
+            &[
+                "-startNode",
+                "0",
+                &index,
+                &adj0,
+                &adj1,
+                "-inIndexFilename",
+                &tindex,
+                "-inAdjFilenames",
+                &tadj,
+            ],
+        );
+        assert!(ok, "bc ({layout}) failed: {text}");
+        lines.push(result_line(&text, "top broker"));
+        outputs.push(lines);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "degree layout changed query results"
+    );
+}
+
+#[test]
+fn gengraph_hub_layout_then_bfs() {
+    let dir = tempfile::tempdir().unwrap();
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_gengraph"),
+        &[
+            "rmat27",
+            dir.path().to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--stripes",
+            "2",
+            "--layout",
+            "hub",
+        ],
+    );
+    assert!(ok, "gengraph --layout hub failed: {text}");
+    let p = |name: &str| dir.path().join(name).to_str().unwrap().to_string();
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &[
+            "-startNode",
+            "0",
+            &p("rmat27.gr.index"),
+            &p("rmat27.gr.adj.0"),
+            &p("rmat27.gr.adj.1"),
+        ],
+    );
+    assert!(ok, "bfs on hub-layout graph failed: {text}");
+    assert!(text.contains("reached"), "{text}");
+}
+
+#[test]
+fn bad_layout_flag_exits_nonzero_for_both_tools() {
+    let dir = tempfile::tempdir().unwrap();
+    let input = dir.path().join("e.txt");
+    std::fs::write(&input, "0 1\n").unwrap();
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_convert"),
+        &[
+            input.to_str().unwrap(),
+            dir.path().join("x").to_str().unwrap(),
+            "--layout",
+            "zigzag",
+        ],
+    );
+    assert!(!ok, "convert must reject --layout zigzag");
+    assert!(text.contains("bad --layout"), "{text}");
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_gengraph"),
+        &["rmat27", dir.path().to_str().unwrap(), "--layout", "zigzag"],
+    );
+    assert!(!ok, "gengraph must reject --layout zigzag");
+    assert!(text.contains("bad --layout"), "{text}");
+}
+
 #[test]
 fn convert_text_edge_list_then_query() {
     let dir = tempfile::tempdir().unwrap();

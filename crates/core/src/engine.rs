@@ -82,7 +82,16 @@ impl BlazeEngine {
         );
         // A budget below one page yields zero frames; skip the cache
         // entirely so the IO path stays identical to the uncached engine.
-        let cache = Some(PageCache::new(options.cache_bytes)).filter(|c| c.capacity_pages() > 0);
+        let cache = Some(PageCache::new(options.cache_bytes))
+            .filter(|c| c.capacity_pages() > 0)
+            .map(|mut c| {
+                // Degree-aware layouts record a hot (hub) page prefix in the
+                // page map; hand it to the cache for heat-informed admission
+                // before the cache is shared. Identity graphs report zero
+                // hot pages and leave admission untouched.
+                c.set_hot_region(graph.pagemap().hot_pages(), options.cache_hot_fraction);
+                c
+            });
         let backend = options
             .io_backend
             .build(graph.storage().clone(), options.queue_depth);
@@ -494,6 +503,8 @@ where
         };
         let mut misses: Vec<LocalPageId> = Vec::new();
         let mut hits = 0u64;
+        let mut hot_hits = 0u64;
+        let hot_pages = self.engine.graph.pagemap().hot_pages();
         for &local in local_pages {
             let global = storage.global_page(dev, local);
             let Some(data) = cache.get(global) else {
@@ -506,6 +517,7 @@ where
                 continue;
             };
             hits += 1;
+            hot_hits += u64::from(global < hot_pages);
             let mut packed = pending
                 .take()
                 .unwrap_or_else(|| (self.pool.acquire_free(), Vec::new()));
@@ -523,6 +535,9 @@ where
         }
         if hits > 0 {
             self.io_stats.record_cache_hits(dev, hits);
+        }
+        if hot_hits > 0 {
+            self.io_stats.record_cache_hot_hits(dev, hot_hits);
         }
         // Miss pass: hits punched holes into the page list, so re-merging
         // naturally splits runs around them before touching the device.
@@ -578,15 +593,20 @@ where
                     if let Some(cache) = &self.engine.cache {
                         self.io_stats.record_cache_misses(dev, n as u64);
                         let mut evictions = 0;
+                        let mut hot_admits = 0;
                         for i in 0..n {
                             let global = storage.global_page(dev, first + i as u64);
                             let start = i * PAGE_SIZE;
-                            let evicted = cache
+                            let outcome = cache
                                 .insert(global, buffer.pages(n)[start..start + PAGE_SIZE].into());
-                            evictions += u64::from(evicted);
+                            evictions += u64::from(outcome.evicted);
+                            hot_admits += u64::from(outcome.hot_admitted);
                         }
                         if evictions > 0 {
                             self.io_stats.record_cache_evictions(dev, evictions);
+                        }
+                        if hot_admits > 0 {
+                            self.io_stats.record_cache_hot_admits(dev, hot_admits);
                         }
                     }
                     let globals = (0..n as u64)
@@ -1106,8 +1126,8 @@ mod tests {
         let g = rmat(&RmatConfig::new(9));
         let e = engine(&g, 1, EngineOptions::default().with_page_cache(128));
         assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
-        let (hits, misses) = e.page_cache().unwrap().stats();
-        assert!(hits + misses > 0);
+        let s = e.page_cache().unwrap().stats();
+        assert!(s.hits + s.misses > 0);
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct EngineOptions {
     /// paper's stated future work and recovers the sk2005 loss to
     /// FlashGraph (Section V-B).
     pub cache_bytes: usize,
+    /// Fraction of each cache shard's frames reservable as hot-region
+    /// admission credits (see `PageCache::set_hot_region`). Only takes
+    /// effect when the graph was written with a degree-aware layout (its
+    /// page map reports a non-zero hot region); 0.0 disables heat-informed
+    /// admission even then. Must lie in `0.0..=1.0`.
+    pub cache_hot_fraction: f64,
     /// Whether to record per-iteration work traces for the performance
     /// model.
     pub record_trace: bool,
@@ -74,6 +80,7 @@ impl Default for EngineOptions {
             merge_window: MAX_MERGED_PAGES,
             binning: None,
             cache_bytes: 0,
+            cache_hot_fraction: 0.5,
             record_trace: true,
             max_idle_arenas: 2,
             io_backend: IoBackendKind::Sync,
@@ -117,6 +124,13 @@ impl EngineOptions {
     /// Enables the clock page cache with the given capacity in 4 KiB pages.
     pub fn with_page_cache(self, pages: usize) -> Self {
         self.with_cache_bytes(pages * blaze_types::PAGE_SIZE)
+    }
+
+    /// Overrides the protected hot-region budget fraction of the page
+    /// cache (`0.0..=1.0`; 0.0 disables heat-informed admission).
+    pub fn with_cache_hot_fraction(mut self, fraction: f64) -> Self {
+        self.cache_hot_fraction = fraction;
+        self
     }
 
     /// Sets the per-device IO queue depth (the CLI's `-qd N`). A depth of
@@ -171,6 +185,12 @@ impl EngineOptions {
         }
         if self.vertex_map_grain == 0 {
             return Err(BlazeError::Config("vertex_map_grain must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cache_hot_fraction) {
+            return Err(BlazeError::Config(format!(
+                "cache_hot_fraction {} outside 0.0..=1.0",
+                self.cache_hot_fraction
+            )));
         }
         if self.io_backend == IoBackendKind::Sync && self.queue_depth > 1 {
             return Err(BlazeError::Config(format!(
@@ -277,6 +297,19 @@ mod tests {
                 .with_bytewise_decode(true)
                 .bytewise_decode
         );
+    }
+
+    #[test]
+    fn cache_hot_fraction_defaults_and_validates() {
+        let o = EngineOptions::default();
+        assert!((o.cache_hot_fraction - 0.5).abs() < 1e-12);
+        assert!(o.validate().is_ok());
+        let o = EngineOptions::default().with_cache_hot_fraction(1.0);
+        assert!(o.validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let o = EngineOptions::default().with_cache_hot_fraction(bad);
+            assert!(o.validate().is_err(), "fraction {bad} accepted");
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct ExecStats {
     pub cache_miss_pages: u64,
     /// Resident pages evicted from the cache to make room for fills.
     pub cache_evictions: u64,
+    /// Cache hits that fell in the graph's hot (hub) page region.
+    pub cache_hot_hit_pages: u64,
+    /// Fills admitted with a hot-region second-chance credit.
+    pub cache_hot_admits: u64,
     /// Maximum per-device in-flight IO depth observed across all
     /// iterations (1 under the synchronous backend; 0 when no IO was
     /// issued).
@@ -57,6 +61,8 @@ impl ExecStats {
         self.cache_hit_pages += it.cache_hit_pages;
         self.cache_miss_pages += it.cache_miss_pages;
         self.cache_evictions += it.cache_evictions;
+        self.cache_hot_hit_pages += it.cache_hot_hit_pages;
+        self.cache_hot_admits += it.cache_hot_admits;
         self.io_max_in_flight = self.io_max_in_flight.max(it.io_max_in_flight);
         self.scatter_ns += it.scatter_ns;
         self.gather_ns += it.gather_ns;
@@ -102,6 +108,9 @@ pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
     trace.cache_hit_pages = hits;
     trace.cache_miss_pages = misses;
     trace.cache_evictions = evictions;
+    let (hot_hits, hot_admits) = job.cache_hot_totals();
+    trace.cache_hot_hit_pages = hot_hits;
+    trace.cache_hot_admits = hot_admits;
     let (depth_max, depth_mean) = job.depth_stats();
     trace.io_max_in_flight = depth_max;
     trace.io_mean_in_flight = depth_mean;
@@ -137,6 +146,8 @@ mod tests {
         it.cache_hit_pages = 3;
         it.cache_miss_pages = 4;
         it.cache_evictions = 1;
+        it.cache_hot_hit_pages = 2;
+        it.cache_hot_admits = 1;
         s.absorb(&it, 5000);
         s.absorb(&it, 5000);
         assert_eq!(s.iterations, 2);
@@ -147,6 +158,8 @@ mod tests {
         assert_eq!(s.cache_hit_pages, 6);
         assert_eq!(s.cache_miss_pages, 8);
         assert_eq!(s.cache_evictions, 2);
+        assert_eq!(s.cache_hot_hit_pages, 4);
+        assert_eq!(s.cache_hot_admits, 2);
     }
 
     #[test]
@@ -156,11 +169,15 @@ mod tests {
         j.record_cache_hits(1, 5);
         j.record_cache_misses(0, 2);
         j.record_cache_evictions(0, 1);
+        j.record_cache_hot_hits(1, 3);
+        j.record_cache_hot_admits(0, 2);
         let mut t = IterationTrace::new(2);
         fill_io_trace_from_job(&mut t, &j);
         assert_eq!(t.cache_hit_pages, 5);
         assert_eq!(t.cache_miss_pages, 2);
         assert_eq!(t.cache_evictions, 1);
+        assert_eq!(t.cache_hot_hit_pages, 3);
+        assert_eq!(t.cache_hot_admits, 2);
         assert_eq!(t.total_io_bytes(), 2 * 4096);
     }
 

@@ -16,9 +16,26 @@ use blaze_types::{BlazeError, PageId, Result, VertexId, EDGES_PER_PAGE, PAGE_SIZ
 use crate::csr::Csr;
 use crate::fallback;
 use crate::index::GraphIndex;
+use crate::layout::{VertexLayout, VertexPermutation};
 use crate::pagemap::PageVertexMap;
 
 const INDEX_MAGIC: &[u8; 8] = b"BLZIDX01";
+/// Version 2 appends a layout section after the degree array: one tag byte
+/// ([`VertexLayout::tag`]), the `hot_vertices` count (u64 LE), and the
+/// physical→original permutation as `num_vertices` u32 LE words. Identity
+/// layouts keep writing version 1, byte-identical to the pre-layout format.
+const INDEX_MAGIC_V2: &[u8; 8] = b"BLZIDX02";
+
+/// Layout metadata carried by a version-2 index file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutMeta {
+    /// Which plan produced the ordering (provenance, kept for tooling).
+    pub kind: VertexLayout,
+    /// Leading physical vertices considered hot (the hub prefix).
+    pub hot_vertices: u64,
+    /// Original ↔ physical id maps.
+    pub perm: VertexPermutation,
+}
 
 /// Writes the adjacency stream of `g` into `storage`, page-interleaved.
 /// Returns the number of pages written.
@@ -40,27 +57,71 @@ pub fn write_to_storage(g: &Csr, storage: &StripedStorage) -> Result<u64> {
 
 /// Writes the `.gr.index` file: magic, vertex count, edge count, degrees.
 pub fn write_index_file(path: impl AsRef<Path>, index: &GraphIndex) -> Result<()> {
+    write_index_file_with_layout(path, index, None)
+}
+
+/// Writes a `.gr.index` file, appending the version-2 layout section when
+/// `meta` carries a genuine (non-identity) permutation. Identity layouts
+/// fall back to the version-1 format so unreordered graphs stay
+/// byte-identical to files written before layouts existed.
+pub fn write_index_file_with_layout(
+    path: impl AsRef<Path>,
+    index: &GraphIndex,
+    meta: Option<&LayoutMeta>,
+) -> Result<()> {
+    let meta = meta.filter(|m| !m.perm.is_identity());
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(INDEX_MAGIC)?;
+    f.write_all(if meta.is_some() {
+        INDEX_MAGIC_V2
+    } else {
+        INDEX_MAGIC
+    })?;
     f.write_all(&(index.num_vertices() as u64).to_le_bytes())?;
     f.write_all(&index.num_edges().to_le_bytes())?;
     for &d in index.degrees() {
         f.write_all(&d.to_le_bytes())?;
     }
+    if let Some(meta) = meta {
+        // panic-audit: the v2 branch is entered only for non-identity
+        // layouts (the caller filters identities back to v1), and a
+        // non-identity permutation always carries its mapping.
+        let phys_to_orig = meta.perm.phys_to_orig().expect("non-identity layout");
+        if phys_to_orig.len() != index.num_vertices() {
+            return Err(BlazeError::Format(format!(
+                "layout covers {} vertices, index has {}",
+                phys_to_orig.len(),
+                index.num_vertices()
+            )));
+        }
+        f.write_all(&[meta.kind.tag()])?;
+        f.write_all(&meta.hot_vertices.to_le_bytes())?;
+        for &o in phys_to_orig {
+            f.write_all(&o.to_le_bytes())?;
+        }
+    }
     f.flush()?;
     Ok(())
 }
 
-/// Reads a `.gr.index` file back into a [`GraphIndex`].
+/// Reads a `.gr.index` file back into a [`GraphIndex`], ignoring any layout
+/// section. Prefer [`read_index_file_full`] when translation matters.
 pub fn read_index_file(path: impl AsRef<Path>) -> Result<GraphIndex> {
+    read_index_file_full(path).map(|(index, _)| index)
+}
+
+/// Reads a `.gr.index` file (either version) into the index plus the layout
+/// metadata, `None` for version-1 files.
+pub fn read_index_file_full(path: impl AsRef<Path>) -> Result<(GraphIndex, Option<LayoutMeta>)> {
     let file = std::fs::File::open(path)?;
     let file_len = file.metadata()?.len();
     let mut f = std::io::BufReader::new(file);
     let mut magic = [0u8; 8];
     f.read_exact(&mut magic)?;
-    if &magic != INDEX_MAGIC {
-        return Err(BlazeError::Format("bad index magic".into()));
-    }
+    let has_layout = match &magic {
+        m if m == INDEX_MAGIC => false,
+        m if m == INDEX_MAGIC_V2 => true,
+        _ => return Err(BlazeError::Format("bad index magic".into())),
+    };
     let mut u64buf = [0u8; 8];
     f.read_exact(&mut u64buf)?;
     let num_vertices = u64::from_le_bytes(u64buf) as usize;
@@ -68,8 +129,10 @@ pub fn read_index_file(path: impl AsRef<Path>) -> Result<GraphIndex> {
     let num_edges = u64::from_le_bytes(u64buf);
     // Validate the header against the file size *before* allocating the
     // degree array: a corrupted vertex count must not trigger a huge
-    // allocation or a short read.
-    let expected_len = 24u64.saturating_add((num_vertices as u64).saturating_mul(4));
+    // allocation or a short read. Version 2 carries 9 extra header bytes
+    // (layout tag + hot count) plus one u32 per vertex for the permutation.
+    let payload = (num_vertices as u64).saturating_mul(if has_layout { 8 } else { 4 });
+    let expected_len = (if has_layout { 33u64 } else { 24u64 }).saturating_add(payload);
     if file_len != expected_len {
         return Err(BlazeError::Format(format!(
             "index file length {file_len} does not match header ({num_vertices} vertices \
@@ -89,7 +152,48 @@ pub fn read_index_file(path: impl AsRef<Path>) -> Result<GraphIndex> {
             index.num_edges()
         )));
     }
-    Ok(index)
+    let meta = if has_layout {
+        let mut tag = [0u8; 1];
+        f.read_exact(&mut tag)?;
+        let kind = VertexLayout::from_tag(tag[0])
+            .ok_or_else(|| BlazeError::Format(format!("unknown layout tag {}", tag[0])))?;
+        f.read_exact(&mut u64buf)?;
+        let hot_vertices = u64::from_le_bytes(u64buf);
+        if hot_vertices > num_vertices as u64 {
+            return Err(BlazeError::Format(format!(
+                "hot vertex count {hot_vertices} exceeds {num_vertices} vertices"
+            )));
+        }
+        let mut phys_to_orig = vec![0 as VertexId; num_vertices];
+        for o in &mut phys_to_orig {
+            f.read_exact(&mut u32buf)?;
+            *o = u32::from_le_bytes(u32buf);
+        }
+        Some(LayoutMeta {
+            kind,
+            hot_vertices,
+            perm: VertexPermutation::from_phys_to_orig(phys_to_orig)?,
+        })
+    } else {
+        None
+    };
+    Ok((index, meta))
+}
+
+/// Number of leading adjacency pages covered by the first `hot_vertices`
+/// physical vertices. The boundary page is counted hot even when cold
+/// vertices share it — a page is worth protecting if any hub lives there.
+pub fn hot_page_count(index: &GraphIndex, hot_vertices: u64) -> u64 {
+    if hot_vertices == 0 {
+        return 0;
+    }
+    let nv = index.num_vertices() as u64;
+    let hot_edges = if hot_vertices >= nv {
+        index.num_edges()
+    } else {
+        index.edge_offset(hot_vertices as VertexId)
+    };
+    hot_edges.div_ceil(EDGES_PER_PAGE as u64)
 }
 
 /// Writes the artifact-style file set `{base}.index` plus
@@ -102,9 +206,22 @@ pub fn save_files(
     base: &str,
     num_files: usize,
 ) -> Result<(PathBuf, Vec<PathBuf>)> {
+    save_files_with_layout(g, dir, base, num_files, None)
+}
+
+/// [`save_files`] for a graph already relabeled into physical id space:
+/// `g` must be the *permuted* CSR and `meta` the layout that produced it.
+/// `None` (or an identity permutation) writes the version-1 file set.
+pub fn save_files_with_layout(
+    g: &Csr,
+    dir: impl AsRef<Path>,
+    base: &str,
+    num_files: usize,
+    meta: Option<&LayoutMeta>,
+) -> Result<(PathBuf, Vec<PathBuf>)> {
     let dir = dir.as_ref();
     let index_path = dir.join(format!("{base}.index"));
-    write_index_file(&index_path, &GraphIndex::from_csr(g))?;
+    write_index_file_with_layout(&index_path, &GraphIndex::from_csr(g), meta)?;
     let adj_paths: Vec<PathBuf> = (0..num_files)
         .map(|i| dir.join(format!("{base}.adj.{i}")))
         .collect();
@@ -126,31 +243,68 @@ pub struct DiskGraph {
     storage: Arc<StripedStorage>,
     index: GraphIndex,
     pagemap: PageVertexMap,
+    /// Original ↔ physical id maps; identity for unreordered graphs. The
+    /// engine and the decode path work purely in physical ids — only the
+    /// algorithm API boundary consults this.
+    layout: VertexPermutation,
 }
 
 impl DiskGraph {
     /// Writes `g` into `storage` and returns the handle. The common path for
-    /// tests and benches.
+    /// tests and benches. `g` is taken as-is (identity layout).
     pub fn create(g: &Csr, storage: Arc<StripedStorage>) -> Result<Self> {
         write_to_storage(g, &storage)?;
         let index = GraphIndex::from_csr(g);
         let pagemap = PageVertexMap::build(&index);
+        let layout = VertexPermutation::identity(g.num_vertices());
         Ok(Self {
             storage,
             index,
             pagemap,
+            layout,
+        })
+    }
+
+    /// Plans `layout` for `g` (given in original ids), relabels it into
+    /// physical id space, and writes the reordered stream into `storage`.
+    /// The handle carries the permutation and the hot-page metadata.
+    pub fn create_with_layout(
+        g: &Csr,
+        storage: Arc<StripedStorage>,
+        layout: VertexLayout,
+    ) -> Result<Self> {
+        let (perm, hot_vertices) = layout.plan(g);
+        let physical = perm.permute_csr(g);
+        write_to_storage(&physical, &storage)?;
+        let index = GraphIndex::from_csr(&physical);
+        let mut pagemap = PageVertexMap::build(&index);
+        pagemap.set_hot_pages(hot_page_count(&index, hot_vertices));
+        Ok(Self {
+            storage,
+            index,
+            pagemap,
+            layout: perm,
         })
     }
 
     /// Opens a graph whose adjacency pages are already present in `storage`,
-    /// loading metadata from the given `.gr.index` file.
+    /// loading metadata (including any layout section) from the given
+    /// `.gr.index` file.
     pub fn open(index_path: impl AsRef<Path>, storage: Arc<StripedStorage>) -> Result<Self> {
-        let index = read_index_file(index_path)?;
-        let pagemap = PageVertexMap::build(&index);
+        let (index, meta) = read_index_file_full(index_path)?;
+        let mut pagemap = PageVertexMap::build(&index);
+        let layout = match meta {
+            Some(meta) => {
+                pagemap.set_hot_pages(hot_page_count(&index, meta.hot_vertices));
+                meta.perm
+            }
+            None => VertexPermutation::identity(index.num_vertices()),
+        };
         Ok(Self {
             storage,
             index,
             pagemap,
+            layout,
         })
     }
 
@@ -176,6 +330,12 @@ impl DiskGraph {
     /// The page → vertex map.
     pub fn pagemap(&self) -> &PageVertexMap {
         &self.pagemap
+    }
+
+    /// The original ↔ physical vertex permutation (identity when the graph
+    /// was written without a layout).
+    pub fn layout(&self) -> &VertexPermutation {
+        &self.layout
     }
 
     /// Number of vertices.
@@ -216,9 +376,9 @@ impl DiskGraph {
         self.num_edges() * 4 + self.num_vertices() as u64 * 4
     }
 
-    /// Memory used by the in-memory metadata (index + page map).
+    /// Memory used by the in-memory metadata (index + page map + layout).
     pub fn metadata_bytes(&self) -> u64 {
-        self.index.memory_bytes() + self.pagemap.memory_bytes()
+        self.index.memory_bytes() + self.pagemap.memory_bytes() + self.layout.memory_bytes()
     }
 
     /// Decodes one fetched page: calls `f(src, dsts)` for every vertex whose
@@ -510,6 +670,109 @@ mod tests {
         bytes[0] = b'X';
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_index_file(&path).is_err());
+    }
+
+    #[test]
+    fn identity_layout_writes_version_one_bytes() {
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let index = GraphIndex::from_csr(&g);
+        let v1 = dir.path().join("v1.index");
+        let via_meta = dir.path().join("meta.index");
+        write_index_file(&v1, &index).unwrap();
+        let meta = LayoutMeta {
+            kind: VertexLayout::None,
+            hot_vertices: 0,
+            perm: VertexPermutation::identity(g.num_vertices()),
+        };
+        write_index_file_with_layout(&via_meta, &index, Some(&meta)).unwrap();
+        assert_eq!(
+            std::fs::read(&v1).unwrap(),
+            std::fs::read(&via_meta).unwrap(),
+            "identity layout must not change the file format"
+        );
+        let (_, read_meta) = read_index_file_full(&v1).unwrap();
+        assert!(read_meta.is_none());
+    }
+
+    #[test]
+    fn layout_file_round_trip() {
+        let g = rmat(&RmatConfig::new(8));
+        let (perm, hot) = VertexLayout::Degree.plan(&g);
+        let physical = perm.permute_csr(&g);
+        let meta = LayoutMeta {
+            kind: VertexLayout::Degree,
+            hot_vertices: hot,
+            perm: perm.clone(),
+        };
+        let dir = tempfile::tempdir().unwrap();
+        let (index_path, adj_paths) =
+            save_files_with_layout(&physical, dir.path(), "test.gr", 2, Some(&meta)).unwrap();
+        let dg = DiskGraph::open_files(&index_path, &adj_paths).unwrap();
+        assert_eq!(dg.layout(), &perm);
+        assert_eq!(
+            dg.pagemap().hot_pages(),
+            hot_page_count(dg.index(), hot),
+            "hot page count recomputed at open"
+        );
+        assert!(dg.pagemap().hot_pages() > 0);
+        // Neighbors, translated back to original ids, match the input.
+        for v in (0..g.num_vertices() as VertexId).step_by(37) {
+            let p = dg.layout().to_physical(v);
+            let mut back: Vec<VertexId> = dg
+                .read_neighbors(p)
+                .unwrap()
+                .iter()
+                .map(|&d| dg.layout().to_original(d))
+                .collect();
+            back.sort_unstable();
+            let mut orig = g.neighbors(v).to_vec();
+            orig.sort_unstable();
+            assert_eq!(back, orig, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn layout_index_rejects_truncation_and_bad_tags() {
+        let g = rmat(&RmatConfig::new(6));
+        let (perm, hot) = VertexLayout::Hub.plan(&g);
+        let physical = perm.permute_csr(&g);
+        let meta = LayoutMeta {
+            kind: VertexLayout::Hub,
+            hot_vertices: hot,
+            perm,
+        };
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.gr.index");
+        write_index_file_with_layout(&path, &GraphIndex::from_csr(&physical), Some(&meta)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncated permutation section.
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_index_file_full(&path).is_err());
+        // Unknown layout tag.
+        let mut bad = bytes.clone();
+        let tag_at = 24 + 4 * physical.num_vertices();
+        bad[tag_at] = 7;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(read_index_file_full(&path).is_err());
+        // Pristine bytes still parse.
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_index_file_full(&path).unwrap().1.is_some());
+    }
+
+    #[test]
+    fn create_with_layout_matches_file_path() {
+        let g = rmat(&RmatConfig::new(7));
+        let storage = Arc::new(StripedStorage::in_memory(2).unwrap());
+        let dg = DiskGraph::create_with_layout(&g, storage, VertexLayout::Degree).unwrap();
+        assert!(!dg.layout().is_identity());
+        assert!(dg.pagemap().hot_pages() > 0);
+        // Physical vertex 0 carries the max degree.
+        let max_deg = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap();
+        assert_eq!(dg.degree(0), max_deg);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Degree-aware physical vertex layout (ROADMAP open item 3).
+//!
+//! Blaze's page-interleaved CSR inherits whatever vertex order the dataset
+//! ships with, so high-degree hubs end up scattered across the adjacency
+//! stream and the clock cache keeps evicting the pages that matter most.
+//! This module introduces the *physical* vertex id space: a
+//! [`VertexPermutation`] maps original ids (what callers pass in and read
+//! out) to physical ids (the order vertices are packed on disk), and a
+//! [`VertexLayout`] plans orderings that cluster hubs into a contiguous
+//! **hot prefix** of the stream:
+//!
+//! * **`degree`** — every vertex sorted by descending degree (ties broken
+//!   by original id, so the plan is deterministic). Maximally packs heavy
+//!   adjacency lists into the leading pages.
+//! * **`hub`** — only the hubs (degree ≥ 2× mean, capped at a quarter of
+//!   the vertices) are pulled to the front in degree order; the cold tail
+//!   keeps its original relative order, preserving whatever locality the
+//!   input labeling already had (e.g. crawl order).
+//!
+//! Both plans report `hot_vertices`, the length of the hub prefix; the disk
+//! layer turns that into a hot *page* count recorded in
+//! [`PageVertexMap`](crate::PageVertexMap) metadata, which the storage-side
+//! clock cache uses for heat-informed admission.
+//!
+//! The identity permutation is a zero-cost fast path: it stores only the
+//! vertex count, translation is the identity function, and index files
+//! written for identity layouts are byte-identical to the pre-layout
+//! format.
+
+use blaze_types::{BlazeError, Result, VertexId};
+
+use crate::csr::Csr;
+
+/// Which physical ordering to apply when building a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VertexLayout {
+    /// Keep the original vertex order (identity permutation, no hot region).
+    #[default]
+    None,
+    /// Sort all vertices by descending degree.
+    Degree,
+    /// Pull hub vertices to the front; the tail keeps its original order.
+    Hub,
+}
+
+impl VertexLayout {
+    /// Parses a `--layout` flag value. Accepts `degree`, `hub`, `none`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Self::None),
+            "degree" => Some(Self::Degree),
+            "hub" => Some(Self::Hub),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this layout (inverse of [`parse`](Self::parse)).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Degree => "degree",
+            Self::Hub => "hub",
+        }
+    }
+
+    /// The on-disk tag byte for index files (0 = none, 1 = degree, 2 = hub).
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::None => 0,
+            Self::Degree => 1,
+            Self::Hub => 2,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Self::None),
+            1 => Some(Self::Degree),
+            2 => Some(Self::Hub),
+            _ => None,
+        }
+    }
+
+    /// Plans this layout for `g`: returns the permutation plus
+    /// `hot_vertices`, the number of leading physical ids considered hot.
+    ///
+    /// The plan is deterministic (ties broken by original id) and degrades
+    /// to the identity permutation when the ordering would not move any
+    /// vertex — e.g. `Degree` on an already degree-sorted graph.
+    pub fn plan(self, g: &Csr) -> (VertexPermutation, u64) {
+        let n = g.num_vertices();
+        if self == Self::None || n == 0 {
+            return (VertexPermutation::identity(n), 0);
+        }
+        let hubs = hub_count(g);
+        let phys_to_orig: Vec<VertexId> = match self {
+            Self::None => unreachable!("handled above"),
+            Self::Degree => {
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                // Stable sort + ascending-id tie break: deterministic plan.
+                order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+                order
+            }
+            Self::Hub => {
+                let mut hub_ids: Vec<VertexId> = (0..n as VertexId).collect();
+                hub_ids.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+                hub_ids.truncate(hubs);
+                let mut is_hub = vec![false; n];
+                for &v in &hub_ids {
+                    is_hub[v as usize] = true;
+                }
+                hub_ids.extend((0..n as VertexId).filter(|&v| !is_hub[v as usize]));
+                hub_ids
+            }
+        };
+        // panic-audit: both plans emit each vertex id exactly once (a sort
+        // or a partition of 0..n), so validation can only fail on a planner
+        // bug — that must surface, not round-trip as an IO error.
+        let perm = VertexPermutation::from_phys_to_orig(phys_to_orig)
+            .expect("planned order is a bijection");
+        (perm, hubs as u64)
+    }
+}
+
+/// Hub criterion shared by both reordering plans: degree at least twice the
+/// mean, never more than a quarter of all vertices. The cap keeps the hot
+/// prefix a genuine minority so protecting it in the cache is meaningful.
+fn hub_count(g: &Csr) -> usize {
+    let n = g.num_vertices();
+    if n == 0 || g.num_edges() == 0 {
+        return 0;
+    }
+    let threshold = (2 * g.num_edges()).div_ceil(n as u64).max(1);
+    let heavy = (0..n as VertexId)
+        .filter(|&v| g.degree(v) as u64 >= threshold)
+        .count();
+    heavy.min(n / 4).max(usize::from(heavy > 0))
+}
+
+/// A bijection between original vertex ids (the caller-facing space) and
+/// physical vertex ids (the on-disk packing order).
+///
+/// `Identity` is the zero-cost fast path: no arrays, translation returns
+/// its argument, and `is_identity()` lets boundary code skip output
+/// translation entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VertexPermutation {
+    /// Physical id == original id for all `n` vertices.
+    Identity(usize),
+    /// A genuine reordering, stored in both directions for O(1) lookup.
+    Mapped {
+        /// `orig_to_phys[orig] == phys`.
+        orig_to_phys: Vec<VertexId>,
+        /// `phys_to_orig[phys] == orig`.
+        phys_to_orig: Vec<VertexId>,
+    },
+}
+
+impl VertexPermutation {
+    /// The identity permutation over `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Self::Identity(n)
+    }
+
+    /// Builds a permutation from its physical→original map, validating that
+    /// it is a bijection. Collapses to `Identity` when every id maps to
+    /// itself, so callers get the fast path without checking themselves.
+    pub fn from_phys_to_orig(phys_to_orig: Vec<VertexId>) -> Result<Self> {
+        let n = phys_to_orig.len();
+        if phys_to_orig
+            .iter()
+            .enumerate()
+            .all(|(p, &o)| p as u64 == o as u64)
+        {
+            return Ok(Self::Identity(n));
+        }
+        let mut orig_to_phys = vec![VertexId::MAX; n];
+        for (phys, &orig) in phys_to_orig.iter().enumerate() {
+            let slot = orig_to_phys.get_mut(orig as usize).ok_or_else(|| {
+                BlazeError::Format(format!("layout maps to vertex {orig} >= {n}"))
+            })?;
+            if *slot != VertexId::MAX {
+                return Err(BlazeError::Format(format!(
+                    "layout is not a bijection: vertex {orig} appears twice"
+                )));
+            }
+            *slot = phys as VertexId;
+        }
+        Ok(Self::Mapped {
+            orig_to_phys,
+            phys_to_orig,
+        })
+    }
+
+    /// Number of vertices the permutation covers.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Identity(n) => *n,
+            Self::Mapped { phys_to_orig, .. } => phys_to_orig.len(),
+        }
+    }
+
+    /// Whether the permutation covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is the identity (boundary code skips translation).
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        matches!(self, Self::Identity(_))
+    }
+
+    /// Original → physical id.
+    #[inline]
+    pub fn to_physical(&self, orig: VertexId) -> VertexId {
+        match self {
+            Self::Identity(_) => orig,
+            Self::Mapped { orig_to_phys, .. } => orig_to_phys[orig as usize],
+        }
+    }
+
+    /// Physical → original id.
+    #[inline]
+    pub fn to_original(&self, phys: VertexId) -> VertexId {
+        match self {
+            Self::Identity(_) => phys,
+            Self::Mapped { phys_to_orig, .. } => phys_to_orig[phys as usize],
+        }
+    }
+
+    /// The physical→original map for persistence, or `None` for identity.
+    pub fn phys_to_orig(&self) -> Option<&[VertexId]> {
+        match self {
+            Self::Identity(_) => None,
+            Self::Mapped { phys_to_orig, .. } => Some(phys_to_orig),
+        }
+    }
+
+    /// Relabels `g` into physical id space: vertex `p` of the result holds
+    /// the (translated, re-sorted) adjacency list of `to_original(p)`.
+    /// Neighbor lists are sorted ascending so the on-disk stream is
+    /// deterministic regardless of the input's neighbor order.
+    pub fn permute_csr(&self, g: &Csr) -> Csr {
+        assert_eq!(
+            g.num_vertices(),
+            self.len(),
+            "permutation/graph size mismatch"
+        );
+        if self.is_identity() {
+            return g.clone();
+        }
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut running = 0u64;
+        for p in 0..n as VertexId {
+            running += g.degree(self.to_original(p)) as u64;
+            offsets.push(running);
+        }
+        let mut neighbors = Vec::with_capacity(g.num_edges() as usize);
+        for p in 0..n as VertexId {
+            let start = neighbors.len();
+            neighbors.extend(
+                g.neighbors(self.to_original(p))
+                    .iter()
+                    .map(|&d| self.to_physical(d)),
+            );
+            neighbors[start..].sort_unstable();
+        }
+        Csr::from_parts(offsets, neighbors)
+    }
+
+    /// Memory held by the translation arrays (identity holds none).
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            Self::Identity(_) => 0,
+            Self::Mapped { phys_to_orig, .. } => (phys_to_orig.len() * 2 * 4) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, RmatConfig};
+    use crate::GraphBuilder;
+
+    fn star_plus_chain() -> Csr {
+        // Vertex 5 is a hub (degree 6); the rest form a sparse chain.
+        let mut b = GraphBuilder::new(8);
+        for d in 0..6 {
+            b.add_edge(5, d);
+        }
+        for v in 0..7 {
+            b.add_edge(v, v + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parse_and_name_round_trip() {
+        for l in [VertexLayout::None, VertexLayout::Degree, VertexLayout::Hub] {
+            assert_eq!(VertexLayout::parse(l.name()), Some(l));
+            assert_eq!(VertexLayout::from_tag(l.tag()), Some(l));
+        }
+        assert_eq!(VertexLayout::parse("bogus"), None);
+        assert_eq!(VertexLayout::from_tag(9), None);
+    }
+
+    #[test]
+    fn none_layout_is_identity_with_no_hot_region() {
+        let g = star_plus_chain();
+        let (perm, hot) = VertexLayout::None.plan(&g);
+        assert!(perm.is_identity());
+        assert_eq!(perm.len(), 8);
+        assert_eq!(hot, 0);
+    }
+
+    #[test]
+    fn degree_layout_sorts_descending_with_stable_ties() {
+        let g = star_plus_chain();
+        let (perm, hot) = VertexLayout::Degree.plan(&g);
+        assert!(hot >= 1);
+        let degs: Vec<u32> = (0..8).map(|p| g.degree(perm.to_original(p))).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "{degs:?}");
+        assert_eq!(perm.to_original(0), 5, "the hub leads the physical order");
+        // Equal-degree vertices keep ascending original order.
+        for w in (0..8u32).collect::<Vec<_>>().windows(2) {
+            if g.degree(perm.to_original(w[0])) == g.degree(perm.to_original(w[1])) {
+                assert!(perm.to_original(w[0]) < perm.to_original(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn hub_layout_keeps_cold_tail_in_original_order() {
+        let g = star_plus_chain();
+        let (perm, hot) = VertexLayout::Hub.plan(&g);
+        assert!((1..=2).contains(&hot), "hub prefix capped at n/4: {hot}");
+        let tail: Vec<VertexId> = (hot as VertexId..8).map(|p| perm.to_original(p)).collect();
+        let mut sorted = tail.clone();
+        sorted.sort_unstable();
+        assert_eq!(tail, sorted, "cold tail preserves original relative order");
+    }
+
+    #[test]
+    fn round_trip_is_identity_on_rmat() {
+        let g = rmat(&RmatConfig::new(8));
+        for layout in [VertexLayout::Degree, VertexLayout::Hub] {
+            let (perm, _) = layout.plan(&g);
+            for v in 0..g.num_vertices() as VertexId {
+                assert_eq!(perm.to_original(perm.to_physical(v)), v);
+                assert_eq!(perm.to_physical(perm.to_original(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn from_phys_to_orig_rejects_non_bijections() {
+        assert!(VertexPermutation::from_phys_to_orig(vec![0, 0, 1]).is_err());
+        assert!(VertexPermutation::from_phys_to_orig(vec![0, 9]).is_err());
+        assert!(VertexPermutation::from_phys_to_orig(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn trivial_map_collapses_to_identity() {
+        let p = VertexPermutation::from_phys_to_orig(vec![0, 1, 2]).unwrap();
+        assert!(p.is_identity());
+        assert_eq!(p.memory_bytes(), 0);
+        assert!(p.phys_to_orig().is_none());
+    }
+
+    #[test]
+    fn permute_csr_preserves_edges_under_translation() {
+        let g = rmat(&RmatConfig::new(7));
+        let (perm, _) = VertexLayout::Degree.plan(&g);
+        let pg = perm.permute_csr(&g);
+        assert_eq!(pg.num_vertices(), g.num_vertices());
+        assert_eq!(pg.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() as VertexId {
+            let p = perm.to_physical(v);
+            let mut back: Vec<VertexId> = pg
+                .neighbors(p)
+                .iter()
+                .map(|&d| perm.to_original(d))
+                .collect();
+            back.sort_unstable();
+            let mut orig = g.neighbors(v).to_vec();
+            orig.sort_unstable();
+            assert_eq!(back, orig, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn permuted_adjacency_is_sorted() {
+        let g = rmat(&RmatConfig::new(7));
+        let (perm, _) = VertexLayout::Hub.plan(&g);
+        let pg = perm.permute_csr(&g);
+        for p in 0..pg.num_vertices() as VertexId {
+            assert!(pg.neighbors(p).windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_graph_plans_cleanly() {
+        let g = Csr::empty(0);
+        for layout in [VertexLayout::None, VertexLayout::Degree, VertexLayout::Hub] {
+            let (perm, hot) = layout.plan(&g);
+            assert!(perm.is_identity());
+            assert_eq!(hot, 0);
+        }
+    }
+}

@@ -23,6 +23,7 @@ mod fallback;
 pub mod gen;
 pub mod index;
 pub mod io;
+pub mod layout;
 pub mod pagemap;
 pub mod stats;
 
@@ -31,5 +32,6 @@ pub use csr::Csr;
 pub use datasets::{Dataset, DatasetScale};
 pub use disk::{write_to_storage, DiskGraph};
 pub use index::{GraphIndex, IndexCursor};
+pub use layout::{VertexLayout, VertexPermutation};
 pub use pagemap::PageVertexMap;
 pub use stats::{DegreeDistribution, GraphStats};

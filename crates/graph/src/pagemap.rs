@@ -14,6 +14,9 @@ use crate::index::GraphIndex;
 pub struct PageVertexMap {
     begin: Vec<VertexId>,
     end: Vec<VertexId>,
+    /// Pages `0..hot_pages` hold the hub prefix of a degree-aware layout
+    /// (see [`crate::layout`]); 0 when the graph has no hot region.
+    hot_pages: u64,
 }
 
 impl PageVertexMap {
@@ -39,7 +42,28 @@ impl PageVertexMap {
             }
             offset += deg;
         }
-        Self { begin, end }
+        Self {
+            begin,
+            end,
+            hot_pages: 0,
+        }
+    }
+
+    /// Number of leading pages in the hot (hub) region; 0 without a layout.
+    pub fn hot_pages(&self) -> u64 {
+        self.hot_pages
+    }
+
+    /// Records the hot-region page count (set by the disk layer from the
+    /// layout metadata; clamped to the actual page count).
+    pub fn set_hot_pages(&mut self, hot_pages: u64) {
+        self.hot_pages = hot_pages.min(self.num_pages());
+    }
+
+    /// Whether page `p` lies in the hot (hub) region.
+    #[inline]
+    pub fn is_hot(&self, p: PageId) -> bool {
+        p < self.hot_pages
     }
 
     /// Number of pages covered.
@@ -123,5 +147,16 @@ mod tests {
         let map = PageVertexMap::build(&GraphIndex::from_csr(&Csr::empty(10)));
         assert_eq!(map.num_pages(), 0);
         assert_eq!(map.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn hot_pages_clamp_to_page_count() {
+        let mut map = PageVertexMap::build(&GraphIndex::from_degrees(vec![100, 3000, 50]));
+        assert_eq!(map.hot_pages(), 0);
+        assert!(!map.is_hot(0));
+        map.set_hot_pages(2);
+        assert!(map.is_hot(0) && map.is_hot(1) && !map.is_hot(2));
+        map.set_hot_pages(u64::MAX);
+        assert_eq!(map.hot_pages(), map.num_pages());
     }
 }

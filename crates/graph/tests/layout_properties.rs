@@ -1,0 +1,177 @@
+//! Property-based tests of the vertex layout layer: for any degree
+//! sequence — random zero-heavy sequences, zero-degree prefixes with a
+//! multi-page super-vertex, generated R-MAT graphs — every planned
+//! permutation must be a bijection that round-trips, order vertices the
+//! way its policy promises, and relabel the CSR to the same edge multiset.
+
+use proptest::prelude::*;
+
+use blaze_graph::gen::{rmat, RmatConfig};
+use blaze_graph::{Csr, VertexLayout, VertexPermutation};
+use blaze_types::{VertexId, EDGES_PER_PAGE};
+
+/// Builds a (multi)graph with exactly the given out-degrees; targets cycle
+/// through the vertex set so super-vertices get multi-page neighbor runs.
+fn csr_from_degrees(degrees: &[u32]) -> Csr {
+    let n = degrees.len().max(1) as u32;
+    let mut offsets = Vec::with_capacity(degrees.len() + 1);
+    let mut neighbors = Vec::new();
+    let mut off = 0u64;
+    offsets.push(0);
+    for (v, &d) in degrees.iter().enumerate() {
+        let mut targets: Vec<VertexId> = (0..d).map(|i| (v as u32 + i) % n).collect();
+        targets.sort_unstable();
+        neighbors.extend(targets);
+        off += d as u64;
+        offsets.push(off);
+    }
+    Csr::from_parts(offsets, neighbors)
+}
+
+/// Every layout invariant at once: round-trip bijection, policy ordering,
+/// hot-prefix dominance, and edge-multiset preservation under relabeling.
+fn check_layouts(g: &Csr) {
+    let n = g.num_vertices();
+    for layout in [VertexLayout::None, VertexLayout::Degree, VertexLayout::Hub] {
+        let (perm, hot_vertices) = layout.plan(g);
+        assert_eq!(perm.len(), n);
+        assert!(hot_vertices <= n as u64, "hot prefix within vertex range");
+        if layout == VertexLayout::None {
+            assert!(perm.is_identity());
+            assert_eq!(hot_vertices, 0);
+        }
+        // Round trip: the permutation is a bijection on [0, n).
+        for v in 0..n as VertexId {
+            let p = perm.to_physical(v);
+            assert!((p as usize) < n);
+            assert_eq!(perm.to_original(p), v, "round trip of vertex {v}");
+        }
+        let phys = perm.permute_csr(g);
+        assert_eq!(phys.num_vertices(), n);
+        assert_eq!(phys.num_edges(), g.num_edges());
+        match layout {
+            // Degree layout: physical degrees are non-increasing.
+            VertexLayout::Degree => {
+                for p in 1..n as VertexId {
+                    assert!(
+                        phys.degree(p - 1) >= phys.degree(p),
+                        "degree order broken at physical {p}"
+                    );
+                }
+            }
+            // Hub layout: every vertex in the hot prefix has degree at
+            // least that of every vertex outside it, and the cold tail
+            // keeps its original relative order.
+            VertexLayout::Hub => {
+                let hot = hot_vertices as VertexId;
+                let min_hot = (0..hot).map(|p| phys.degree(p)).min();
+                let max_cold = (hot..n as VertexId).map(|p| phys.degree(p)).max();
+                if let (Some(lo), Some(hi)) = (min_hot, max_cold) {
+                    assert!(lo >= hi, "hub prefix min degree {lo} < cold max {hi}");
+                }
+                let cold_origs: Vec<VertexId> =
+                    (hot..n as VertexId).map(|p| perm.to_original(p)).collect();
+                assert!(
+                    cold_origs.windows(2).all(|w| w[0] < w[1]),
+                    "cold tail must keep original order"
+                );
+            }
+            VertexLayout::None => {}
+        }
+        // Edge multiset preserved: each original vertex's neighbor multiset
+        // survives the relabeling (mapped back through the permutation).
+        for v in 0..n as VertexId {
+            let mut got: Vec<VertexId> = phys
+                .neighbors(perm.to_physical(v))
+                .iter()
+                .map(|&x| perm.to_original(x))
+                .collect();
+            got.sort_unstable();
+            let mut want = g.neighbors(v).to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "neighbor multiset of vertex {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary degree sequences, zero-heavy by construction (~40% of the
+    /// sampled degrees forced to zero).
+    #[test]
+    fn layouts_hold_for_arbitrary_degrees(
+        raw in proptest::collection::vec((0u32..10, 1u32..4000), 1..200),
+    ) {
+        let degrees: Vec<u32> = raw
+            .into_iter()
+            .map(|(zero_die, d)| if zero_die < 4 { 0 } else { d })
+            .collect();
+        check_layouts(&csr_from_degrees(&degrees));
+    }
+
+    /// A zero-degree prefix followed by a super-vertex spanning many pages:
+    /// degree layouts must pull the super-vertex to physical 0 and both
+    /// layouts must keep its multi-page neighbor run intact.
+    #[test]
+    fn zero_prefix_and_super_vertex(
+        zeros in 0usize..50,
+        super_degree in (4 * EDGES_PER_PAGE as u32)..(40 * EDGES_PER_PAGE as u32),
+        tail in proptest::collection::vec(0u32..100, 0..50),
+    ) {
+        let mut degrees = vec![0u32; zeros];
+        degrees.push(super_degree);
+        degrees.extend(tail);
+        let g = csr_from_degrees(&degrees);
+        check_layouts(&g);
+        let (perm, hot_vertices) = VertexLayout::Degree.plan(&g);
+        assert_eq!(perm.to_physical(zeros as VertexId), 0,
+            "super-vertex must lead the degree layout");
+        // With at least two other vertices the super-vertex clears the
+        // 2x-mean hub threshold (on tiny graphs it IS the mean).
+        if degrees.len() >= 3 {
+            assert!(hot_vertices >= 1, "a super-vertex is always hot");
+        }
+    }
+
+    /// Generated R-MAT graphs: power-law degrees, zero-degree vertices all
+    /// over — the shape the layouts exist for.
+    #[test]
+    fn rmat_graphs_keep_every_invariant(scale in 6u32..9, seed in 0u64..64) {
+        check_layouts(&rmat(&RmatConfig::new(scale).seed(seed)));
+    }
+
+    /// `from_phys_to_orig` accepts exactly the bijections: any shuffle of
+    /// 0..n round-trips; corrupting one slot to a duplicate is rejected.
+    #[test]
+    fn permutation_validation_accepts_shuffles_rejects_duplicates(
+        seed in 0u64..(1 << 48),
+        corrupt_at in 0usize..64,
+    ) {
+        // Fisher-Yates with a splitmix-style step: a deterministic shuffle
+        // per seed (the shim proptest has no shuffle strategy).
+        let mut shuffle: Vec<u32> = (0u32..64).collect();
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..shuffle.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffle.swap(i, j);
+        }
+        let perm = VertexPermutation::from_phys_to_orig(shuffle.clone()).unwrap();
+        for (p, &orig) in shuffle.iter().enumerate() {
+            assert_eq!(perm.to_original(p as VertexId), orig);
+            assert_eq!(perm.to_physical(orig), p as VertexId);
+        }
+        // Duplicate one entry: no longer a bijection.
+        let mut bad = shuffle.clone();
+        let dup = bad[(corrupt_at + 1) % bad.len()];
+        if bad[corrupt_at] != dup {
+            bad[corrupt_at] = dup;
+            assert!(VertexPermutation::from_phys_to_orig(bad).is_err());
+        }
+        // Out-of-range entry: rejected too.
+        let mut oob = shuffle;
+        oob[corrupt_at] = 64;
+        assert!(VertexPermutation::from_phys_to_orig(oob).is_err());
+    }
+}

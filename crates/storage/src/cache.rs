@@ -20,6 +20,14 @@
 //!   all state *under the shard mutex*, which is what keeps the algorithm
 //!   model-checkable (`tests/loom_cache.rs`) without any ordering-sensitive
 //!   atomics on the hot path.
+//! * **Heat-informed admission.** When the graph was written with a
+//!   degree-aware layout (`blaze-graph`'s layout module), the leading pages
+//!   of the stream hold the hub vertices. [`set_hot_region`] marks that
+//!   prefix hot: a hot page entering the cache takes a *second-chance
+//!   credit* — it starts with its reference bit set, so the first sweep lap
+//!   spares it — as long as the shard's protected budget (a configurable
+//!   fraction of its frames) has credits left. Cold fills and graphs
+//!   without a layout are admitted exactly as before.
 //! * **Byte budget.** Capacity is configured in bytes
 //!   (`EngineOptions::cache_bytes`); a budget of zero bypasses the cache
 //!   entirely — every lookup misses and nothing is retained, leaving the IO
@@ -33,6 +41,7 @@
 //!
 //! [`get`]: PageCache::get
 //! [`insert`]: PageCache::insert
+//! [`set_hot_region`]: PageCache::set_hot_region
 
 use std::collections::HashMap;
 
@@ -48,6 +57,28 @@ const MAX_SHARDS: usize = 16;
 /// Frames below which a shard is not worth splitting off.
 const MIN_FRAMES_PER_SHARD: usize = 64;
 
+/// Counter snapshot returned by [`PageCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the page resident.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Resident pages displaced by the clock sweep.
+    pub evictions: u64,
+    /// Hot-region fills admitted with an upfront second-chance credit.
+    pub hot_admits: u64,
+}
+
+/// What one [`PageCache::insert`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// A resident page was displaced to make room.
+    pub evicted: bool,
+    /// The fill was admitted with a hot-region second-chance credit.
+    pub hot_admitted: bool,
+}
+
 /// One resident page: its id, its clock reference bit, and the frame data.
 #[derive(Debug)]
 struct Frame {
@@ -56,6 +87,9 @@ struct Frame {
     /// by the clock sweep in [`PageCache::insert`]. Plain `bool` — every
     /// access happens under the owning shard's mutex.
     referenced: bool,
+    /// Whether this frame holds one of the shard's hot-region credits
+    /// (released back to the budget when the frame is evicted).
+    hot_credit: bool,
     data: Arc<[u8]>,
 }
 
@@ -72,6 +106,9 @@ struct ShardState {
     /// so sweeps from different inserters serialize and the hand needs no
     /// atomic ordering argument.
     hand: usize,
+    /// Hot-region credits currently held by resident frames. Bounded by the
+    /// shard's `hot_budget`; mutated only under the shard mutex.
+    hot_credits: usize,
 }
 
 #[derive(Debug)]
@@ -79,6 +116,9 @@ struct Shard {
     state: Mutex<ShardState>,
     /// Frame budget of this shard (fixed at construction).
     capacity: usize,
+    /// Most frames allowed to hold a hot-region credit at once (the
+    /// protected budget; see [`PageCache::set_hot_region`]).
+    hot_budget: usize,
 }
 
 /// A sharded clock (second-chance) cache of 4 KiB pages.
@@ -89,14 +129,20 @@ struct Shard {
 pub struct PageCache {
     shards: Vec<Shard>,
     capacity_pages: usize,
-    // sync-audit: Relaxed — the three counters below are monotonic
-    // statistics, never used for synchronization; readers either run after
-    // the job completed (trace assembly) or tolerate a stale snapshot
-    // (progress reporting). Every load/fetch_add on them inherits this
-    // argument.
+    /// Global pages below this id belong to the graph's hot (hub) region
+    /// and are admitted with an upfront second-chance credit while the
+    /// shard's protected budget lasts. 0 disables heat-informed admission.
+    /// Plain field: set once by [`set_hot_region`](Self::set_hot_region)
+    /// (which takes `&mut self`) before the cache is shared.
+    hot_pages: PageId,
+    // sync-audit: Relaxed — the counters below are monotonic statistics,
+    // never used for synchronization; readers either run after the job
+    // completed (trace assembly) or tolerate a stale snapshot (progress
+    // reporting). Every load/fetch_add on them inherits this argument.
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    hot_admits: AtomicU64,
 }
 
 impl PageCache {
@@ -122,15 +168,36 @@ impl PageCache {
             .map(|i| Shard {
                 state: Mutex::new(ShardState::default()),
                 capacity: base + usize::from(i < remainder),
+                hot_budget: 0,
             })
             .collect();
         Self {
             shards,
             capacity_pages: pages,
+            hot_pages: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            hot_admits: AtomicU64::new(0),
         }
+    }
+
+    /// Declares pages `0..hot_pages` hot and reserves `fraction` of each
+    /// shard's frames as the protected budget for their credits. Called
+    /// once, before the cache is shared (hence `&mut self` — no locking
+    /// argument needed); a zero `hot_pages` or `fraction` leaves admission
+    /// exactly as it was before heat awareness existed.
+    pub fn set_hot_region(&mut self, hot_pages: PageId, fraction: f64) {
+        self.hot_pages = hot_pages;
+        let fraction = fraction.clamp(0.0, 1.0);
+        for shard in &mut self.shards {
+            shard.hot_budget = (shard.capacity as f64 * fraction) as usize;
+        }
+    }
+
+    /// Upper page id bound of the configured hot region (0 = none).
+    pub fn hot_pages(&self) -> PageId {
+        self.hot_pages
     }
 
     /// Total frame budget in pages.
@@ -178,35 +245,47 @@ impl PageCache {
     }
 
     /// Inserts `page`, evicting one resident page via the clock sweep if
-    /// the shard is full. Returns `true` iff a resident page was evicted.
+    /// the shard is full. The returned [`InsertOutcome`] reports whether a
+    /// resident page was displaced and whether the fill received a
+    /// hot-region admission credit.
     ///
     /// Inserting a page that is already resident refreshes its data and
     /// reference bit in place — a page never occupies two frames, no matter
     /// how many IO workers race to fill it.
-    pub fn insert(&self, page: PageId, data: Arc<[u8]>) -> bool {
+    pub fn insert(&self, page: PageId, data: Arc<[u8]>) -> InsertOutcome {
         let shard = self.shard_of(page);
         if shard.capacity == 0 {
-            return false;
+            return InsertOutcome::default();
         }
         let mut state = shard.state.lock();
         if let Some(&slot) = state.map.get(&page) {
             let frame = &mut state.frames[slot];
             frame.data = data;
             frame.referenced = true;
-            return false;
+            return InsertOutcome::default();
         }
         if state.frames.len() < shard.capacity {
+            let hot = self.grant_hot_credit(shard, page, &mut state);
             let slot = state.frames.len();
             state.frames.push(Frame {
                 page,
-                // Fresh fills start unreferenced: a page only earns its
-                // second chance by being *re*-used, so one-shot scan pages
-                // drain out after a single lap of the hand.
-                referenced: false,
+                // Fresh cold fills start unreferenced: a page only earns
+                // its second chance by being *re*-used, so one-shot scan
+                // pages drain out after a single lap of the hand. Hot-region
+                // fills carrying a credit start referenced instead.
+                referenced: hot,
+                hot_credit: hot,
                 data,
             });
             state.map.insert(page, slot);
-            return false;
+            drop(state);
+            if hot {
+                self.hot_admits.fetch_add(1, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+            }
+            return InsertOutcome {
+                evicted: false,
+                hot_admitted: hot,
+            };
         }
         // Clock sweep: clear reference bits until an unreferenced frame
         // turns up. Terminates within two laps — the first lap clears every
@@ -222,16 +301,41 @@ impl PageCache {
             }
         };
         let old_page = state.frames[victim].page;
+        if state.frames[victim].hot_credit {
+            // The displaced frame returns its credit to the budget before
+            // the incoming page bids for one.
+            state.hot_credits -= 1;
+        }
+        let hot = self.grant_hot_credit(shard, page, &mut state);
         state.map.remove(&old_page);
         state.map.insert(page, victim);
         state.frames[victim] = Frame {
             page,
-            referenced: false,
+            referenced: hot,
+            hot_credit: hot,
             data,
         };
         drop(state);
         self.evictions.fetch_add(1, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
-        true
+        if hot {
+            self.hot_admits.fetch_add(1, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+        }
+        InsertOutcome {
+            evicted: true,
+            hot_admitted: hot,
+        }
+    }
+
+    /// Heat-informed admission: a hot-region page entering the cache takes
+    /// a second-chance credit (enters with its reference bit pre-set, so
+    /// the first sweep lap spares it) while the shard's protected budget
+    /// has room. Runs under the shard mutex.
+    fn grant_hot_credit(&self, shard: &Shard, page: PageId, state: &mut ShardState) -> bool {
+        let grant = page < self.hot_pages && state.hot_credits < shard.hot_budget;
+        if grant {
+            state.hot_credits += 1;
+        }
+        grant
     }
 
     /// Current number of resident pages across all shards.
@@ -244,28 +348,25 @@ impl PageCache {
         self.shards.iter().all(|s| s.state.lock().map.is_empty())
     }
 
-    /// `(hits, misses)` since construction or the last [`reset_stats`].
+    /// Counter snapshot since construction or the last [`reset_stats`].
     ///
     /// [`reset_stats`]: Self::reset_stats
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
-            self.misses.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
-        )
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
+            misses: self.misses.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
+            evictions: self.evictions.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
+            hot_admits: self.hot_admits.load(Ordering::Relaxed), // sync-audit: stats counter; see struct field comment.
+        }
     }
 
-    /// Pages evicted since construction or the last [`reset_stats`].
-    ///
-    /// [`reset_stats`]: Self::reset_stats
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed) // sync-audit: stats counter; see struct field comment.
-    }
-
-    /// Clears the hit/miss/eviction counters (resident pages stay).
+    /// Clears every counter [`stats`](Self::stats) reports (resident pages
+    /// stay, as do any hot credits they hold).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
         self.misses.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
         self.evictions.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
+        self.hot_admits.store(0, Ordering::Relaxed); // sync-audit: stats counter; see struct field comment.
     }
 
     /// Bytes held by resident page data (excludes bookkeeping).
@@ -286,10 +387,17 @@ mod tests {
     fn hit_after_insert_miss_before() {
         let c = PageCache::with_capacity_pages(4);
         assert!(c.get(1).is_none());
-        assert!(!c.insert(1, page(1)));
+        assert!(!c.insert(1, page(1)).evicted);
         assert_eq!(c.get(1).unwrap()[0], 1);
-        assert_eq!(c.stats(), (1, 1));
-        assert_eq!(c.evictions(), 0);
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                hot_admits: 0
+            }
+        );
     }
 
     #[test]
@@ -306,12 +414,12 @@ mod tests {
         c.insert(1, page(1));
         c.insert(2, page(2));
         assert!(c.get(1).is_some()); // reference bit set on 1
-        assert!(c.insert(3, page(3))); // sweep skips 1, evicts 2
+        assert!(c.insert(3, page(3)).evicted); // sweep skips 1, evicts 2
         assert!(c.get(2).is_none());
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
         assert_eq!(c.len(), 2);
-        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
@@ -320,7 +428,7 @@ mod tests {
         c.insert(1, page(1));
         c.insert(2, page(2));
         // Nothing referenced: the hand starts at frame 0, so 1 goes first.
-        assert!(c.insert(3, page(3)));
+        assert!(c.insert(3, page(3)).evicted);
         assert!(c.get(1).is_none());
         assert!(c.get(2).is_some());
     }
@@ -330,7 +438,7 @@ mod tests {
         let c = PageCache::with_capacity_pages(2);
         c.insert(1, page(1));
         c.insert(2, page(2));
-        assert!(!c.insert(2, page(22))); // update in place, no eviction
+        assert!(!c.insert(2, page(22)).evicted); // update in place, no eviction
         assert!(c.get(1).is_some());
         assert_eq!(c.get(2).unwrap()[0], 22);
         assert_eq!(c.len(), 2);
@@ -339,10 +447,10 @@ mod tests {
     #[test]
     fn zero_capacity_never_stores() {
         let c = PageCache::new(0);
-        assert!(!c.insert(9, page(9)));
+        assert_eq!(c.insert(9, page(9)), InsertOutcome::default());
         assert!(c.get(9).is_none());
         assert!(c.is_empty());
-        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.stats().evictions, 0);
     }
 
     #[test]
@@ -356,9 +464,9 @@ mod tests {
             }
             assert!(c.len() <= 8, "round {round}: len {}", c.len());
         }
-        let (hits, misses) = c.stats();
-        assert_eq!(hits + misses, 1600);
-        assert_eq!(c.evictions() + 8, misses, "every miss fills a frame");
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 1600);
+        assert_eq!(s.evictions + 8, s.misses, "every miss fills a frame");
     }
 
     #[test]
@@ -404,7 +512,7 @@ mod tests {
         }
         assert_eq!(c.len(), 256);
         assert_eq!(c.memory_bytes(), 256 * PAGE_SIZE as u64);
-        assert_eq!(c.evictions(), 1000 - 256);
+        assert_eq!(c.stats().evictions, 1000 - 256);
     }
 
     #[test]
@@ -426,19 +534,69 @@ mod tests {
             h.join().unwrap();
         }
         assert!(c.len() <= 32);
-        let (hits, misses) = c.stats();
-        assert_eq!(hits + misses, 4000);
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 4000);
     }
 
     #[test]
-    fn reset_stats_keeps_residents() {
-        let c = PageCache::with_capacity_pages(4);
+    fn reset_stats_clears_every_counter_and_keeps_residents() {
+        let mut c = PageCache::with_capacity_pages(4);
+        c.set_hot_region(16, 1.0);
         c.insert(1, page(1));
         c.get(1);
         c.get(2);
+        assert!(c.stats().hot_admits > 0);
         c.reset_stats();
-        assert_eq!(c.stats(), (0, 0));
-        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.stats(), CacheStats::default());
         assert!(c.get(1).is_some(), "resident pages survive a stats reset");
+    }
+
+    #[test]
+    fn hot_pages_enter_with_a_second_chance() {
+        let mut c = PageCache::with_capacity_pages(2);
+        c.set_hot_region(1, 1.0); // only page 0 is hot
+        assert!(c.insert(0, page(0)).hot_admitted);
+        assert!(!c.insert(7, page(7)).hot_admitted);
+        // Neither page has been *used*, but the hot fill's upfront credit
+        // makes the sweep spare it and drain the cold page first.
+        assert!(c.insert(8, page(8)).evicted);
+        assert!(c.get(0).is_some(), "hot page survives the first sweep");
+        assert!(c.get(7).is_none(), "cold page drained");
+        assert_eq!(c.stats().hot_admits, 1);
+    }
+
+    #[test]
+    fn hot_budget_bounds_outstanding_credits() {
+        let mut c = PageCache::with_capacity_pages(4);
+        c.set_hot_region(100, 0.5); // 2 of 4 frames may hold credits
+        let admitted = (0..4u64)
+            .filter(|&p| c.insert(p, page(p as u8)).hot_admitted)
+            .count();
+        assert_eq!(admitted, 2, "budget caps hot admissions");
+        assert_eq!(c.stats().hot_admits, 2);
+        // Evicting a credited frame returns its credit to the budget.
+        for p in 4..40u64 {
+            c.insert(p, page(p as u8));
+        }
+        assert!(
+            c.stats().hot_admits > 2,
+            "credits freed by eviction are re-granted"
+        );
+    }
+
+    #[test]
+    fn zero_fraction_or_no_hot_region_changes_nothing() {
+        let mut with_region = PageCache::with_capacity_pages(2);
+        with_region.set_hot_region(100, 0.0);
+        let plain = PageCache::with_capacity_pages(2);
+        for c in [&with_region, &plain] {
+            c.insert(0, page(0));
+            c.insert(1, page(1));
+            // No credits granted: the plain second-chance order applies and
+            // the oldest unreferenced frame drains first.
+            assert!(c.insert(2, page(2)).evicted);
+            assert!(c.get(0).is_none());
+            assert_eq!(c.stats().hot_admits, 0);
+        }
     }
 }

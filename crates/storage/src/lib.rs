@@ -45,7 +45,7 @@ pub mod uring;
 
 pub use backend::{Completion, IoBackend, IoBackendKind, SyncBackend, ThreadedBackend};
 pub use buffer::{BufferPool, FilledBuffer, IoBuffer};
-pub use cache::PageCache;
+pub use cache::{CacheStats, InsertOutcome, PageCache};
 pub use device::BlockDevice;
 pub use faulty::FaultyDevice;
 pub use file::FileDevice;

@@ -146,6 +146,10 @@ struct JobDeviceStats {
     cache_miss_pages: AtomicU64,
     /// Resident pages the cache evicted while absorbing this job's fills.
     cache_evictions: AtomicU64,
+    /// Cache-hit pages that lie in the graph's hot (hub) page region.
+    cache_hot_hit_pages: AtomicU64,
+    /// Fills the cache admitted with a hot-region second-chance credit.
+    cache_hot_admit_pages: AtomicU64,
     /// Requests submitted to the IO backend by this job.
     submits: AtomicU64,
     /// Sum over submits of the in-flight depth at submission time, for the
@@ -200,6 +204,8 @@ impl JobIoStats {
                         cache_hit_pages: AtomicU64::new(0),
                         cache_miss_pages: AtomicU64::new(0),
                         cache_evictions: AtomicU64::new(0),
+                        cache_hot_hit_pages: AtomicU64::new(0),
+                        cache_hot_admit_pages: AtomicU64::new(0),
                         submits: AtomicU64::new(0),
                         depth_sum: AtomicU64::new(0),
                         depth_max: AtomicU64::new(0),
@@ -307,6 +313,20 @@ impl JobIoStats {
             .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
     }
 
+    /// Records `pages` cache hits that fell in the hot page region.
+    pub fn record_cache_hot_hits(&self, device: usize, pages: u64) {
+        self.devices[device]
+            .cache_hot_hit_pages
+            .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// Records `pages` fills admitted with a hot-region credit.
+    pub fn record_cache_hot_admits(&self, device: usize, pages: u64) {
+        self.devices[device]
+            .cache_hot_admit_pages
+            .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
     /// `(hits, misses, evictions)` page totals across all devices. Only
     /// authoritative once the job's IO roles have finished.
     pub fn cache_totals(&self) -> (u64, u64, u64) {
@@ -315,6 +335,17 @@ impl JobIoStats {
             totals.0 += dev.cache_hit_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
             totals.1 += dev.cache_miss_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
             totals.2 += dev.cache_evictions.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+        }
+        totals
+    }
+
+    /// `(hot_hits, hot_admits)` page totals across all devices. Only
+    /// authoritative once the job's IO roles have finished.
+    pub fn cache_hot_totals(&self) -> (u64, u64) {
+        let mut totals = (0, 0);
+        for dev in &self.devices {
+            totals.0 += dev.cache_hot_hit_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+            totals.1 += dev.cache_hot_admit_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
         }
         totals
     }
@@ -464,6 +495,12 @@ mod tests {
         j.record_cache_evictions(1, 2);
         j.record_cache_evictions(2, 3);
         assert_eq!(j.cache_totals(), (12, 11, 5));
+        assert_eq!(j.cache_hot_totals(), (0, 0));
+        j.record_cache_hot_hits(0, 4);
+        j.record_cache_hot_hits(1, 1);
+        j.record_cache_hot_admits(2, 6);
+        assert_eq!(j.cache_hot_totals(), (5, 6));
+        assert_eq!(j.cache_totals(), (12, 11, 5), "hot counters are separate");
     }
 
     #[test]

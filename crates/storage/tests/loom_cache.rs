@@ -49,7 +49,10 @@ fn eviction_never_invalidates_a_handed_out_frame() {
         if let Some(data) = reader.join().unwrap() {
             assert_eq!(data, vec![1; 4], "reader saw evictor's bytes");
         }
-        assert!(evictor.join().unwrap(), "insert into a full shard evicts");
+        assert!(
+            evictor.join().unwrap().evicted,
+            "insert into a full shard evicts"
+        );
         // Whatever the order, page 2 is resident afterwards and page 1
         // is gone: capacity 1 holds exactly one page.
         assert_eq!(c.len(), 1);
@@ -75,7 +78,10 @@ fn racing_same_page_inserts_never_double_insert() {
         for h in handles {
             // Neither racer may report an eviction: the cache is not full,
             // and the loser updates the winner's frame in place.
-            assert!(!h.join().unwrap(), "same-page insert evicted something");
+            assert!(
+                !h.join().unwrap().evicted,
+                "same-page insert evicted something"
+            );
         }
         assert_eq!(c.len(), 1, "page 42 occupies more than one frame");
         let data = c.get(42).expect("page 42 resident").to_vec();
@@ -131,7 +137,37 @@ fn get_of_resident_page_survives_unrelated_insert() {
             thread::spawn(move || c.insert(11, page(11)))
         };
         assert_eq!(getter.join().unwrap(), vec![10; 4]);
-        assert!(!inserter.join().unwrap(), "no eviction below capacity");
+        assert!(
+            !inserter.join().unwrap().evicted,
+            "no eviction below capacity"
+        );
         assert_eq!(c.len(), 2);
     });
+}
+
+/// Two threads race hot-region fills against a protected budget of one
+/// credit: exactly one admission wins in every schedule — the budget
+/// counter lives under the shard mutex and can never be double-granted.
+#[test]
+fn hot_credit_budget_is_never_exceeded() {
+    let report = check_with(cfg(2), || {
+        let mut cache = PageCache::with_capacity_pages(2);
+        cache.set_hot_region(64, 0.5); // 1 of 2 frames may hold a credit
+        let c = Arc::new(cache);
+        let writers: Vec<_> = [0u64, 1]
+            .into_iter()
+            .map(|p| {
+                let c = c.clone();
+                thread::spawn(move || c.insert(p, page(p as u8)))
+            })
+            .collect();
+        let admitted = writers
+            .into_iter()
+            .map(|w| w.join().unwrap().hot_admitted)
+            .filter(|&hot| hot)
+            .count();
+        assert_eq!(admitted, 1, "budget of one credit granted {admitted} times");
+        assert_eq!(c.stats().hot_admits, 1);
+    });
+    assert!(report.executions > 1, "explored only one schedule");
 }

@@ -65,6 +65,11 @@ pub struct IterationTrace {
     /// Number of resident pages the cache evicted while absorbing this
     /// iteration's fills.
     pub cache_evictions: u64,
+    /// Cache hits that fell in the graph's hot (hub) page region — the
+    /// pages a degree-aware layout packed to the front of the stream.
+    pub cache_hot_hit_pages: u64,
+    /// Fills the cache admitted with a hot-region second-chance credit.
+    pub cache_hot_admits: u64,
     /// Records per bin buffer in the binning configuration that produced
     /// this trace (0 when binning was not used). Drives the bin-handoff
     /// cost of the performance model.
