@@ -62,6 +62,13 @@ fn run_pagerank(
     mode: ExecMode,
     combined: bool,
 ) -> Result<VertexArray<f64>> {
+    if mode == ExecMode::Async {
+        // Rank accumulation is not a monotone relaxation: applying a delta
+        // twice (a stale async re-delivery) changes the sum.
+        return Err(blaze_types::BlazeError::Config(
+            "pagerank is not monotone; async mode supports BFS/SSSP/WCC/k-core/labelprop".into(),
+        ));
+    }
     let n = engine.num_vertices();
     let graph = engine.graph().clone();
     let p = VertexArray::<f64>::new(n, 0.0);
@@ -101,6 +108,7 @@ fn run_pagerank(
                 cond,
                 true,
             )?,
+            ExecMode::Async => unreachable!("rejected at entry"),
         };
         // APPLYFILTER (Algorithm 2, lines 20-29).
         frontier = vertex_map(

@@ -91,6 +91,91 @@ pub fn wcc_labels(g: &Csr) -> Vec<u32> {
     (0..n as u32).map(|v| find(&mut parent, v)).collect()
 }
 
+/// Dijkstra shortest distances from `root` under the deterministic
+/// [`crate::sssp::edge_weight`] weights; `u64::MAX` for unreachable
+/// vertices.
+pub fn sssp_distances(g: &Csr, root: VertexId) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![u64::MAX; n];
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, root)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            let nd = d + crate::sssp::edge_weight(v, u);
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// k-core membership over the undirected view: `1` iff the vertex survives
+/// iterated removal of vertices whose undirected degree (in + out, each
+/// directed edge counted at both endpoints, self-loops twice) drops below
+/// `k`.
+pub fn kcore_alive(g: &Csr, k: i64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut deg = vec![0i64; n];
+    let mut in_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for (s, d) in g.edges() {
+        deg[s as usize] += 1;
+        deg[d as usize] += 1;
+        in_adj[d as usize].push(s);
+    }
+    let mut alive = vec![1u32; n];
+    let mut queue: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| deg[v as usize] < k)
+        .collect();
+    for &v in &queue {
+        alive[v as usize] = 0;
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        let neighbors = g
+            .neighbors(v)
+            .iter()
+            .chain(in_adj[v as usize].iter())
+            .copied()
+            .collect::<Vec<_>>();
+        for u in neighbors {
+            deg[u as usize] -= 1;
+            if alive[u as usize] == 1 && deg[u as usize] < k {
+                alive[u as usize] = 0;
+                queue.push(u);
+            }
+        }
+    }
+    alive
+}
+
+/// Forward min-label propagation fixpoint: every vertex gets the minimum
+/// vertex id among itself and all its ancestors along directed edges.
+pub fn labelprop_labels(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (s, d) in g.edges() {
+            if label[s as usize] < label[d as usize] {
+                label[d as usize] = label[s as usize];
+                changed = true;
+            }
+        }
+    }
+    label
+}
+
 /// y = Aᵀ·x over the out-edge representation: `y[d] = Σ_{(s,d) ∈ E} x[s]`.
 pub fn spmv(g: &Csr, x: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0f64; g.num_vertices()];
@@ -195,6 +280,38 @@ mod tests {
         assert!((delta[1] - 1.0).abs() < 1e-12);
         assert!((delta[2] - 1.0).abs() < 1e-12);
         assert_eq!(delta[4], 0.0);
+    }
+
+    #[test]
+    fn sssp_distances_respect_triangle_inequality() {
+        let g = diamond();
+        let dist = sssp_distances(&g, 0);
+        assert_eq!(dist[0], 0);
+        for (s, d) in g.edges() {
+            let w = crate::sssp::edge_weight(s, d);
+            if dist[s as usize] != u64::MAX {
+                assert!(dist[d as usize] <= dist[s as usize] + w);
+            }
+        }
+        assert!(dist.iter().all(|&d| d != u64::MAX), "diamond is connected");
+    }
+
+    #[test]
+    fn kcore_peels_a_pendant_chain() {
+        // Triangle {0,1,2} plus a pendant path 2 -> 3 -> 4.
+        let mut b = GraphBuilder::new(5);
+        b.extend([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let alive = kcore_alive(&b.build(), 2);
+        assert_eq!(alive, vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn labelprop_follows_direction() {
+        // 1 -> 0 lowers nothing (0 is already minimal); 0 -> 2 -> 3 pulls
+        // label 0 downstream; 4 is isolated.
+        let mut b = GraphBuilder::new(5);
+        b.extend([(1, 0), (0, 2), (2, 3)]);
+        assert_eq!(labelprop_labels(&b.build()), vec![0, 1, 0, 0, 4]);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Property tests pinning barrier-free execution to the barriered oracle:
+//! for every monotone query, [`ExecMode::Async`] must return answers
+//! *bit-identical* to [`ExecMode::Sync`] (and to the in-memory reference)
+//! — the async engine reorders work, it must never change the fixpoint.
+//!
+//! Covered: BFS levels, SSSP distances, WCC labels, k-core membership and
+//! forward propagation labels, over random edge sets, a super-vertex hub
+//! shape, and R-MAT graphs, under both the identity layout and the
+//! degree-aware physical layout. Small async batch/bucket knobs are also
+//! exercised so multi-round draining (not just one big batch) is covered.
+
+use std::path::Path;
+
+use proptest::prelude::*;
+
+use blaze_algorithms::{bfs, kcore, label_propagation, reference, sssp, wcc, ExecMode};
+use blaze_core::{BlazeEngine, EngineOptions};
+use blaze_graph::disk::{save_files_with_layout, LayoutMeta};
+use blaze_graph::gen::{rmat, RmatConfig};
+use blaze_graph::{Csr, DiskGraph, GraphBuilder, VertexLayout};
+use blaze_storage::StripedStorage;
+use blaze_sync::Arc;
+
+const N: u32 = 64;
+const LAYOUTS: [VertexLayout; 2] = [VertexLayout::None, VertexLayout::Degree];
+
+fn build(edges: Vec<(u32, u32)>) -> Csr {
+    let mut b = GraphBuilder::new(N as usize);
+    b.extend(edges);
+    b.build()
+}
+
+/// Random edges or a hub-heavy super-vertex shape — chosen per case (the
+/// R-MAT shape gets its own deterministic test below).
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (
+        proptest::sample::select(vec![0usize, 1]),
+        proptest::collection::vec((0..N, 0..N), 1..400),
+        0..N,
+        proptest::collection::vec(0..N, 50..300),
+    )
+        .prop_map(|(kind, edges, hub, sources)| match kind {
+            0 => build(edges),
+            _ => build(
+                sources
+                    .into_iter()
+                    .map(|s| (s, hub))
+                    .chain(edges.into_iter().take(50))
+                    .collect(),
+            ),
+        })
+}
+
+/// Tiny batches and few buckets force many async rounds, bucket
+/// saturation, and re-prioritized pushes — the interesting schedules.
+fn opts() -> EngineOptions {
+    EngineOptions::default()
+        .with_cache_bytes(1 << 20)
+        .with_async_batch_max(16)
+        .with_async_buckets(4)
+}
+
+fn engine_with_layout(g: &Csr, layout: VertexLayout) -> BlazeEngine {
+    let storage = Arc::new(StripedStorage::in_memory(2).unwrap());
+    BlazeEngine::new(
+        Arc::new(DiskGraph::create_with_layout(g, storage, layout).unwrap()),
+        opts(),
+    )
+    .unwrap()
+}
+
+/// Out + transpose engines sharing ONE permutation via the on-disk path.
+fn engine_pair_with_layout(
+    g: &Csr,
+    layout: VertexLayout,
+    dir: &Path,
+) -> (BlazeEngine, BlazeEngine) {
+    let (perm, hot_vertices) = layout.plan(g);
+    let phys = perm.permute_csr(g);
+    let phys_t = phys.transpose();
+    let meta = LayoutMeta {
+        kind: layout,
+        hot_vertices,
+        perm,
+    };
+    let (gi, ga) = save_files_with_layout(&phys, dir, "g.gr", 2, Some(&meta)).unwrap();
+    let (ti, ta) = save_files_with_layout(&phys_t, dir, "g.tgr", 2, Some(&meta)).unwrap();
+    let oe = BlazeEngine::new(Arc::new(DiskGraph::open_files(&gi, &ga).unwrap()), opts()).unwrap();
+    let ie = BlazeEngine::new(Arc::new(DiskGraph::open_files(&ti, &ta).unwrap()), opts()).unwrap();
+    (oe, ie)
+}
+
+/// BFS levels derived from a parent array; the tree may differ between
+/// schedules, the levels may not.
+fn levels_from_parents(parent: &[i64], root: u32) -> Vec<i64> {
+    parent
+        .iter()
+        .enumerate()
+        .map(|(v, &p)| {
+            if p < 0 {
+                return -1;
+            }
+            let mut cur = v as u32;
+            let mut depth = 0i64;
+            while cur != root {
+                cur = parent[cur as usize] as u32;
+                depth += 1;
+                assert!(depth <= parent.len() as i64, "parent cycle at {v}");
+            }
+            depth
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Async BFS levels are bit-identical to the sync oracle's under both
+    /// layouts, and every async parent edge exists in the original graph.
+    #[test]
+    fn async_bfs_levels_match_sync_oracle(g in arb_graph(), root in 0..N) {
+        for layout in LAYOUTS {
+            let e = engine_with_layout(&g, layout);
+            let sync_parent = bfs(&e, root, ExecMode::Sync).unwrap().to_vec();
+            let async_parent = bfs(&e, root, ExecMode::Async).unwrap().to_vec();
+            prop_assert_eq!(
+                levels_from_parents(&async_parent, root),
+                levels_from_parents(&sync_parent, root),
+                "levels under {} layout", layout.name()
+            );
+            for (v, &p) in async_parent.iter().enumerate() {
+                if p >= 0 && v as u32 != root {
+                    prop_assert!(
+                        g.neighbors(p as u32).contains(&(v as u32)),
+                        "{} layout: async parent {p} lacks edge to {v}", layout.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Async SSSP distances are bit-identical to the sync oracle's (and
+    /// distances are a unique fixpoint, so this pins the exact array).
+    #[test]
+    fn async_sssp_distances_match_sync_oracle(g in arb_graph(), root in 0..N) {
+        for layout in LAYOUTS {
+            let e = engine_with_layout(&g, layout);
+            let want = sssp(&e, root, ExecMode::Sync).unwrap().to_vec();
+            prop_assert_eq!(&want, &reference::sssp_distances(&g, root));
+            let got = sssp(&e, root, ExecMode::Async).unwrap().to_vec();
+            prop_assert_eq!(&got, &want, "distances under {} layout", layout.name());
+        }
+    }
+
+    /// Async WCC labels are bit-identical to the sync oracle's.
+    #[test]
+    fn async_wcc_labels_match_sync_oracle(g in arb_graph()) {
+        for layout in LAYOUTS {
+            let dir = tempfile::tempdir().unwrap();
+            let (oe, ie) = engine_pair_with_layout(&g, layout, dir.path());
+            let want = wcc(&oe, &ie, ExecMode::Sync).unwrap().to_vec();
+            prop_assert_eq!(&want, &reference::wcc_labels(&g));
+            let got = wcc(&oe, &ie, ExecMode::Async).unwrap().to_vec();
+            prop_assert_eq!(&got, &want, "labels under {} layout", layout.name());
+        }
+    }
+
+    /// Async k-core membership and label-propagation labels are
+    /// bit-identical to their sync oracles.
+    #[test]
+    fn async_kcore_and_labelprop_match_sync_oracle(g in arb_graph(), k in 1u32..5) {
+        for layout in LAYOUTS {
+            let dir = tempfile::tempdir().unwrap();
+            let (oe, ie) = engine_pair_with_layout(&g, layout, dir.path());
+            let want = kcore(&oe, &ie, k, ExecMode::Sync).unwrap().to_vec();
+            prop_assert_eq!(&want, &reference::kcore_alive(&g, i64::from(k)));
+            let got = kcore(&oe, &ie, k, ExecMode::Async).unwrap().to_vec();
+            prop_assert_eq!(&got, &want, "k-core under {} layout", layout.name());
+
+            let want = label_propagation(&oe, ExecMode::Sync).unwrap().to_vec();
+            prop_assert_eq!(&want, &reference::labelprop_labels(&g));
+            let got = label_propagation(&oe, ExecMode::Async).unwrap().to_vec();
+            prop_assert_eq!(&got, &want, "labelprop under {} layout", layout.name());
+        }
+    }
+}
+
+/// R-MAT graphs (power-law): all five monotone queries agree between async
+/// and sync under both layouts at scale 8.
+#[test]
+fn rmat_async_matches_sync_for_all_monotone_queries() {
+    let g = rmat(&RmatConfig::new(8));
+    for layout in LAYOUTS {
+        let e = engine_with_layout(&g, layout);
+        let sync_parent = bfs(&e, 0, ExecMode::Sync).unwrap().to_vec();
+        let async_parent = bfs(&e, 0, ExecMode::Async).unwrap().to_vec();
+        assert_eq!(
+            levels_from_parents(&async_parent, 0),
+            levels_from_parents(&sync_parent, 0),
+            "bfs under {} layout",
+            layout.name()
+        );
+        assert_eq!(
+            sssp(&e, 0, ExecMode::Async).unwrap().to_vec(),
+            sssp(&e, 0, ExecMode::Sync).unwrap().to_vec(),
+            "sssp under {} layout",
+            layout.name()
+        );
+        assert_eq!(
+            label_propagation(&e, ExecMode::Async).unwrap().to_vec(),
+            label_propagation(&e, ExecMode::Sync).unwrap().to_vec(),
+            "labelprop under {} layout",
+            layout.name()
+        );
+        let dir = tempfile::tempdir().unwrap();
+        let (oe, ie) = engine_pair_with_layout(&g, layout, dir.path());
+        assert_eq!(
+            wcc(&oe, &ie, ExecMode::Async).unwrap().to_vec(),
+            wcc(&oe, &ie, ExecMode::Sync).unwrap().to_vec(),
+            "wcc under {} layout",
+            layout.name()
+        );
+        assert_eq!(
+            kcore(&oe, &ie, 3, ExecMode::Async).unwrap().to_vec(),
+            kcore(&oe, &ie, 3, ExecMode::Sync).unwrap().to_vec(),
+            "kcore under {} layout",
+            layout.name()
+        );
+        assert!(
+            oe.stats().async_rounds >= 1,
+            "async runs must trace rounds under {} layout",
+            layout.name()
+        );
+    }
+}

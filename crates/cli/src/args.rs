@@ -3,6 +3,7 @@
 
 use std::path::PathBuf;
 
+use blaze_algorithms::ExecMode;
 use blaze_types::{BlazeError, Result};
 
 /// Parsed command line shared by all query binaries.
@@ -38,6 +39,11 @@ pub struct CliArgs {
     /// same-destination delta records merge in the staging window before
     /// reaching the bins).
     pub combine: bool,
+    /// Execution mode (`-mode binned|sync|async`, default binned). Async
+    /// is accepted only by the monotone queries.
+    pub mode: ExecMode,
+    /// Core threshold for the k-core query (`-k`, default 2).
+    pub k: u32,
     /// The `.gr.index` file (first positional argument).
     pub index: PathBuf,
     /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
@@ -62,12 +68,29 @@ impl Default for CliArgs {
             cache_mb: 0,
             queue_depth: 1,
             combine: false,
+            mode: ExecMode::Binned,
+            k: 2,
             index: PathBuf::new(),
             adj: Vec::new(),
             in_index: None,
             in_adj: Vec::new(),
         }
     }
+}
+
+/// Uniform numeric-flag parsing: every count-valued flag reports a missing
+/// value, a malformed value, and an out-of-range value with the same
+/// message shapes (`flag X needs a value`, `X: <value> is not a
+/// non-negative integer`, `X must be >= N`).
+fn parse_count(flag: &str, value: Option<&String>, min: usize) -> Result<usize> {
+    let v = value.ok_or_else(|| BlazeError::Config(format!("flag {flag} needs a value")))?;
+    let n: usize = v
+        .parse()
+        .map_err(|_| BlazeError::Config(format!("{flag}: {v:?} is not a non-negative integer")))?;
+    if n < min {
+        return Err(BlazeError::Config(format!("{flag} must be >= {min}")));
+    }
+    Ok(n)
 }
 
 /// Parses an artifact-style argument list (without the program name).
@@ -121,34 +144,25 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
                     .map_err(|e| BlazeError::Config(format!("-maxIters: {e}")))?;
             }
             "-jobs" => {
-                out.jobs = it
-                    .next()
-                    .ok_or_else(|| missing("-jobs"))?
-                    .parse()
-                    .map_err(|e| BlazeError::Config(format!("-jobs: {e}")))?;
-                if out.jobs == 0 {
-                    return Err(BlazeError::Config("-jobs must be >= 1".into()));
-                }
+                out.jobs = parse_count("-jobs", it.next(), 1)?;
             }
             "-cache-mb" => {
-                out.cache_mb = it
-                    .next()
-                    .ok_or_else(|| missing("-cache-mb"))?
-                    .parse()
-                    .map_err(|e| BlazeError::Config(format!("-cache-mb: {e}")))?;
+                out.cache_mb = parse_count("-cache-mb", it.next(), 0)?;
             }
             "-qd" => {
-                out.queue_depth = it
-                    .next()
-                    .ok_or_else(|| missing("-qd"))?
-                    .parse()
-                    .map_err(|e| BlazeError::Config(format!("-qd: {e}")))?;
-                if out.queue_depth == 0 {
-                    return Err(BlazeError::Config("-qd must be >= 1".into()));
-                }
+                out.queue_depth = parse_count("-qd", it.next(), 1)?;
+            }
+            "-k" => {
+                out.k = parse_count("-k", it.next(), 1)? as u32;
             }
             "-combine" => {
                 out.combine = true;
+            }
+            "-mode" => {
+                let v = it.next().ok_or_else(|| missing("-mode"))?;
+                out.mode = ExecMode::parse(v).ok_or_else(|| {
+                    BlazeError::Config(format!("unknown -mode {v} (expected binned|sync|async)"))
+                })?;
             }
             "-device" => {
                 out.device = it.next().ok_or_else(|| missing("-device"))?.clone();
@@ -261,6 +275,66 @@ mod tests {
         let a = parse(&args("-combine g.gr.index g.gr.adj.0")).unwrap();
         assert!(a.combine);
         assert!(!parse(&args("g.gr.index g.gr.adj.0")).unwrap().combine);
+    }
+
+    #[test]
+    fn parses_mode_flag() {
+        let a = parse(&args("-mode async g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.mode, ExecMode::Async);
+        let a = parse(&args("-mode sync g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.mode, ExecMode::Sync);
+        let a = parse(&args("g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.mode, ExecMode::Binned);
+        let err = parse(&args("-mode turbo g.gr.index g.gr.adj.0")).unwrap_err();
+        assert!(
+            err.to_string().contains("expected binned|sync|async"),
+            "{err}"
+        );
+        assert!(parse(&args("-mode")).is_err());
+    }
+
+    #[test]
+    fn parses_k_flag() {
+        let a = parse(&args("-k 4 g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.k, 4);
+        assert_eq!(parse(&args("g.gr.index g.gr.adj.0")).unwrap().k, 2);
+        assert!(parse(&args("-k 0 g.gr.index g.gr.adj.0")).is_err());
+    }
+
+    /// Satellite contract: `-jobs`, `-qd`, and `-cache-mb` all go through
+    /// one parse helper, so their error messages share one shape for each
+    /// failure class instead of drifting per flag.
+    #[test]
+    fn numeric_flags_report_uniform_errors() {
+        let msg = |input: &str| parse(&args(input)).unwrap_err().to_string();
+        // Missing value: "flag <f> needs a value".
+        for flag in ["-jobs", "-qd", "-cache-mb"] {
+            assert_eq!(
+                msg(flag),
+                format!("configuration error: flag {flag} needs a value")
+            );
+        }
+        // Malformed value: "<f>: <v> is not a non-negative integer".
+        for flag in ["-jobs", "-qd", "-cache-mb"] {
+            assert_eq!(
+                msg(&format!("{flag} x g.gr.index g.gr.adj.0")),
+                format!("configuration error: {flag}: \"x\" is not a non-negative integer")
+            );
+            assert_eq!(
+                msg(&format!("{flag} -3 g.gr.index g.gr.adj.0")),
+                format!("configuration error: {flag}: \"-3\" is not a non-negative integer")
+            );
+        }
+        // Below-minimum value: "<f> must be >= <min>"; zero stays legal
+        // for -cache-mb (0 = cache disabled) and illegal for the rest.
+        for flag in ["-jobs", "-qd"] {
+            assert_eq!(
+                msg(&format!("{flag} 0 g.gr.index g.gr.adj.0")),
+                format!("configuration error: {flag} must be >= 1")
+            );
+        }
+        let a = parse(&args("-cache-mb 0 g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.cache_mb, 0);
     }
 
     #[test]

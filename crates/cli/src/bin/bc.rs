@@ -23,16 +23,11 @@ fn main() {
         std::process::exit(1);
     });
     let t0 = std::time::Instant::now();
-    let scores = blaze_algorithms::bc(
-        &out_engine,
-        &in_engine,
-        cli.start_node,
-        blaze_algorithms::ExecMode::Binned,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("bc: {e}");
-        std::process::exit(1);
-    });
+    let scores = blaze_algorithms::bc(&out_engine, &in_engine, cli.start_node, cli.mode)
+        .unwrap_or_else(|e| {
+            eprintln!("bc: {e}");
+            std::process::exit(1);
+        });
     let wall = t0.elapsed();
     blaze_cli::print_run_summary("bc", &out_engine, wall);
     let top = (0..out_engine.num_vertices())

@@ -14,6 +14,10 @@
 //! `-qd N` sets the per-device IO queue depth (default 1, the published
 //! engine's synchronous backend; deeper windows switch to the threaded
 //! backend and keep up to N requests in flight per device).
+//!
+//! `-mode binned|sync|async` picks the execution mode; `async` drops the
+//! per-iteration barrier and drains a priority frontier bucketed by BFS
+//! level.
 
 use std::thread;
 
@@ -38,13 +42,7 @@ fn main() {
         let handles: Vec<_> = (0..cli.jobs)
             .map(|_| {
                 let engine = &engine;
-                s.spawn(move || {
-                    blaze_algorithms::bfs(
-                        engine,
-                        cli.start_node,
-                        blaze_algorithms::ExecMode::Binned,
-                    )
-                })
+                s.spawn(move || blaze_algorithms::bfs(engine, cli.start_node, cli.mode))
             })
             .collect();
         handles

@@ -6,7 +6,7 @@
 //! same-destination delta records in the scatter staging windows before
 //! they reach the bins (the summary's "records combined" count).
 
-use blaze_algorithms::{pagerank_delta, pagerank_delta_combined, ExecMode, PageRankConfig};
+use blaze_algorithms::{pagerank_delta, pagerank_delta_combined, PageRankConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +32,8 @@ fn main() {
     let result = if cli.combine {
         pagerank_delta_combined(&engine, config)
     } else {
-        pagerank_delta(&engine, config, ExecMode::Binned)
+        // Non-monotone: -mode async comes back as a config error here.
+        pagerank_delta(&engine, config, cli.mode)
     };
     let ranks = result.unwrap_or_else(|e| {
         eprintln!("pr: {e}");

@@ -17,12 +17,10 @@ fn main() {
         .map(|i| 1.0 / (i + 1) as f64)
         .collect();
     let t0 = std::time::Instant::now();
-    let y = blaze_algorithms::spmv(&engine, &x, blaze_algorithms::ExecMode::Binned).unwrap_or_else(
-        |e| {
-            eprintln!("spmv: {e}");
-            std::process::exit(1);
-        },
-    );
+    let y = blaze_algorithms::spmv(&engine, &x, cli.mode).unwrap_or_else(|e| {
+        eprintln!("spmv: {e}");
+        std::process::exit(1);
+    });
     let wall = t0.elapsed();
     blaze_cli::print_run_summary("spmv", &engine, wall);
     let norm: f64 = (0..engine.num_vertices())

@@ -1,6 +1,7 @@
 //! Artifact-style WCC binary. Requires the transpose via
 //! `-inIndexFilename` / `-inAdjFilenames`. `-cache-mb N` gives each
 //! direction's IO workers a clock page cache of N MiB (default 0).
+//! `-mode binned|sync|async` picks the execution mode.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,11 +25,10 @@ fn main() {
         std::process::exit(1);
     });
     let t0 = std::time::Instant::now();
-    let labels = blaze_algorithms::wcc(&out_engine, &in_engine, blaze_algorithms::ExecMode::Binned)
-        .unwrap_or_else(|e| {
-            eprintln!("wcc: {e}");
-            std::process::exit(1);
-        });
+    let labels = blaze_algorithms::wcc(&out_engine, &in_engine, cli.mode).unwrap_or_else(|e| {
+        eprintln!("wcc: {e}");
+        std::process::exit(1);
+    });
     let wall = t0.elapsed();
     blaze_cli::print_run_summary("wcc", &out_engine, wall);
     let mut roots: Vec<u32> = (0..labels.len()).map(|v| labels.get(v)).collect();

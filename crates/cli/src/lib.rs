@@ -18,4 +18,4 @@ pub mod toolargs;
 
 pub use args::{parse, CliArgs};
 pub use run::{open_engine, print_run_summary};
-pub use toolargs::{parse_tool_args, write_graph_pair, ToolArgs};
+pub use toolargs::{parse_tool_args, try_parse_tool_args, write_graph_pair, ToolArgs};

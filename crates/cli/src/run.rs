@@ -115,6 +115,12 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
             );
         }
     }
+    if stats.async_rounds > 0 {
+        println!(
+            "async: {} rounds, {} activations, {} dedup-skipped pushes",
+            stats.async_rounds, stats.async_activations, stats.async_dedup_skipped
+        );
+    }
     if stats.scatter_ns > 0 || stats.gather_ns > 0 {
         // Per-stage compute profile: worker-summed busy time, so totals can
         // exceed wall time when several workers overlap.

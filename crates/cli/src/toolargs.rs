@@ -11,6 +11,7 @@ use blaze_graph::{Csr, VertexLayout};
 use blaze_types::Result;
 
 /// Common flags plus whatever tool-specific flags the caller declared.
+#[derive(Debug)]
 pub struct ToolArgs {
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
@@ -42,15 +43,28 @@ impl ToolArgs {
 
 /// Parses `args` for `tool`. `switches` lists the tool's boolean flags
 /// (e.g. `--dedup`), `value_flags` its flags taking one value (e.g.
-/// `--scale`). Malformed common flags and unknown `--` flags print a
-/// `tool: ...` diagnostic and exit 2 — the usage-error convention both
-/// tools share.
+/// `--scale`). Malformed common flags, unknown `--` flags, and repeated
+/// value-taking flags print a `tool: ...` diagnostic and exit 2 — the
+/// usage-error convention both tools share.
 pub fn parse_tool_args(
     tool: &str,
     args: impl IntoIterator<Item = String>,
     switches: &[&str],
     value_flags: &[&str],
 ) -> ToolArgs {
+    match try_parse_tool_args(args, switches, value_flags) {
+        Ok(out) => out,
+        Err(msg) => die(tool, &msg),
+    }
+}
+
+/// [`parse_tool_args`] without the exit-2 policy: errors come back as the
+/// diagnostic message so the rejection rules stay unit-testable.
+pub fn try_parse_tool_args(
+    args: impl IntoIterator<Item = String>,
+    switches: &[&str],
+    value_flags: &[&str],
+) -> std::result::Result<ToolArgs, String> {
     let mut out = ToolArgs {
         positional: Vec::new(),
         stripes: 1,
@@ -58,38 +72,54 @@ pub fn parse_tool_args(
         flags: Vec::new(),
         values: Vec::new(),
     };
+    // Every value-taking flag — common or tool-specific — may be given at
+    // most once: silently honoring only one of two contradictory values
+    // is how a `--layout degree ... --layout none` typo corrupts a
+    // dataset. One shared diagnostic covers them all.
+    let mut seen: Vec<String> = Vec::new();
+    let mut once = |flag: &str| -> std::result::Result<(), String> {
+        if seen.iter().any(|s| s == flag) {
+            return Err(format!("duplicate flag {flag} (each may be given once)"));
+        }
+        seen.push(flag.to_string());
+        Ok(())
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stripes" => {
+                once("--stripes")?;
                 out.stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
                 if out.stripes == 0 {
-                    die(tool, "bad --stripes (want a positive integer)");
+                    return Err("bad --stripes (want a positive integer)".into());
                 }
             }
             "--layout" => {
+                once("--layout")?;
                 let v = it.next();
                 out.layout = match v.as_deref().and_then(VertexLayout::parse) {
                     Some(l) => l,
-                    None => die(
-                        tool,
-                        &format!(
+                    None => {
+                        return Err(format!(
                             "bad --layout {:?} (want degree|hub|none)",
                             v.as_deref().unwrap_or("")
-                        ),
-                    ),
+                        ))
+                    }
                 };
             }
             s if switches.contains(&s) => out.flags.push(s.to_string()),
-            s if value_flags.contains(&s) => match it.next() {
-                Some(v) => out.values.push((s.to_string(), v)),
-                None => die(tool, &format!("{s} needs a value")),
-            },
-            s if s.starts_with("--") => die(tool, &format!("unknown flag {s}")),
+            s if value_flags.contains(&s) => {
+                once(s)?;
+                match it.next() {
+                    Some(v) => out.values.push((s.to_string(), v)),
+                    None => return Err(format!("{s} needs a value")),
+                }
+            }
+            s if s.starts_with("--") => return Err(format!("unknown flag {s}")),
             other => out.positional.push(other.to_string()),
         }
     }
-    out
+    Ok(out)
 }
 
 /// The usage line fragment for the flags [`parse_tool_args`] handles
@@ -134,4 +164,58 @@ pub fn write_graph_pair(
     paths.extend(ga);
     paths.extend(ta);
     Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn parse(s: &str) -> std::result::Result<ToolArgs, String> {
+        try_parse_tool_args(args(s), &["--dedup"], &["--scale"])
+    }
+
+    #[test]
+    fn accepts_each_value_flag_once() {
+        let a = parse("in out --stripes 2 --layout degree --scale tiny --dedup").unwrap();
+        assert_eq!(a.positional, vec!["in", "out"]);
+        assert_eq!(a.stripes, 2);
+        assert_eq!(a.layout, VertexLayout::Degree);
+        assert_eq!(a.value_of("--scale"), Some("tiny"));
+        assert!(a.has_flag("--dedup"));
+    }
+
+    #[test]
+    fn rejects_duplicate_value_flags_with_one_diagnostic() {
+        for dup in [
+            "in out --stripes 2 --stripes 4",
+            "in out --layout degree --layout none",
+            "in out --scale tiny --scale small",
+        ] {
+            let flag = dup.split_whitespace().nth(2).unwrap();
+            assert_eq!(
+                parse(dup).unwrap_err(),
+                format!("duplicate flag {flag} (each may be given once)"),
+                "input: {dup}"
+            );
+        }
+        // Even an identical repeat is rejected — repetition is the signal
+        // of a mangled command line, not the values disagreeing.
+        assert!(parse("in out --layout hub --layout hub").is_err());
+        // Boolean switches are idempotent and may repeat.
+        assert!(parse("in out --dedup --dedup").is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_and_malformed_stripes() {
+        assert_eq!(
+            parse("in out --stripes 0").unwrap_err(),
+            "bad --stripes (want a positive integer)"
+        );
+        assert!(parse("in out --stripes x").is_err());
+        assert!(parse("in out --stripes").is_err());
+    }
 }

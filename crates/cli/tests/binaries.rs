@@ -169,6 +169,99 @@ fn bad_flags_exit_nonzero() {
     assert!(!ok);
 }
 
+/// The monotone queries give identical result lines in every execution
+/// mode — async included — and the async runs advertise their rounds.
+#[test]
+fn async_mode_matches_binned_for_monotone_binaries() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, tindex) = gen_graph(dir.path());
+    let tadj = format!(
+        "{},{}",
+        dir.path().join("rmat27.tgr.adj.0").to_str().unwrap(),
+        dir.path().join("rmat27.tgr.adj.1").to_str().unwrap()
+    );
+    for (bin, key, extra) in [
+        (env!("CARGO_BIN_EXE_bfs"), "reached", false),
+        (env!("CARGO_BIN_EXE_sssp"), "settled", false),
+        (
+            env!("CARGO_BIN_EXE_lp"),
+            "distinct propagation labels",
+            false,
+        ),
+        (
+            env!("CARGO_BIN_EXE_wcc"),
+            "weakly connected components",
+            true,
+        ),
+        (env!("CARGO_BIN_EXE_kcore"), "-core", true),
+    ] {
+        let mut results = Vec::new();
+        for mode in ["binned", "sync", "async"] {
+            let mut args = vec!["-mode", mode, &index, &adj0, &adj1];
+            if extra {
+                args.extend(["-inIndexFilename", &tindex, "-inAdjFilenames", &tadj]);
+            }
+            let (ok, text) = run(bin, &args);
+            assert!(ok, "{bin} -mode {mode} failed: {text}");
+            if mode == "async" {
+                assert!(text.contains("async:"), "{bin} async summary line: {text}");
+            }
+            results.push(result_line(&text, key));
+        }
+        assert_eq!(results[0], results[1], "{bin}: sync differs from binned");
+        assert_eq!(results[0], results[2], "{bin}: async differs from binned");
+    }
+}
+
+/// Non-monotone queries refuse -mode async with a clear diagnostic.
+#[test]
+fn async_mode_is_rejected_by_non_monotone_binaries() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, _) = gen_graph(dir.path());
+    for bin in [env!("CARGO_BIN_EXE_pr"), env!("CARGO_BIN_EXE_spmv")] {
+        let (ok, text) = run(bin, &["-mode", "async", &index, &adj0, &adj1]);
+        assert!(!ok, "{bin} must reject -mode async");
+        assert!(text.contains("not monotone"), "{text}");
+    }
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &["-mode", "turbo", &index, &adj0],
+    );
+    assert!(!ok);
+    assert!(text.contains("expected binned|sync|async"), "{text}");
+}
+
+/// Repeated value-taking flags are a usage error (exit 2) for both dataset
+/// tools, with one shared diagnostic.
+#[test]
+fn duplicate_tool_flags_exit_two() {
+    let dir = tempfile::tempdir().unwrap();
+    let input = dir.path().join("e.txt");
+    std::fs::write(&input, "0 1\n").unwrap();
+    let out = dir.path().join("x");
+    for dup in [
+        ["--stripes", "2", "--stripes", "4"],
+        ["--layout", "degree", "--layout", "none"],
+    ] {
+        let mut args = vec![input.to_str().unwrap(), out.to_str().unwrap()];
+        args.extend(dup);
+        let (ok, text) = run(env!("CARGO_BIN_EXE_convert"), &args);
+        assert!(!ok, "convert must reject {dup:?}");
+        assert!(text.contains("duplicate flag"), "{text}");
+        let mut args = vec!["rmat27", dir.path().to_str().unwrap()];
+        args.extend(dup);
+        let (ok, text) = run(env!("CARGO_BIN_EXE_gengraph"), &args);
+        assert!(!ok, "gengraph must reject {dup:?}");
+        assert!(text.contains("duplicate flag"), "{text}");
+    }
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_gengraph"),
+        &["rmat27", dir.path().to_str().unwrap(), "--stripes", "0"],
+    );
+    assert!(!ok, "gengraph must reject --stripes 0");
+    assert!(text.contains("bad --stripes"), "{text}");
+}
+
 /// The result line each query binary prints, for cross-layout comparison.
 fn result_line(text: &str, key: &str) -> String {
     text.lines()

@@ -18,7 +18,7 @@ use blaze_sync::Backoff;
 use blaze_sync::Mutex;
 
 use blaze_binning::{BinSpace, BinValue, BinningConfig, ScatterStaging};
-use blaze_frontier::{PageSubset, VertexSubset};
+use blaze_frontier::{PageSubset, PriorityFrontier, PrioritySnapshot, VertexSubset};
 use blaze_graph::DiskGraph;
 use blaze_storage::buffer::{FilledBuffer, IoBuffer};
 use blaze_storage::request::merge_pages_with_window;
@@ -224,6 +224,7 @@ impl BlazeEngine {
             &cond,
             output,
             false,
+            None,
         )
     }
 
@@ -268,6 +269,7 @@ impl BlazeEngine {
             &cond,
             output,
             false,
+            None,
         )
     }
 
@@ -298,7 +300,103 @@ impl BlazeEngine {
             &cond,
             output,
             true,
+            None,
         )
+    }
+
+    /// Asynchronous `EdgeMap` for **monotone** algorithms: no per-iteration
+    /// barrier. Gather workers push newly-activated vertices into a
+    /// [`PriorityFrontier`] bucketed by `priority` (BFS/SSSP distance, WCC
+    /// label), and the driver keeps draining the most urgent batch until the
+    /// frontier is quiescent — convergence is a *quiescence* test (no queued
+    /// vertices, no batch in flight), not an empty-frontier superstep.
+    ///
+    /// Correctness requires monotonicity: `gather` must only move vertex
+    /// values in one direction (e.g. min-relaxation) and return `true` iff
+    /// it improved the value, so stale re-deliveries are no-ops and the
+    /// fixpoint is order-independent. Deterministic monotone algorithms
+    /// therefore converge to results *bit-identical* to their barriered
+    /// `edge_map` oracle. `seeds` are pushed at their `priority` before the
+    /// first batch is drained.
+    ///
+    /// Each drained batch reuses the whole barriered machinery — page
+    /// transform, SQ/CQ IO pump, online binning, combining — as one job
+    /// submission; only the iteration structure changes. Batch size and
+    /// bucket count come from [`EngineOptions::async_batch_max`] and
+    /// [`EngineOptions::async_buckets`]. Returns the frontier's final
+    /// counters (pushes, dedup hits, pops, batches).
+    pub fn edge_map_async<V, FS, FG, FC, FP>(
+        &self,
+        seeds: &[VertexId],
+        scatter: FS,
+        gather: FG,
+        cond: FC,
+        priority: FP,
+    ) -> Result<PrioritySnapshot>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+        FP: Fn(VertexId) -> u64 + Sync,
+    {
+        let pf = PriorityFrontier::new(self.graph.num_vertices(), self.options.async_buckets);
+        for &v in seeds {
+            pf.push(v, priority(v));
+        }
+        while let Some((bucket, batch)) = pf.pop_batch(self.options.async_batch_max) {
+            let round =
+                self.edge_map_async_batch(&batch, bucket, &pf, &scatter, &gather, &cond, &priority);
+            pf.complete_batch();
+            round?;
+        }
+        debug_assert!(pf.is_quiescent(), "drained frontier must be quiescent");
+        Ok(pf.snapshot())
+    }
+
+    /// One round of [`edge_map_async`](Self::edge_map_async): scatters
+    /// `batch` (drained from bucket `bucket` of `pf`) and re-queues every
+    /// vertex `gather` activates at its current `priority`. Exposed so
+    /// algorithms that interleave several engines per batch (WCC's
+    /// out+in direction pair, k-core's degree updates) can drive the
+    /// drain loop themselves against one shared frontier; call
+    /// [`PriorityFrontier::complete_batch`] after the batch's last round.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_map_async_batch<V, FS, FG, FC, FP>(
+        &self,
+        batch: &[VertexId],
+        bucket: u64,
+        pf: &PriorityFrontier,
+        scatter: &FS,
+        gather: &FG,
+        cond: &FC,
+        priority: &FP,
+    ) -> Result<()>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+        FP: Fn(VertexId) -> u64 + Sync,
+    {
+        let frontier = VertexSubset::from_members(self.graph.num_vertices(), batch.iter().copied());
+        let gather_async = |dst: VertexId, value: V| {
+            if gather(dst, value) {
+                pf.push(dst, priority(dst));
+            }
+            false
+        };
+        self.run_edge_map(
+            &frontier,
+            scatter,
+            &gather_async,
+            None::<&fn(V, V) -> V>,
+            cond,
+            false,
+            false,
+            Some((bucket, pf)),
+        )
+        .map(drop)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -311,6 +409,7 @@ impl BlazeEngine {
         cond: &FC,
         output: bool,
         sync_variant: bool,
+        async_round: Option<(u64, &PriorityFrontier)>,
     ) -> Result<VertexSubset>
     where
         V: BinValue,
@@ -321,6 +420,7 @@ impl BlazeEngine {
     {
         let t0 = Instant::now();
         let num_devices = self.graph.storage().num_devices();
+        let async_before = async_round.map(|(_, pf)| pf.snapshot());
 
         let pages = self.build_page_subset(frontier);
         let out = VertexSubset::new(self.graph.num_vertices());
@@ -363,6 +463,16 @@ impl BlazeEngine {
         let error = job.error.lock().take();
         let edges_processed = job.edges_processed.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
         let records_sync = job.records_sync.load(Ordering::Relaxed); // sync-audit: trace counter; job completed.
+        if let (Some((bucket, pf)), Some(before)) = (async_round, async_before) {
+            // The round's workers have joined, so the frontier delta is
+            // exactly this job's pushes; record it before the trace copy.
+            let after = pf.snapshot();
+            job.io_stats.record_async_round(
+                bucket,
+                after.pushed - before.pushed,
+                after.deduped - before.deduped,
+            );
+        }
         let mut trace = IterationTrace::new(num_devices);
         fill_io_trace_from_job(&mut trace, &job.io_stats);
         drop(job);
@@ -974,7 +1084,8 @@ mod tests {
     fn empty_frontier_is_a_no_op() {
         let g = rmat(&RmatConfig::new(7));
         let e = engine(&g, 1, EngineOptions::default());
-        let frontier = VertexSubset::new(g.num_vertices());
+        let mut frontier = VertexSubset::new(g.num_vertices());
+        frontier.seal();
         let out = e
             .edge_map(&frontier, |_s, _d| 0u32, |_d, _v| true, |_| true, true)
             .unwrap();
@@ -1401,6 +1512,79 @@ mod tests {
         let t = e.take_traces().pop().unwrap();
         assert!(t.scatter_ns > 0);
         assert_eq!(t.gather_ns, 0);
+    }
+
+    /// Barrier-free BFS via `edge_map_async`: min-relax levels, priority =
+    /// current level (lower levels drain first, Dijkstra-style).
+    fn bfs_levels_async(engine: &BlazeEngine, root: u32) -> Vec<i64> {
+        let n = engine.num_vertices();
+        let level = VertexArray::<i64>::new(n, -1);
+        level.set(root as usize, 0);
+        let snap = engine
+            .edge_map_async(
+                &[root],
+                |s: u32, _d: u32| (level.get(s as usize) + 1) as u64,
+                |dst: u32, lvl: u64| {
+                    let lvl = lvl as i64;
+                    let cur = level.get(dst as usize);
+                    if cur == -1 || lvl < cur {
+                        level.set(dst as usize, lvl);
+                        true
+                    } else {
+                        false
+                    }
+                },
+                |_| true,
+                |v: u32| level.get(v as usize).max(0) as u64,
+            )
+            .unwrap();
+        assert!(snap.batches >= 1, "a seeded run drains at least one batch");
+        assert_eq!(snap.pushed, snap.popped, "quiescent: every push was popped");
+        level.to_vec()
+    }
+
+    #[test]
+    fn async_edge_map_bfs_matches_reference() {
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 2, EngineOptions::default());
+        assert_eq!(bfs_levels_async(&e, 0), bfs_levels_ref(&g, 0));
+        let stats = e.stats();
+        assert!(stats.async_rounds >= 1, "rounds must be traced as async");
+        assert_eq!(stats.iterations as u64, stats.async_rounds);
+        assert!(stats.async_activations >= 1);
+        let traces = e.take_traces();
+        assert!(traces.iter().all(|t| t.async_round));
+        assert_eq!(
+            traces.iter().map(|t| t.async_activations).sum::<u64>(),
+            stats.async_activations
+        );
+    }
+
+    #[test]
+    fn async_tiny_batches_still_converge() {
+        // Batch cap far below the frontier size plus a saturating bucket
+        // count: overflow re-queueing and bucket saturation both exercised.
+        let g = uniform(9, 8, 3);
+        let e = engine(
+            &g,
+            1,
+            EngineOptions::default()
+                .with_async_batch_max(16)
+                .with_async_buckets(4),
+        );
+        assert_eq!(bfs_levels_async(&e, 1), bfs_levels_ref(&g, 1));
+    }
+
+    #[test]
+    fn async_rounds_interleave_with_barriered_jobs() {
+        // One engine serves an async run and a barriered BFS back to back;
+        // the sync path's traces must stay un-flagged.
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(&g, 1, EngineOptions::default());
+        assert_eq!(bfs_levels_async(&e, 0), bfs_levels_ref(&g, 0));
+        e.take_traces();
+        assert_eq!(bfs_levels_engine(&e, 0, false), bfs_levels_ref(&g, 0));
+        assert!(e.take_traces().iter().all(|t| !t.async_round));
     }
 
     #[test]

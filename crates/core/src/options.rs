@@ -69,6 +69,13 @@ pub struct EngineOptions {
     /// measurement (the `compute_path` bench) and as a hard fallback; the
     /// two paths are semantically identical.
     pub bytewise_decode: bool,
+    /// Maximum vertices `edge_map_async` drains from the priority frontier
+    /// per round. Smaller batches follow the priority order more closely
+    /// (fewer wasted relaxations) at the cost of more, smaller IO rounds.
+    pub async_batch_max: usize,
+    /// Number of priority buckets of the async frontier. Priorities at or
+    /// beyond the last bucket saturate into it.
+    pub async_buckets: usize,
 }
 
 impl Default for EngineOptions {
@@ -87,6 +94,8 @@ impl Default for EngineOptions {
             queue_depth: 1,
             vertex_map_grain: DEFAULT_VERTEX_MAP_GRAIN,
             bytewise_decode: false,
+            async_batch_max: 4096,
+            async_buckets: 256,
         }
     }
 }
@@ -165,6 +174,20 @@ impl EngineOptions {
         self
     }
 
+    /// Overrides the per-round batch cap of `edge_map_async` (clamped to
+    /// ≥ 1).
+    pub fn with_async_batch_max(mut self, max: usize) -> Self {
+        self.async_batch_max = max.max(1);
+        self
+    }
+
+    /// Overrides the bucket count of the async priority frontier (clamped
+    /// to ≥ 1).
+    pub fn with_async_buckets(mut self, buckets: usize) -> Self {
+        self.async_buckets = buckets.max(1);
+        self
+    }
+
     /// Total compute threads.
     pub fn compute_workers(&self) -> usize {
         self.num_scatter + self.num_gather
@@ -185,6 +208,12 @@ impl EngineOptions {
         }
         if self.vertex_map_grain == 0 {
             return Err(BlazeError::Config("vertex_map_grain must be >= 1".into()));
+        }
+        if self.async_batch_max == 0 {
+            return Err(BlazeError::Config("async_batch_max must be >= 1".into()));
+        }
+        if self.async_buckets == 0 {
+            return Err(BlazeError::Config("async_buckets must be >= 1".into()));
         }
         if !(0.0..=1.0).contains(&self.cache_hot_fraction) {
             return Err(BlazeError::Config(format!(
@@ -309,6 +338,31 @@ mod tests {
         for bad in [-0.1, 1.5, f64::NAN] {
             let o = EngineOptions::default().with_cache_hot_fraction(bad);
             assert!(o.validate().is_err(), "fraction {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn async_knobs_default_clamp_and_validate() {
+        let o = EngineOptions::default();
+        assert_eq!(o.async_batch_max, 4096);
+        assert_eq!(o.async_buckets, 256);
+        let o = EngineOptions::default()
+            .with_async_batch_max(0)
+            .with_async_buckets(0);
+        assert_eq!(o.async_batch_max, 1, "builder clamps rather than erroring");
+        assert_eq!(o.async_buckets, 1);
+        assert!(o.validate().is_ok());
+        for bad in [
+            EngineOptions {
+                async_batch_max: 0,
+                ..Default::default()
+            },
+            EngineOptions {
+                async_buckets: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "hand-built zero knob accepted");
         }
     }
 

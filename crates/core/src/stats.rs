@@ -47,6 +47,13 @@ pub struct ExecStats {
     /// Records merged away by scatter-side combining across all iterations
     /// (`records_produced` counts the post-combine stream).
     pub records_combined: u64,
+    /// Asynchronous priority-frontier rounds absorbed (counted inside
+    /// `iterations` as well; zero for purely barriered executions).
+    pub async_rounds: u64,
+    /// Vertices pushed into the priority frontier across all async rounds.
+    pub async_activations: u64,
+    /// Priority-frontier pushes that collapsed into already-queued vertices.
+    pub async_dedup_skipped: u64,
 }
 
 impl ExecStats {
@@ -68,6 +75,11 @@ impl ExecStats {
         self.gather_ns += it.gather_ns;
         self.io_wait_ns += it.io_wait_ns;
         self.records_combined += it.records_combined;
+        if it.async_round {
+            self.async_rounds += 1;
+            self.async_activations += it.async_activations;
+            self.async_dedup_skipped += it.async_dedup_skipped;
+        }
     }
 }
 
@@ -120,6 +132,11 @@ pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
     trace.gather_ns = gather_ns;
     trace.io_wait_ns = io_wait_ns;
     trace.records_combined = records_combined;
+    let (rounds, priority, activations, deduped) = job.async_totals();
+    trace.async_round = rounds > 0;
+    trace.async_batch_priority = priority;
+    trace.async_activations = activations;
+    trace.async_dedup_skipped = deduped;
 }
 
 /// Snapshots every device's stats.
@@ -201,6 +218,31 @@ mod tests {
         assert_eq!(s.gather_ns, 100);
         assert_eq!(s.io_wait_ns, 50);
         assert_eq!(s.records_combined, 18);
+    }
+
+    #[test]
+    fn job_trace_carries_async_round_totals() {
+        let j = JobIoStats::new(1);
+        j.record_async_round(3, 17, 4);
+        let mut t = IterationTrace::new(1);
+        fill_io_trace_from_job(&mut t, &j);
+        assert!(t.async_round);
+        assert_eq!(t.async_batch_priority, 3);
+        assert_eq!(t.async_activations, 17);
+        assert_eq!(t.async_dedup_skipped, 4);
+        let mut s = ExecStats::default();
+        s.absorb(&t, 0);
+        s.absorb(&t, 0);
+        assert_eq!(s.async_rounds, 2);
+        assert_eq!(s.async_activations, 34);
+        assert_eq!(s.async_dedup_skipped, 8);
+        // A barrier job leaves the async fields untouched.
+        let barrier = JobIoStats::new(1);
+        let mut bt = IterationTrace::new(1);
+        fill_io_trace_from_job(&mut bt, &barrier);
+        assert!(!bt.async_round);
+        s.absorb(&bt, 0);
+        assert_eq!(s.async_rounds, 2);
     }
 
     #[test]

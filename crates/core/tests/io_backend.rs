@@ -195,7 +195,8 @@ fn faulty_device_fails_bfs_cleanly_under_threaded_backend() {
         );
     }
     // The engine itself stays usable: a query that needs no IO succeeds.
-    let empty = VertexSubset::new(g.num_vertices());
+    let mut empty = VertexSubset::new(g.num_vertices());
+    empty.seal();
     let out = e
         .edge_map(
             &empty,

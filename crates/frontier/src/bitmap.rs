@@ -38,6 +38,17 @@ impl AtomicBitmap {
         prev & mask == 0
     }
 
+    /// Clears bit `i`; returns `true` iff the bit was previously set. The
+    /// concurrent inverse of [`set`](Self::set): the priority frontier uses
+    /// the pair as an enqueue claim that popping releases.
+    #[inline]
+    pub fn unset(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_and(!mask, Ordering::Relaxed); // sync-audit: atomic RMW gives exactly-once releases; no payload is published through the bit, so no ordering needed.
+        prev & mask != 0
+    }
+
     /// Reads bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
@@ -106,6 +117,17 @@ mod tests {
         assert!(!b.set(5));
         assert!(b.get(5));
         assert!(!b.get(6));
+    }
+
+    #[test]
+    fn unset_reports_last_clearer() {
+        let b = AtomicBitmap::new(100);
+        b.set(5);
+        assert!(b.unset(5));
+        assert!(!b.unset(5));
+        assert!(!b.get(5));
+        // Claim cycle: set → unset → set again reports newly set.
+        assert!(b.set(5));
     }
 
     #[test]

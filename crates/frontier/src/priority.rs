@@ -1,0 +1,365 @@
+//! The asynchronous priority frontier.
+//!
+//! Sync execution re-collects a fresh [`VertexSubset`](crate::VertexSubset)
+//! per superstep and only then looks at it — the barrier is the
+//! synchronization. Async execution has no barrier: gather workers *push*
+//! newly activated vertices the moment their value improves, and the driver
+//! *pops* the most urgent batch to scatter next. This type is that meeting
+//! point. Vertices are bucketed by a per-algorithm priority key (BFS/SSSP
+//! distance, scaled WCC label) so draining the minimum non-empty bucket
+//! approximates Dijkstra/delta-stepping order, which is what makes async
+//! converge in fewer relaxations — and fewer re-read pages — than
+//! Bellman-Ford-style supersteps.
+//!
+//! Invariants (model-checked in `tests/loom_priority.rs`):
+//!
+//! * **Exactly-once enqueue.** A vertex is in at most one bucket lane at a
+//!   time: `push` claims a per-vertex bit (`fetch_or`) before touching any
+//!   lane, and only `pop_batch` releases it. Duplicate activations between
+//!   a push and the next pop collapse into one entry.
+//! * **Re-activation after pop re-queues.** The claim is released *before*
+//!   the batch is returned, so a gather improving a vertex that is being
+//!   scattered right now still gets it back into a bucket.
+//! * **No lost quiescence.** [`is_quiescent`](PriorityFrontier::is_quiescent)
+//!   can only return `true` when no vertex is queued *and* no popped batch
+//!   is still being processed; `pop_batch` raises the outstanding-batch
+//!   counter before it removes anything from the queue, so the counter and
+//!   the length can never both read zero while work is in flight.
+
+use blaze_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use blaze_sync::Mutex;
+
+use blaze_types::VertexId;
+
+use crate::bitmap::AtomicBitmap;
+
+/// Per-bucket lane count; pushes hash across lanes by vertex id so one hot
+/// bucket does not serialize every gather worker on a single lock.
+const LANES: usize = 8;
+
+/// One priority bucket: sharded member lanes plus a size hint for the
+/// min-bucket scan. The hint may briefly trail the lanes (a pusher bumps it
+/// after appending); `pop_batch` only trusts what it actually drains.
+#[derive(Debug)]
+struct Bucket {
+    lanes: Vec<Mutex<Vec<VertexId>>>,
+    count: AtomicUsize,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Self {
+            lanes: (0..LANES).map(|_| Mutex::new(Vec::new())).collect(),
+            count: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Counters describing the traffic a [`PriorityFrontier`] has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrioritySnapshot {
+    /// Vertices accepted by [`push`](PriorityFrontier::push).
+    pub pushed: u64,
+    /// Pushes collapsed into an existing queue entry.
+    pub deduped: u64,
+    /// Vertices handed out by [`pop_batch`](PriorityFrontier::pop_batch).
+    pub popped: u64,
+    /// Batches handed out.
+    pub batches: u64,
+}
+
+/// A bucketed priority queue of active vertices for asynchronous execution.
+///
+/// All methods take `&self`; gather workers push concurrently while the
+/// driver pops. Priorities are monotone urgency keys — smaller is sooner —
+/// and saturate into the last bucket.
+#[derive(Debug)]
+pub struct PriorityFrontier {
+    /// One claim bit per vertex: set while the vertex sits in some lane.
+    queued: AtomicBitmap,
+    buckets: Vec<Bucket>,
+    /// Total queued vertices. Release on push / Acquire on read, so an
+    /// observed count implies the matching lane entries are visible.
+    len: AtomicUsize,
+    /// Batches popped but not yet [`complete_batch`](Self::complete_batch)d.
+    outstanding: AtomicUsize,
+    pushed: AtomicU64,
+    deduped: AtomicU64,
+    popped: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl PriorityFrontier {
+    /// An empty frontier over vertices `0..capacity` with `num_buckets`
+    /// priority levels (priorities at or past the last bucket saturate).
+    pub fn new(capacity: usize, num_buckets: usize) -> Self {
+        assert!(num_buckets > 0, "need at least one priority bucket");
+        Self {
+            queued: AtomicBitmap::new(capacity),
+            buckets: (0..num_buckets).map(|_| Bucket::new()).collect(),
+            len: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(0),
+            pushed: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity (total vertices in the graph).
+    pub fn capacity(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Number of priority buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket a priority key lands in.
+    #[inline]
+    fn bucket_of(&self, priority: u64) -> usize {
+        (priority as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Enqueues `v` at `priority`; returns `true` iff it was not already
+    /// queued. Safe to call concurrently from many gather workers.
+    ///
+    /// A duplicate push does *not* re-prioritize: the vertex stays in the
+    /// bucket of its first push. That is sound for monotone algorithms —
+    /// processing a vertex late never produces a wrong value, only possibly
+    /// an extra relaxation — and keeps pushes lock-free in the common
+    /// already-queued case.
+    pub fn push(&self, v: VertexId, priority: u64) -> bool {
+        if !self.queued.set(v as usize) {
+            self.deduped.fetch_add(1, Ordering::Relaxed); // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+            return false;
+        }
+        let b = self.bucket_of(priority);
+        self.buckets[b].lanes[v as usize % LANES].lock().push(v);
+        // sync-audit: Release pairs with the Acquire in len/is_quiescent so
+        // an observed count implies the lane entry above is visible.
+        self.buckets[b].count.fetch_add(1, Ordering::Release);
+        self.len.fetch_add(1, Ordering::Release); // sync-audit: Release pairs with the Acquire in len/is_quiescent; see above.
+        self.pushed.fetch_add(1, Ordering::Relaxed); // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+        true
+    }
+
+    /// Drains up to `max` vertices from the minimum non-empty bucket.
+    /// Returns the bucket index and the batch, or `None` if every bucket is
+    /// empty. A successful pop counts as an outstanding batch until
+    /// [`complete_batch`](Self::complete_batch) is called.
+    ///
+    /// The popped vertices' claims are released before returning, so a
+    /// concurrent `push` of the same vertex re-queues it — required for
+    /// correctness when a gather improves a vertex that is mid-scatter.
+    pub fn pop_batch(&self, max: usize) -> Option<(u64, Vec<VertexId>)> {
+        assert!(max > 0, "zero-sized batches cannot make progress");
+        // Raise the in-flight marker BEFORE removing anything, so len and
+        // outstanding never both read zero while this batch exists.
+        self.outstanding.fetch_add(1, Ordering::Release); // sync-audit: Release pairs with the Acquire in is_quiescent; raised before len drops.
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            // sync-audit: Acquire pairs with the Release bump in push; a zero
+            // hint may trail an in-flight push, which the next pop catches.
+            if bucket.count.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let mut batch: Vec<VertexId> = Vec::new();
+            for lane in &bucket.lanes {
+                let mut lane = lane.lock();
+                let spare = max.saturating_sub(batch.len());
+                if spare >= lane.len() {
+                    batch.append(&mut lane);
+                } else {
+                    // Leave the overflow queued; it keeps its claim bit.
+                    let keep = lane.len() - spare;
+                    batch.extend(lane.drain(keep..));
+                }
+            }
+            if batch.is_empty() {
+                // The hint trailed a push that has not landed in a lane yet;
+                // treat the bucket as empty this round.
+                continue;
+            }
+            for &v in &batch {
+                let was_queued = self.queued.unset(v as usize);
+                debug_assert!(was_queued, "popped vertex {v} held no claim");
+            }
+            // sync-audit: Release pairs with the Acquire in len/is_quiescent;
+            // outstanding is already raised, so quiescence cannot misfire.
+            self.buckets[b]
+                .count
+                .fetch_sub(batch.len(), Ordering::Release);
+            self.len.fetch_sub(batch.len(), Ordering::Release); // sync-audit: Release pairs with the Acquire in len/is_quiescent; see above.
+            self.popped.fetch_add(batch.len() as u64, Ordering::Relaxed); // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+            self.batches.fetch_add(1, Ordering::Relaxed); // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+            return Some((b as u64, batch));
+        }
+        self.outstanding.fetch_sub(1, Ordering::Release); // sync-audit: Release pairs with the Acquire in is_quiescent; empty pop leaves no batch in flight.
+        None
+    }
+
+    /// Marks one popped batch as fully processed (every activation it could
+    /// cause has been pushed).
+    pub fn complete_batch(&self) {
+        // sync-audit: Release pairs with the Acquire in is_quiescent so the
+        // pushes this batch performed are visible before it stops counting.
+        let prev = self.outstanding.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "complete_batch without a popped batch");
+    }
+
+    /// Number of currently queued vertices. Live (Acquire) — callers that
+    /// need a convergence decision must use
+    /// [`is_quiescent`](Self::is_quiescent) instead.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) // sync-audit: pairs with the Release add/sub in push/pop_batch.
+    }
+
+    /// Whether no vertices are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convergence test: no queued vertex and no batch still in flight.
+    ///
+    /// Authoritative once every popped batch has been completed and the
+    /// pushing workers have quiesced (in the engine: `submit` returned and
+    /// [`complete_batch`](Self::complete_batch) ran). While batches are in
+    /// flight it can only err towards `false`: `pop_batch` raises
+    /// `outstanding` before shrinking `len`.
+    pub fn is_quiescent(&self) -> bool {
+        // sync-audit: Acquire pairs with the Release counter updates in
+        // push/pop_batch/complete_batch; outstanding is read first so a
+        // batch mid-pop is seen by one counter or the other.
+        self.outstanding.load(Ordering::Acquire) == 0 && self.len.load(Ordering::Acquire) == 0
+    }
+
+    /// Traffic counters since construction.
+    pub fn snapshot(&self) -> PrioritySnapshot {
+        PrioritySnapshot {
+            pushed: self.pushed.load(Ordering::Relaxed), // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+            deduped: self.deduped.load(Ordering::Relaxed), // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+            popped: self.popped.load(Ordering::Relaxed), // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+            batches: self.batches.load(Ordering::Relaxed), // sync-audit: stat counter; atomicity suffices, exact order unobservable.
+        }
+    }
+
+    /// Memory footprint: the claim bitmap plus queued lane entries.
+    pub fn memory_bytes(&self) -> u64 {
+        self.queued.memory_bytes() + (self.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_roundtrip_in_priority_order() {
+        let pf = PriorityFrontier::new(100, 4);
+        assert!(pf.push(10, 2));
+        assert!(pf.push(20, 0));
+        assert!(pf.push(30, 2));
+        assert_eq!(pf.len(), 3);
+        let (b, batch) = pf.pop_batch(64).unwrap();
+        assert_eq!(b, 0);
+        assert_eq!(batch, vec![20]);
+        pf.complete_batch();
+        let (b, mut batch) = pf.pop_batch(64).unwrap();
+        batch.sort_unstable();
+        assert_eq!(b, 2);
+        assert_eq!(batch, vec![10, 30]);
+        pf.complete_batch();
+        assert!(pf.pop_batch(64).is_none());
+        assert!(pf.is_quiescent());
+    }
+
+    #[test]
+    fn duplicate_pushes_collapse_until_popped() {
+        let pf = PriorityFrontier::new(10, 4);
+        assert!(pf.push(5, 1));
+        assert!(!pf.push(5, 0), "second push dedups");
+        assert_eq!(pf.len(), 1);
+        let (_, batch) = pf.pop_batch(8).unwrap();
+        assert_eq!(batch, vec![5]);
+        // Claim released by the pop: the vertex can be re-queued while the
+        // batch is still outstanding.
+        assert!(pf.push(5, 3));
+        assert!(!pf.is_quiescent(), "batch still in flight");
+        pf.complete_batch();
+        assert!(!pf.is_quiescent(), "re-queued vertex still pending");
+        let (b, _) = pf.pop_batch(8).unwrap();
+        assert_eq!(b, 3);
+        pf.complete_batch();
+        assert!(pf.is_quiescent());
+        assert_eq!(
+            pf.snapshot(),
+            PrioritySnapshot {
+                pushed: 2,
+                deduped: 1,
+                popped: 2,
+                batches: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn priorities_saturate_into_the_last_bucket() {
+        let pf = PriorityFrontier::new(10, 3);
+        pf.push(1, 999);
+        pf.push(2, 2);
+        let (b, mut batch) = pf.pop_batch(8).unwrap();
+        batch.sort_unstable();
+        assert_eq!(b, 2);
+        assert_eq!(batch, vec![1, 2]);
+        pf.complete_batch();
+    }
+
+    #[test]
+    fn batch_cap_leaves_overflow_queued() {
+        let pf = PriorityFrontier::new(100, 2);
+        for v in 0..10 {
+            pf.push(v, 0);
+        }
+        let (_, first) = pf.pop_batch(4).unwrap();
+        assert_eq!(first.len(), 4);
+        assert_eq!(pf.len(), 6);
+        pf.complete_batch();
+        let mut seen: Vec<VertexId> = first;
+        while let Some((_, batch)) = pf.pop_batch(4) {
+            seen.extend(batch);
+            pf.complete_batch();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(pf.is_quiescent());
+    }
+
+    #[test]
+    fn concurrent_pushes_are_exactly_once() {
+        let pf = blaze_sync::Arc::new(PriorityFrontier::new(1000, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pf = pf.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut fresh = 0;
+                for v in 0..1000u32 {
+                    if pf.push(v, (v as u64 + t) % 8) {
+                        fresh += 1;
+                    }
+                }
+                fresh
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(pf.len(), 1000);
+        let mut seen = Vec::new();
+        while let Some((_, batch)) = pf.pop_batch(256) {
+            seen.extend(batch);
+            pf.complete_batch();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+}

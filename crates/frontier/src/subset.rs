@@ -34,6 +34,11 @@ pub struct VertexSubset {
     /// Set only by [`full`](Self::full): every vertex is a member, so
     /// membership probes can be skipped wholesale.
     complete: bool,
+    /// Whether construction has finished ([`seal`](Self::seal) ran, or the
+    /// set was born finalized via [`full`](Self::full)). Only finalized sets
+    /// may answer [`len`](Self::len)/[`is_empty`](Self::is_empty) — the
+    /// loop-termination reads of every algorithm must not race inserts.
+    finalized: bool,
 }
 
 impl VertexSubset {
@@ -46,6 +51,7 @@ impl VertexSubset {
             dense: AtomicBool::new(false),
             sealed: None,
             complete: false,
+            finalized: false,
         }
     }
 
@@ -64,6 +70,7 @@ impl VertexSubset {
         s.count.store(capacity, Ordering::Relaxed); // sync-audit: constructor/exclusive path; no concurrent readers yet.
         s.dense.store(true, Ordering::Relaxed); // sync-audit: monotonic one-way flag; late observers just buffer a little longer.
         s.complete = true;
+        s.finalized = true;
         s
     }
 
@@ -89,7 +96,10 @@ impl VertexSubset {
         if !self.bitmap.set(v as usize) {
             return false;
         }
-        let count = self.count.fetch_add(1, Ordering::Relaxed) + 1; // sync-audit: size counter; atomicity suffices, exact order unobservable.
+        // sync-audit: Release pairs with the Acquire in live_len/len so a
+        // reader that observes the count also observes the bitmap bit and
+        // (transitively) the vertex-array writes that preceded the insert.
+        let count = self.count.fetch_add(1, Ordering::Release) + 1;
         if !self.dense.load(Ordering::Relaxed) {
             // sync-audit: stale read only delays the dense switch or is post-seal.
             self.shards[v as usize % SHARDS].lock().push(v);
@@ -106,13 +116,29 @@ impl VertexSubset {
         self.bitmap.get(v as usize)
     }
 
-    /// Number of members.
+    /// Number of members. Authoritative: only valid once the set is
+    /// finalized ([`seal`](Self::seal) ran, or [`full`](Self::full) built
+    /// it), which debug builds enforce. Mid-construction readers — the
+    /// async engine path, diagnostics — must use
+    /// [`live_len`](Self::live_len) instead.
     pub fn len(&self) -> usize {
-        self.count.load(Ordering::Relaxed) // sync-audit: racy size; authoritative after seal (&mut barrier).
+        debug_assert!(
+            self.finalized,
+            "VertexSubset::len before seal(): the termination read would race inserts"
+        );
+        self.live_len()
+    }
+
+    /// Instantaneous member count, readable while inserts are still in
+    /// flight. Monotone (never overcounts a finished set): the Acquire load
+    /// pairs with the Release increment in [`insert`](Self::insert), so any
+    /// count observed comes with the matching bitmap bits visible.
+    pub fn live_len(&self) -> usize {
+        self.count.load(Ordering::Acquire) // sync-audit: pairs with the Release fetch_add in insert; see that comment.
     }
 
     /// Whether the frontier is empty — the loop-termination test of every
-    /// algorithm.
+    /// algorithm. Like [`len`](Self::len), requires a finalized set.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -135,8 +161,12 @@ impl VertexSubset {
     }
 
     /// Finalizes the frontier after concurrent construction: sparse sets get
-    /// their member list drained, sorted, and stored for fast iteration.
+    /// their member list drained, sorted, and stored for fast iteration, and
+    /// [`len`](Self::len)/[`is_empty`](Self::is_empty) become answerable.
+    /// `&mut self` is the happens-before barrier: every inserting thread
+    /// joined before the caller could hold an exclusive reference.
     pub fn seal(&mut self) {
+        self.finalized = true;
         // sync-audit: stale read only delays the dense switch or is post-seal.
         if self.dense.load(Ordering::Relaxed) {
             self.sealed = None;
@@ -195,11 +225,13 @@ mod tests {
 
     #[test]
     fn insert_and_membership() {
-        let s = VertexSubset::new(100);
+        let mut s = VertexSubset::new(100);
         assert!(s.insert(7));
         assert!(!s.insert(7));
         assert!(s.contains(7));
         assert!(!s.contains(8));
+        assert_eq!(s.live_len(), 1);
+        s.seal();
         assert_eq!(s.len(), 1);
     }
 
@@ -218,10 +250,11 @@ mod tests {
     #[test]
     fn complete_is_a_constructor_fact() {
         // Growing to capacity through inserts does not set the flag…
-        let s = VertexSubset::new(4);
+        let mut s = VertexSubset::new(4);
         for v in 0..4 {
             s.insert(v);
         }
+        s.seal();
         assert_eq!(s.len(), 4);
         assert!(!s.is_complete());
         // …and neither do the other constructors.
@@ -279,7 +312,19 @@ mod tests {
         }
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 10_000);
+        assert_eq!(s.live_len(), 10_000);
+        let mut s = blaze_sync::Arc::try_unwrap(s).expect("all inserters joined");
+        s.seal();
         assert_eq!(s.len(), 10_000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "before seal")]
+    fn len_before_seal_is_rejected() {
+        let s = VertexSubset::new(8);
+        s.insert(1);
+        let _ = s.len();
     }
 
     #[test]

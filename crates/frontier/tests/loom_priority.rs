@@ -1,0 +1,111 @@
+//! Model-checked tests of the [`PriorityFrontier`]'s push/pop/quiescence
+//! protocol — the synchronization the async execution mode stands on. The
+//! model executes atomics sequentially-consistently, so what these tests
+//! prove is the *protocol*: exactly-once enqueue under racing pushes, no
+//! vertex lost between a push and a pop, re-queue after pop, and a
+//! quiescence test that never fires while work is in flight. The
+//! Acquire/Release ordering side is covered by the `// sync-audit:`
+//! annotations and the xtask lint.
+//!
+//! Run with:
+//! `RUSTFLAGS="--cfg loom" cargo test -p blaze-frontier --test loom_priority --release`
+#![cfg(loom)]
+
+use blaze_frontier::PriorityFrontier;
+use blaze_sync::model::{check_with, Config};
+use blaze_sync::{thread, Arc};
+
+fn cfg(preemption_bound: usize) -> Config {
+    Config {
+        preemption_bound,
+        ..Config::default()
+    }
+}
+
+/// Two gather workers race to activate the SAME vertex: exactly one push
+/// wins in every schedule, and one pop retrieves the vertex exactly once.
+#[test]
+fn racing_pushes_enqueue_exactly_once() {
+    let report = check_with(cfg(2), || {
+        let pf = Arc::new(PriorityFrontier::new(8, 4));
+        let handles: Vec<_> = [1u64, 3]
+            .into_iter()
+            .map(|prio| {
+                let pf = pf.clone();
+                thread::spawn(move || pf.push(5, prio))
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|won| *won)
+            .count();
+        assert_eq!(wins, 1, "vertex enqueued zero or two times");
+        let (_, batch) = pf.pop_batch(8).expect("the winning push must be visible");
+        assert_eq!(batch, vec![5]);
+        pf.complete_batch();
+        assert!(pf.pop_batch(8).is_none(), "duplicate entry survived dedup");
+        assert!(pf.is_quiescent());
+    });
+    assert!(report.executions > 1, "explored only one schedule");
+}
+
+/// A pusher races the popping driver: the vertex is either in the batch the
+/// driver pops or still queued afterwards — never lost, and quiescence never
+/// reads true while it is unaccounted for.
+#[test]
+fn push_racing_pop_never_loses_the_vertex() {
+    let report = check_with(cfg(2), || {
+        let pf = Arc::new(PriorityFrontier::new(8, 2));
+        pf.push(1, 0);
+        let pusher = {
+            let pf = pf.clone();
+            thread::spawn(move || {
+                pf.push(2, 0);
+            })
+        };
+        let mut got = Vec::new();
+        while let Some((_, batch)) = pf.pop_batch(8) {
+            got.extend(batch);
+            assert!(!pf.is_quiescent(), "batch in flight must block quiescence");
+            pf.complete_batch();
+        }
+        pusher.join().unwrap();
+        // Whatever the schedule, vertex 2 is in `got` or still queued.
+        while let Some((_, batch)) = pf.pop_batch(8) {
+            got.extend(batch);
+            pf.complete_batch();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "a pushed vertex was lost");
+        assert!(pf.is_quiescent());
+    });
+    assert!(report.executions > 1, "explored only one schedule");
+}
+
+/// The re-activation window: a gather improves a vertex while its batch is
+/// mid-flight. Because `pop_batch` releases the claim before returning, the
+/// concurrent re-push must be accepted and the vertex processed again.
+#[test]
+fn reactivation_during_processing_requeues() {
+    let report = check_with(cfg(2), || {
+        let pf = Arc::new(PriorityFrontier::new(8, 4));
+        pf.push(6, 1);
+        let (_, batch) = pf.pop_batch(8).unwrap();
+        assert_eq!(batch, vec![6]);
+        // Simulate a gather worker re-activating the popped vertex while
+        // the driver is still scattering the batch.
+        let gather = {
+            let pf = pf.clone();
+            thread::spawn(move || pf.push(6, 0))
+        };
+        pf.complete_batch();
+        assert!(gather.join().unwrap(), "claim was released by the pop");
+        assert!(!pf.is_quiescent(), "re-queued vertex must be seen as work");
+        let (_, again) = pf.pop_batch(8).expect("re-queued vertex poppable");
+        assert_eq!(again, vec![6]);
+        pf.complete_batch();
+        assert!(pf.is_quiescent());
+    });
+    assert!(report.executions > 1, "explored only one schedule");
+}
