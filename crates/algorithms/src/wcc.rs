@@ -42,7 +42,7 @@ pub fn wcc(
         // panic-audit: run_async's closures borrow the Arc clone only for
         // the duration of the call; by here this is the sole owner.
         let ids = Arc::try_unwrap(ids).expect("async path holds the only Arc");
-        return Ok(canonicalize_labels(out_engine, ids));
+        return Ok(canonicalize_labels(out_engine.graph().layout(), ids));
     }
 
     let mut frontier = VertexSubset::full(n);
@@ -86,7 +86,7 @@ pub fn wcc(
         }
         copy
     });
-    Ok(canonicalize_labels(out_engine, ids))
+    Ok(canonicalize_labels(out_engine.graph().layout(), ids))
 }
 
 /// Barrier-free WCC: every vertex seeds one shared priority frontier
@@ -141,8 +141,12 @@ fn run_async(
 /// component is relabeled to the minimum *original* id of its members and
 /// the array re-indexed to original order, matching the unreordered run
 /// exactly. Identity layouts skip the pass: physical == original there.
-fn canonicalize_labels(engine: &BlazeEngine, ids: VertexArray<u32>) -> VertexArray<u32> {
-    let Some(map) = engine.graph().layout().phys_to_orig() else {
+/// Shared with the sharded driver, which converges to the same fixpoint.
+pub(crate) fn canonicalize_labels(
+    layout: &blaze_graph::VertexPermutation,
+    ids: VertexArray<u32>,
+) -> VertexArray<u32> {
+    let Some(map) = layout.phys_to_orig() else {
         return ids;
     };
     let n = map.len();

@@ -1,102 +1,150 @@
-//! Scale-out projection (Section VI): modeled query time on a cluster of
-//! 1–8 machines, each a paper-spec box (16 threads + one Optane SSD),
-//! connected by 10 GbE.
+//! Scale-out scaling curve (Section VI, Fig 9-style): measured query
+//! execution on a concurrent cluster of 1–8 shards, each a paper-spec
+//! machine (16 threads + one Optane SSD), priced by the perfmodel with its
+//! 10 GbE network leg.
 //!
-//! Destination partitioning keeps `EdgeMap` communication-free; the only
-//! network cost is broadcasting newly activated frontier entries between
-//! iterations. The projection shows near-linear IO scaling with a
-//! broadcast overhead that grows with machine count — exactly the
-//! trade-off the paper's sketch anticipates.
+//! Destination partitioning keeps `EdgeMap` gathers machine-local; the
+//! shards run real supersteps on their own threads and swap frontier
+//! deltas over the bounded exchange fabric. The compute+IO leg is the
+//! per-round maximum over the shards' measured iteration traces (rounds
+//! are barrier-synchronized, so the slowest shard sets the pace); the
+//! network leg prices the *measured* exchange wire bytes plus the modeled
+//! value payload at the machine's network profile. Device IO per shard
+//! shrinks as shards grow — the column to watch for the paper's
+//! near-linear IO scaling claim.
 
+use blaze_algorithms::{sharded_bfs, sharded_pagerank, sharded_wcc, PageRankConfig};
 use blaze_bench::datasets::{prepare, scale_from_env};
 use blaze_bench::report::{print_table, write_csv};
-use blaze_core::{EngineOptions, VertexArray};
-use blaze_frontier::VertexSubset;
-use blaze_graph::Dataset;
+use blaze_core::EngineOptions;
+use blaze_graph::{Csr, Dataset, VertexPermutation};
 use blaze_perfmodel::{MachineConfig, PerfModel};
 use blaze_scaleout::Cluster;
 
-const NETWORK_BW: f64 = 1.25e9; // 10 GbE, bytes/second
+/// Per-round max over the shards' measured traces, priced by `model` —
+/// the barrier makes the slowest shard's iteration the round's cost.
+fn compute_seconds(cluster: &Cluster, model: &PerfModel) -> f64 {
+    let per_machine: Vec<Vec<f64>> = cluster
+        .machines()
+        .iter()
+        .map(|m| {
+            m.engine
+                .take_traces()
+                .iter()
+                .map(|t| model.blaze_iteration(t).total_ns() * 1e-9)
+                .collect()
+        })
+        .collect();
+    let rounds = per_machine.iter().map(Vec::len).max().unwrap_or(0);
+    (0..rounds)
+        .map(|r| {
+            per_machine
+                .iter()
+                .filter_map(|m| m.get(r).copied())
+                .fold(0.0, f64::max)
+        })
+        .sum()
+}
 
 fn main() {
     let scale = scale_from_env();
     let g = prepare(Dataset::Rmat30, scale);
     let n = g.csr.num_vertices();
-    let model = PerfModel::new(MachineConfig::paper_optane());
+    let root = (0..n as u32).max_by_key(|&v| g.csr.degree(v)).unwrap_or(0);
+    let transpose = g.csr.transpose();
+    let machine = MachineConfig::paper_optane();
+    let model = PerfModel::new(machine.clone());
+
+    let build = |csr: &Csr, shards: usize| {
+        Cluster::build_physical(
+            csr,
+            VertexPermutation::identity(n),
+            shards,
+            1,
+            EngineOptions::default(),
+        )
+        .unwrap()
+    };
 
     let mut rows = Vec::new();
-    for machines in [1usize, 2, 4, 8] {
-        let cluster = Cluster::build(&g.csr, machines, 1, EngineOptions::default()).unwrap();
-        // BFS from the hub.
-        let root = (0..n as u32).max_by_key(|&v| g.csr.degree(v)).unwrap_or(0);
-        let level = VertexArray::<i64>::new(n, -1);
-        level.set(root as usize, 0);
-        let mut frontier = VertexSubset::single(n, root);
-        let mut depth = 0i64;
-        while !frontier.is_empty() {
-            depth += 1;
-            let d = depth;
-            frontier = cluster
-                .edge_map(
-                    &frontier,
-                    |_s, _dst| 0u32,
-                    |dst, _v| {
-                        if level.get(dst as usize) == -1 {
-                            level.set(dst as usize, d);
-                            true
-                        } else {
-                            false
-                        }
-                    },
-                    |dst| level.get(dst as usize) == -1,
-                    true,
-                    4,
-                )
-                .unwrap();
+    let mut base_per_algo: Vec<(String, f64)> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        for algo in ["BFS", "PR", "WCC"] {
+            let cluster = build(&g.csr, shards);
+            match algo {
+                "BFS" => {
+                    sharded_bfs(&cluster, root).unwrap();
+                }
+                "PR" => {
+                    sharded_pagerank(&cluster, PageRankConfig::default()).unwrap();
+                }
+                "WCC" => {
+                    let in_cluster = build(&transpose, shards);
+                    sharded_wcc(&cluster, &in_cluster).unwrap();
+                    // The transpose direction's rounds run in lockstep with
+                    // the out direction; fold its compute leg in too.
+                    let stats = cluster.stats();
+                    let in_stats = in_cluster.stats();
+                    let compute_s =
+                        compute_seconds(&cluster, &model) + compute_seconds(&in_cluster, &model);
+                    let wire = stats.exchange_bytes
+                        + stats.exchange_value_bytes
+                        + in_stats.exchange_bytes
+                        + in_stats.exchange_value_bytes;
+                    let msgs = stats.exchange_messages + in_stats.exchange_messages;
+                    let network_s = machine.network_ns(wire, msgs) * 1e-9;
+                    push_row(
+                        &mut rows,
+                        &mut base_per_algo,
+                        algo,
+                        shards,
+                        stats
+                            .per_shard
+                            .iter()
+                            .zip(&in_stats.per_shard)
+                            .map(|(a, b)| a.io_bytes + b.io_bytes)
+                            .max()
+                            .unwrap_or(0),
+                        wire,
+                        msgs,
+                        compute_s,
+                        network_s,
+                    );
+                    continue;
+                }
+                _ => unreachable!(),
+            }
+            let stats = cluster.stats();
+            let compute_s = compute_seconds(&cluster, &model);
+            let wire = stats.exchange_bytes + stats.exchange_value_bytes;
+            let network_s = machine.network_ns(wire, stats.exchange_messages) * 1e-9;
+            push_row(
+                &mut rows,
+                &mut base_per_algo,
+                algo,
+                shards,
+                stats
+                    .per_shard
+                    .iter()
+                    .map(|s| s.io_bytes)
+                    .max()
+                    .unwrap_or(0),
+                wire,
+                stats.exchange_messages,
+                compute_s,
+                network_s,
+            );
         }
-        // Rounds are synchronized across machines, so per-round time is the
-        // slowest machine's. Summing max-per-round equals summing over the
-        // per-machine trace lists aligned by round.
-        let per_machine: Vec<Vec<f64>> = cluster
-            .machines()
-            .iter()
-            .map(|m| {
-                m.engine
-                    .take_traces()
-                    .iter()
-                    .map(|t| model.blaze_iteration(t).total_ns() * 1e-9)
-                    .collect()
-            })
-            .collect();
-        let rounds = per_machine.iter().map(Vec::len).max().unwrap_or(0);
-        let machine_s: f64 = (0..rounds)
-            .map(|r| {
-                per_machine
-                    .iter()
-                    .filter_map(|m| m.get(r).copied())
-                    .fold(0.0, f64::max)
-            })
-            .sum();
-        let network_s = cluster.stats().broadcast_bytes as f64 / NETWORK_BW;
-        let total = machine_s + network_s;
-        rows.push(vec![
-            machines.to_string(),
-            format!("{machine_s:.5}"),
-            format!("{network_s:.5}"),
-            format!("{total:.5}"),
-        ]);
-    }
-    // Speedups vs 1 machine.
-    let base: f64 = rows[0][3].parse().unwrap();
-    for row in &mut rows {
-        let t: f64 = row[3].parse().unwrap();
-        row.push(format!("{:.2}x", base / t));
     }
     print_table(
-        "Scale-out projection: BFS on rmat30, modeled (paper-spec machines, 10 GbE)",
+        "Scale-out: measured sharded supersteps on rmat30 (paper-spec machines, 10 GbE)",
         &[
-            "machines",
-            "compute+io s",
+            "algo",
+            "shards",
+            "max shard device B",
+            "exchange B",
+            "exchange msgs",
+            "compute s",
             "network s",
             "total s",
             "speedup",
@@ -105,8 +153,53 @@ fn main() {
     );
     let path = write_csv(
         "scaleout",
-        &["machines", "compute_s", "network_s", "total_s", "speedup"],
+        &[
+            "algo",
+            "shards",
+            "max_shard_device_bytes",
+            "exchange_bytes",
+            "exchange_msgs",
+            "compute_s",
+            "network_s",
+            "total_s",
+            "speedup",
+        ],
         &rows,
     );
     println!("\nwrote {}", path.display());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_row(
+    rows: &mut Vec<Vec<String>>,
+    base_per_algo: &mut Vec<(String, f64)>,
+    algo: &str,
+    shards: usize,
+    max_shard_device_bytes: u64,
+    exchange_bytes: u64,
+    exchange_msgs: u64,
+    compute_s: f64,
+    network_s: f64,
+) {
+    let total = compute_s + network_s;
+    // Speedup vs this algorithm's 1-shard run (the first row pushed per
+    // algo is always shards == 1).
+    let base = match base_per_algo.iter().find(|(a, _)| a == algo) {
+        Some((_, b)) => *b,
+        None => {
+            base_per_algo.push((algo.to_string(), total));
+            total
+        }
+    };
+    rows.push(vec![
+        algo.to_string(),
+        shards.to_string(),
+        max_shard_device_bytes.to_string(),
+        exchange_bytes.to_string(),
+        exchange_msgs.to_string(),
+        format!("{compute_s:.5}"),
+        format!("{network_s:.5}"),
+        format!("{total:.5}"),
+        format!("{:.2}x", base / total.max(1e-12)),
+    ]);
 }

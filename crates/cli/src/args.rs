@@ -44,6 +44,10 @@ pub struct CliArgs {
     pub mode: ExecMode,
     /// Core threshold for the k-core query (`-k`, default 2).
     pub k: u32,
+    /// Scale-out shards (`-shards`, default 1 = single engine). BFS,
+    /// PageRank, and WCC accept >1 and run the graph as a concurrent
+    /// destination-partitioned cluster.
+    pub shards: usize,
     /// The `.gr.index` file (first positional argument).
     pub index: PathBuf,
     /// The `.gr.adj.<i>` stripe files (remaining positional arguments).
@@ -70,6 +74,7 @@ impl Default for CliArgs {
             combine: false,
             mode: ExecMode::Binned,
             k: 2,
+            shards: 1,
             index: PathBuf::new(),
             adj: Vec::new(),
             in_index: None,
@@ -97,6 +102,7 @@ fn parse_count(flag: &str, value: Option<&String>, min: usize) -> Result<usize> 
 pub fn parse(args: &[String]) -> Result<CliArgs> {
     let mut out = CliArgs::default();
     let mut positional: Vec<PathBuf> = Vec::new();
+    let mut once = crate::toolargs::FlagOnce::new();
     let mut it = args.iter();
     let missing = |flag: &str| BlazeError::Config(format!("flag {flag} needs a value"));
     while let Some(arg) = it.next() {
@@ -154,6 +160,13 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
             }
             "-k" => {
                 out.k = parse_count("-k", it.next(), 1)? as u32;
+            }
+            "-shards" => {
+                // Contradictory shard counts would silently change what
+                // "per-shard" stats mean; reject repeats like the dataset
+                // tools do.
+                once.check("-shards").map_err(BlazeError::Config)?;
+                out.shards = parse_count("-shards", it.next(), 1)?;
             }
             "-combine" => {
                 out.combine = true;
@@ -291,6 +304,33 @@ mod tests {
             "{err}"
         );
         assert!(parse(&args("-mode")).is_err());
+    }
+
+    #[test]
+    fn parses_shards_flag() {
+        let a = parse(&args("-shards 4 g.gr.index g.gr.adj.0")).unwrap();
+        assert_eq!(a.shards, 4);
+        assert_eq!(parse(&args("g.gr.index g.gr.adj.0")).unwrap().shards, 1);
+        assert!(parse(&args("-shards 0 g.gr.index g.gr.adj.0")).is_err());
+        assert!(parse(&args("-shards x g.gr.index g.gr.adj.0")).is_err());
+        assert!(parse(&args("-shards")).is_err());
+    }
+
+    /// `-shards` shares the dataset tools' duplicate rejection (and its
+    /// diagnostic shape): two values mean a mangled command line, even if
+    /// they agree.
+    #[test]
+    fn rejects_duplicate_shards_flag() {
+        for dup in [
+            "-shards 2 -shards 4 g.gr.index g.gr.adj.0",
+            "-shards 2 -shards 2 g.gr.index g.gr.adj.0",
+        ] {
+            let err = parse(&args(dup)).unwrap_err().to_string();
+            assert!(
+                err.contains("duplicate flag -shards (each may be given once)"),
+                "input {dup:?} gave {err:?}"
+            );
+        }
     }
 
     #[test]

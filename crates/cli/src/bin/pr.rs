@@ -5,6 +5,8 @@
 //! a warm cache saves the most device bytes. `-combine` merges
 //! same-destination delta records in the scatter staging windows before
 //! they reach the bins (the summary's "records combined" count).
+//! `-shards N` runs a concurrent destination-partitioned cluster instead
+//! of one engine.
 
 use blaze_algorithms::{pagerank_delta, pagerank_delta_combined, PageRankConfig};
 
@@ -17,16 +19,40 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let config = PageRankConfig {
+        max_iters: cli.max_iters,
+        ..Default::default()
+    };
+    if cli.shards > 1 {
+        if cli.combine {
+            // Combining happens inside each shard's staging windows; the
+            // sharded driver does not expose it yet.
+            eprintln!("pr: -combine is not supported with -shards > 1");
+            std::process::exit(2);
+        }
+        let cluster = blaze_cli::open_cluster(&cli, &cli.index, &cli.adj).unwrap_or_else(|e| {
+            eprintln!("pr: {e}");
+            std::process::exit(1);
+        });
+        let t0 = std::time::Instant::now();
+        let ranks = blaze_algorithms::sharded_pagerank(&cluster, config).unwrap_or_else(|e| {
+            eprintln!("pr: {e}");
+            std::process::exit(1);
+        });
+        let wall = t0.elapsed();
+        blaze_cli::print_cluster_summary("pr", &cluster, wall);
+        let top = (0..cluster.num_vertices())
+            .max_by(|&a, &b| ranks.get(a).total_cmp(&ranks.get(b)))
+            .unwrap_or(0);
+        println!("top-ranked vertex: {top} (rank {:.6})", ranks.get(top));
+        return;
+    }
     let engine = match blaze_cli::open_engine(&cli, &cli.index, &cli.adj) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("pr: {e}");
             std::process::exit(1);
         }
-    };
-    let config = PageRankConfig {
-        max_iters: cli.max_iters,
-        ..Default::default()
     };
     let t0 = std::time::Instant::now();
     let result = if cli.combine {

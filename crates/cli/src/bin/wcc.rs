@@ -1,7 +1,8 @@
 //! Artifact-style WCC binary. Requires the transpose via
 //! `-inIndexFilename` / `-inAdjFilenames`. `-cache-mb N` gives each
 //! direction's IO workers a clock page cache of N MiB (default 0).
-//! `-mode binned|sync|async` picks the execution mode.
+//! `-mode binned|sync|async` picks the execution mode. `-shards N` runs
+//! both directions as concurrent destination-partitioned clusters.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,6 +17,30 @@ fn main() {
         eprintln!("wcc: the transpose graph is required (-inIndexFilename / -inAdjFilenames)");
         std::process::exit(2);
     };
+    if cli.shards > 1 {
+        // Both file sets were written under one permutation (the dataset
+        // tools guarantee it), which sharded_wcc asserts.
+        let open = |index: &std::path::Path, adj: &[std::path::PathBuf]| {
+            blaze_cli::open_cluster(&cli, index, adj).unwrap_or_else(|e| {
+                eprintln!("wcc: {e}");
+                std::process::exit(1);
+            })
+        };
+        let out_cluster = open(&cli.index, &cli.adj);
+        let in_cluster = open(&in_index, &cli.in_adj);
+        let t0 = std::time::Instant::now();
+        let labels = blaze_algorithms::sharded_wcc(&out_cluster, &in_cluster).unwrap_or_else(|e| {
+            eprintln!("wcc: {e}");
+            std::process::exit(1);
+        });
+        let wall = t0.elapsed();
+        blaze_cli::print_cluster_summary("wcc", &out_cluster, wall);
+        let mut roots: Vec<u32> = (0..labels.len()).map(|v| labels.get(v)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        println!("{} weakly connected components", roots.len());
+        return;
+    }
     let out_engine = blaze_cli::open_engine(&cli, &cli.index, &cli.adj).unwrap_or_else(|e| {
         eprintln!("wcc: {e}");
         std::process::exit(1);

@@ -1,11 +1,12 @@
-//! Engine construction from parsed CLI arguments.
+//! Engine and cluster construction from parsed CLI arguments.
 
 use blaze_sync::Arc;
 use std::path::{Path, PathBuf};
 
 use blaze_binning::BinningConfig;
 use blaze_core::{BlazeEngine, EngineOptions};
-use blaze_graph::DiskGraph;
+use blaze_graph::{DiskGraph, GraphBuilder};
+use blaze_scaleout::Cluster;
 use blaze_storage::{BlockDevice, DeviceProfile, FileDevice, SimDevice, StripedStorage};
 use blaze_types::{BlazeError, Result};
 
@@ -45,17 +46,10 @@ fn open_storage(adj: &[PathBuf], device: &str) -> Result<Arc<StripedStorage>> {
     Ok(Arc::new(StripedStorage::new(devices)?))
 }
 
-/// Builds an engine over one graph direction.
-pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<BlazeEngine> {
-    let storage = open_storage(adj, &args.device)?;
-    let graph = Arc::new(DiskGraph::open(index, storage)?);
-    if args.start_node as usize >= graph.num_vertices() {
-        return Err(BlazeError::Config(format!(
-            "-startNode {} is out of range (graph has {} vertices)",
-            args.start_node,
-            graph.num_vertices()
-        )));
-    }
+/// Resolves the binning/cache/worker flags into engine options.
+/// `storage_bytes` feeds the bin-count heuristic when no explicit bin
+/// space was given.
+fn engine_options(args: &CliArgs, storage_bytes: u64) -> Result<EngineOptions> {
     let mut options = EngineOptions::default()
         .with_compute_workers(args.compute_workers.max(2), args.binning_ratio)
         .with_cache_bytes(args.cache_mb << 20)
@@ -67,10 +61,55 @@ pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<Blaz
             blaze_types::DEFAULT_STAGING_RECORDS,
         )?);
     } else if args.bin_count != blaze_types::DEFAULT_BIN_COUNT {
-        let heuristic = BinningConfig::for_graph(graph.storage_bytes());
+        let heuristic = BinningConfig::for_graph(storage_bytes);
         options = options.with_binning(heuristic.with_bin_count(args.bin_count));
     }
+    Ok(options)
+}
+
+/// Builds an engine over one graph direction.
+pub fn open_engine(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<BlazeEngine> {
+    let storage = open_storage(adj, &args.device)?;
+    let graph = Arc::new(DiskGraph::open(index, storage)?);
+    if args.start_node as usize >= graph.num_vertices() {
+        return Err(BlazeError::Config(format!(
+            "-startNode {} is out of range (graph has {} vertices)",
+            args.start_node,
+            graph.num_vertices()
+        )));
+    }
+    let options = engine_options(args, graph.storage_bytes())?;
     BlazeEngine::new(graph, options)
+}
+
+/// Builds a `-shards N` scale-out cluster over one graph direction: the
+/// on-disk graph is read back, repartitioned by destination, and each
+/// shard gets its own engine (over `adj.len()` simulated devices) plus its
+/// own pool thread. The written physical layout carries over, so results
+/// match the single-engine run on the same files.
+pub fn open_cluster(args: &CliArgs, index: &Path, adj: &[PathBuf]) -> Result<Cluster> {
+    let graph = DiskGraph::open_files(index, adj)?;
+    let n = graph.num_vertices();
+    if args.start_node as usize >= n {
+        return Err(BlazeError::Config(format!(
+            "-startNode {} is out of range (graph has {} vertices)",
+            args.start_node, n
+        )));
+    }
+    let options = engine_options(args, graph.storage_bytes())?;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        for w in graph.read_neighbors(v)? {
+            b.add_edge(v, w);
+        }
+    }
+    Cluster::build_physical(
+        &b.build(),
+        graph.layout().clone(),
+        args.shards,
+        adj.len().max(1),
+        options,
+    )
 }
 
 /// Prints the post-run summary every binary emits.
@@ -145,6 +184,36 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
             stats.io_bytes as f64 / busy_ns as f64
         );
     }
+    println!("wall time: {:.3} s", wall.as_secs_f64());
+}
+
+/// Prints the post-run summary for a `-shards N` cluster run: the
+/// `shards:` line carries per-shard device bytes and the measured
+/// exchange traffic.
+pub fn print_cluster_summary(query: &str, cluster: &Cluster, wall: std::time::Duration) {
+    let stats = cluster.stats();
+    println!("== {query} done ==");
+    println!(
+        "graph: {} vertices over {} shards",
+        cluster.num_vertices(),
+        cluster.num_machines()
+    );
+    let device_bytes: Vec<String> = stats
+        .per_shard
+        .iter()
+        .map(|s| s.io_bytes.to_string())
+        .collect();
+    println!(
+        "shards: {} device bytes per shard [{}], exchange {} wire bytes + {} value bytes \
+         in {} messages over {} rounds",
+        cluster.num_machines(),
+        device_bytes.join(" "),
+        stats.exchange_bytes,
+        stats.exchange_value_bytes,
+        stats.exchange_messages,
+        stats.rounds
+    );
+    println!("io: {} bytes across all shards", stats.io_bytes);
     println!("wall time: {:.3} s", wall.as_secs_f64());
 }
 

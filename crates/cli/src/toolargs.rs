@@ -25,6 +25,32 @@ pub struct ToolArgs {
     pub values: Vec<(String, String)>,
 }
 
+/// Tracks value-taking flags that may be given at most once. Silently
+/// honoring only one of two contradictory values is how a
+/// `--layout degree ... --layout none` typo corrupts a dataset — so the
+/// dataset tools and the query binaries (`-shards`) share this one
+/// rejection, with one diagnostic shape.
+#[derive(Debug, Default)]
+pub struct FlagOnce {
+    seen: Vec<String>,
+}
+
+impl FlagOnce {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `flag`; errors if it was already recorded.
+    pub fn check(&mut self, flag: &str) -> std::result::Result<(), String> {
+        if self.seen.iter().any(|s| s == flag) {
+            return Err(format!("duplicate flag {flag} (each may be given once)"));
+        }
+        self.seen.push(flag.to_string());
+        Ok(())
+    }
+}
+
 impl ToolArgs {
     /// Whether the boolean switch `name` was passed.
     pub fn has_flag(&self, name: &str) -> bool {
@@ -73,29 +99,20 @@ pub fn try_parse_tool_args(
         values: Vec::new(),
     };
     // Every value-taking flag — common or tool-specific — may be given at
-    // most once: silently honoring only one of two contradictory values
-    // is how a `--layout degree ... --layout none` typo corrupts a
-    // dataset. One shared diagnostic covers them all.
-    let mut seen: Vec<String> = Vec::new();
-    let mut once = |flag: &str| -> std::result::Result<(), String> {
-        if seen.iter().any(|s| s == flag) {
-            return Err(format!("duplicate flag {flag} (each may be given once)"));
-        }
-        seen.push(flag.to_string());
-        Ok(())
-    };
+    // most once; see [`FlagOnce`].
+    let mut seen = FlagOnce::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stripes" => {
-                once("--stripes")?;
+                seen.check("--stripes")?;
                 out.stripes = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
                 if out.stripes == 0 {
                     return Err("bad --stripes (want a positive integer)".into());
                 }
             }
             "--layout" => {
-                once("--layout")?;
+                seen.check("--layout")?;
                 let v = it.next();
                 out.layout = match v.as_deref().and_then(VertexLayout::parse) {
                     Some(l) => l,
@@ -109,7 +126,7 @@ pub fn try_parse_tool_args(
             }
             s if switches.contains(&s) => out.flags.push(s.to_string()),
             s if value_flags.contains(&s) => {
-                once(s)?;
+                seen.check(s)?;
                 match it.next() {
                     Some(v) => out.values.push((s.to_string(), v)),
                     None => return Err(format!("{s} needs a value")),

@@ -418,6 +418,95 @@ fn bad_layout_flag_exits_nonzero_for_both_tools() {
     assert!(text.contains("bad --layout"), "{text}");
 }
 
+/// `-shards N` runs the query as a concurrent destination-partitioned
+/// cluster: the result line matches the single-engine run, and the summary
+/// gains a `shards:` line with per-shard device bytes and exchange
+/// traffic. A repeated `-shards` is a usage error with the dataset tools'
+/// duplicate diagnostic.
+#[test]
+fn sharded_queries_match_single_engine_results() {
+    let dir = tempfile::tempdir().unwrap();
+    let (index, adj0, adj1, tindex) = gen_graph(dir.path());
+    let tadj = format!(
+        "{},{}",
+        dir.path().join("rmat27.tgr.adj.0").to_str().unwrap(),
+        dir.path().join("rmat27.tgr.adj.1").to_str().unwrap()
+    );
+
+    // BFS: identical "reached" line, sharded summary present.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &["-startNode", "0", &index, &adj0, &adj1],
+    );
+    assert!(ok, "bfs failed: {text}");
+    let single = result_line(&text, "reached");
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &["-startNode", "0", "-shards", "4", &index, &adj0, &adj1],
+    );
+    assert!(ok, "sharded bfs failed: {text}");
+    assert_eq!(result_line(&text, "reached"), single);
+    let shards_line = result_line(&text, "shards: 4");
+    assert!(
+        shards_line.contains("device bytes per shard") && shards_line.contains("exchange"),
+        "{shards_line}"
+    );
+
+    // PageRank: the top-ranked vertex is stable (ranks agree to 1e-6;
+    // the printed 6-decimal rank may wobble in the last digit).
+    let (ok, text) = run(env!("CARGO_BIN_EXE_pr"), &[&index, &adj0, &adj1]);
+    assert!(ok, "pr failed: {text}");
+    let top = result_line(&text, "top-ranked vertex");
+    let top_id = top.split(" (rank").next().unwrap().to_string();
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_pr"),
+        &["-shards", "2", &index, &adj0, &adj1],
+    );
+    assert!(ok, "sharded pr failed: {text}");
+    assert!(
+        result_line(&text, "top-ranked vertex").starts_with(&top_id),
+        "{text}"
+    );
+    result_line(&text, "shards: 2");
+
+    // WCC: identical component count across both sharded directions.
+    let run_wcc = |extra: &[&str]| {
+        let owned: Vec<String> = extra
+            .iter()
+            .map(|s| (*s).to_string())
+            .chain([
+                index.clone(),
+                adj0.clone(),
+                adj1.clone(),
+                "-inIndexFilename".to_string(),
+                tindex.clone(),
+                "-inAdjFilenames".to_string(),
+                tadj.clone(),
+            ])
+            .collect();
+        let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
+        run(env!("CARGO_BIN_EXE_wcc"), &refs)
+    };
+    let (ok, text) = run_wcc(&[]);
+    assert!(ok, "wcc failed: {text}");
+    let components = result_line(&text, "weakly connected components");
+    let (ok, text) = run_wcc(&["-shards", "3"]);
+    assert!(ok, "sharded wcc failed: {text}");
+    assert_eq!(
+        result_line(&text, "weakly connected components"),
+        components
+    );
+    result_line(&text, "shards: 3");
+
+    // Duplicate -shards: usage error, shared diagnostic.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_bfs"),
+        &["-shards", "2", "-shards", "4", &index, &adj0, &adj1],
+    );
+    assert!(!ok, "duplicate -shards must be rejected");
+    assert!(text.contains("duplicate flag -shards"), "{text}");
+}
+
 #[test]
 fn convert_text_edge_list_then_query() {
     let dir = tempfile::tempdir().unwrap();

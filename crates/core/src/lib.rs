@@ -72,6 +72,7 @@ pub mod engine;
 pub mod memory;
 pub mod options;
 pub mod runtime;
+pub mod shardpool;
 pub mod stats;
 pub mod vertex_array;
 pub mod vertex_map;
@@ -82,6 +83,7 @@ pub use engine::BlazeEngine;
 pub use memory::MemoryFootprint;
 pub use options::EngineOptions;
 pub use runtime::{PipelineJob, Runtime};
+pub use shardpool::ShardPool;
 pub use stats::ExecStats;
 pub use vertex_array::VertexArray;
 pub use vertex_map::{vertex_map, vertex_map_with_grain};

@@ -1,0 +1,304 @@
+//! Wire codec for shipping frontier deltas between scale-out shards.
+//!
+//! A shard broadcasts the slice of the frontier it owns (the members inside
+//! its destination range) to its peers at the start of every superstep. The
+//! codec mirrors the frontier's own dual representation: a **sparse** form
+//! (delta-encoded LEB128 varints — consecutive activations on power-law
+//! graphs cluster, so deltas are mostly one byte) and a **dense** form (a
+//! bitmap over the encoded range), whichever is smaller for the payload at
+//! hand. Messages are self-describing: the header carries the range, so the
+//! decoder needs no out-of-band partition table.
+//!
+//! Layout: `[tag u8][start u32 le][span u32 le][count u32 le][payload]`
+//! where tag 0 = sparse (count varints: first is `id - start`, the rest are
+//! gaps between consecutive ids, which are strictly increasing) and tag 1 =
+//! dense (`(span + 7) / 8` bitmap bytes, bit `i` = membership of
+//! `start + i`).
+
+use blaze_types::{BlazeError, Result, VertexId};
+
+use crate::subset::VertexSubset;
+
+/// Sparse message: delta-encoded varint ids.
+pub const TAG_SPARSE: u8 = 0;
+/// Dense message: a bitmap over the encoded range.
+pub const TAG_DENSE: u8 = 1;
+
+/// Fixed header size: tag + start + span + count.
+pub const HEADER_BYTES: usize = 13;
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    let mut out: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes
+            .get(*pos)
+            .ok_or_else(|| BlazeError::Format("wire: truncated varint".into()))?;
+        *pos += 1;
+        if shift == 28 && byte & 0xf0 != 0 {
+            return Err(BlazeError::Format("wire: varint overflows u32".into()));
+        }
+        out |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(BlazeError::Format("wire: varint overflows u32".into()));
+        }
+    }
+}
+
+fn write_header(buf: &mut [u8], tag: u8, start: u32, span: u32, count: u32) {
+    buf[0] = tag;
+    buf[1..5].copy_from_slice(&start.to_le_bytes());
+    buf[5..9].copy_from_slice(&span.to_le_bytes());
+    buf[9..13].copy_from_slice(&count.to_le_bytes());
+}
+
+/// Encodes the members of `subset` that fall inside `range`, picking the
+/// cheaper of the sparse and dense forms. The empty slice encodes to a
+/// header-only sparse message.
+pub fn encode_range(subset: &VertexSubset, range: std::ops::Range<VertexId>) -> Vec<u8> {
+    let start = range.start;
+    let span = range.end.saturating_sub(range.start);
+    let mut members: Vec<VertexId> = Vec::new();
+    subset.for_each_in_range(range, |v| members.push(v));
+
+    // Sparse attempt: first delta from the range start, then the strictly
+    // positive gaps between consecutive (sorted) members.
+    let mut buf = vec![0u8; HEADER_BYTES];
+    let mut prev = start;
+    for &v in &members {
+        push_varint(&mut buf, v - prev);
+        prev = v;
+    }
+    let dense_payload = (span as usize).div_ceil(8);
+    if buf.len() - HEADER_BYTES <= dense_payload {
+        write_header(&mut buf, TAG_SPARSE, start, span, members.len() as u32);
+        return buf;
+    }
+    // Dense wins: bitmap over the range.
+    buf.truncate(HEADER_BYTES);
+    buf.resize(HEADER_BYTES + dense_payload, 0);
+    for &v in &members {
+        let bit = (v - start) as usize;
+        buf[HEADER_BYTES + bit / 8] |= 1 << (bit % 8);
+    }
+    write_header(&mut buf, TAG_DENSE, start, span, members.len() as u32);
+    buf
+}
+
+/// Decodes a message produced by [`encode_range`], inserting every carried
+/// id into `out`. Returns the number of ids decoded. Malformed input —
+/// truncation, ids escaping the declared range, a range escaping `out`'s
+/// capacity — is a [`BlazeError::Format`], never a panic or a silent
+/// corruption.
+pub fn decode_into(bytes: &[u8], out: &VertexSubset) -> Result<u64> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(BlazeError::Format(format!(
+            "wire: message of {} bytes is shorter than the {HEADER_BYTES}-byte header",
+            bytes.len()
+        )));
+    }
+    let tag = bytes[0];
+    let start = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    let span = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+    let count = u32::from_le_bytes([bytes[9], bytes[10], bytes[11], bytes[12]]);
+    let end = start
+        .checked_add(span)
+        .ok_or_else(|| BlazeError::Format("wire: range end overflows u32".into()))?;
+    if end as usize > out.capacity() {
+        return Err(BlazeError::Format(format!(
+            "wire: range {start}..{end} escapes the frontier capacity {}",
+            out.capacity()
+        )));
+    }
+    match tag {
+        TAG_SPARSE => {
+            let mut pos = HEADER_BYTES;
+            let mut prev = start;
+            for i in 0..count {
+                let delta = read_varint(bytes, &mut pos)?;
+                let v = prev
+                    .checked_add(delta)
+                    .ok_or_else(|| BlazeError::Format("wire: id overflows u32".into()))?;
+                if v >= end || (i > 0 && delta == 0) {
+                    return Err(BlazeError::Format(format!(
+                        "wire: sparse id {v} outside range {start}..{end} or not increasing"
+                    )));
+                }
+                out.insert(v);
+                prev = v;
+            }
+            Ok(u64::from(count))
+        }
+        TAG_DENSE => {
+            let payload = &bytes[HEADER_BYTES..];
+            if payload.len() != (span as usize).div_ceil(8) {
+                return Err(BlazeError::Format(format!(
+                    "wire: dense payload {} bytes for span {span}",
+                    payload.len()
+                )));
+            }
+            let mut decoded = 0u64;
+            for (i, &byte) in payload.iter().enumerate() {
+                let mut b = byte;
+                while b != 0 {
+                    let bit = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    let v = start + (i * 8 + bit) as u32;
+                    if v >= end {
+                        return Err(BlazeError::Format(format!(
+                            "wire: dense bit for {v} outside range {start}..{end}"
+                        )));
+                    }
+                    out.insert(v);
+                    decoded += 1;
+                }
+            }
+            if decoded != u64::from(count) {
+                return Err(BlazeError::Format(format!(
+                    "wire: dense header claims {count} members, payload has {decoded}"
+                )));
+            }
+            Ok(decoded)
+        }
+        other => Err(BlazeError::Format(format!("wire: unknown tag {other}"))),
+    }
+}
+
+/// The range a message covers, without decoding its payload.
+pub fn decoded_range(bytes: &[u8]) -> Result<std::ops::Range<VertexId>> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(BlazeError::Format("wire: truncated header".into()));
+    }
+    let start = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    let span = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+    Ok(start..start.saturating_add(span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(capacity: usize, members: &[VertexId], range: std::ops::Range<VertexId>) {
+        let src = VertexSubset::from_members(capacity, members.iter().copied());
+        let bytes = encode_range(&src, range.clone());
+        assert_eq!(decoded_range(&bytes).unwrap(), range);
+        let mut out = VertexSubset::new(capacity);
+        let n = decode_into(&bytes, &out).unwrap();
+        out.seal();
+        let expect: Vec<VertexId> = members
+            .iter()
+            .copied()
+            .filter(|v| range.contains(v))
+            .collect();
+        assert_eq!(n as usize, expect.len());
+        assert_eq!(out.members(), expect, "range {range:?}");
+    }
+
+    #[test]
+    fn sparse_roundtrip_filters_to_the_range() {
+        roundtrip(1000, &[3, 12, 77, 500, 999], 0..1000);
+        roundtrip(1000, &[3, 12, 77, 500, 999], 50..600);
+        roundtrip(1000, &[3, 12, 77, 500, 999], 600..1000);
+        roundtrip(1000, &[], 0..1000);
+        roundtrip(1000, &[0], 0..1);
+    }
+
+    #[test]
+    fn dense_slices_pick_the_bitmap_form() {
+        let members: Vec<VertexId> = (0..512).collect();
+        let src = VertexSubset::from_members(1024, members.iter().copied());
+        let bytes = encode_range(&src, 0..1024);
+        assert_eq!(bytes[0], TAG_DENSE, "512/1024 members must go dense");
+        // Bitmap over 1024 bits = 128 bytes; sparse would be 512 varints.
+        assert_eq!(bytes.len(), HEADER_BYTES + 128);
+        let mut out = VertexSubset::new(1024);
+        assert_eq!(decode_into(&bytes, &out).unwrap(), 512);
+        out.seal();
+        assert_eq!(out.members(), members);
+    }
+
+    #[test]
+    fn sparse_slices_stay_sparse_and_small() {
+        let src = VertexSubset::from_members(1 << 20, [7u32, 8, 9, 1000]);
+        let bytes = encode_range(&src, 0..(1 << 20));
+        assert_eq!(bytes[0], TAG_SPARSE);
+        // One small varint per member plus the gap to 1000 (2 bytes).
+        assert!(bytes.len() <= HEADER_BYTES + 5 + 2, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn decode_accumulates_across_messages() {
+        // Peers' slices land in one replica.
+        let a = VertexSubset::from_members(100, [1u32, 2]);
+        let b = VertexSubset::from_members(100, [50u32, 99]);
+        let out = VertexSubset::new(100);
+        decode_into(&encode_range(&a, 0..10), &out).unwrap();
+        decode_into(&encode_range(&b, 10..100), &out).unwrap();
+        let mut out = out;
+        out.seal();
+        assert_eq!(out.members(), vec![1, 2, 50, 99]);
+    }
+
+    #[test]
+    fn malformed_messages_are_format_errors() {
+        let out = VertexSubset::new(100);
+        // Truncated header.
+        assert!(decode_into(&[0u8; 5], &out).is_err());
+        // Unknown tag.
+        let mut msg = vec![0u8; HEADER_BYTES];
+        msg[0] = 9;
+        assert!(decode_into(&msg, &out).is_err());
+        // Sparse header promising more varints than present.
+        let mut msg = vec![0u8; HEADER_BYTES];
+        write_header(&mut msg, TAG_SPARSE, 0, 100, 3);
+        msg.push(1); // only one of the three ids
+        assert!(decode_into(&msg, &out).is_err());
+        // Range escaping the output capacity.
+        let src = VertexSubset::from_members(1000, [900u32]);
+        let bytes = encode_range(&src, 800..1000);
+        assert!(decode_into(&bytes, &out).is_err());
+        // Dense payload length mismatch.
+        let mut msg = vec![0u8; HEADER_BYTES + 3];
+        write_header(&mut msg, TAG_DENSE, 0, 64, 0);
+        assert!(decode_into(&msg, &out).is_err());
+    }
+
+    #[test]
+    fn pseudo_random_roundtrips() {
+        // Deterministic xorshift sweep over densities and ranges.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for trial in 0..50 {
+            let n = 64 + (rand() % 2000) as usize;
+            let density = 1 + rand() % 10;
+            let mut members: Vec<VertexId> =
+                (0..n as u32).filter(|_| rand() % 10 < density).collect();
+            members.dedup();
+            let lo = (rand() % n as u64) as u32;
+            let hi = lo + (rand() % (n as u64 - u64::from(lo)).max(1)) as u32 + 1;
+            roundtrip(n, &members, lo..hi.min(n as u32));
+            let _ = trial;
+        }
+    }
+}

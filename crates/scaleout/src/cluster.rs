@@ -1,61 +1,145 @@
-//! The simulated cluster: one Blaze engine per machine, zero network
-//! traffic inside `EdgeMap`, frontier broadcast between iterations.
+//! The scale-out cluster: destination-partitioned shards running
+//! supersteps concurrently, exchanging only frontier deltas.
+//!
+//! Every shard (one [`Machine`]) owns the edges whose destination falls in
+//! its range, so the gather side of every `EdgeMap` is machine-local —
+//! bins never cross the network (paper Section VI). What does cross is the
+//! frontier: at the start of a superstep each shard wire-encodes the slice
+//! of the input frontier it owns ([`blaze_frontier::wire`]) and swaps it
+//! with every peer over the bounded [`ExchangeFabric`], then rebuilds the
+//! full replica locally. The input frontier of round `k` is exactly the
+//! set activated in round `k-1`, so this ships only deltas, never the
+//! accumulated visited set.
+//!
+//! Execution is genuinely concurrent: a persistent
+//! [`ShardPool`] thread per shard drives that
+//! shard's engine, and [`edge_map`](Cluster::edge_map) is the superstep
+//! barrier — it returns once every shard has finished and the outputs are
+//! unioned. [`ClusterStats`] reports measured per-shard [`ExecStats`] and
+//! measured exchange traffic, which the perfmodel's network leg prices.
 
-use blaze_sync::Arc;
+use std::ops::Range;
+
+use blaze_sync::{Arc, Mutex};
 
 use blaze_binning::BinValue;
-use blaze_core::{BlazeEngine, EngineOptions};
-use blaze_frontier::VertexSubset;
-use blaze_graph::{Csr, DiskGraph};
+use blaze_core::{BlazeEngine, EngineOptions, ExecStats, ShardPool};
+use blaze_frontier::{wire, VertexSubset};
+use blaze_graph::{Csr, DiskGraph, VertexLayout, VertexPermutation};
 use blaze_storage::StripedStorage;
-use blaze_types::{Result, VertexId};
+use blaze_types::{BlazeError, Result, VertexId};
 
+use crate::exchange::ExchangeFabric;
 use crate::partition::{partition_by_destination, DstPartition};
+use crate::router::ShardRouter;
 
 /// One machine of the cluster.
 pub struct Machine {
-    /// Destination range this machine gathers for.
-    pub dst_range: std::ops::Range<VertexId>,
+    /// Destination range this machine gathers for (physical id space).
+    pub dst_range: Range<VertexId>,
     /// The machine's engine over its destination-partitioned subgraph.
     pub engine: BlazeEngine,
 }
 
-/// Cross-machine communication accounting.
+/// Measured cluster execution statistics.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
     /// `edge_map` rounds executed.
     pub rounds: usize,
-    /// Bytes each machine would send per round to broadcast its newly
-    /// activated vertices (id + value) to the other machines, summed.
-    pub broadcast_bytes: u64,
+    /// Measured wire bytes shipped through the exchange fabric: encoded
+    /// frontier slices plus per-frame framing.
+    pub exchange_bytes: u64,
+    /// Modeled bytes for the scattered values accompanying the exchanged
+    /// ids (`frontier members x value_bytes x peers`); the ids themselves
+    /// are measured in [`exchange_bytes`](Self::exchange_bytes).
+    pub exchange_value_bytes: u64,
+    /// Point-to-point messages completed on the fabric.
+    pub exchange_messages: u64,
     /// Total bytes read from every machine's device array.
     pub io_bytes: u64,
+    /// Per-shard engine statistics, index-aligned with
+    /// [`Cluster::machines`].
+    pub per_shard: Vec<ExecStats>,
 }
 
-/// A destination-partitioned Blaze cluster.
-///
-/// Every machine holds the edges whose destination is in its range, so the
-/// gather side of every `EdgeMap` is machine-local (bins never cross the
-/// network). The input frontier is replicated: in a real deployment each
-/// machine would receive the newly activated ids (and the source values
-/// the scatter function reads) at the end of the previous iteration —
-/// [`ClusterStats::broadcast_bytes`] measures exactly that traffic.
+/// Round accounting the fabric cannot measure itself.
+struct Counters {
+    rounds: usize,
+    value_bytes: u64,
+}
+
+/// A destination-partitioned Blaze cluster with concurrent supersteps.
 pub struct Cluster {
     machines: Vec<Machine>,
+    pool: ShardPool,
+    fabric: ExchangeFabric,
+    router: ShardRouter,
+    layout: VertexPermutation,
+    /// Global out-degrees in physical id space. Shard subgraphs filter
+    /// neighbor lists to their own range, so degree-normalizing algorithms
+    /// (PageRank) must read the unfiltered degree from here.
+    out_degrees: Vec<u32>,
     num_vertices: usize,
-    stats: blaze_sync::Mutex<ClusterStats>,
+    counters: Mutex<Counters>,
 }
 
 impl Cluster {
-    /// Builds a cluster of `machines` over `g`, each machine with
-    /// `devices_per_machine` simulated SSDs and the given engine options.
+    /// Builds a cluster of `machines` over `g` (original id order kept),
+    /// each machine with `devices_per_machine` simulated SSDs and the
+    /// given engine options.
     pub fn build(
         g: &Csr,
         machines: usize,
         devices_per_machine: usize,
         options: EngineOptions,
     ) -> Result<Self> {
-        let parts = partition_by_destination(g, machines);
+        Self::build_with_layout(
+            g,
+            VertexLayout::None,
+            machines,
+            devices_per_machine,
+            options,
+        )
+    }
+
+    /// Builds a cluster over `g` after applying `layout`, so the physical
+    /// packing order (and hence the destination partitioning) matches what
+    /// a single engine with the same layout would see.
+    pub fn build_with_layout(
+        g: &Csr,
+        layout: VertexLayout,
+        machines: usize,
+        devices_per_machine: usize,
+        options: EngineOptions,
+    ) -> Result<Self> {
+        let (perm, _hot) = layout.plan(g);
+        let physical = perm.permute_csr(g);
+        Self::build_physical(&physical, perm, machines, devices_per_machine, options)
+    }
+
+    /// Builds a cluster over a graph already in physical id space, carrying
+    /// the permutation that maps it back to original ids — the path the CLI
+    /// takes when sharding an on-disk graph whose layout was fixed at
+    /// convert time.
+    pub fn build_physical(
+        physical: &Csr,
+        layout: VertexPermutation,
+        machines: usize,
+        devices_per_machine: usize,
+        options: EngineOptions,
+    ) -> Result<Self> {
+        if layout.len() != physical.num_vertices() {
+            return Err(BlazeError::Config(format!(
+                "layout covers {} vertices but the graph has {}",
+                layout.len(),
+                physical.num_vertices()
+            )));
+        }
+        let n = physical.num_vertices();
+        let out_degrees: Vec<u32> = (0..n as VertexId).map(|v| physical.degree(v)).collect();
+        let parts = partition_by_destination(physical, machines);
+        let mut bounds: Vec<VertexId> = parts.iter().map(|p| p.dst_range.start).collect();
+        bounds.push(n as VertexId);
         let machines = parts
             .into_iter()
             .map(
@@ -71,10 +155,19 @@ impl Cluster {
                 },
             )
             .collect::<Result<Vec<_>>>()?;
+        let shards = machines.len();
         Ok(Self {
             machines,
-            num_vertices: g.num_vertices(),
-            stats: blaze_sync::Mutex::new(ClusterStats::default()),
+            pool: ShardPool::new(shards),
+            fabric: ExchangeFabric::with_defaults(shards),
+            router: ShardRouter::new(bounds),
+            layout,
+            out_degrees,
+            num_vertices: n,
+            counters: Mutex::new(Counters {
+                rounds: 0,
+                value_bytes: 0,
+            }),
         })
     }
 
@@ -93,15 +186,60 @@ impl Cluster {
         &self.machines
     }
 
-    /// Communication accounting so far.
-    pub fn stats(&self) -> ClusterStats {
-        self.stats.lock().clone()
+    /// The original ↔ physical permutation shared by every shard.
+    pub fn layout(&self) -> &VertexPermutation {
+        &self.layout
     }
 
-    /// Distributed `EdgeMap`: every machine runs the same scatter/gather
-    /// over its destination partition; the returned frontier is the union
-    /// of the machines' outputs. `value_bytes` sizes the per-activation
-    /// broadcast for the communication model (vertex id + scattered state).
+    /// Global out-degrees in physical id space (shard subgraphs only see
+    /// their filtered slice).
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// The router mapping vertex ids to owning shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard owning `orig` (an original-space vertex id). Ids beyond
+    /// the graph take the router's consistent-hash fallback.
+    pub fn owner_of(&self, orig: VertexId) -> usize {
+        if (orig as usize) < self.num_vertices {
+            self.router.route(self.layout.to_physical(orig))
+        } else {
+            self.router.route(orig)
+        }
+    }
+
+    /// Measured statistics so far.
+    pub fn stats(&self) -> ClusterStats {
+        let (rounds, value_bytes) = {
+            let c = self.counters.lock();
+            (c.rounds, c.value_bytes)
+        };
+        let per_shard: Vec<ExecStats> = self.machines.iter().map(|m| m.engine.stats()).collect();
+        ClusterStats {
+            rounds,
+            exchange_bytes: self.fabric.bytes_sent(),
+            exchange_value_bytes: value_bytes,
+            exchange_messages: self.fabric.messages_sent(),
+            io_bytes: per_shard.iter().map(|s| s.io_bytes).sum(),
+            per_shard,
+        }
+    }
+
+    /// Distributed `EdgeMap`, one superstep: every shard concurrently
+    /// exchanges its slice of `frontier` with its peers, rebuilds the full
+    /// replica, and runs the same scatter/gather over its destination
+    /// partition; the returned frontier is the union of the shards'
+    /// outputs. `value_bytes` sizes the modeled value payload that rides
+    /// along with each exchanged activation (vertex state the scatter
+    /// side reads).
+    ///
+    /// Ids in `frontier` (and those seen by `scatter`/`gather`/`cond`) are
+    /// physical — the same space a single engine built with the same
+    /// layout uses.
     pub fn edge_map<V, FS, FG, FC>(
         &self,
         frontier: &VertexSubset,
@@ -117,37 +255,92 @@ impl Cluster {
         FG: Fn(VertexId, V) -> bool + Sync,
         FC: Fn(VertexId) -> bool + Sync,
     {
-        let mut out = VertexSubset::new(self.num_vertices);
-        let mut broadcast = 0u64;
-        for machine in &self.machines {
-            let local = machine
+        let shards = self.machines.len();
+        let active = frontier.len() as u64;
+        let out = if shards == 1 {
+            // Single shard: nothing to exchange, drive the engine directly.
+            self.machines[0]
                 .engine
-                .edge_map(frontier, &scatter, &gather, &cond, output)?;
-            // Activations outside this machine's own range would be a bug:
-            // destination partitioning guarantees locality.
-            debug_assert!(local
-                .members()
-                .iter()
-                .all(|v| machine.dst_range.contains(v)));
-            // Each activation must reach the other machines before the
-            // next round (they need it in their replicated frontier).
-            broadcast +=
-                local.len() as u64 * (4 + value_bytes as u64) * (self.machines.len() as u64 - 1);
-            for v in local.members() {
-                out.insert(v);
+                .edge_map(frontier, &scatter, &gather, &cond, output)?
+        } else {
+            let slots: Vec<Mutex<Option<Result<VertexSubset>>>> =
+                (0..shards).map(|_| Mutex::new(None)).collect();
+            self.pool.run(&|shard| {
+                let result =
+                    self.shard_superstep(shard, frontier, &scatter, &gather, &cond, output);
+                *slots[shard].lock() = Some(result);
+            });
+            let mut out = VertexSubset::new(self.num_vertices);
+            for slot in &slots {
+                // panic-audit: unreachable — `run` is a completion barrier,
+                // so every worker stored its result (or `run` re-raised the
+                // panic) before this loop starts.
+                let local = slot.lock().take().expect("every shard reports a result")?;
+                for v in local.members() {
+                    out.insert(v);
+                }
+            }
+            out.seal();
+            out
+        };
+        let mut c = self.counters.lock();
+        c.rounds += 1;
+        c.value_bytes += active * value_bytes as u64 * (shards as u64 - 1);
+        drop(c);
+        Ok(out)
+    }
+
+    /// One shard's half of a superstep, executed on its pool thread.
+    ///
+    /// Every fallible step sits *after* the collective exchange, so a shard
+    /// hitting an error still completes the all-to-all and cannot strand
+    /// its peers mid-round; the error surfaces through the result slot.
+    fn shard_superstep<V, FS, FG, FC>(
+        &self,
+        shard: usize,
+        frontier: &VertexSubset,
+        scatter: &FS,
+        gather: &FG,
+        cond: &FC,
+        output: bool,
+    ) -> Result<VertexSubset>
+    where
+        V: BinValue,
+        FS: Fn(VertexId, VertexId) -> V + Sync,
+        FG: Fn(VertexId, V) -> bool + Sync,
+        FC: Fn(VertexId) -> bool + Sync,
+    {
+        let machine = &self.machines[shard];
+        let payload = wire::encode_range(frontier, machine.dst_range.clone());
+        let inbox = self.fabric.exchange(shard, &payload);
+        let mut replica = VertexSubset::new(self.num_vertices);
+        frontier.for_each_in_range(machine.dst_range.clone(), |v| {
+            replica.insert(v);
+        });
+        for (src, message) in inbox.iter().enumerate() {
+            if src == shard {
+                continue;
+            }
+            wire::decode_into(message, &replica)?;
+        }
+        replica.seal();
+        let local = machine
+            .engine
+            .edge_map(&replica, scatter, gather, cond, output)?;
+        // Destination partitioning guarantees gather locality; an escape
+        // means the partition table and the subgraphs disagree, and the
+        // union frontier (and every downstream round) would silently
+        // corrupt. Fail loudly, in release builds too.
+        for v in local.members() {
+            if !machine.dst_range.contains(&v) {
+                return Err(BlazeError::Engine(format!(
+                    "shard {shard} activated vertex {v} outside its destination \
+                     range {:?}: destination partitioning is broken",
+                    machine.dst_range
+                )));
             }
         }
-        let mut stats = self.stats.lock();
-        stats.rounds += 1;
-        stats.broadcast_bytes += broadcast;
-        stats.io_bytes = self
-            .machines
-            .iter()
-            .map(|m| m.engine.stats().io_bytes)
-            .sum();
-        drop(stats);
-        out.seal();
-        Ok(out)
+        Ok(local)
     }
 }
 
@@ -224,8 +417,8 @@ mod tests {
 
     #[test]
     fn gather_stays_machine_local() {
-        // The debug_assert in edge_map enforces it; run a full-frontier
-        // round on 4 machines to exercise it.
+        // A full-frontier round on 4 machines: every edge must be applied
+        // exactly once, each on the machine owning its destination.
         let g = uniform(9, 8, 5);
         let cluster = Cluster::build(&g, 4, 2, EngineOptions::default()).unwrap();
         let frontier = VertexSubset::full(g.num_vertices());
@@ -252,8 +445,13 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_bytes_scale_with_activations_and_machines() {
+    fn exchange_traffic_is_measured_and_scales_with_machines() {
         let g = rmat(&RmatConfig::new(8));
+        let f1 = {
+            let c = Cluster::build(&g, 1, 1, EngineOptions::default()).unwrap();
+            cluster_bfs(&c, 0);
+            c.stats()
+        };
         let f2 = {
             let c = Cluster::build(&g, 2, 1, EngineOptions::default()).unwrap();
             cluster_bfs(&c, 0);
@@ -264,11 +462,36 @@ mod tests {
             cluster_bfs(&c, 0);
             c.stats()
         };
-        assert!(f4.broadcast_bytes > f2.broadcast_bytes, "{f4:?} vs {f2:?}");
-        // 4 machines broadcast to 3 peers vs 1 peer: exactly 3x the bytes
-        // for the same activation stream.
-        assert_eq!(f4.broadcast_bytes, 3 * f2.broadcast_bytes);
+        // One shard never touches the fabric.
+        assert_eq!(f1.exchange_bytes, 0);
+        assert_eq!(f1.exchange_messages, 0);
+        assert_eq!(f1.exchange_value_bytes, 0);
+        // More peers, more traffic — both the measured delta bytes and the
+        // modeled value payload.
+        assert!(f4.exchange_bytes > f2.exchange_bytes, "{f4:?} vs {f2:?}");
+        // BFS is deterministic, so the frontiers per round are identical
+        // across shard counts: the modeled value payload scales exactly
+        // with the peer count (3 peers vs 1).
+        assert_eq!(f4.exchange_value_bytes, 3 * f2.exchange_value_bytes);
+        // Messages: every round completes peers x shards point-to-point
+        // sends; same round count means an exact 6x ratio (4*3 vs 2*1).
+        assert_eq!(f2.rounds, f4.rounds);
+        assert_eq!(f4.exchange_messages, 6 * f2.exchange_messages);
         assert!(f2.rounds > 0 && f2.io_bytes > 0);
+    }
+
+    #[test]
+    fn stats_report_per_shard_engines() {
+        let g = rmat(&RmatConfig::new(8));
+        let c = Cluster::build(&g, 4, 1, EngineOptions::default()).unwrap();
+        cluster_bfs(&c, 0);
+        let stats = c.stats();
+        assert_eq!(stats.per_shard.len(), 4);
+        assert_eq!(
+            stats.io_bytes,
+            stats.per_shard.iter().map(|s| s.io_bytes).sum::<u64>()
+        );
+        assert!(stats.per_shard.iter().all(|s| s.iterations > 0));
     }
 
     #[test]
@@ -307,5 +530,38 @@ mod tests {
         let max = *q.iter().max().unwrap() as f64;
         let min = *q.iter().min().unwrap() as f64;
         assert!(max / min.max(1.0) < 2.0, "per-machine IO balanced: {q:?}");
+    }
+
+    #[test]
+    fn degree_layout_cluster_matches_reference_after_translation() {
+        let g = rmat(&RmatConfig::new(8));
+        let cluster =
+            Cluster::build_with_layout(&g, VertexLayout::Degree, 3, 1, EngineOptions::default())
+                .unwrap();
+        let layout = cluster.layout().clone();
+        assert!(!layout.is_identity(), "rmat graphs reorder under degree");
+        let root_phys = layout.to_physical(0);
+        let phys_levels = cluster_bfs(&cluster, root_phys);
+        let expect = reference_levels(&g, 0);
+        let got: Vec<i64> = (0..g.num_vertices())
+            .map(|orig| phys_levels[layout.to_physical(orig as u32) as usize])
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn owner_of_agrees_with_machine_ranges() {
+        let g = rmat(&RmatConfig::new(8));
+        let cluster = Cluster::build(&g, 4, 1, EngineOptions::default()).unwrap();
+        for orig in (0..g.num_vertices() as u32).step_by(7) {
+            let shard = cluster.owner_of(orig);
+            let phys = cluster.layout().to_physical(orig);
+            assert!(
+                cluster.machines()[shard].dst_range.contains(&phys),
+                "vertex {orig} routed to shard {shard} which does not own it"
+            );
+        }
+        // Beyond the graph: the hash fallback still names a real shard.
+        assert!(cluster.owner_of(u32::MAX) < 4);
     }
 }

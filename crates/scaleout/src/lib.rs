@@ -8,15 +8,17 @@
 //! > values between scatter and gather threads locally, avoiding the
 //! > costly network communications during EDGEMAP execution."
 //!
-//! Each [`Machine`](cluster::Machine) owns the edges whose *destination* falls in its vertex
+//! Each [`Machine`] owns the edges whose *destination* falls in its vertex
 //! range, stored as its own page-interleaved `DiskGraph` over its own
 //! device array, and runs a full Blaze engine over them. Because the
 //! destination ranges are disjoint, every gather is machine-local: bins
-//! never cross machines, so `EdgeMap` needs **zero network traffic**. The
-//! only cross-machine communication is the iteration-boundary broadcast of
-//! newly-activated frontier vertices (and their source values), which
-//! [`ClusterStats`] accounts so the network cost of the design can be
-//! modeled.
+//! never cross machines, so `EdgeMap` needs **zero network traffic**
+//! inside an iteration. Between iterations the shards run concurrently on
+//! a persistent pool and swap only *frontier deltas* — the newly activated
+//! ids, wire-encoded dense or sparse — over the bounded [`exchange`]
+//! fabric; [`ClusterStats`] reports the measured traffic alongside real
+//! per-shard execution statistics, and the [`router`] maps point queries
+//! to their owning shard.
 
 // The unsafe-audit rule (cargo xtask lint) keys off this: crates that
 // need no unsafe code forbid it outright, so the audit scope cannot
@@ -24,7 +26,11 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod exchange;
 pub mod partition;
+pub mod router;
 
-pub use cluster::{Cluster, ClusterStats};
+pub use cluster::{Cluster, ClusterStats, Machine};
+pub use exchange::ExchangeFabric;
 pub use partition::{partition_by_destination, DstPartition};
+pub use router::ShardRouter;

@@ -17,6 +17,13 @@ pub struct DstPartition {
 /// Splits `g` into `machines` partitions by destination, balancing
 /// *in-edge mass* so every machine gathers a similar number of records —
 /// the property that keeps the cluster's gather work even.
+///
+/// Every partition is guaranteed non-empty (at least one vertex) whenever
+/// `machines <= num_vertices`: a super-hub holding most of the in-edge
+/// mass makes the equal-mass boundaries collide, and the repair pass
+/// spreads the collided bounds over the remaining vertices instead of
+/// emitting empty ranges. With more machines than vertices the trailing
+/// partitions are empty by necessity.
 pub fn partition_by_destination(g: &Csr, machines: usize) -> Vec<DstPartition> {
     assert!(machines >= 1);
     let n = g.num_vertices();
@@ -43,19 +50,36 @@ pub fn partition_by_destination(g: &Csr, machines: usize) -> Vec<DstPartition> {
     }
     bounds.push(n as VertexId);
 
-    (0..machines)
-        .map(|m| {
-            let dst_range = bounds[m]..bounds[m + 1];
-            let mut b = GraphBuilder::new(n);
-            for (s, d) in g.edges() {
-                if dst_range.contains(&d) {
-                    b.add_edge(s, d);
-                }
-            }
-            DstPartition {
-                dst_range,
-                subgraph: b.build(),
-            }
+    // Repair pass: force every range non-empty when there are enough
+    // vertices to go around. Bound `i` must sit strictly after bound
+    // `i - 1` and leave at least one vertex for each of the `machines - i`
+    // ranges behind it. The clamp is always satisfiable by induction:
+    // `bounds[i - 1] <= n - (machines - (i - 1))` gives
+    // `bounds[i - 1] + 1 <= n - (machines - i)`.
+    if machines <= n {
+        for i in 1..machines {
+            let lo = bounds[i - 1] + 1;
+            let hi = (n - (machines - i)) as VertexId;
+            bounds[i] = bounds[i].clamp(lo, hi);
+        }
+    }
+
+    // Route every edge to its owner in one pass (the interior bounds are
+    // sorted, so the owner is a binary search away) instead of rescanning
+    // the edge list per machine.
+    let interior = &bounds[1..machines];
+    let mut builders: Vec<GraphBuilder> = (0..machines).map(|_| GraphBuilder::new(n)).collect();
+    for (s, d) in g.edges() {
+        let owner = interior.partition_point(|&b| b <= d);
+        builders[owner].add_edge(s, d);
+    }
+
+    builders
+        .into_iter()
+        .enumerate()
+        .map(|(m, b)| DstPartition {
+            dst_range: bounds[m]..bounds[m + 1],
+            subgraph: b.build(),
         })
         .collect()
 }
@@ -102,5 +126,148 @@ mod tests {
         let parts = partition_by_destination(&g, 1);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].subgraph, g);
+    }
+
+    #[test]
+    fn super_hub_does_not_produce_empty_partitions() {
+        // All mass on vertex 0: the equal-mass loop would emit bounds
+        // [0, 1, 1, 1, n] without the repair pass.
+        let n = 16;
+        let mut b = GraphBuilder::new(n);
+        for s in 1..n as VertexId {
+            b.add_edge(s, 0);
+        }
+        let g = b.build();
+        let parts = partition_by_destination(&g, 4);
+        for p in &parts {
+            assert!(!p.dst_range.is_empty(), "empty range: {:?}", p.dst_range);
+        }
+        let total: u64 = parts.iter().map(|p| p.subgraph.num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(parts[0].subgraph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn more_machines_than_vertices_still_tile() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let parts = partition_by_destination(&g, 8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts[0].dst_range.start, 0);
+        assert_eq!(parts[7].dst_range.end, 3);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].dst_range.end, w[1].dst_range.start);
+        }
+        let total: u64 = parts.iter().map(|p| p.subgraph.num_edges()).sum();
+        assert_eq!(total, 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random digraph as (vertex count, edge list); skew comes from
+        /// squaring one of the endpoints toward low ids now and then.
+        fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+            (
+                1usize..48,
+                proptest::collection::vec((0u32..48, 0u32..48, any::<bool>()), 0..256),
+            )
+                .prop_map(|(n, raw)| {
+                    let edges = raw
+                        .into_iter()
+                        .map(|(s, d, hubify)| {
+                            let (s, d) = (s % n as u32, d % n as u32);
+                            // Pull roughly half the destinations toward 0
+                            // for super-vertex shapes.
+                            let d = if hubify { d * d / n as u32 } else { d };
+                            (s, d.min(n as u32 - 1))
+                        })
+                        .collect();
+                    (n, edges)
+                })
+        }
+
+        fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+            let mut b = GraphBuilder::new(n);
+            for &(s, d) in edges {
+                b.add_edge(s, d);
+            }
+            b.build()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn ranges_are_disjoint_covering_and_nonempty(
+                (n, edges) in graph_strategy(),
+                machines in 1usize..10,
+            ) {
+                let g = build(n, &edges);
+                let parts = partition_by_destination(&g, machines);
+                prop_assert_eq!(parts.len(), machines);
+                prop_assert_eq!(parts[0].dst_range.start, 0);
+                prop_assert_eq!(parts[machines - 1].dst_range.end as usize, n);
+                for w in parts.windows(2) {
+                    prop_assert_eq!(w[0].dst_range.end, w[1].dst_range.start);
+                }
+                if machines <= n {
+                    for p in &parts {
+                        prop_assert!(
+                            !p.dst_range.is_empty(),
+                            "empty partition {:?} with {} machines over {} vertices",
+                            p.dst_range, machines, n
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn every_edge_is_conserved_exactly_once(
+                (n, edges) in graph_strategy(),
+                machines in 1usize..10,
+            ) {
+                let g = build(n, &edges);
+                let parts = partition_by_destination(&g, machines);
+                let total: u64 = parts.iter().map(|p| p.subgraph.num_edges()).sum();
+                prop_assert_eq!(total, g.num_edges());
+                for p in &parts {
+                    for (_, d) in p.subgraph.edges() {
+                        prop_assert!(p.dst_range.contains(&d));
+                    }
+                }
+            }
+
+            #[test]
+            fn mass_stays_within_twice_ideal_when_skew_allows(
+                (n, edges) in graph_strategy(),
+                machines in 1usize..10,
+            ) {
+                let g = build(n, &edges);
+                let total = g.num_edges();
+                let mut in_mass = vec![0u64; n];
+                for (_, d) in g.edges() {
+                    in_mass[d as usize] += 1;
+                }
+                let heaviest = in_mass.iter().copied().max().unwrap_or(0);
+                // A single vertex's mass is indivisible; 2x ideal is only
+                // promisable when no vertex alone exceeds half a share.
+                prop_assume!(machines <= n);
+                prop_assume!(total > 0 && heaviest * 2 * machines as u64 <= total);
+                let parts = partition_by_destination(&g, machines);
+                let ideal = total as f64 / machines as f64;
+                for p in &parts {
+                    let mass = p.subgraph.num_edges() as f64;
+                    prop_assert!(
+                        mass <= 2.0 * ideal + f64::EPSILON,
+                        "partition {:?} holds {} of {} edges (ideal {:.1}) across {} machines",
+                        p.dst_range, mass, total, ideal, machines
+                    );
+                }
+            }
+        }
     }
 }

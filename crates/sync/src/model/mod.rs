@@ -25,6 +25,13 @@
 //! configurable per test and via the `BLAZE_LOOM_PREEMPTIONS` environment
 //! variable.
 //!
+//! Cooperative yields (`thread::yield_now`, `Backoff::snooze`) are also
+//! free, and additionally *deschedule* the caller: another runnable
+//! thread, if any, takes the token — loom's yield semantics. A spin loop
+//! waiting on a peer therefore alternates with that peer instead of
+//! livelocking the default stay-on-current schedule until
+//! [`Config::max_steps`].
+//!
 //! # Fidelity caveats (vs. real `loom`)
 //!
 //! * Modeled atomics are **sequentially consistent** regardless of the

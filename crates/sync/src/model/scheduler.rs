@@ -231,6 +231,72 @@ impl Scheduler {
         }
     }
 
+    /// A cooperative scheduling point: the calling thread *asks* to be
+    /// descheduled (`thread::yield_now`, `Backoff::snooze`). Mirrors
+    /// loom's yield semantics: some other runnable thread, if any, takes
+    /// the token, and the switch is voluntary — it neither consumes the
+    /// preemption budget nor is pruned by it. Without this, a spin loop
+    /// waiting on a peer livelocks the explorer's default schedule (the
+    /// default choice at an ordinary [`yield_point`](Self::yield_point)
+    /// is "continue the current thread"), burning `max_steps` on every
+    /// execution; a spinning thread cannot make progress by itself, so
+    /// replaying it before the peer runs is never interesting.
+    pub(crate) fn yield_cooperative(&self, me: usize) {
+        let mut state = self.lock_state();
+        self.check_abort_and_steps(&mut state);
+        let aborted = self.pick_next_yielding(&mut state, me);
+        let next = state.current;
+        drop(state);
+        if aborted {
+            self.cv.notify_all();
+            std::panic::panic_any(AbortToken);
+        }
+        if next != me {
+            self.cv.notify_all();
+            self.wait_for_token(me);
+        }
+    }
+
+    /// Chooses the next thread for a cooperative yield: the yielder is
+    /// excluded whenever another thread is runnable. Falls back to
+    /// [`pick_next`](Self::pick_next) (which also handles deadlock
+    /// detection) when the yielder is the only runnable thread.
+    fn pick_next_yielding(&self, state: &mut State, me: usize) -> bool {
+        let others: Vec<usize> = state
+            .status
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| *s == Status::Runnable && i != me)
+            .map(|(i, _)| i)
+            .collect();
+        if others.is_empty() {
+            return self.pick_next(state, me);
+        }
+        if others.len() == 1 {
+            // Forced hand-off: no branch point, and voluntary, so no
+            // preemption is charged.
+            state.current = others[0];
+            return false;
+        }
+        let idx = state.trail.len();
+        let chosen = match state.prefix.get(idx) {
+            Some(&replayed) => replayed,
+            None => others[0],
+        };
+        debug_assert!(others.contains(&chosen), "replayed choice must be runnable");
+        state.trail.push(Decision {
+            candidates: others,
+            chosen,
+            prev: me,
+            // Voluntary switch: alternatives at this decision are free for
+            // the preemption-bounded backtracker too.
+            prev_runnable: false,
+            preemptions_before: state.preemptions,
+        });
+        state.current = chosen;
+        false
+    }
+
     /// Blocks the calling thread on `resource` and schedules someone else.
     /// Returns once the thread has been unblocked *and* rescheduled.
     pub(crate) fn block_on(&self, me: usize, resource: Resource) {

@@ -33,10 +33,12 @@ where
     JoinHandle { target, result }
 }
 
-/// Yields the token: a pure scheduling point.
+/// Yields the token cooperatively: another runnable thread, if any, runs
+/// next (loom's `yield_now` semantics — required for spin loops that wait
+/// on a peer to terminate under the explorer's stay-on-current default).
 pub fn yield_now() {
     let (sched, me) = current();
-    sched.yield_point(me);
+    sched.yield_cooperative(me);
 }
 
 impl<T> JoinHandle<T> {

@@ -44,15 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
         }
         let stats = cluster.stats();
-        let per_machine: Vec<u64> = cluster
-            .machines()
-            .iter()
-            .map(|m| m.engine.stats().io_bytes)
-            .collect();
+        let per_machine: Vec<u64> = stats.per_shard.iter().map(|s| s.io_bytes).collect();
         println!(
             "{machines} machine(s): {} rounds, IO per machine {per_machine:?}, \
-             frontier broadcast {} bytes total",
-            stats.rounds, stats.broadcast_bytes
+             frontier deltas {} wire + {} value bytes in {} messages",
+            stats.rounds, stats.exchange_bytes, stats.exchange_value_bytes, stats.exchange_messages
         );
     }
     println!("note: gather never crosses machines — destination partitioning keeps bins local");
