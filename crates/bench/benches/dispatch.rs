@@ -53,7 +53,7 @@ fn row(group: &str, name: &str, nanos: u64) -> Vec<String> {
 struct NoopJob;
 
 impl PipelineJob for NoopJob {
-    fn run_io(&self, _device: usize) {}
+    fn run_io(&self, _device: usize, _lane: usize) {}
     fn run_scatter(&self, _worker: usize) {}
     fn run_gather(&self, _worker: usize) {}
 }
@@ -70,7 +70,7 @@ fn bench_dispatch(rows: &mut Vec<Vec<String>>) {
         "dispatch",
         &format!("persistent_x{CALLS}"),
         time_best(5, || {
-            let rt = Runtime::new(1, 2, 2);
+            let rt = Runtime::new(1, 1, 2, 2);
             for _ in 0..CALLS {
                 rt.submit(&NoopJob, true);
             }

@@ -1,0 +1,170 @@
+//! Tenant sweep: N concurrent identical jobs should cost ~1 job of
+//! device IO under cross-job scan sharing.
+//!
+//! Runs 1/2/8/16 identical PageRank jobs concurrently against one engine
+//! at cache budget 0, with the scan-sharing flight table on, and reports
+//! device bytes per job. Without sharing, N tenants pay N full scans per
+//! iteration; with it, the first job to miss a page run leads one device
+//! read and every overlapping job subscribes to the completed frames, so
+//! total device bytes stay near the solo cost while aggregate query
+//! throughput scales with N. A sharing-off contrast arm at N = 8 shows
+//! the ~8× bill the flight table removes. Every job's ranks are checked
+//! against the solo oracle — sharing must be invisible to results.
+//!
+//! The acceptance assert: 8 concurrent jobs with sharing read at most 2×
+//! the device bytes of 1 job (vs ~8× without).
+
+use blaze_algorithms::{pagerank_delta, ExecMode, PageRankConfig};
+use blaze_bench::datasets::{prepare, scale_from_env};
+use blaze_bench::report::{print_table, write_csv};
+use blaze_core::{BlazeEngine, EngineOptions};
+use blaze_graph::{Dataset, DiskGraph};
+use blaze_storage::StripedStorage;
+use std::sync::Arc;
+
+const DEVICES: usize = 2;
+const MAX_ITERS: usize = 3;
+
+fn engine(csr: &blaze_graph::Csr, jobs: usize, sharing: bool) -> BlazeEngine {
+    let storage = Arc::new(StripedStorage::in_memory(DEVICES).expect("storage"));
+    let graph = Arc::new(DiskGraph::create(csr, storage).expect("graph"));
+    // Cache budget 0: every page the flight table does not share is a
+    // device read, so the sweep isolates the sharing effect itself.
+    let mut options = EngineOptions::default().with_compute_workers(2, 0.5);
+    if sharing {
+        options = options
+            .with_scan_sharing(true)
+            .with_scan_share_lanes(jobs)
+            .with_scan_share_retain(512);
+    }
+    BlazeEngine::new(graph, options).expect("engine")
+}
+
+struct Arm {
+    jobs: usize,
+    sharing: bool,
+    device_bytes: u64,
+    shared_pages: u64,
+    flights_led: u64,
+    wall: f64,
+}
+
+/// Runs `jobs` identical PageRank queries concurrently and checks every
+/// job's ranks against the solo oracle.
+fn run_arm(csr: &blaze_graph::Csr, jobs: usize, sharing: bool, oracle: &[f64]) -> Arm {
+    let e = engine(csr, jobs, sharing);
+    let cfg = PageRankConfig {
+        max_iters: MAX_ITERS,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| s.spawn(|| pagerank_delta(&e, cfg, ExecMode::Binned).expect("pagerank")))
+            .collect();
+        for h in handles {
+            let ranks = h.join().expect("job");
+            for (v, &want) in oracle.iter().enumerate() {
+                assert!(
+                    (ranks.get(v) - want).abs() < 1e-9,
+                    "jobs={jobs} sharing={sharing}: rank diverged at vertex {v}"
+                );
+            }
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = e.stats();
+    Arm {
+        jobs,
+        sharing,
+        device_bytes: stats.io_bytes,
+        shared_pages: stats.shared_hit_pages,
+        flights_led: stats.flights_led,
+        wall,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let g = prepare(Dataset::Rmat27, scale);
+    let cfg = PageRankConfig {
+        max_iters: MAX_ITERS,
+        ..Default::default()
+    };
+    let oracle = pagerank_delta(&engine(&g.csr, 1, false), cfg, ExecMode::Binned)
+        .expect("oracle")
+        .to_vec();
+
+    let mut arms = Vec::new();
+    for jobs in [1usize, 2, 8, 16] {
+        arms.push(run_arm(&g.csr, jobs, true, &oracle));
+    }
+    // Contrast: the bill without the flight table.
+    arms.push(run_arm(&g.csr, 8, false, &oracle));
+
+    let rows: Vec<Vec<String>> = arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.jobs.to_string(),
+                if a.sharing { "on" } else { "off" }.to_string(),
+                a.device_bytes.to_string(),
+                (a.device_bytes / a.jobs as u64).to_string(),
+                a.shared_pages.to_string(),
+                a.flights_led.to_string(),
+                format!("{:.3}", a.wall),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Tenant sweep: rmat27 PageRank x{MAX_ITERS} iters, concurrent identical jobs"),
+        &[
+            "jobs",
+            "sharing",
+            "device bytes",
+            "bytes/job",
+            "shared pages",
+            "flights led",
+            "wall s",
+        ],
+        &rows,
+    );
+    let path = write_csv(
+        "tenant_sweep",
+        &[
+            "jobs",
+            "sharing",
+            "device_bytes",
+            "bytes_per_job",
+            "shared_pages",
+            "flights_led",
+            "wall_s",
+        ],
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+
+    // The acceptance pair: 8 tenants under sharing cost at most 2 solo
+    // jobs of device IO (the unshared arm pays ~8x).
+    let solo = arms[0].device_bytes.max(1);
+    let eight_shared = arms
+        .iter()
+        .find(|a| a.jobs == 8 && a.sharing)
+        .expect("8-job sharing arm")
+        .device_bytes;
+    let eight_unshared = arms
+        .iter()
+        .find(|a| a.jobs == 8 && !a.sharing)
+        .expect("8-job unshared arm")
+        .device_bytes;
+    assert!(
+        eight_shared <= 2 * solo,
+        "8 concurrent jobs read {eight_shared} device bytes, solo read {solo} — \
+         scan sharing must keep N tenants near one job of device IO"
+    );
+    assert!(
+        eight_unshared > eight_shared,
+        "unshared arm read {eight_unshared} <= shared {eight_shared} — \
+         the contrast arm should pay for every tenant"
+    );
+}

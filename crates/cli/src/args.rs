@@ -44,6 +44,11 @@ pub struct CliArgs {
     pub mode: ExecMode,
     /// Core threshold for the k-core query (`-k`, default 2).
     pub k: u32,
+    /// Disable cross-job scan sharing (`-no-share`). By default, running
+    /// with `-jobs` > 1 coalesces concurrent jobs' overlapping device
+    /// reads through the flight table (one read, N consumers); this flag
+    /// makes every job pay its own device IO, for A/B measurement.
+    pub no_share: bool,
     /// Scale-out shards (`-shards`, default 1 = single engine). BFS,
     /// PageRank, and WCC accept >1 and run the graph as a concurrent
     /// destination-partitioned cluster.
@@ -74,6 +79,7 @@ impl Default for CliArgs {
             combine: false,
             mode: ExecMode::Binned,
             k: 2,
+            no_share: false,
             shards: 1,
             index: PathBuf::new(),
             adj: Vec::new(),
@@ -170,6 +176,12 @@ pub fn parse(args: &[String]) -> Result<CliArgs> {
             }
             "-combine" => {
                 out.combine = true;
+            }
+            "-no-share" => {
+                // A repeat means a mangled command line (probably meant to
+                // toggle something else); reject like `-shards` does.
+                once.check("-no-share").map_err(BlazeError::Config)?;
+                out.no_share = true;
             }
             "-mode" => {
                 let v = it.next().ok_or_else(|| missing("-mode"))?;
@@ -331,6 +343,26 @@ mod tests {
                 "input {dup:?} gave {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn parses_no_share_flag() {
+        let a = parse(&args("-no-share g.gr.index g.gr.adj.0")).unwrap();
+        assert!(a.no_share);
+        assert!(!parse(&args("g.gr.index g.gr.adj.0")).unwrap().no_share);
+    }
+
+    /// `-no-share` shares the `FlagOnce` duplicate rejection and its
+    /// exact diagnostic shape.
+    #[test]
+    fn rejects_duplicate_no_share_flag() {
+        let err = parse(&args("-no-share -no-share g.gr.index g.gr.adj.0"))
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("duplicate flag -no-share (each may be given once)"),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -54,6 +54,14 @@ fn engine_options(args: &CliArgs, storage_bytes: u64) -> Result<EngineOptions> {
         .with_compute_workers(args.compute_workers.max(2), args.binning_ratio)
         .with_cache_bytes(args.cache_mb << 20)
         .with_queue_depth(args.queue_depth);
+    if args.jobs > 1 && !args.no_share {
+        // Concurrent identical queries scan the same pages; coalesce their
+        // misses so N jobs cost ~1 job of device IO. One IO lane per job
+        // lets every job's pump make independent progress.
+        options = options
+            .with_scan_sharing(true)
+            .with_scan_share_lanes(args.jobs);
+    }
     if args.bin_space_mib > 0 {
         options = options.with_binning(BinningConfig::new(
             args.bin_count,
@@ -153,6 +161,12 @@ pub fn print_run_summary(query: &str, engine: &BlazeEngine, wall: std::time::Dur
                 stats.cache_hot_admits
             );
         }
+    }
+    if engine.options().scan_sharing {
+        println!(
+            "shared: {} pages ({} bytes) served from other jobs' reads, {} flights led",
+            stats.shared_hit_pages, stats.shared_bytes, stats.flights_led
+        );
     }
     if stats.async_rounds > 0 {
         println!(
@@ -303,6 +317,35 @@ mod tests {
         assert!(stats.scatter_ns > 0, "scatter time must be recorded");
         assert!(stats.gather_ns > 0, "gather time must be recorded");
         assert_eq!(stats.records_combined, 0, "uncombined run combines nothing");
+    }
+
+    #[test]
+    fn jobs_flag_enables_scan_sharing_and_no_share_disables_it() {
+        let g = rmat(&RmatConfig::new(6));
+        let dir = tempfile::tempdir().unwrap();
+        let (index, adj) = save_files(&g, dir.path(), "t.gr", 1).unwrap();
+        let shared = open_engine(
+            &CliArgs {
+                jobs: 4,
+                ..Default::default()
+            },
+            &index,
+            &adj,
+        )
+        .unwrap();
+        assert!(shared.options().scan_sharing);
+        assert_eq!(shared.options().scan_share_lanes, 4);
+        for args in [
+            CliArgs {
+                jobs: 4,
+                no_share: true,
+                ..Default::default()
+            },
+            CliArgs::default(),
+        ] {
+            let engine = open_engine(&args, &index, &adj).unwrap();
+            assert!(!engine.options().scan_sharing);
+        }
     }
 
     #[test]

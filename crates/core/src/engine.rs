@@ -22,7 +22,10 @@ use blaze_frontier::{PageSubset, PriorityFrontier, PrioritySnapshot, VertexSubse
 use blaze_graph::DiskGraph;
 use blaze_storage::buffer::{FilledBuffer, IoBuffer};
 use blaze_storage::request::merge_pages_with_window;
-use blaze_storage::{BufferPool, IoBackend, IoRequest, JobIoStats, PageCache};
+use blaze_storage::{
+    BufferPool, FlightLease, FlightPart, FlightTable, IoBackend, IoRequest, JobIoStats, PageCache,
+    PageFrame,
+};
 use blaze_types::{BlazeError, IterationTrace, LocalPageId, Result, VertexId, PAGE_SIZE};
 
 use crate::arena::EngineArena;
@@ -51,8 +54,15 @@ pub struct BlazeEngine {
     arena: EngineArena,
     runtime: Runtime,
     cache: Option<PageCache>,
-    /// The submission/completion IO engine the per-device IO workers pump.
-    backend: Arc<dyn IoBackend>,
+    /// The submission/completion IO engines the per-device IO workers
+    /// pump — one per IO lane, because the backends' per-device
+    /// submit/reap queues assume a single pumper per device and a lane is
+    /// exactly that: the one worker pumping a given device for its jobs.
+    /// A single entry without scan sharing.
+    backends: Vec<Arc<dyn IoBackend>>,
+    /// Cross-job scan-sharing registry (single-flight miss coalescing);
+    /// `None` leaves the IO path byte-identical to the unshared engine.
+    flights: Option<FlightTable>,
     traces: Mutex<Vec<IterationTrace>>,
     stats: Mutex<ExecStats>,
 }
@@ -75,8 +85,17 @@ impl BlazeEngine {
             options.num_gather,
             options.max_idle_arenas,
         );
+        // Scan sharing needs concurrent jobs' IO phases to overlap on each
+        // device, so it widens the runtime to several IO lanes per device;
+        // without it one lane reproduces the paper's pipeline exactly.
+        let io_lanes = if options.scan_sharing {
+            options.scan_share_lanes.max(1)
+        } else {
+            1
+        };
         let runtime = Runtime::new(
             graph.storage().num_devices(),
+            io_lanes,
             options.num_scatter,
             options.num_gather,
         );
@@ -92,9 +111,16 @@ impl BlazeEngine {
                 c.set_hot_region(graph.pagemap().hot_pages(), options.cache_hot_fraction);
                 c
             });
-        let backend = options
-            .io_backend
-            .build(graph.storage().clone(), options.queue_depth);
+        let backends = (0..io_lanes)
+            .map(|_| {
+                options
+                    .io_backend
+                    .build(graph.storage().clone(), options.queue_depth)
+            })
+            .collect();
+        let flights = options
+            .scan_sharing
+            .then(|| FlightTable::new(graph.storage().num_devices(), options.scan_share_retain));
         Ok(Self {
             graph,
             options,
@@ -102,15 +128,23 @@ impl BlazeEngine {
             arena,
             runtime,
             cache,
-            backend,
+            backends,
+            flights,
             traces: Mutex::new(Vec::new()),
             stats: Mutex::new(ExecStats::default()),
         })
     }
 
-    /// The IO backend serving this engine's device reads.
+    /// The IO backend serving this engine's device reads (lane 0's when
+    /// scan sharing runs several lanes).
     pub fn io_backend(&self) -> &Arc<dyn IoBackend> {
-        &self.backend
+        &self.backends[0]
+    }
+
+    /// The scan-sharing flight table, when enabled via
+    /// [`EngineOptions::scan_sharing`].
+    pub fn flight_table(&self) -> Option<&FlightTable> {
+        self.flights.as_ref()
     }
 
     /// The clock page cache, when enabled via
@@ -452,6 +486,7 @@ impl BlazeEngine {
             edges_processed: AtomicU64::new(0),
             records_sync: AtomicU64::new(0),
             error: Mutex::new(None),
+            order: AtomicU64::new(u64::MAX),
             io_stats: JobIoStats::new(num_devices),
         };
 
@@ -561,6 +596,11 @@ where
     /// First IO error of the job; later errors are dropped (the first one
     /// is the cause, the rest are downstream noise).
     error: Mutex<Option<BlazeError>>,
+    /// Submission sequence number, assigned by the runtime under its queue
+    /// lock before any worker sees the job (`u64::MAX` until then). Scan
+    /// sharing compares it against a flight's leader to decide between
+    /// parking and a non-blocking probe (see `pump_shared`).
+    order: AtomicU64,
     io_stats: JobIoStats,
 }
 
@@ -593,12 +633,16 @@ where
     /// into two shorter device reads. Either way the merged requests are
     /// then pumped through the engine's [`IoBackend`] with up to
     /// `queue_depth` in flight.
-    fn fetch_device(&self, dev: usize) -> Result<()> {
+    fn fetch_device(&self, dev: usize, lane: usize) -> Result<()> {
         let storage = self.engine.graph.storage();
         let merge_window = self.engine.options.merge_window;
         let local_pages = self.pages.local_pages(dev);
         let Some(cache) = &self.engine.cache else {
-            return self.pump_requests(dev, merge_pages_with_window(local_pages, merge_window));
+            return self.pump(
+                dev,
+                lane,
+                merge_pages_with_window(local_pages, merge_window),
+            );
         };
         // Cache pass: serve hits from frames, collect misses. Consecutive
         // hits pack into one buffer (frame `i` ↔ `pages[i]`, no contiguity
@@ -651,20 +695,142 @@ where
         }
         // Miss pass: hits punched holes into the page list, so re-merging
         // naturally splits runs around them before touching the device.
-        self.pump_requests(dev, merge_pages_with_window(&misses, merge_window))
+        self.pump(dev, lane, merge_pages_with_window(&misses, merge_window))
     }
 
-    /// Pumps `requests` through the engine's IO backend: keeps up to
+    /// Routes merged requests to the device: through the flight table when
+    /// scan sharing is on, straight to the backend otherwise.
+    fn pump(&self, dev: usize, lane: usize, requests: Vec<IoRequest>) -> Result<()> {
+        match &self.engine.flights {
+            Some(table) => self.pump_shared(dev, lane, table, requests),
+            None => self.pump_requests(dev, lane, requests, Vec::new()),
+        }
+    }
+
+    /// Scan-sharing pump (single-flight miss coalescing): each merged
+    /// request is split against the [`FlightTable`]. Subranges nobody else
+    /// is reading become *lead* parts — registered before this returns, so
+    /// concurrent planners of the same pages join instead of double-reading
+    /// — and go to the device exactly once, carrying their leases so the
+    /// completed frames fan out to every subscriber. Subranges already in
+    /// flight (or retained from a recent flight) become *join* parts and
+    /// are satisfied from the leader's frames without touching the device.
+    ///
+    /// Deadlock discipline: leases are all resolved (the lead pump returns)
+    /// before any ticket is consulted, so a parked subscriber never holds a
+    /// flight another job is parked on. A ticket is *waited* on only when
+    /// its leader is strictly older (smaller submission seq) than this job;
+    /// the runtime serves every worker's mailbox in submission order, so an
+    /// older leader's IO role is never queued behind this job and the
+    /// cross-job wait graph stays acyclic. Younger leaders are only probed
+    /// (`try_wait`); on a miss the subrange is re-read here — a duplicate
+    /// device read, never a correctness hazard.
+    fn pump_shared(
+        &self,
+        dev: usize,
+        lane: usize,
+        table: &FlightTable,
+        requests: Vec<IoRequest>,
+    ) -> Result<()> {
+        let my_seq = self.order.load(Ordering::Acquire); // sync-audit: written once by Runtime::submit under its queue lock before any worker runs this job.
+        let mut leads: Vec<IoRequest> = Vec::new();
+        let mut leases: Vec<Option<FlightLease>> = Vec::new();
+        let mut tickets = Vec::new();
+        for request in requests {
+            for part in table.plan(dev, request, my_seq) {
+                match part {
+                    FlightPart::Lead(lease) => {
+                        leads.push(lease.request());
+                        leases.push(Some(lease));
+                    }
+                    FlightPart::Join(ticket) => tickets.push(ticket),
+                }
+            }
+        }
+        if !leases.is_empty() {
+            self.io_stats.record_flights_led(dev, leads.len() as u64);
+        }
+        self.pump_requests(dev, lane, leads, leases)?;
+        let mut fallback: Vec<IoRequest> = Vec::new();
+        let mut shared_pages = 0u64;
+        let mut first_error: Option<BlazeError> = None;
+        for ticket in tickets {
+            if first_error.is_some() {
+                break;
+            }
+            let outcome = if ticket.leader_seq() < my_seq {
+                Some(ticket.wait())
+            } else {
+                ticket.try_wait()
+            };
+            match outcome {
+                Some(Ok(frames)) => {
+                    shared_pages += frames.len() as u64;
+                    self.pack_shared(dev, ticket.first_page(), &frames);
+                }
+                Some(Err(e)) => first_error = Some(e),
+                None => fallback.push(IoRequest {
+                    first_page: ticket.first_page(),
+                    num_pages: ticket.num_pages(),
+                }),
+            }
+        }
+        if shared_pages > 0 {
+            self.io_stats.record_shared_hits(dev, shared_pages);
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => self.pump_requests(dev, lane, fallback, Vec::new()),
+        }
+    }
+
+    /// Hands subscriber-received frames to scatter: packed into pool
+    /// buffers exactly like cache hits (frame `i` ↔ `pages[i]`, no
+    /// contiguity promised). The leader already admitted these pages to
+    /// the cache, so no insert happens here.
+    fn pack_shared(&self, dev: usize, first_local: LocalPageId, frames: &[PageFrame]) {
+        let storage = self.engine.graph.storage();
+        let capacity = self.pool.pages_per_buffer();
+        for (chunk_idx, chunk) in frames.chunks(capacity).enumerate() {
+            let mut buffer = self.pool.acquire_free();
+            let mut globals = Vec::with_capacity(chunk.len());
+            for (slot, frame) in chunk.iter().enumerate() {
+                let offset = (chunk_idx * capacity + slot) as u64;
+                buffer.pages_mut(slot + 1)[slot * PAGE_SIZE..].copy_from_slice(frame.as_ref());
+                globals.push(storage.global_page(dev, first_local + offset));
+            }
+            self.pool.push_filled(FilledBuffer {
+                buffer,
+                pages: globals,
+            });
+        }
+    }
+
+    /// Pumps `requests` through the lane's IO backend: keeps up to
     /// `queue_depth` submissions in flight, reaps completions (possibly out
     /// of order), and hands successful buffers to scatter. On an error the
     /// pump stops submitting but keeps reaping until the queue drains, so
     /// no buffer is lost and the pool stays intact — first error wins.
-    fn pump_requests(&self, dev: usize, requests: Vec<IoRequest>) -> Result<()> {
+    ///
+    /// With scan sharing, `leases[i]` is the flight lease for `requests[i]`
+    /// (the submit tag indexes both): a successful completion fans its
+    /// frames out to the flight's subscribers, a failed one propagates the
+    /// error to them, and leases never submitted (pump stopped early) are
+    /// failed by their `Drop` when the vector falls off the end — no
+    /// subscriber is ever left parked. Without sharing, pass an empty
+    /// vector.
+    fn pump_requests(
+        &self,
+        dev: usize,
+        lane: usize,
+        requests: Vec<IoRequest>,
+        mut leases: Vec<Option<FlightLease>>,
+    ) -> Result<()> {
         if requests.is_empty() {
             return Ok(());
         }
         let storage = self.engine.graph.storage();
-        let backend = &self.engine.backend;
+        let backend = &self.engine.backends[lane];
         let window = backend.queue_depth().max(1);
         let mut next = 0usize;
         let mut in_flight = 0usize;
@@ -684,8 +850,14 @@ where
             in_flight -= 1;
             self.io_stats.record_latency(dev, completion.service_ns);
             let buffer = completion.buffer;
+            let lease = leases
+                .get_mut(completion.tag as usize)
+                .and_then(Option::take);
             match completion.result {
                 Err(e) => {
+                    if let Some(lease) = lease {
+                        lease.fail(&e.to_string());
+                    }
                     self.pool.release(buffer);
                     if first_error.is_none() {
                         first_error = Some(e);
@@ -693,22 +865,36 @@ where
                 }
                 Ok(()) if first_error.is_some() => {
                     // Draining after an error: data is good but the job is
-                    // failing; just return the buffer.
+                    // failing; subscribers still get their frames (their
+                    // jobs are not the ones failing), then the buffer goes
+                    // back to the pool.
+                    if let Some(lease) = lease {
+                        let n = completion.request.num_pages as usize;
+                        lease.complete(page_frames(&buffer, n));
+                    }
                     self.pool.release(buffer);
                 }
                 Ok(()) => {
                     let first = completion.request.first_page;
                     let n = completion.request.num_pages as usize;
                     self.io_stats.record_read(dev, first, n);
+                    // Subscribers want per-page `Arc` frames; build them
+                    // once and let the cache admit the same allocations.
+                    let frames = lease.is_some().then(|| page_frames(&buffer, n));
                     if let Some(cache) = &self.engine.cache {
                         self.io_stats.record_cache_misses(dev, n as u64);
                         let mut evictions = 0;
                         let mut hot_admits = 0;
                         for i in 0..n {
                             let global = storage.global_page(dev, first + i as u64);
-                            let start = i * PAGE_SIZE;
-                            let outcome = cache
-                                .insert(global, buffer.pages(n)[start..start + PAGE_SIZE].into());
+                            let frame = match &frames {
+                                Some(frames) => frames[i].clone(),
+                                None => {
+                                    let start = i * PAGE_SIZE;
+                                    buffer.pages(n)[start..start + PAGE_SIZE].into()
+                                }
+                            };
+                            let outcome = cache.insert(global, frame);
                             evictions += u64::from(outcome.evicted);
                             hot_admits += u64::from(outcome.hot_admitted);
                         }
@@ -718,6 +904,9 @@ where
                         if hot_admits > 0 {
                             self.io_stats.record_cache_hot_admits(dev, hot_admits);
                         }
+                    }
+                    if let (Some(lease), Some(frames)) = (lease, frames) {
+                        lease.complete(frames);
                     }
                     let globals = (0..n as u64)
                         .map(|i| storage.global_page(dev, first + i))
@@ -736,6 +925,15 @@ where
     }
 }
 
+/// Per-page `Arc` frames of `buffer`'s first `n` pages — the fan-out
+/// currency of the flight table and the page cache.
+fn page_frames(buffer: &IoBuffer, n: usize) -> Vec<PageFrame> {
+    let data = buffer.pages(n);
+    (0..n)
+        .map(|i| data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].into())
+        .collect()
+}
+
 impl<V, FS, FG, FM, FC> PipelineJob for EdgeMapJob<'_, V, FS, FG, FM, FC>
 where
     V: BinValue,
@@ -744,14 +942,21 @@ where
     FM: Fn(V, V) -> V + Sync,
     FC: Fn(VertexId) -> bool + Sync,
 {
-    /// IO role (Figure 5, steps 2-4): one worker per device.
-    fn run_io(&self, device: usize) {
+    /// Records the submission sequence number the runtime assigned under
+    /// its queue lock; `pump_shared` reads it for the park/probe decision.
+    fn set_order(&self, seq: u64) {
+        self.order.store(seq, Ordering::Release); // sync-audit: happens-before every worker via the runtime queue lock.
+    }
+
+    /// IO role (Figure 5, steps 2-4): one worker per device (per lane when
+    /// scan sharing widens the pump).
+    fn run_io(&self, device: usize, lane: usize) {
         // Guard: even a panic inside the IO path must count the worker as
         // done, or scatter workers would spin on `io_done` forever.
         let _done = CompletionGuard {
             counter: &self.io_done,
         };
-        if let Err(e) = self.fetch_device(device) {
+        if let Err(e) = self.fetch_device(device, lane) {
             self.record_error(e);
         }
     }
@@ -1413,6 +1618,179 @@ mod tests {
         let r = e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false);
         assert!(matches!(r, Err(BlazeError::Io(_))), "got {r:?}");
         assert_eq!(e.arena.idle_len(), 2, "drained job must recycle its arena");
+    }
+
+    /// Full-frontier edge-count scan: delivers every edge exactly once
+    /// when correct, so the returned sum doubles as a delivery check.
+    fn edge_sum(e: &BlazeEngine) -> u64 {
+        let n = e.num_vertices();
+        let frontier = VertexSubset::full(n);
+        let sum = VertexArray::<u64>::new(n, 0);
+        e.edge_map(
+            &frontier,
+            |_s, _d| 1u32,
+            |dst, v| {
+                sum.set(dst as usize, sum.get(dst as usize) + v as u64);
+                true
+            },
+            |_| true,
+            false,
+        )
+        .unwrap();
+        (0..n).map(|i| sum.get(i)).sum()
+    }
+
+    #[test]
+    fn retained_flights_serve_back_to_back_scans() {
+        // With scan sharing on and no page cache, the retention ring alone
+        // must serve a repeat scan: every page of the second pass joins a
+        // retained flight and zero device bytes move.
+        let g = rmat(&RmatConfig::new(9));
+        let e = engine(&g, 2, EngineOptions::default().with_scan_sharing(true));
+        assert_eq!(edge_sum(&e), g.num_edges(), "first pass delivery");
+        assert_eq!(edge_sum(&e), g.num_edges(), "shared-frame pass delivery");
+        let traces = e.take_traces();
+        let pages = traces[0].total_io_bytes() / PAGE_SIZE as u64;
+        assert!(traces[0].flights_led > 0, "cold pass leads its reads");
+        assert_eq!(
+            traces[0].shared_hit_pages, 0,
+            "cold pass has nothing to join"
+        );
+        assert_eq!(traces[1].total_io_bytes(), 0, "repeat scan fully shared");
+        assert_eq!(traces[1].shared_hit_pages, pages);
+        assert_eq!(traces[1].flights_led, 0);
+        let stats = e.stats();
+        assert_eq!(stats.shared_hit_pages, pages);
+        assert_eq!(stats.shared_bytes, pages * PAGE_SIZE as u64);
+        assert!(stats.flights_led > 0);
+    }
+
+    #[test]
+    fn zero_retention_scan_sharing_still_reads_everything() {
+        // retain = 0: only concurrently-pending flights coalesce, so two
+        // back-to-back scans both pay full device IO — and both deliver.
+        let g = rmat(&RmatConfig::new(8));
+        let e = engine(
+            &g,
+            1,
+            EngineOptions::default()
+                .with_scan_sharing(true)
+                .with_scan_share_retain(0),
+        );
+        assert_eq!(edge_sum(&e), g.num_edges());
+        assert_eq!(edge_sum(&e), g.num_edges());
+        let traces = e.take_traces();
+        assert_eq!(traces[0].total_io_bytes(), traces[1].total_io_bytes());
+        assert_eq!(traces[1].shared_hit_pages, 0);
+    }
+
+    #[test]
+    fn concurrent_shared_scans_conserve_pages_and_deliver_every_edge() {
+        // K identical concurrent full scans under sharing: each job's
+        // device pages + shared pages must equal the solo page count (every
+        // planned page lands in exactly one flight part), every job's edge
+        // delivery must be exact, and — with flights either pending or
+        // retained whenever a later planner arrives — somebody shares.
+        let g = rmat(&RmatConfig::new(9));
+        let solo = engine(&g, 2, EngineOptions::default());
+        assert_eq!(edge_sum(&solo), g.num_edges());
+        let solo_pages = solo.take_traces()[0].total_io_bytes() / PAGE_SIZE as u64;
+        let e = engine(
+            &g,
+            2,
+            EngineOptions::default()
+                .with_scan_sharing(true)
+                .with_scan_share_lanes(4),
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| edge_sum(&e))).collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), g.num_edges());
+            }
+        });
+        let traces = e.take_traces();
+        assert_eq!(traces.len(), 4);
+        for t in &traces {
+            let device_pages = t.total_io_bytes() / PAGE_SIZE as u64;
+            assert_eq!(
+                device_pages + t.shared_hit_pages,
+                solo_pages,
+                "every page read once or shared"
+            );
+        }
+        let stats = e.stats();
+        assert!(stats.shared_hit_pages > 0, "concurrent scans must share");
+        assert!(stats.flights_led > 0);
+    }
+
+    #[test]
+    fn failed_leader_wave_does_not_wedge_the_next_wave() {
+        use blaze_storage::{FaultyDevice, MemDevice, StripedStorage};
+        // Wave 1: every device read fails, so leaders fail their flights
+        // and subscribers see the propagated error — all jobs fail. Heal
+        // the device; wave 2 on the same engine must succeed: no wedged
+        // waiters, no leaked flights, arena fully recycled.
+        let g = rmat(&RmatConfig::new(8));
+        let dev = Arc::new(FaultyDevice::fail_every(MemDevice::new(), 1));
+        let storage = Arc::new(StripedStorage::new(vec![dev.clone()]).unwrap());
+        let graph = Arc::new(DiskGraph::create(&g, storage).unwrap());
+        let e = BlazeEngine::new(
+            graph,
+            EngineOptions::default()
+                .with_scan_sharing(true)
+                .with_scan_share_lanes(4),
+        )
+        .unwrap();
+        let frontier = VertexSubset::full(g.num_vertices());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| e.edge_map(&frontier, |s, _d| s, |_d, _v| false, |_| true, false))
+                })
+                .collect();
+            for h in handles {
+                let r = h.join().unwrap();
+                assert!(matches!(r, Err(BlazeError::Io(_))), "got {r:?}");
+            }
+        });
+        assert!(dev.injected_failures() > 0);
+        // Concurrent jobs may have forced extra arenas into existence, but
+        // every piece checked out must be back (pool + space pairs).
+        let idle = e.arena.idle_len();
+        assert!(
+            idle >= 2 && idle.is_multiple_of(2),
+            "failed wave recycled its arenas, idle {idle}"
+        );
+        dev.set_fail_every(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| edge_sum(&e))).collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), g.num_edges(), "healed wave delivers");
+            }
+        });
+    }
+
+    #[test]
+    fn shared_scans_match_unshared_byte_identical_traces() {
+        // Sharing off vs a solo job with sharing on: identical request
+        // streams (one lane, no joins possible solo after reset) — the
+        // flight table must be IO-invisible to a lone job with retention 0.
+        let g = rmat(&RmatConfig::new(9));
+        let plain = engine(&g, 2, EngineOptions::default());
+        let shared = engine(
+            &g,
+            2,
+            EngineOptions::default()
+                .with_scan_sharing(true)
+                .with_scan_share_retain(0),
+        );
+        assert_eq!(edge_sum(&plain), g.num_edges());
+        assert_eq!(edge_sum(&shared), g.num_edges());
+        let a = plain.take_traces();
+        let b = shared.take_traces();
+        assert_eq!(a[0].io_bytes_per_device, b[0].io_bytes_per_device);
+        assert_eq!(a[0].io_requests_per_device, b[0].io_requests_per_device);
+        assert_eq!(b[0].shared_hit_pages, 0);
     }
 
     /// A star graph: every vertex points at vertex 0, so every staged

@@ -69,6 +69,24 @@ pub struct EngineOptions {
     /// measurement (the `compute_path` bench) and as a hard fallback; the
     /// two paths are semantically identical.
     pub bytewise_decode: bool,
+    /// Cross-job scan sharing (single-flight miss coalescing): the first
+    /// job to miss a page run leads the device read, overlapping
+    /// concurrent misses subscribe to its completed frames, and a bounded
+    /// per-device window of recently completed runs serves slightly
+    /// trailing scans. Off by default — the published engine re-reads per
+    /// job, and with sharing off the IO path is byte-for-byte identical
+    /// to it. FlashGraph's page-request merging shows this is the
+    /// decisive lever for concurrent SSD graph workloads.
+    pub scan_sharing: bool,
+    /// IO lanes (workers) per device when `scan_sharing` is on. One lane
+    /// serializes concurrent jobs' IO phases per device (nothing to
+    /// share); size it at least to the expected number of concurrent
+    /// jobs. Ignored (forced to 1) when sharing is off.
+    pub scan_share_lanes: usize,
+    /// Completed flights retained per device for trailing subscribers
+    /// (each at most `merge_window` pages). 0 coalesces only
+    /// instantaneously overlapping misses.
+    pub scan_share_retain: usize,
     /// Maximum vertices `edge_map_async` drains from the priority frontier
     /// per round. Smaller batches follow the priority order more closely
     /// (fewer wasted relaxations) at the cost of more, smaller IO rounds.
@@ -94,6 +112,9 @@ impl Default for EngineOptions {
             queue_depth: 1,
             vertex_map_grain: DEFAULT_VERTEX_MAP_GRAIN,
             bytewise_decode: false,
+            scan_sharing: false,
+            scan_share_lanes: 4,
+            scan_share_retain: 128,
             async_batch_max: 4096,
             async_buckets: 256,
         }
@@ -174,6 +195,28 @@ impl EngineOptions {
         self
     }
 
+    /// Enables (or disables) cross-job scan sharing: concurrent jobs'
+    /// overlapping page reads coalesce into single device reads through
+    /// the engine's flight table.
+    pub fn with_scan_sharing(mut self, sharing: bool) -> Self {
+        self.scan_sharing = sharing;
+        self
+    }
+
+    /// Overrides the IO lanes per device used when scan sharing is on
+    /// (clamped to ≥ 1).
+    pub fn with_scan_share_lanes(mut self, lanes: usize) -> Self {
+        self.scan_share_lanes = lanes.max(1);
+        self
+    }
+
+    /// Overrides the per-device retention window of completed flights
+    /// (0 disables retention).
+    pub fn with_scan_share_retain(mut self, retain: usize) -> Self {
+        self.scan_share_retain = retain;
+        self
+    }
+
     /// Overrides the per-round batch cap of `edge_map_async` (clamped to
     /// ≥ 1).
     pub fn with_async_batch_max(mut self, max: usize) -> Self {
@@ -220,6 +263,9 @@ impl EngineOptions {
                 "cache_hot_fraction {} outside 0.0..=1.0",
                 self.cache_hot_fraction
             )));
+        }
+        if self.scan_share_lanes == 0 {
+            return Err(BlazeError::Config("scan_share_lanes must be >= 1".into()));
         }
         if self.io_backend == IoBackendKind::Sync && self.queue_depth > 1 {
             return Err(BlazeError::Config(format!(
@@ -364,6 +410,27 @@ mod tests {
         ] {
             assert!(bad.validate().is_err(), "hand-built zero knob accepted");
         }
+    }
+
+    #[test]
+    fn scan_sharing_defaults_clamp_and_validate() {
+        let o = EngineOptions::default();
+        assert!(!o.scan_sharing, "sharing is opt-in");
+        assert_eq!(o.scan_share_lanes, 4);
+        assert_eq!(o.scan_share_retain, 128);
+        let o = EngineOptions::default()
+            .with_scan_sharing(true)
+            .with_scan_share_lanes(0)
+            .with_scan_share_retain(0);
+        assert!(o.scan_sharing);
+        assert_eq!(o.scan_share_lanes, 1, "builder clamps rather than erroring");
+        assert_eq!(o.scan_share_retain, 0, "zero retention is a valid mode");
+        assert!(o.validate().is_ok());
+        let o = EngineOptions {
+            scan_share_lanes: 0,
+            ..Default::default()
+        };
+        assert!(o.validate().is_err(), "hand-built zero lanes accepted");
     }
 
     #[test]

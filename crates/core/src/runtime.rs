@@ -9,10 +9,29 @@
 //! allocation, and only one job could ever be in flight. This module keeps
 //! the workers alive for the lifetime of the engine instead:
 //!
-//! * one persistent **IO worker per device**,
+//! * one persistent **IO worker per device** — or, when the engine enables
+//!   scan sharing, several IO *lanes* per device (see below),
 //! * a persistent **scatter pool** and **gather pool**,
 //! * `edge_map` becomes a *job submission* ([`Runtime::submit`]) that
 //!   blocks on a completion handle.
+//!
+//! # IO lanes
+//!
+//! With exactly one IO worker per device, two concurrent jobs' IO roles on
+//! the same device run back to back (the worker pops its mailbox FIFO), so
+//! their device reads can never overlap in time — which would make the
+//! scan-sharing flight table useless across jobs. `io_lanes > 1` spawns
+//! that many IO workers per device and assigns each submitted job to one
+//! lane (round-robin), so different jobs pump the same device
+//! concurrently while any single job still sees the one-pumper-per-device
+//! contract the IO backends rely on: a (job, device) pair is always
+//! served by exactly one worker, and backend submit/reap calls remain
+//! per-device single-threaded *per job*. Backends that keep per-device
+//! state across calls ([`ThreadedBackend`]'s completion queues are keyed
+//! by device and MPMC) tolerate interleaved pumpers by construction;
+//! the flight table then dedupes the overlapping reads the lanes expose.
+//!
+//! [`ThreadedBackend`]: blaze_storage::ThreadedBackend
 //!
 //! # Job lifecycle
 //!
@@ -55,8 +74,18 @@ use blaze_sync::{Arc, Condvar, Mutex};
 /// The `Sync` supertrait is what lets one job instance be shared by every
 /// worker in the pipeline.
 pub trait PipelineJob: Sync {
+    /// Called once per submission, under the submission lock, with the
+    /// job's global submission sequence number — the exact order every
+    /// worker mailbox observes jobs in. Scan sharing uses it as the
+    /// seniority rule that keeps cross-job waits acyclic (a job may park
+    /// only on flights led by strictly older jobs). Default: ignored.
+    fn set_order(&self, _seq: u64) {}
     /// One IO worker's share: fetch `device`'s pages into filled buffers.
-    fn run_io(&self, device: usize);
+    /// `lane` identifies which of the per-device IO lanes is running this
+    /// job (always 0 without scan sharing); the engine keeps one IO
+    /// backend per lane so concurrent pumpers never interleave on one
+    /// backend's per-device queues.
+    fn run_io(&self, device: usize, lane: usize);
     /// One scatter worker's share: drain filled buffers into bins.
     fn run_scatter(&self, worker: usize);
     /// One gather worker's share: drain full bins into vertex data.
@@ -66,7 +95,7 @@ pub trait PipelineJob: Sync {
 /// Fixed role a worker thread is born with.
 #[derive(Debug, Clone, Copy)]
 enum Role {
-    Io(usize),
+    Io { device: usize, lane: usize },
     Scatter(usize),
     Gather(usize),
 }
@@ -102,6 +131,9 @@ impl JobState {
 struct QueueState {
     mailboxes: Vec<VecDeque<Arc<JobState>>>,
     shutdown: bool,
+    /// Jobs submitted so far; doubles as the per-job sequence number and
+    /// the round-robin IO-lane selector.
+    submitted: u64,
 }
 
 struct Shared {
@@ -117,27 +149,39 @@ struct Shared {
 pub struct Runtime {
     shared: Arc<Shared>,
     workers: Vec<blaze_sync::thread::JoinHandle<()>>,
-    num_io: usize,
+    num_devices: usize,
+    io_lanes: usize,
     num_scatter: usize,
     num_gather: usize,
 }
 
 impl Runtime {
-    /// Spawns the persistent worker set: `num_io` IO workers (one per
-    /// device), `num_scatter` scatter workers, `num_gather` gather workers.
-    pub fn new(num_io: usize, num_scatter: usize, num_gather: usize) -> Self {
+    /// Spawns the persistent worker set: `io_lanes` IO workers per device
+    /// (`io_lanes * num_devices` total — 1 lane reproduces the paper's
+    /// one-IO-worker-per-device pipeline), `num_scatter` scatter workers,
+    /// `num_gather` gather workers. `io_lanes` below 1 is clamped to 1.
+    pub fn new(num_devices: usize, io_lanes: usize, num_scatter: usize, num_gather: usize) -> Self {
+        let io_lanes = io_lanes.max(1);
+        let num_io = num_devices * io_lanes;
         let total = num_io + num_scatter + num_gather;
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 mailboxes: (0..total).map(|_| VecDeque::new()).collect(),
                 shutdown: false,
+                submitted: 0,
             }),
             work: Condvar::new(),
         });
         let mut workers = Vec::with_capacity(total);
         for index in 0..total {
             let role = if index < num_io {
-                Role::Io(index)
+                // Lane L's IO workers occupy the contiguous mailbox block
+                // [L * num_devices, (L + 1) * num_devices); `submit` routes
+                // each job to exactly one lane's block.
+                Role::Io {
+                    device: index % num_devices.max(1),
+                    lane: index / num_devices.max(1),
+                }
             } else if index < num_io + num_scatter {
                 Role::Scatter(index - num_io)
             } else {
@@ -151,15 +195,21 @@ impl Runtime {
         Self {
             shared,
             workers,
-            num_io,
+            num_devices,
+            io_lanes,
             num_scatter,
             num_gather,
         }
     }
 
-    /// Number of worker threads (IO + scatter + gather).
+    /// Number of worker threads (IO lanes × devices + scatter + gather).
     pub fn worker_count(&self) -> usize {
-        self.num_io + self.num_scatter + self.num_gather
+        self.num_devices * self.io_lanes + self.num_scatter + self.num_gather
+    }
+
+    /// IO lanes per device.
+    pub fn io_lanes(&self) -> usize {
+        self.io_lanes
     }
 
     /// Submits `job` to the standing pipeline and blocks until every
@@ -171,8 +221,10 @@ impl Runtime {
     /// submitting thread; the workers themselves survive and keep serving
     /// other jobs.
     pub fn submit(&self, job: &dyn PipelineJob, with_gather: bool) {
+        // One lane serves each (job, device) pair, so a job's IO
+        // participation is per *device*, not per IO worker.
         let participants =
-            self.num_io + self.num_scatter + if with_gather { self.num_gather } else { 0 };
+            self.num_devices + self.num_scatter + if with_gather { self.num_gather } else { 0 };
         // SAFETY: lifetime erasure only. `job` borrows from the submitting
         // thread's stack, but workers only reach it through this `JobState`,
         // and `submit` does not return until `remaining` hits zero — i.e.
@@ -193,12 +245,27 @@ impl Runtime {
         {
             let mut st = self.shared.state.lock();
             debug_assert!(!st.shutdown, "submit on a shut-down runtime");
-            let non_gather = self.num_io + self.num_scatter;
-            for mailbox in &mut st.mailboxes[..non_gather] {
+            // Sequence the job under the same lock that orders the
+            // mailboxes, so the seniority number handed to the job agrees
+            // exactly with the order every worker pops jobs in — the
+            // invariant the scan-sharing wait rule rests on.
+            let seq = st.submitted;
+            st.submitted += 1;
+            job.set_order(seq);
+            // Round-robin this job onto one IO lane: its IO roles land on
+            // that lane's per-device workers, so concurrent jobs on
+            // different lanes pump the same devices in parallel.
+            let lane = (seq as usize) % self.io_lanes;
+            let num_io = self.num_devices * self.io_lanes;
+            for mailbox in &mut st.mailboxes[lane * self.num_devices..(lane + 1) * self.num_devices]
+            {
+                mailbox.push_back(state.clone());
+            }
+            for mailbox in &mut st.mailboxes[num_io..num_io + self.num_scatter] {
                 mailbox.push_back(state.clone());
             }
             if with_gather {
-                for mailbox in &mut st.mailboxes[non_gather..] {
+                for mailbox in &mut st.mailboxes[num_io + self.num_scatter..] {
                     mailbox.push_back(state.clone());
                 }
             }
@@ -239,7 +306,8 @@ impl Drop for Runtime {
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("io", &self.num_io)
+            .field("devices", &self.num_devices)
+            .field("io_lanes", &self.io_lanes)
             .field("scatter", &self.num_scatter)
             .field("gather", &self.num_gather)
             .finish()
@@ -267,7 +335,7 @@ fn worker_loop(shared: &Shared, index: usize, role: Role) {
         // catch it (via the facade, which re-throws the model checker's
         // abort sentinel), record it for the submitter, and keep serving.
         let outcome = catch_unwind(|| match role {
-            Role::Io(device) => job.job.run_io(device),
+            Role::Io { device, lane } => job.job.run_io(device, lane),
             Role::Scatter(worker) => job.job.run_scatter(worker),
             Role::Gather(worker) => job.job.run_gather(worker),
         });
@@ -296,7 +364,7 @@ mod tests {
     }
 
     impl PipelineJob for CountingJob {
-        fn run_io(&self, _device: usize) {
+        fn run_io(&self, _device: usize, _lane: usize) {
             self.io.fetch_add(1, Ordering::Relaxed); // sync-audit: test counter; read after submit returns (completion handle orders it).
         }
         fn run_scatter(&self, _worker: usize) {
@@ -309,7 +377,7 @@ mod tests {
 
     #[test]
     fn every_role_participates_once_per_worker() {
-        let rt = Runtime::new(2, 3, 2);
+        let rt = Runtime::new(2, 1, 3, 2);
         let job = CountingJob::default();
         rt.submit(&job, true);
         assert_eq!(job.io.load(Ordering::Relaxed), 2); // sync-audit: post-submit read.
@@ -319,7 +387,7 @@ mod tests {
 
     #[test]
     fn sync_variant_skips_gather_workers() {
-        let rt = Runtime::new(1, 2, 2);
+        let rt = Runtime::new(1, 1, 2, 2);
         let job = CountingJob::default();
         rt.submit(&job, false);
         assert_eq!(job.gather.load(Ordering::Relaxed), 0); // sync-audit: post-submit read.
@@ -328,7 +396,7 @@ mod tests {
 
     #[test]
     fn sequential_jobs_reuse_the_same_workers() {
-        let rt = Runtime::new(1, 1, 1);
+        let rt = Runtime::new(1, 1, 1, 1);
         for _ in 0..50 {
             let job = CountingJob::default();
             rt.submit(&job, true);
@@ -338,8 +406,46 @@ mod tests {
     }
 
     #[test]
+    fn io_lanes_serve_each_job_once_per_device() {
+        // 2 devices × 3 lanes: every job's IO role still runs exactly once
+        // per device, whichever lane it round-robins onto.
+        let rt = Runtime::new(2, 3, 2, 1);
+        assert_eq!(rt.worker_count(), 2 * 3 + 2 + 1);
+        assert_eq!(rt.io_lanes(), 3);
+        for _ in 0..7 {
+            let job = CountingJob::default();
+            rt.submit(&job, true);
+            assert_eq!(job.io.load(Ordering::Relaxed), 2); // sync-audit: post-submit read.
+            assert_eq!(job.scatter.load(Ordering::Relaxed), 2); // sync-audit: post-submit read.
+        }
+    }
+
+    #[test]
+    fn set_order_observes_the_submission_sequence() {
+        struct OrderJob {
+            seq: AtomicU64,
+        }
+        impl PipelineJob for OrderJob {
+            fn set_order(&self, seq: u64) {
+                self.seq.store(seq, Ordering::Relaxed); // sync-audit: test capture; read after submit returns.
+            }
+            fn run_io(&self, _device: usize, _lane: usize) {}
+            fn run_scatter(&self, _worker: usize) {}
+            fn run_gather(&self, _worker: usize) {}
+        }
+        let rt = Runtime::new(1, 4, 1, 1);
+        for expect in 0..5u64 {
+            let job = OrderJob {
+                seq: AtomicU64::new(u64::MAX),
+            };
+            rt.submit(&job, true);
+            assert_eq!(job.seq.load(Ordering::Relaxed), expect); // sync-audit: post-submit read.
+        }
+    }
+
+    #[test]
     fn concurrent_submitters_interleave_safely() {
-        let rt = Runtime::new(1, 2, 2);
+        let rt = Runtime::new(1, 1, 2, 2);
         blaze_sync::thread::scope(|s| {
             for _ in 0..4 {
                 let rt = &rt;
@@ -358,13 +464,13 @@ mod tests {
     fn panicking_job_poisons_only_itself() {
         struct PanickingJob;
         impl PipelineJob for PanickingJob {
-            fn run_io(&self, _device: usize) {}
+            fn run_io(&self, _device: usize, _lane: usize) {}
             fn run_scatter(&self, _worker: usize) {
                 panic!("scatter closure exploded");
             }
             fn run_gather(&self, _worker: usize) {}
         }
-        let rt = Runtime::new(1, 1, 1);
+        let rt = Runtime::new(1, 1, 1, 1);
         let caught = catch_unwind(|| rt.submit(&PanickingJob, true));
         assert!(caught.is_err(), "panic must surface to the submitter");
         // The runtime stays operational for the next job.
@@ -375,7 +481,7 @@ mod tests {
 
     #[test]
     fn drop_joins_all_workers() {
-        let rt = Runtime::new(2, 2, 2);
+        let rt = Runtime::new(2, 2, 2, 2);
         let job = CountingJob::default();
         rt.submit(&job, true);
         drop(rt); // must not hang or leak

@@ -32,6 +32,13 @@ pub struct ExecStats {
     pub cache_hot_hit_pages: u64,
     /// Fills admitted with a hot-region second-chance credit.
     pub cache_hot_admits: u64,
+    /// Pages received from other jobs' device reads via the scan-sharing
+    /// flight table (no device IO charged to this query).
+    pub shared_hit_pages: u64,
+    /// Bytes corresponding to `shared_hit_pages`.
+    pub shared_bytes: u64,
+    /// Scan-sharing flights this query's jobs led.
+    pub flights_led: u64,
     /// Maximum per-device in-flight IO depth observed across all
     /// iterations (1 under the synchronous backend; 0 when no IO was
     /// issued).
@@ -70,6 +77,9 @@ impl ExecStats {
         self.cache_evictions += it.cache_evictions;
         self.cache_hot_hit_pages += it.cache_hot_hit_pages;
         self.cache_hot_admits += it.cache_hot_admits;
+        self.shared_hit_pages += it.shared_hit_pages;
+        self.shared_bytes += it.shared_bytes;
+        self.flights_led += it.flights_led;
         self.io_max_in_flight = self.io_max_in_flight.max(it.io_max_in_flight);
         self.scatter_ns += it.scatter_ns;
         self.gather_ns += it.gather_ns;
@@ -123,6 +133,10 @@ pub fn fill_io_trace_from_job(trace: &mut IterationTrace, job: &JobIoStats) {
     let (hot_hits, hot_admits) = job.cache_hot_totals();
     trace.cache_hot_hit_pages = hot_hits;
     trace.cache_hot_admits = hot_admits;
+    let (shared_hits, flights_led) = job.shared_totals();
+    trace.shared_hit_pages = shared_hits;
+    trace.shared_bytes = shared_hits * blaze_types::PAGE_SIZE as u64;
+    trace.flights_led = flights_led;
     let (depth_max, depth_mean) = job.depth_stats();
     trace.io_max_in_flight = depth_max;
     trace.io_mean_in_flight = depth_mean;
@@ -196,6 +210,25 @@ mod tests {
         assert_eq!(t.cache_hot_hit_pages, 3);
         assert_eq!(t.cache_hot_admits, 2);
         assert_eq!(t.total_io_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn job_trace_carries_shared_scan_totals() {
+        let j = JobIoStats::new(2);
+        j.record_shared_hits(0, 3);
+        j.record_shared_hits(1, 4);
+        j.record_flights_led(0, 2);
+        let mut t = IterationTrace::new(2);
+        fill_io_trace_from_job(&mut t, &j);
+        assert_eq!(t.shared_hit_pages, 7);
+        assert_eq!(t.shared_bytes, 7 * blaze_types::PAGE_SIZE as u64);
+        assert_eq!(t.flights_led, 2);
+        let mut s = ExecStats::default();
+        s.absorb(&t, 0);
+        s.absorb(&t, 0);
+        assert_eq!(s.shared_hit_pages, 14);
+        assert_eq!(s.shared_bytes, 14 * blaze_types::PAGE_SIZE as u64);
+        assert_eq!(s.flights_led, 4);
     }
 
     #[test]

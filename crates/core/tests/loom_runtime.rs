@@ -39,7 +39,7 @@ impl CountingJob {
 }
 
 impl PipelineJob for CountingJob {
-    fn run_io(&self, _device: usize) {
+    fn run_io(&self, _device: usize, _lane: usize) {
         self.io.fetch_add(1, Ordering::Relaxed); // sync-audit: role counter; read post-completion.
     }
     fn run_scatter(&self, _worker: usize) {
@@ -57,7 +57,7 @@ impl PipelineJob for CountingJob {
 #[test]
 fn submit_runs_every_role_then_drop_quiesces() {
     let report = check_with(cfg(2), || {
-        let rt = Runtime::new(1, 1, 1);
+        let rt = Runtime::new(1, 1, 1, 1);
         let job = CountingJob::default();
         rt.submit(&job, true);
         assert_eq!(job.counts(), (1, 1, 1), "every role exactly once");
@@ -72,7 +72,7 @@ fn submit_runs_every_role_then_drop_quiesces() {
 #[test]
 fn sequential_submissions_reuse_workers() {
     let report = check_with(cfg(1), || {
-        let rt = Runtime::new(1, 1, 1);
+        let rt = Runtime::new(1, 1, 1, 1);
         for _ in 0..2 {
             let job = CountingJob::default();
             rt.submit(&job, true);
@@ -88,7 +88,7 @@ fn sequential_submissions_reuse_workers() {
 #[test]
 fn sync_variant_submission_skips_gather() {
     let report = check_with(cfg(1), || {
-        let rt = Runtime::new(1, 1, 1);
+        let rt = Runtime::new(1, 1, 1, 1);
         let job = CountingJob::default();
         rt.submit(&job, false);
         assert_eq!(job.counts(), (1, 1, 0), "gather must not participate");
@@ -107,7 +107,7 @@ fn sync_variant_submission_skips_gather() {
 #[test]
 fn concurrent_submitters_both_complete() {
     let report = check_with(cfg(1), || {
-        let rt = Runtime::new(1, 1, 0);
+        let rt = Runtime::new(1, 1, 1, 0);
         thread::scope(|s| {
             for _ in 0..2 {
                 let rt = &rt;
@@ -130,7 +130,7 @@ fn concurrent_submitters_both_complete() {
 fn panicking_job_leaves_runtime_operational() {
     struct PanickingJob;
     impl PipelineJob for PanickingJob {
-        fn run_io(&self, _device: usize) {}
+        fn run_io(&self, _device: usize, _lane: usize) {}
         fn run_scatter(&self, _worker: usize) {
             panic!("scatter role panicked");
         }
@@ -138,7 +138,7 @@ fn panicking_job_leaves_runtime_operational() {
     }
 
     let report = check_with(cfg(1), || {
-        let rt = Runtime::new(1, 1, 1);
+        let rt = Runtime::new(1, 1, 1, 1);
         let caught = blaze_sync::panic::catch_unwind(|| rt.submit(&PanickingJob, true));
         assert!(caught.is_err(), "panic must re-raise on the submitter");
         // The poisoned job must not take a worker down with it.

@@ -16,8 +16,9 @@ use crate::stats::IoStats;
 pub struct FaultyDevice<D> {
     inner: D,
     /// Fail every read whose (1-based) sequence number is a multiple of
-    /// this value; 0 disables injection.
-    fail_every: u64,
+    /// this value; 0 disables injection. Atomic so tests can heal (or
+    /// break) a live device between waves of jobs.
+    fail_every: AtomicU64,
     /// Fail all reads once this many reads have succeeded (u64::MAX
     /// disables).
     fail_after: u64,
@@ -30,7 +31,7 @@ impl<D: BlockDevice> FaultyDevice<D> {
     pub fn fail_every(inner: D, n: u64) -> Self {
         Self {
             inner,
-            fail_every: n,
+            fail_every: AtomicU64::new(n),
             fail_after: u64::MAX,
             reads: AtomicU64::new(0),
             injected: AtomicU64::new(0),
@@ -41,11 +42,17 @@ impl<D: BlockDevice> FaultyDevice<D> {
     pub fn fail_after(inner: D, n: u64) -> Self {
         Self {
             inner,
-            fail_every: 0,
+            fail_every: AtomicU64::new(0),
             fail_after: n,
             reads: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         }
+    }
+
+    /// Reconfigures the every-`n`-th policy on a live device (0 heals it).
+    /// Lets tests fail one wave of jobs and let the next succeed.
+    pub fn set_fail_every(&self, n: u64) {
+        self.fail_every.store(n, Ordering::Relaxed); // sync-audit: fault-injection bookkeeping; exactness per-op, order irrelevant.
     }
 
     /// Number of injected failures so far.
@@ -55,7 +62,8 @@ impl<D: BlockDevice> FaultyDevice<D> {
 
     fn should_fail(&self) -> bool {
         let seq = self.reads.fetch_add(1, Ordering::Relaxed) + 1; // sync-audit: fault-injection bookkeeping; exactness per-op, order irrelevant.
-        let by_every = self.fail_every > 0 && seq.is_multiple_of(self.fail_every);
+        let every = self.fail_every.load(Ordering::Relaxed); // sync-audit: fault-injection bookkeeping; exactness per-op, order irrelevant.
+        let by_every = every > 0 && seq.is_multiple_of(every);
         let by_after = seq > self.fail_after;
         by_every || by_after
     }
@@ -110,6 +118,16 @@ mod tests {
         assert!(dev.read_pages(1, &mut buf).is_ok());
         assert!(dev.read_pages(2, &mut buf).is_err());
         assert!(dev.read_pages(3, &mut buf).is_err());
+    }
+
+    #[test]
+    fn healing_a_live_device_stops_injection() {
+        let dev = FaultyDevice::fail_every(MemDevice::with_len(8 * PAGE_SIZE), 1);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(dev.read_pages(0, &mut buf).is_err());
+        dev.set_fail_every(0);
+        assert!(dev.read_pages(0, &mut buf).is_ok());
+        assert_eq!(dev.injected_failures(), 1);
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! Cross-job scan sharing: single-flight coalescing of overlapping reads.
+//!
+//! N concurrent jobs walking the same disk-resident CSR issue N nearly
+//! identical page-request streams, and the clock cache only helps when a
+//! budget is configured and the working set fits. The [`FlightTable`]
+//! attacks the problem at the IO pump instead, FlashGraph-style: the first
+//! job to miss a page run becomes the **leader** and issues the device
+//! read; every overlapping concurrent miss **subscribes** to the in-flight
+//! read and is satisfied by fan-out of the leader's completed `Arc` page
+//! frames. One device read, N consumers — aggregate device bytes stay
+//! near 1× no matter how many tenants scan.
+//!
+//! # Protocol
+//!
+//! * [`FlightTable::plan`] splits a merged [`IoRequest`] against the
+//!   device's registry, range-overlap aware: subranges already covered by
+//!   a pending (or recently completed, see below) flight come back as
+//!   [`FlightPart::Join`] tickets; uncovered subranges are registered as
+//!   new flights and come back as [`FlightPart::Lead`] leases.
+//! * The leader pumps its leased subranges through the IO backend exactly
+//!   as an unshared read, then resolves each lease:
+//!   [`FlightLease::complete`] publishes the per-page frames and wakes
+//!   every subscriber; [`FlightLease::fail`] publishes the error instead.
+//!   A lease dropped unresolved (leader panicked, or its job aborted on an
+//!   earlier error before submitting) fails its flight — subscribers are
+//!   never left parked on a read nobody is performing.
+//! * Subscribers park on [`FlightTicket::wait`], a condvar handshake on the
+//!   flight's outcome slot (model-checked in `tests/loom_flight.rs`).
+//!   A failed flight delivers the leader's error message to every
+//!   subscriber and is deregistered — never retained — so a second wave of
+//!   jobs leads fresh reads instead of re-joining the corpse.
+//!
+//! # Retention window
+//!
+//! Instantaneous coalescing alone is brittle: two jobs a few microseconds
+//! apart would share nothing once the first read completes. Each device
+//! keeps a bounded FIFO ring of the last `retain` *successfully* completed
+//! flights (GraphMP's shared-window idea), so a slightly-behind scan still
+//! joins and is served immediately from the retained frames. The backing
+//! store is read-only while jobs run, so retained frames never go stale.
+//! `retain` bounds the memory: at most `retain` runs of at most the merge
+//! window pages each, per device.
+//!
+//! # Locking
+//!
+//! Two lock classes, both leaves — neither is ever held while acquiring
+//! the other (resolution publishes the outcome first, then fixes the
+//! registry in a separate critical section):
+//!
+//! * `storage/flights` — one per-device registry mutex guarding the
+//!   pending list and retention ring.
+//! * `storage/outcome` — each flight's outcome slot plus its condvar; the
+//!   subscriber-parking handshake.
+
+use std::collections::VecDeque;
+
+use blaze_sync::{Arc, Condvar, Mutex};
+use blaze_types::{BlazeError, LocalPageId, Result, PAGE_SIZE};
+
+use crate::request::IoRequest;
+
+/// One 4 KiB page image fanned out from a leader to its subscribers (and,
+/// when a cache is configured, into the cache — the same allocation serves
+/// both).
+pub type PageFrame = Arc<[u8]>;
+
+/// Terminal (or not-yet-terminal) state of one flight.
+enum Outcome {
+    /// Leader still pumping; subscribers park on the condvar.
+    Pending,
+    /// Leader's read completed: one frame per page of the run.
+    Ready(Vec<PageFrame>),
+    /// Leader's read failed; the message is fanned out to every
+    /// subscriber. (`BlazeError` is not `Clone`, so the flight stores the
+    /// rendered message and each subscriber rebuilds an IO error.)
+    Failed(String),
+}
+
+/// One in-flight (or retained) device read of a contiguous local page run.
+struct Flight {
+    first: LocalPageId,
+    num_pages: u32,
+    /// Submission sequence number of the leading job. Subscribers compare
+    /// it against their own to decide between parking and a non-blocking
+    /// probe: waiting only on *older* leaders keeps the cross-job wait
+    /// graph acyclic (see `FlightTicket::leader_seq`).
+    leader_seq: u64,
+    /// Outcome slot of the leader/subscriber handshake.
+    outcome: Mutex<Outcome>,
+    /// Signalled (notify_all) exactly once, when the outcome turns
+    /// terminal.
+    done: Condvar,
+}
+
+impl Flight {
+    fn end(&self) -> LocalPageId {
+        self.first + self.num_pages as u64
+    }
+
+    fn covers(&self, page: LocalPageId) -> bool {
+        self.first <= page && page < self.end()
+    }
+
+    /// Publishes the terminal outcome and wakes every parked subscriber.
+    fn resolve(&self, outcome: Outcome) {
+        debug_assert!(!matches!(outcome, Outcome::Pending));
+        let mut slot = self.outcome.lock();
+        // First resolution wins; a lease can only resolve once, so a
+        // second terminal write would be a protocol bug.
+        debug_assert!(matches!(*slot, Outcome::Pending), "flight resolved twice");
+        *slot = outcome;
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// Per-device registry: reads currently in flight plus the retention ring
+/// of recently completed ones.
+struct DeviceFlights {
+    pending: Vec<Arc<Flight>>,
+    /// FIFO of successfully completed flights, newest at the back; bounded
+    /// by the table's `retain`.
+    recent: VecDeque<Arc<Flight>>,
+}
+
+/// The scan-sharing registry: per-device single-flight tables consulted by
+/// the engine's IO workers before any merged request reaches the backend.
+pub struct FlightTable {
+    /// One registry per device, indexed by `DeviceId`.
+    flights: Vec<Mutex<DeviceFlights>>,
+    /// Completed flights retained per device (0 = concurrent-only
+    /// coalescing, no retention).
+    retain: usize,
+}
+
+/// One piece of a planned request: either this job reads the subrange from
+/// the device (and owes the table a resolution), or another job already is
+/// (or just did) and this job waits for the fan-out.
+pub enum FlightPart<'a> {
+    /// This job is the leader for the lease's subrange.
+    Lead(FlightLease<'a>),
+    /// The subrange is covered by another job's flight; wait on the
+    /// ticket.
+    Join(FlightTicket),
+}
+
+impl FlightTable {
+    /// A table for `num_devices` devices retaining up to `retain`
+    /// completed flights per device.
+    pub fn new(num_devices: usize, retain: usize) -> Self {
+        Self {
+            flights: (0..num_devices)
+                .map(|_| {
+                    Mutex::new(DeviceFlights {
+                        pending: Vec::new(),
+                        recent: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            retain,
+        }
+    }
+
+    /// Number of devices the table was built for.
+    pub fn num_devices(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// Splits `request` against `device`'s registry into lead and join
+    /// parts, in ascending page order. Every page of the request lands in
+    /// exactly one part; lead subranges are registered as pending flights
+    /// before this returns, so concurrent planners of the same range join
+    /// rather than double-read. `seq` is the planning job's submission
+    /// sequence number, recorded on every flight it leads.
+    pub fn plan(&self, device: usize, request: IoRequest, seq: u64) -> Vec<FlightPart<'_>> {
+        let mut parts = Vec::new();
+        let mut registry = self.flights[device].lock();
+        let mut page = request.first_page;
+        let end = request.end_page();
+        while page < end {
+            if let Some(flight) = find_covering(&registry, page) {
+                // Extend the join as far as this same flight covers.
+                let sub_end = flight.end().min(end);
+                parts.push(FlightPart::Join(FlightTicket {
+                    flight,
+                    first: page,
+                    num_pages: (sub_end - page) as u32,
+                }));
+                page = sub_end;
+            } else {
+                // Extend the lead until the next covered page (or the end
+                // of the request) and register it so concurrent planners
+                // subscribe instead of re-reading.
+                let mut sub_end = page + 1;
+                while sub_end < end && find_covering(&registry, sub_end).is_none() {
+                    sub_end += 1;
+                }
+                let flight = Arc::new(Flight {
+                    first: page,
+                    num_pages: (sub_end - page) as u32,
+                    leader_seq: seq,
+                    outcome: Mutex::new(Outcome::Pending),
+                    done: Condvar::new(),
+                });
+                registry.pending.push(flight.clone());
+                parts.push(FlightPart::Lead(FlightLease {
+                    table: self,
+                    device,
+                    flight,
+                    resolved: false,
+                }));
+                page = sub_end;
+            }
+        }
+        parts
+    }
+
+    /// Removes `flight` from `device`'s pending list; when `retain_it`,
+    /// parks it in the retention ring instead of dropping it.
+    fn deregister(&self, device: usize, flight: &Arc<Flight>, retain_it: bool) {
+        let mut registry = self.flights[device].lock();
+        registry.pending.retain(|f| !Arc::ptr_eq(f, flight));
+        if retain_it && self.retain > 0 {
+            registry.recent.push_back(flight.clone());
+            while registry.recent.len() > self.retain {
+                registry.recent.pop_front();
+            }
+        }
+    }
+
+    /// Pending (leader still reading) flights registered for `device`.
+    /// Zero once every lease has been resolved — the "no leaked waiters"
+    /// invariant the failure tests assert.
+    pub fn pending_len(&self, device: usize) -> usize {
+        self.flights[device].lock().pending.len()
+    }
+
+    /// Completed flights currently retained for `device`.
+    pub fn recent_len(&self, device: usize) -> usize {
+        self.flights[device].lock().recent.len()
+    }
+}
+
+impl std::fmt::Debug for FlightTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightTable")
+            .field("devices", &self.flights.len())
+            .field("retain", &self.retain)
+            .finish()
+    }
+}
+
+/// Scans the registry for a flight covering `page`: the retention ring
+/// first (newest first — those are already complete, so joining them never
+/// waits), then the pending list.
+fn find_covering(registry: &DeviceFlights, page: LocalPageId) -> Option<Arc<Flight>> {
+    registry
+        .recent
+        .iter()
+        .rev()
+        .chain(registry.pending.iter())
+        .find(|f| f.covers(page))
+        .cloned()
+}
+
+/// The leader's obligation for one registered flight: read the subrange
+/// from the device and [`complete`](Self::complete) with the page frames,
+/// or [`fail`](Self::fail) with the error. Dropping the lease unresolved
+/// fails the flight, so subscribers can never be stranded.
+pub struct FlightLease<'a> {
+    table: &'a FlightTable,
+    device: usize,
+    flight: Arc<Flight>,
+    resolved: bool,
+}
+
+impl FlightLease<'_> {
+    /// The device read this lease obliges the leader to perform.
+    pub fn request(&self) -> IoRequest {
+        IoRequest {
+            first_page: self.flight.first,
+            num_pages: self.flight.num_pages,
+        }
+    }
+
+    /// Publishes the completed read — one [`PAGE_SIZE`] frame per page of
+    /// the run — wakes every subscriber, and parks the flight in the
+    /// retention ring.
+    pub fn complete(mut self, frames: Vec<PageFrame>) {
+        assert_eq!(
+            frames.len(),
+            self.flight.num_pages as usize,
+            "flight completed with the wrong page count"
+        );
+        debug_assert!(frames.iter().all(|f| f.len() == PAGE_SIZE));
+        self.resolved = true;
+        self.flight.resolve(Outcome::Ready(frames));
+        self.table.deregister(self.device, &self.flight, true);
+    }
+
+    /// Publishes the leader's read failure: every subscriber observes the
+    /// message, and the flight is deregistered without retention so
+    /// retries lead a fresh read instead of re-joining the failure.
+    pub fn fail(mut self, message: &str) {
+        self.resolved = true;
+        self.flight.resolve(Outcome::Failed(message.to_string()));
+        self.table.deregister(self.device, &self.flight, false);
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            // Leader bailed before resolving (panic, or its job aborted on
+            // an earlier error): fail the flight so subscribers wake with
+            // an error instead of parking forever.
+            self.flight
+                .resolve(Outcome::Failed("leader abandoned the read".to_string()));
+            self.table.deregister(self.device, &self.flight, false);
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightLease<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightLease")
+            .field("device", &self.device)
+            .field("request", &self.request())
+            .finish()
+    }
+}
+
+/// A subscriber's claim on a subrange of another job's flight.
+pub struct FlightTicket {
+    flight: Arc<Flight>,
+    /// First local page of the claimed subrange.
+    first: LocalPageId,
+    num_pages: u32,
+}
+
+impl FlightTicket {
+    /// First local page this ticket resolves to.
+    pub fn first_page(&self) -> LocalPageId {
+        self.first
+    }
+
+    /// Pages this ticket resolves to.
+    pub fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    /// Submission sequence number of the job leading this flight. A
+    /// subscriber may park ([`wait`](Self::wait)) only when the leader is
+    /// strictly *older* than itself (smaller seq); for younger leaders it
+    /// must [`try_wait`](Self::try_wait) and fall back to its own device
+    /// read. Older jobs' pipeline roles run ahead of younger ones in
+    /// every runtime worker's mailbox, so an older leader never depends
+    /// on a younger subscriber — the wait graph stays acyclic and a
+    /// parked subscriber is always woken.
+    pub fn leader_seq(&self) -> u64 {
+        self.flight.leader_seq
+    }
+
+    /// Parks until the flight's leader resolves it, then returns the
+    /// claimed subrange's frames — or the leader's error, rebuilt as an IO
+    /// error, if the read failed.
+    pub fn wait(&self) -> Result<Vec<PageFrame>> {
+        let mut slot = self.flight.outcome.lock();
+        loop {
+            match &*slot {
+                Outcome::Pending => self.flight.done.wait(&mut slot),
+                Outcome::Ready(frames) => return Ok(self.claim(frames)),
+                Outcome::Failed(message) => return Err(leader_error(message)),
+            }
+        }
+    }
+
+    /// Non-blocking probe: the claimed frames (or the leader's error) if
+    /// the flight already resolved, `None` while it is still pending.
+    pub fn try_wait(&self) -> Option<Result<Vec<PageFrame>>> {
+        match &*self.flight.outcome.lock() {
+            Outcome::Pending => None,
+            Outcome::Ready(frames) => Some(Ok(self.claim(frames))),
+            Outcome::Failed(message) => Some(Err(leader_error(message))),
+        }
+    }
+
+    /// The subrange of the flight's frames this ticket claims.
+    fn claim(&self, frames: &[PageFrame]) -> Vec<PageFrame> {
+        let skip = (self.first - self.flight.first) as usize;
+        frames[skip..skip + self.num_pages as usize].to_vec()
+    }
+}
+
+/// The error a subscriber observes when its leader's device read failed.
+fn leader_error(message: &str) -> BlazeError {
+    BlazeError::Io(std::io::Error::other(format!(
+        "scan-share leader failed: {message}"
+    )))
+}
+
+impl std::fmt::Debug for FlightTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightTicket")
+            .field("first", &self.first)
+            .field("num_pages", &self.num_pages)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn req(first: u64, num: u32) -> IoRequest {
+        IoRequest {
+            first_page: first,
+            num_pages: num,
+        }
+    }
+
+    fn frames(n: usize, fill: u8) -> Vec<PageFrame> {
+        (0..n).map(|_| Arc::from(vec![fill; PAGE_SIZE])).collect()
+    }
+
+    /// Pulls the single lease out of a plan expected to be lead-only.
+    fn sole_lease(mut parts: Vec<FlightPart<'_>>) -> FlightLease<'_> {
+        assert_eq!(parts.len(), 1);
+        match parts.pop().unwrap() {
+            FlightPart::Lead(lease) => lease,
+            FlightPart::Join(_) => panic!("expected a lead part"),
+        }
+    }
+
+    fn sole_ticket(mut parts: Vec<FlightPart<'_>>) -> FlightTicket {
+        assert_eq!(parts.len(), 1);
+        match parts.pop().unwrap() {
+            FlightPart::Join(ticket) => ticket,
+            FlightPart::Lead(_) => panic!("expected a join part"),
+        }
+    }
+
+    #[test]
+    fn uncovered_request_leads_the_whole_run() {
+        let table = FlightTable::new(2, 4);
+        let lease = sole_lease(table.plan(0, req(8, 4), 0));
+        assert_eq!(lease.request(), req(8, 4));
+        assert_eq!(table.pending_len(0), 1);
+        assert_eq!(table.pending_len(1), 0, "devices are independent");
+        lease.complete(frames(4, 0xAB));
+        assert_eq!(table.pending_len(0), 0);
+        assert_eq!(table.recent_len(0), 1);
+    }
+
+    #[test]
+    fn concurrent_miss_joins_the_pending_flight() {
+        let table = FlightTable::new(1, 4);
+        let lease = sole_lease(table.plan(0, req(0, 4), 0));
+        let ticket = sole_ticket(table.plan(0, req(0, 4), 0));
+        assert_eq!(table.pending_len(0), 1, "join registers nothing new");
+        let published = frames(4, 0x5A);
+        lease.complete(published.clone());
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.len(), 4);
+        for (a, b) in got.iter().zip(&published) {
+            assert!(Arc::ptr_eq(a, b), "fan-out shares frames, no copy");
+        }
+    }
+
+    #[test]
+    fn partial_overlap_splits_into_lead_join_lead() {
+        let table = FlightTable::new(1, 4);
+        let mid = sole_lease(table.plan(0, req(4, 4), 0)); // covers [4, 8)
+        let parts = table.plan(0, req(2, 10), 0); // wants [2, 12)
+        let shape: Vec<String> = parts
+            .iter()
+            .map(|p| match p {
+                FlightPart::Lead(l) => format!(
+                    "lead[{},{})",
+                    l.request().first_page,
+                    l.request().end_page()
+                ),
+                FlightPart::Join(t) => format!(
+                    "join[{},{})",
+                    t.first_page(),
+                    t.first_page() + t.num_pages() as u64
+                ),
+            })
+            .collect();
+        assert_eq!(shape, vec!["lead[2,4)", "join[4,8)", "lead[8,12)"]);
+        assert_eq!(table.pending_len(0), 3);
+        drop(parts);
+        mid.complete(frames(4, 1));
+        assert_eq!(table.pending_len(0), 0, "dropped leases self-clean");
+    }
+
+    #[test]
+    fn retained_flight_serves_a_late_arrival() {
+        let table = FlightTable::new(1, 4);
+        sole_lease(table.plan(0, req(16, 2), 0)).complete(frames(2, 0x77));
+        // The leader is long gone; a late scan still joins the retained
+        // frames and is served without waiting.
+        let ticket = sole_ticket(table.plan(0, req(16, 2), 0));
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|f| f[0] == 0x77));
+    }
+
+    #[test]
+    fn failed_leader_propagates_and_clears_the_flight() {
+        let table = FlightTable::new(1, 4);
+        let lease = sole_lease(table.plan(0, req(0, 3), 0));
+        let ticket = sole_ticket(table.plan(0, req(0, 3), 0));
+        lease.fail("device exploded");
+        let err = ticket.wait().unwrap_err();
+        assert!(
+            err.to_string().contains("device exploded"),
+            "subscriber sees the leader's error: {err}"
+        );
+        assert_eq!(table.pending_len(0), 0, "failure deregisters the flight");
+        assert_eq!(table.recent_len(0), 0, "failures are never retained");
+        // A retry is not wedged: the same range leads a fresh read.
+        let retry = sole_lease(table.plan(0, req(0, 3), 0));
+        retry.complete(frames(3, 9));
+        assert_eq!(table.recent_len(0), 1);
+    }
+
+    #[test]
+    fn dropped_lease_fails_its_subscribers() {
+        let table = FlightTable::new(1, 4);
+        let lease = sole_lease(table.plan(0, req(0, 2), 0));
+        let ticket = sole_ticket(table.plan(0, req(0, 2), 0));
+        drop(lease); // leader aborted before submitting
+        let err = ticket.wait().unwrap_err();
+        assert!(err.to_string().contains("leader abandoned"));
+        assert_eq!(table.pending_len(0), 0);
+    }
+
+    #[test]
+    fn retention_ring_is_bounded_fifo() {
+        let table = FlightTable::new(1, 2);
+        for first in [0u64, 10, 20] {
+            sole_lease(table.plan(0, req(first, 2), 0)).complete(frames(2, first as u8));
+        }
+        assert_eq!(table.recent_len(0), 2);
+        // The oldest run fell out of the ring: a new scan of it leads.
+        assert!(matches!(
+            table.plan(0, req(0, 2), 0)[0],
+            FlightPart::Lead(_)
+        ));
+        // The newer runs are still served.
+        assert!(matches!(
+            table.plan(0, req(20, 2), 0)[0],
+            FlightPart::Join(_)
+        ));
+    }
+
+    #[test]
+    fn zero_retention_coalesces_concurrent_misses_only() {
+        let table = FlightTable::new(1, 0);
+        sole_lease(table.plan(0, req(0, 4), 0)).complete(frames(4, 1));
+        assert_eq!(table.recent_len(0), 0);
+        assert!(matches!(
+            table.plan(0, req(0, 4), 0)[0],
+            FlightPart::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn try_wait_probes_without_parking_and_reports_the_leader_seq() {
+        let table = FlightTable::new(1, 4);
+        let lease = sole_lease(table.plan(0, req(0, 4), 7));
+        let ticket = sole_ticket(table.plan(0, req(1, 2), 3));
+        assert_eq!(ticket.leader_seq(), 7);
+        assert!(ticket.try_wait().is_none());
+        lease.complete(frames(4, 0x55));
+        let got = ticket.try_wait().expect("resolved").expect("success");
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|f| f[0] == 0x55));
+    }
+
+    #[test]
+    fn subscriber_parks_until_the_leader_completes() {
+        let table = Arc::new(FlightTable::new(1, 4));
+        let lease_table = table.clone();
+        blaze_sync::thread::scope(|s| {
+            let lease = sole_lease(lease_table.plan(0, req(0, 4), 0));
+            let waiter = s.spawn(|| {
+                let ticket = sole_ticket(table.plan(0, req(0, 4), 0));
+                ticket.wait().unwrap()
+            });
+            // Let the waiter reach the condvar park with high probability
+            // before publishing; loom_flight.rs checks the race exhaustively.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            lease.complete(frames(4, 0x42));
+            let got = waiter.join().unwrap();
+            assert!(got.iter().all(|f| f[0] == 0x42));
+        });
+    }
+}

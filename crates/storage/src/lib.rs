@@ -33,6 +33,7 @@ pub mod cache;
 pub mod device;
 pub mod faulty;
 pub mod file;
+pub mod flight;
 pub mod mem;
 pub mod profile;
 pub mod recorder;
@@ -49,6 +50,7 @@ pub use cache::{CacheStats, InsertOutcome, PageCache};
 pub use device::BlockDevice;
 pub use faulty::FaultyDevice;
 pub use file::FileDevice;
+pub use flight::{FlightLease, FlightPart, FlightTable, FlightTicket, PageFrame};
 pub use mem::MemDevice;
 pub use profile::{AccessPattern, DeviceProfile};
 pub use recorder::RecordingDevice;

@@ -150,6 +150,12 @@ struct JobDeviceStats {
     cache_hot_hit_pages: AtomicU64,
     /// Fills the cache admitted with a hot-region second-chance credit.
     cache_hot_admit_pages: AtomicU64,
+    /// Pages this job received from another job's flight (scan sharing)
+    /// instead of its own device read.
+    shared_hit_pages: AtomicU64,
+    /// Flights this job led: device reads it performed whose frames were
+    /// published for concurrent and trailing subscribers.
+    flights_led: AtomicU64,
     /// Requests submitted to the IO backend by this job.
     submits: AtomicU64,
     /// Sum over submits of the in-flight depth at submission time, for the
@@ -215,6 +221,8 @@ impl JobIoStats {
                         cache_evictions: AtomicU64::new(0),
                         cache_hot_hit_pages: AtomicU64::new(0),
                         cache_hot_admit_pages: AtomicU64::new(0),
+                        shared_hit_pages: AtomicU64::new(0),
+                        flights_led: AtomicU64::new(0),
                         submits: AtomicU64::new(0),
                         depth_sum: AtomicU64::new(0),
                         depth_max: AtomicU64::new(0),
@@ -334,6 +342,32 @@ impl JobIoStats {
         self.devices[device]
             .cache_hot_admit_pages
             .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// Records `pages` served to `device`'s IO role by another job's
+    /// flight (scan sharing) instead of a device read of its own.
+    pub fn record_shared_hits(&self, device: usize, pages: u64) {
+        self.devices[device]
+            .shared_hit_pages
+            .fetch_add(pages, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// Records `flights` scan-sharing flights led by `device`'s IO role.
+    pub fn record_flights_led(&self, device: usize, flights: u64) {
+        self.devices[device]
+            .flights_led
+            .fetch_add(flights, Ordering::Relaxed); // sync-audit: see record_cache_hits.
+    }
+
+    /// `(shared_hit_pages, flights_led)` scan-sharing totals across all
+    /// devices. Only authoritative once the job's IO roles have finished.
+    pub fn shared_totals(&self) -> (u64, u64) {
+        let mut totals = (0, 0);
+        for dev in &self.devices {
+            totals.0 += dev.shared_hit_pages.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+            totals.1 += dev.flights_led.load(Ordering::Relaxed); // sync-audit: see record_cache_hits.
+        }
+        totals
     }
 
     /// `(hits, misses, evictions)` page totals across all devices. Only
@@ -543,6 +577,17 @@ mod tests {
         j.record_cache_hot_admits(2, 6);
         assert_eq!(j.cache_hot_totals(), (5, 6));
         assert_eq!(j.cache_totals(), (12, 11, 5), "hot counters are separate");
+    }
+
+    #[test]
+    fn shared_scan_counters_total_across_devices() {
+        let j = JobIoStats::new(2);
+        assert_eq!(j.shared_totals(), (0, 0));
+        j.record_shared_hits(0, 8);
+        j.record_shared_hits(1, 4);
+        j.record_flights_led(0, 3);
+        assert_eq!(j.shared_totals(), (12, 3));
+        assert_eq!(j.cache_totals(), (0, 0, 0), "shared counters are separate");
     }
 
     #[test]

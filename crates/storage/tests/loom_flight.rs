@@ -1,0 +1,165 @@
+//! Model-checked tests of the scan-sharing flight table.
+//!
+//! The flight table's registry lives under per-device mutexes and each
+//! flight's outcome under its own mutex + condvar; the model checker's
+//! job is to prove the cross-thread *protocol* under every interleaving:
+//!
+//! * two jobs racing to plan the same run produce exactly one leader and
+//!   one device read — the loser joins and observes the winner's frames,
+//!   with no lost wakeup on the outcome condvar;
+//! * a subscriber arriving after the leader completed is served from the
+//!   retention ring without blocking;
+//! * a failing leader drains its error to the parked subscriber and
+//!   clears the flight, so a retry plan leads again instead of wedging.
+//!
+//! Run with:
+//! `RUSTFLAGS="--cfg loom" cargo test -p blaze-storage --test loom_flight --release`
+#![cfg(loom)]
+
+use blaze_storage::{FlightPart, FlightTable, IoRequest, PageFrame};
+use blaze_sync::atomic::{AtomicUsize, Ordering};
+use blaze_sync::model::{check_with, Config};
+use blaze_sync::{thread, Arc};
+
+fn cfg(preemption_bound: usize) -> Config {
+    Config {
+        preemption_bound,
+        ..Config::default()
+    }
+}
+
+fn req(first: u64, n: u32) -> IoRequest {
+    IoRequest {
+        first_page: first,
+        num_pages: n,
+    }
+}
+
+fn frames(n: usize, byte: u8) -> Vec<PageFrame> {
+    (0..n).map(|_| vec![byte; 4].into()).collect()
+}
+
+/// Plans the whole run and plays one job's part in it: a lead "reads the
+/// device" (bumps `reads`, completes with its own byte), a join waits for
+/// the leader's frames. Returns the bytes this job would scatter.
+fn run_job(table: &FlightTable, reads: &AtomicUsize, seq: u64, byte: u8) -> Vec<u8> {
+    let mut out = Vec::new();
+    for part in table.plan(0, req(0, 2), seq) {
+        match part {
+            FlightPart::Lead(lease) => {
+                reads.fetch_add(1, Ordering::Relaxed); // sync-audit: model-test read counter; exactness per-op, order irrelevant.
+                let n = lease.request().num_pages as usize;
+                for f in frames(n, byte) {
+                    out.push(f[0]);
+                }
+                lease.complete(frames(n, byte));
+            }
+            FlightPart::Join(ticket) => {
+                for f in ticket.wait().expect("leader completed") {
+                    out.push(f[0]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Two jobs race to scan the same two-page run: in every schedule exactly
+/// one device read happens, both jobs observe the same (leader's) bytes
+/// for every page, and the parked loser is always woken — no lost wakeup
+/// between the outcome publish and the condvar wait.
+#[test]
+fn racing_planners_coalesce_to_one_device_read() {
+    let report = check_with(cfg(2), || {
+        let table = Arc::new(FlightTable::new(1, 4));
+        let reads = Arc::new(AtomicUsize::new(0));
+        let a = {
+            let (table, reads) = (table.clone(), reads.clone());
+            thread::spawn(move || run_job(&table, &reads, 0, 0xaa))
+        };
+        let b = {
+            let (table, reads) = (table.clone(), reads.clone());
+            thread::spawn(move || run_job(&table, &reads, 1, 0xbb))
+        };
+        let got_a = a.join().unwrap();
+        let got_b = b.join().unwrap();
+        assert_eq!(
+            reads.load(Ordering::Relaxed), // sync-audit: model-test read counter; threads joined.
+            1,
+            "exactly one leader reads the device"
+        );
+        assert_eq!(got_a.len(), 2);
+        assert_eq!(got_a, got_b, "both jobs scatter the leader's bytes");
+    });
+    assert!(report.executions > 1, "explored only one schedule");
+}
+
+/// A subscriber arriving strictly after the leader resolved is served
+/// from the retention ring: no new flight, no blocking, frames intact.
+#[test]
+fn late_arrival_joins_the_retained_flight() {
+    let report = check_with(cfg(2), || {
+        let table = Arc::new(FlightTable::new(1, 4));
+        let leader = {
+            let table = table.clone();
+            thread::spawn(move || match table.plan(0, req(0, 2), 0).remove(0) {
+                FlightPart::Lead(lease) => lease.complete(frames(2, 0x42)),
+                FlightPart::Join(_) => panic!("sole planner must lead"),
+            })
+        };
+        leader.join().unwrap();
+        // After the leader's thread joined, the flight is retained; a
+        // late subscriber must resolve without parking.
+        let part = table.plan(0, req(1, 1), 1).remove(0);
+        match part {
+            FlightPart::Join(ticket) => {
+                let got = ticket.try_wait().expect("retained flight is resolved");
+                assert_eq!(got.expect("leader succeeded")[0][0], 0x42);
+            }
+            FlightPart::Lead(_) => panic!("retained run must be joined"),
+        };
+    });
+    let _ = report;
+}
+
+/// A failing leader races a parked subscriber: the subscriber always
+/// observes the error (never wedges), and the failed flight is cleared so
+/// a retry plan becomes a fresh leader.
+#[test]
+fn leader_failure_drains_to_subscribers_and_clears_the_flight() {
+    let report = check_with(cfg(2), || {
+        let table = Arc::new(FlightTable::new(1, 4));
+        let lease = match table.plan(0, req(0, 2), 0).remove(0) {
+            FlightPart::Lead(lease) => lease,
+            FlightPart::Join(_) => panic!("first planner must lead"),
+        };
+        let subscriber = {
+            let table = table.clone();
+            thread::spawn(move || match table.plan(0, req(0, 2), 1).remove(0) {
+                // Raced in before the failure was deregistered: the wait
+                // must surface the leader's error.
+                FlightPart::Join(ticket) => ticket.wait().is_err(),
+                // Raced in after the deregister: a fresh lead; complete it
+                // so its own subscribers (none here) are not abandoned.
+                FlightPart::Lead(lease) => {
+                    lease.complete(frames(2, 0x01));
+                    true
+                }
+            })
+        };
+        lease.fail("injected");
+        assert!(subscriber.join().unwrap(), "subscriber never wedges");
+        // The failed flight is gone: pending is empty and it was not
+        // retained, so the next planner either leads or joins the
+        // subscriber's *successful* retry — never the failed flight.
+        assert_eq!(table.pending_len(0), 0);
+        let part = table.plan(0, req(0, 2), 2).remove(0);
+        match part {
+            FlightPart::Lead(lease) => lease.complete(frames(2, 0x02)),
+            FlightPart::Join(ticket) => {
+                assert!(ticket.try_wait().expect("resolved").is_ok());
+            }
+        };
+    });
+    assert!(report.executions > 1, "explored only one schedule");
+}

@@ -70,6 +70,16 @@ pub struct IterationTrace {
     pub cache_hot_hit_pages: u64,
     /// Fills the cache admitted with a hot-region second-chance credit.
     pub cache_hot_admits: u64,
+    /// Pages this job received from another job's in-flight (or recently
+    /// retained) device read via the scan-sharing flight table; these
+    /// pages cost no device IO for this job.
+    pub shared_hit_pages: u64,
+    /// Bytes corresponding to `shared_hit_pages` — the device IO this job
+    /// avoided by subscribing to other jobs' flights.
+    pub shared_bytes: u64,
+    /// Scan-sharing flights this job led (device reads it issued on
+    /// behalf of itself plus any subscribers).
+    pub flights_led: u64,
     /// Records per bin buffer in the binning configuration that produced
     /// this trace (0 when binning was not used). Drives the bin-handoff
     /// cost of the performance model.
